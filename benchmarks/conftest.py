@@ -1,0 +1,13 @@
+"""Benchmark-suite helpers: every harness also persists its report."""
+
+from __future__ import annotations
+
+import pathlib
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def save_report(name: str, text: str) -> None:
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,33 @@
+"""Ablation benchmarks: xstate granularity and MPK selector isolation."""
+
+from repro.bench import ablation
+
+from benchmarks.conftest import save_report
+
+
+def test_ablation_xstate_and_pkey(benchmark):
+    result = benchmark.pedantic(
+        ablation.run, kwargs={"iterations": 300}, rounds=1, iterations=1
+    )
+    save_report("ablation", ablation.format_report(result))
+
+    # Cost grows monotonically with the preserved component set.
+    none = result.xstate["none"]
+    one = result.xstate["SSE only"]
+    two = result.xstate["SSE+AVX"]
+    full = result.xstate["x87+SSE+AVX (default)"]
+    assert none < one < two < full
+    # Per-component scaling: each additional component costs about the same
+    # (the xsave model is linear in components).
+    step1 = two - one
+    step2 = full - two
+    assert abs(step1 - step2) <= 0.5 * max(step1, step2)
+    # The paper's Fig. 4 point: full preservation dominates lazypoline's
+    # own overhead.
+    assert full - none > none - result.baseline
+
+    # MPK isolation costs a bounded premium (two PKRU switches, tens of
+    # cycles) — far cheaper than falling back to SUD-only interception.
+    assert 0 < result.pkey_extra_cycles < 150
+    sud_cycles = 20.8 * result.baseline
+    assert result.pkey_protected < 0.25 * sud_cycles

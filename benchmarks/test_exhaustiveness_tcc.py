@@ -1,0 +1,19 @@
+"""§V-A: exhaustiveness on JIT-generated code (tcc -run)."""
+
+from repro.bench import exhaustiveness
+
+from benchmarks.conftest import save_report
+
+
+def test_exhaustiveness_tcc(benchmark):
+    result = benchmark.pedantic(exhaustiveness.run, rounds=1, iterations=1)
+    save_report("exhaustiveness_tcc", exhaustiveness.format_report(result))
+
+    # lazypoline and SUD print the exact same syscalls, in the same order,
+    # including the introduced getpid (the paper's exact claim).
+    assert result.lazypoline_matches_sud
+    assert "getpid" in result.traces["lazypoline"]
+    # zpoline's trace does not include the relevant getpid.
+    assert result.zpoline_missed_jit
+    # lazypoline discovered every site lazily, none up front.
+    assert result.rewritten_sites == result.slowpath_hits > 0

@@ -1,0 +1,29 @@
+"""Fig. 4: lazypoline's overhead breakdown into additive components."""
+
+from repro.bench import fig4
+
+from benchmarks.conftest import save_report
+
+
+def test_fig4_overhead_breakdown(benchmark):
+    result = benchmark.pedantic(
+        fig4.run, kwargs={"iterations": 300}, rounds=1, iterations=1
+    )
+    save_report("fig4_breakdown", fig4.format_report(result))
+
+    components = result.components
+    for name, paper in fig4.PAPER_COMPONENTS.items():
+        measured = components[name]
+        assert abs(measured - paper) <= 0.25 * paper + 0.05, (
+            f"{name}: {measured:+.2f}x vs paper {paper:+.2f}x"
+        )
+    # "Without the SUD overhead, lazypoline's fast path matches zpoline."
+    assert abs(result.fastpath_only / result.zpoline - 1) < 0.05
+    # The xstate component dominates lazypoline's own overhead (the paper's
+    # "this preservation is responsible for the majority of lazypoline's
+    # overhead over baseline" reading of Fig. 4).
+    assert components["xstate preservation"] > components["enabling SUD"]
+    assert (
+        components["xstate preservation"]
+        > components["fast path (zpoline-equivalent)"]
+    )

@@ -1,0 +1,76 @@
+"""Fig. 5: nginx and lighttpd macrobenchmarks under every mechanism."""
+
+import pytest
+
+from repro.bench import fig5
+
+from benchmarks.conftest import save_report
+
+_RESULT = {}
+
+
+def _get_result():
+    if "r" not in _RESULT:
+        _RESULT["r"] = fig5.run(requests=200, warmup=20)
+    return _RESULT["r"]
+
+
+def test_fig5_webservers(benchmark):
+    result = benchmark.pedantic(_get_result, rounds=1, iterations=1)
+    save_report("fig5_webservers", fig5.format_report(result))
+
+
+@pytest.mark.parametrize("server", ("nginx", "lighttpd"))
+def test_fig5_single_worker_claims(benchmark, server):
+    result = _get_result()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    smallest = min(fig5.SIZES)
+    largest = max(fig5.SIZES)
+
+    for size in fig5.SIZES:
+        zp = result.retention(server, size, "zpoline")
+        nox = result.retention(server, size, "lazypoline_noxstate")
+        full = result.retention(server, size, "lazypoline")
+        sud = result.retention(server, size, "sud")
+
+        # Worst case: lazypoline-noxstate keeps ~95% of baseline
+        # (paper: 94.72% nginx / 94.81% lighttpd at the worst point).
+        assert nox >= 0.93, f"{server}/{size}: noxstate retention {nox:.3f}"
+        # ... and is at most ~3.6pp behind zpoline.
+        assert zp - nox <= 0.04
+        # xstate preservation costs at most ~4.7pp.
+        assert nox - full <= 0.05
+        # Ordering: baseline > zpoline > lazypoline-nox > lazypoline > SUD.
+        assert 1.0 > zp > nox > full > sud
+
+    # SUD roughly halves throughput on the most syscall-intensive config.
+    assert result.retention(server, smallest, "sud") < 0.62
+    # lazypoline delivers ~ twice SUD's throughput at small sizes.
+    assert (
+        result.retention(server, smallest, "lazypoline")
+        / result.retention(server, smallest, "sud")
+        > 1.6
+    )
+    # From 64 KB on, the zpoline/lazypoline gap practically vanishes.
+    assert (
+        result.retention(server, largest, "zpoline")
+        - result.retention(server, largest, "lazypoline")
+        <= 0.025
+    )
+    # ... but SUD's slowdown remains noticeable even at 256 KB.
+    assert result.retention(server, largest, "sud") < 0.9
+
+
+@pytest.mark.parametrize("server", ("nginx", "lighttpd"))
+def test_fig5_multi_worker_claims(benchmark, server):
+    result = _get_result()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for size in fig5.SIZES:
+        # With 12 workers the client saturates: the rewriting-based
+        # mechanisms all reach the baseline's (capped) throughput.
+        for mech in ("zpoline", "lazypoline", "lazypoline_noxstate"):
+            assert result.retention(server, size, mech, workers=12) >= 0.99
+    # SUD's slowdown remains visible in the multi-worker deployment on the
+    # syscall-intensive (small-file) configurations.
+    smallest = min(fig5.SIZES)
+    assert result.retention(server, smallest, "sud", workers=12) < 0.99

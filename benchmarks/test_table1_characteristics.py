@@ -1,0 +1,23 @@
+"""Table I: the characteristics matrix, reproduced by probing."""
+
+from repro.bench import table1
+
+from benchmarks.conftest import save_report
+
+
+def test_table1_characteristics(benchmark):
+    result = benchmark.pedantic(
+        table1.run, kwargs={"iterations": 200}, rounds=1, iterations=1
+    )
+    save_report("table1_characteristics", table1.format_report(result))
+
+    assert result.matches_paper(), "probed matrix diverges from Table I"
+    # The paper's punchline: only lazypoline combines all three.
+    full_exhaustive_high = [
+        m
+        for m in table1.MECHANISMS
+        if result.expressiveness[m] == "Full"
+        and result.exhaustiveness[m]
+        and result.efficiency[m] == "High"
+    ]
+    assert full_exhaustive_high == ["lazypoline"]

@@ -1,0 +1,32 @@
+"""Table II: microbenchmark overheads (the paper's headline ratios)."""
+
+from repro.bench import table2
+from repro.bench.runner import within_band
+
+from benchmarks.conftest import save_report
+
+
+def test_table2_microbenchmark(benchmark):
+    result = benchmark.pedantic(
+        table2.run, kwargs={"iterations": 300, "repeats": 3}, rounds=1,
+        iterations=1,
+    )
+    save_report("table2_micro", table2.format_report(result))
+
+    measured = result.overheads
+    # Every row within +-25% of the paper's value.
+    for mech, paper in table2.PAPER.items():
+        assert within_band(measured[mech], paper), (
+            f"{mech}: measured {measured[mech]:.2f}x vs paper {paper}x"
+        )
+    # Strict ordering the paper's Table II implies.
+    assert (
+        1.0
+        < measured["zpoline"]
+        < measured["sud_enabled_allow"] + 0.1
+        and measured["zpoline"] < measured["lazypoline_noxstate"]
+        < measured["lazypoline"]
+        < measured["sud"]
+    )
+    # Determinism: the simulated deviation is far below the paper's 0.19%.
+    assert result.max_rel_deviation < 0.002

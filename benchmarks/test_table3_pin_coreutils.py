@@ -1,0 +1,27 @@
+"""Table III: coreutils xstate-preservation expectations."""
+
+from repro.bench import table3
+
+from benchmarks.conftest import save_report
+
+
+def test_table3_pin_coreutils(benchmark):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    save_report("table3_pin_coreutils", table3.format_report(result))
+
+    assert result.matches_paper()
+    # 40% of the Ubuntu 20.04 coreutils are affected (paper, §V-B a) ...
+    ubuntu = result.verdicts["Ubuntu 20.04"]
+    assert sum(ubuntu.values()) / len(ubuntu) == 0.4
+    # ... all of them by the same pthread-init pattern on xmm0 ...
+    for name, affected in ubuntu.items():
+        if affected:
+            details = result.details["Ubuntu 20.04"][name]
+            assert any("xmm0" in d for d in details)
+    # ... while on Clear Linux every program hits the ptmalloc_init
+    # getrandom pattern.
+    clear = result.verdicts["Clear Linux"]
+    assert all(clear.values())
+    for name in clear:
+        details = result.details["Clear Linux"][name]
+        assert any("getrandom" in d for d in details)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""``strace -c`` for the simulated web server.
+
+Attaches the syscall profiler (an ordinary interposition function) to the
+nginx-like server via lazypoline and serves a burst of requests — the
+resulting kernel-cycle breakdown shows exactly why Fig. 5's interposition
+overheads shrink with file size: big files shift time into data-moving
+syscalls whose service cost dwarfs the per-interposition constant.
+
+Run:  python examples/profile_server.py
+"""
+
+from repro import Machine
+from repro.apps.profiler import SyscallProfiler
+from repro.interpose.lazypoline import Lazypoline
+from repro.workloads.webserver import NGINX, ServerWorkload
+from repro.workloads.wrk import WrkClient
+
+
+def profile(file_size: int, requests: int = 100) -> None:
+    machine = Machine()
+    workload = ServerWorkload(machine, NGINX, file_size=file_size)
+    profiler = SyscallProfiler()
+    Lazypoline.install(machine, workload.process, profiler)
+    workload.run_until_listening()
+    client = WrkClient(
+        machine.kernel, 8080, connections=4, response_size=file_size
+    )
+    client.start()
+    machine.run(
+        until=lambda: client.stats.completed >= requests,
+        max_instructions=500_000_000,
+    )
+    client.stop()
+    print(f"\n=== nginx serving {file_size // 1024} KiB x {requests} requests ===")
+    print(profiler.report.format())
+
+
+def main() -> None:
+    profile(1024)
+    profile(262144)
+    print(
+        "\nnote how read/write/sendfile cycles dominate at 256 KiB: the"
+        "\nfixed interposition cost per syscall becomes noise — Fig. 5's"
+        "\nconvergence, explained by accounting."
+    )
+
+
+if __name__ == "__main__":
+    main()

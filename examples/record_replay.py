@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Record/replay debugging on top of lazypoline.
+
+Records a program whose behaviour depends on entropy, then replays it: the
+replayed run receives the *recorded* entropy (and every other syscall
+result) from the log instead of the kernel, reproducing the original
+execution exactly — while world-changing syscalls are suppressed.
+
+Run:  python examples/record_replay.py
+"""
+
+from repro import Machine
+from repro.apps.replay import Recorder, Replayer
+from repro.arch import assemble_text
+from repro.interpose.lazypoline import Lazypoline
+from repro.loader import image_from_assembler
+
+PROGRAM = """
+_start:
+    mov rax, 9              ; mmap(0, 4096, RW, ANON|PRIVATE)
+    mov rdi, 0
+    mov rsi, 4096
+    mov rdx, 3
+    mov r10, 0x22
+    mov r8, -1
+    mov r9, 0
+    syscall
+    mov r12, rax
+    mov rax, 318            ; getrandom(buf, 8, 0)
+    mov rdi, r12
+    mov rsi, 8
+    mov rdx, 0
+    syscall
+    mov rax, 83             ; mkdir("/coinflip", 0755) — a world effect
+    mov rdi, dirname
+    mov rsi, 493
+    syscall
+    mov rax, 231            ; exit_group(entropy & 0x7f)
+    mov rdi, [r12]
+    and rdi, 0x7f
+    syscall
+dirname:
+    .asciz "/coinflip"
+"""
+
+
+def build():
+    asm = assemble_text(PROGRAM, base=0x400000)
+    return image_from_assembler("coinflip", asm, entry="_start")
+
+
+def main() -> None:
+    # --- record -----------------------------------------------------------
+    machine = Machine()
+    process = machine.load(build())
+    recorder = Recorder()
+    Lazypoline.install(machine, process, recorder)
+    original_exit = machine.run_process(process)
+    print(f"recorded run: exit code {original_exit} "
+          f"({len(recorder.recording)} syscalls captured)")
+    print(f"  world effect happened: /coinflip exists = "
+          f"{machine.fs.exists('/coinflip')}")
+
+    # --- a fresh native run behaves differently (new entropy) -------------
+    machine = Machine()
+    process = machine.load(build())
+    fresh_exit = machine.run_process(process)
+    print(f"\nfresh native run: exit code {fresh_exit} "
+          f"({'differs' if fresh_exit != original_exit else 'coincides'})")
+
+    # --- replay reproduces the recorded run exactly ------------------------
+    machine = Machine()
+    process = machine.load(build())
+    replayer = Replayer(recorder.recording)
+    Lazypoline.install(machine, process, replayer)
+    replay_exit = machine.run_process(process)
+    print(f"\nreplayed run: exit code {replay_exit} "
+          f"({replayer.replayed} syscalls served from the log, "
+          f"{replayer.executed} executed)")
+    print(f"  world effect suppressed: /coinflip exists = "
+          f"{machine.fs.exists('/coinflip')}")
+    assert replay_exit == original_exit
+    assert not machine.fs.exists("/coinflip")
+    print("\ndeterministic re-execution from a syscall log — the debugging")
+    print("use case that needs every single syscall intercepted.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""A filesystem sandbox built on lazypoline — and why exhaustiveness matters.
+
+The sandbox policy denies ``unlink`` and any ``open`` for writing outside
+``/tmp``.  A well-behaved program works normally; a malicious program that
+JIT-generates a fresh syscall instruction to evade static rewriters is
+still caught by lazypoline (its SUD slow path sees *every* syscall), while
+the same policy enforced with pure zpoline is silently bypassed — the
+security scenario of §VI.
+
+Run:  python examples/sandbox.py
+"""
+
+from repro import Machine
+from repro.arch import Assembler
+from repro.interpose.api import SyscallContext
+from repro.interpose.lazypoline import Lazypoline
+from repro.interpose.zpoline import Zpoline
+from repro.kernel import errno
+from repro.kernel.fs import O_CREAT, O_WRONLY
+from repro.kernel.syscalls.table import NR
+from repro.loader import image_from_assembler
+
+SECRET = "/etc/passwd"
+
+
+class FsSandbox:
+    """Deny writes outside /tmp and all unlinks."""
+
+    def __init__(self):
+        self.blocked: list[str] = []
+
+    def __call__(self, ctx: SyscallContext):
+        if ctx.name in ("open", "openat"):
+            path_arg = ctx.args[1] if ctx.name == "openat" else ctx.args[0]
+            flags = ctx.args[2] if ctx.name == "openat" else ctx.args[1]
+            path = ctx.read_cstr(path_arg).decode(errors="replace")
+            if flags & (O_WRONLY | O_CREAT) and not path.startswith("/tmp"):
+                self.blocked.append(f"{ctx.name}({path!r})")
+                return -errno.EACCES
+        if ctx.name == "unlink":
+            path = ctx.read_cstr(ctx.args[0]).decode(errors="replace")
+            self.blocked.append(f"unlink({path!r})")
+            return -errno.EPERM
+        return ctx.do_syscall()
+
+
+def build_well_behaved():
+    a = Assembler(base=0x400000)
+    a.label("_start")
+    # open("/tmp/out", O_CREAT|O_WRONLY) and write into it: allowed
+    a.mov_imm("rdi", "tmp_path")
+    a.mov_imm("rsi", O_CREAT | O_WRONLY)
+    a.mov_imm("rdx", 0o644)
+    a.mov_imm("rax", NR["open"])
+    a.syscall()
+    a.mov("rbx", "rax")
+    a.mov("rdi", "rbx")
+    a.mov_imm("rsi", "data")
+    a.mov_imm("rdx", 5)
+    a.mov_imm("rax", NR["write"])
+    a.syscall()
+    a.mov_imm("rax", NR["exit_group"])
+    a.mov_imm("rdi", 0)
+    a.syscall()
+    a.label("tmp_path")
+    a.db(b"/tmp/out\x00")
+    a.label("data")
+    a.db(b"safe\n")
+    return image_from_assembler("good", a, entry="_start")
+
+
+def build_jit_escape():
+    """Tries to unlink the secret through a JIT-emitted syscall insn."""
+    a = Assembler(base=0x400000)
+    a.label("_start")
+    # mmap an RWX page
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rsi", 4096)
+    a.mov_imm("rdx", 7)
+    a.mov_imm("r10", 0x22)
+    a.mov_imm("r8", (1 << 64) - 1)
+    a.mov_imm("r9", 0)
+    a.mov_imm("rax", NR["mmap"])
+    a.syscall()
+    a.mov("r12", "rax")
+    # emit: syscall; ret   (the attacker sets registers before calling)
+    a.mov_imm("rcx", int.from_bytes(b"\x0f\x05\xc3" + b"\x90" * 5, "little"))
+    a.store("r12", 0, "rcx")
+    # rax = unlink, rdi = secret path, call the fresh gadget
+    a.mov_imm("rdi", "secret")
+    a.mov_imm("rax", NR["unlink"])
+    a.call_reg("r12")
+    a.mov_imm("rax", NR["exit_group"])
+    a.mov_imm("rdi", 0)
+    a.syscall()
+    a.label("secret")
+    a.db(SECRET.encode() + b"\x00")
+    return image_from_assembler("evil", a, entry="_start")
+
+
+def run(image, tool_cls):
+    machine = Machine()
+    machine.fs.create(SECRET, b"root:x:0:0\n")
+    machine.fs.makedirs("/tmp")
+    sandbox = FsSandbox()
+    process = machine.load(image)
+    tool_cls.install(machine, process, sandbox)
+    machine.run_process(process)
+    return machine, sandbox
+
+
+def main() -> None:
+    machine, sandbox = run(build_well_behaved(), Lazypoline)
+    print("well-behaved program under lazypoline:")
+    print(f"  /tmp/out written: {machine.fs.lookup('/tmp/out').data!r}")
+    print(f"  policy hits: {sandbox.blocked or 'none'}")
+
+    machine, sandbox = run(build_jit_escape(), Lazypoline)
+    survived = machine.fs.exists(SECRET)
+    print("\nJIT-escape attempt under lazypoline:")
+    print(f"  secret file survived: {survived}")
+    print(f"  blocked: {sandbox.blocked}")
+    assert survived, "lazypoline must catch the JIT-ed unlink"
+
+    machine, sandbox = run(build_jit_escape(), Zpoline)
+    survived = machine.fs.exists(SECRET)
+    print("\nJIT-escape attempt under pure zpoline (static rewriting):")
+    print(f"  secret file survived: {survived}")
+    print(f"  blocked: {sandbox.blocked or 'nothing — the escape worked'}")
+    assert not survived, "static rewriting is bypassable by construction"
+
+    print("\nexhaustiveness is a security property: only the hybrid design")
+    print("enforces the policy against code generated after install.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""§VI in action: protecting lazypoline's selector byte with MPK.
+
+The paper notes that efficient user-space interposers offer no protection
+against an application that attacks the interposer itself — for lazypoline
+the crown jewel is the SUD selector byte: write ALLOW to it and every
+subsequent syscall sails past interposition.
+
+This example runs that exact attack twice: against stock lazypoline (it
+works) and against lazypoline with ``protect_gs_with_pkey=True``, where the
+%gs region sits behind a write-disabled memory protection key and the
+malicious store faults.  It also prints what the isolation costs.
+
+Run:  python examples/secure_interposition.py
+"""
+
+from repro import Machine
+from repro.arch import Assembler
+from repro.interpose.api import TraceInterposer
+from repro.interpose.lazypoline import Lazypoline, LazypolineConfig, gsrel
+from repro.kernel.signals import SIGSEGV
+from repro.kernel.sud import SELECTOR_ALLOW
+from repro.kernel.syscalls.table import NR
+from repro.loader import image_from_assembler
+from repro.workloads.microbench import measure_cycles_per_syscall
+
+
+def build_attacker():
+    a = Assembler(base=0x400000)
+    a.label("_start")
+    # a couple of innocent syscalls first
+    a.mov_imm("rax", NR["getpid"])
+    a.syscall()
+    # the attack: find the selector through %gs and flip it to ALLOW
+    a.rdgsbase("rbx")
+    a.mov_imm("rcx", SELECTOR_ALLOW)
+    a.store8("rbx", gsrel.GS_SELECTOR, "rcx")
+    # from here on, syscalls would be invisible to the interposer
+    a.mov_imm("rax", NR["mkdir"])
+    a.mov_imm("rdi", "path")
+    a.mov_imm("rsi", 0o700)
+    a.syscall()
+    a.mov_imm("rax", NR["exit_group"])
+    a.mov_imm("rdi", 0)
+    a.syscall()
+    a.label("path")
+    a.db(b"/smuggled\x00")
+    return image_from_assembler("attacker", a, entry="_start")
+
+
+def attempt(protected: bool):
+    machine = Machine()
+    process = machine.load(build_attacker())
+    tracer = TraceInterposer()
+    config = LazypolineConfig(protect_gs_with_pkey=protected)
+    Lazypoline.install(machine, process, tracer, config)
+    machine.run(until=lambda: not process.alive)
+    return machine, process, tracer
+
+
+def main() -> None:
+    machine, process, tracer = attempt(protected=False)
+    print("stock lazypoline:")
+    print(f"  traced: {tracer.names}")
+    print(f"  /smuggled created behind the interposer's back: "
+          f"{machine.fs.exists('/smuggled')}")
+    assert machine.fs.exists("/smuggled")
+    assert "mkdir" not in tracer.names
+
+    machine, process, tracer = attempt(protected=True)
+    print("\nlazypoline + protect_gs_with_pkey:")
+    print(f"  traced: {tracer.names}")
+    print(f"  attacker terminated by: "
+          f"{'SIGSEGV' if process.term_signal == SIGSEGV else process.term_signal}")
+    print(f"  /smuggled exists: {machine.fs.exists('/smuggled')}")
+    assert process.term_signal == SIGSEGV
+    assert not machine.fs.exists("/smuggled")
+
+    base = measure_cycles_per_syscall("baseline", iterations=200)
+    stock = measure_cycles_per_syscall("lazypoline", iterations=200)
+    secured = measure_cycles_per_syscall("lazypoline_pkey", iterations=200)
+    print("\nwhat the isolation costs (microbenchmark, syscall #500):")
+    print(f"  lazypoline        {stock / base:.2f}x")
+    print(f"  + pkey isolation  {secured / base:.2f}x "
+          f"({secured - stock:+.0f} cycles/syscall)")
+    print("\nthe §VI thesis holds: exhaustive+efficient interposition can")
+    print("protect its own state with commodity in-process isolation.")
+
+
+if __name__ == "__main__":
+    main()

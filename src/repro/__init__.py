@@ -1,0 +1,35 @@
+"""repro — reproduction of "System Call Interposition Without Compromise".
+
+This package implements the paper's lazypoline system and every substrate it
+depends on, on top of a simulated x86-64/Linux machine:
+
+* :mod:`repro.arch` — the instruction set, assembler and disassemblers,
+* :mod:`repro.mem` — paged virtual memory with permissions,
+* :mod:`repro.cpu` — the interpreter and the calibrated cycle cost model,
+* :mod:`repro.kernel` — tasks, scheduler, signals, SUD, seccomp+BPF, ptrace,
+  an in-memory filesystem and a loopback network,
+* :mod:`repro.loader` / :mod:`repro.libc` — program images and CRT variants,
+* :mod:`repro.interpose` — the interposition tools: ptrace, seccomp-bpf,
+  seccomp-user, SUD, zpoline, and **lazypoline** (the paper's contribution),
+* :mod:`repro.analysis` — the Pin-style register-preservation tool,
+* :mod:`repro.workloads` — microbenchmarks, coreutils, a JIT, web servers,
+* :mod:`repro.bench` — harnesses regenerating every table and figure.
+
+Quickstart::
+
+    from repro import Machine
+    from repro.interpose.lazypoline import Lazypoline
+    from repro.workloads.microbench import build_syscall_loop
+
+    machine = Machine()
+    proc = machine.load(build_syscall_loop(iterations=10))
+    tool = Lazypoline.install(machine, proc, interposer=my_interposer)
+    machine.run()
+"""
+
+from repro.kernel.machine import Machine
+from repro.cpu.costs import CostModel
+
+__version__ = "1.0.0"
+
+__all__ = ["Machine", "CostModel", "__version__"]

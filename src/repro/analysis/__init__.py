@@ -1,0 +1,9 @@
+"""Dynamic analysis tools (the paper's Intel-Pin equivalent)."""
+
+from repro.analysis.pin import (
+    PinFinding,
+    RegisterPreservationTool,
+    analyze_image,
+)
+
+__all__ = ["PinFinding", "RegisterPreservationTool", "analyze_image"]

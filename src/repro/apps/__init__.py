@@ -1,0 +1,21 @@
+"""Applications built on the interposition library.
+
+These are downstream consumers of the public API — the kinds of tools the
+paper's introduction motivates: multi-variant execution monitors
+(reliability/security refs [4–13]), sandboxes, tracers.
+"""
+
+from repro.apps.mvee import MveeMonitor, MveeReport
+from repro.apps.profiler import ProfileReport, SyscallProfiler
+from repro.apps.replay import Recorder, Recording, Replayer, ReplayDivergence
+
+__all__ = [
+    "MveeMonitor",
+    "MveeReport",
+    "SyscallProfiler",
+    "ProfileReport",
+    "Recorder",
+    "Recording",
+    "Replayer",
+    "ReplayDivergence",
+]

@@ -1,0 +1,74 @@
+"""A syscall profiler (``strace -c`` style) on top of any interposition tool.
+
+Counts per-syscall invocations, errors, and *simulated cycles spent inside
+the kernel* for each syscall — the accounting view performance engineers
+use to decide whether a workload is syscall-bound (and therefore how much
+interposition will cost it, per Fig. 5's file-size sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.interpose.api import SyscallContext
+from repro.kernel.errno import is_error
+from repro.kernel.syscalls.table import syscall_name
+
+
+@dataclass
+class SyscallStats:
+    name: str
+    calls: int = 0
+    errors: int = 0
+    cycles: float = 0.0
+
+    @property
+    def cycles_per_call(self) -> float:
+        return self.cycles / self.calls if self.calls else 0.0
+
+
+@dataclass
+class ProfileReport:
+    stats: dict[int, SyscallStats] = field(default_factory=dict)
+    total_cycles: float = 0.0
+
+    def sorted_by_cycles(self) -> list[SyscallStats]:
+        return sorted(self.stats.values(), key=lambda s: -s.cycles)
+
+    def format(self) -> str:
+        lines = [
+            f"{'% time':>7s} {'cycles':>12s} {'cyc/call':>10s} "
+            f"{'calls':>7s} {'errors':>7s} syscall",
+            "-" * 60,
+        ]
+        for stat in self.sorted_by_cycles():
+            share = 100 * stat.cycles / self.total_cycles if self.total_cycles else 0
+            lines.append(
+                f"{share:6.2f}% {stat.cycles:12.0f} {stat.cycles_per_call:10.1f} "
+                f"{stat.calls:7d} {stat.errors:7d} {stat.name}"
+            )
+        lines.append("-" * 60)
+        lines.append(f"{'100.00%':>7s} {self.total_cycles:12.0f} total")
+        return "\n".join(lines)
+
+
+class SyscallProfiler:
+    """The interposition function: attach to any tool's ``interposer=``."""
+
+    def __init__(self):
+        self.report = ProfileReport()
+
+    def __call__(self, ctx: SyscallContext):
+        before = ctx.kernel.clock
+        ret = ctx.do_syscall()
+        spent = ctx.kernel.clock - before
+        stat = self.report.stats.get(ctx.sysno)
+        if stat is None:
+            stat = SyscallStats(syscall_name(ctx.sysno))
+            self.report.stats[ctx.sysno] = stat
+        stat.calls += 1
+        stat.cycles += spent
+        self.report.total_cycles += spent
+        if isinstance(ret, int) and is_error(ret):
+            stat.errors += 1
+        return ret

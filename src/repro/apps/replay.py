@@ -1,0 +1,125 @@
+"""Record/replay of syscall behaviour — deterministic re-execution.
+
+The paper's first motivating use case is "tracing and debugging" [1–3];
+record/replay debuggers are the strongest form: capture every syscall's
+effects once, then re-run the program with the kernel *out of the loop*,
+reproducing the original execution bit-for-bit (even across sources of
+non-determinism like ``getrandom`` or timers).
+
+``Recorder`` captures, for every syscall, the return value plus whatever
+the kernel wrote into user memory (the out-buffers of ``read``,
+``getrandom``, ``clock_gettime``, …).  ``Replayer`` then services each
+syscall from the recording instead of executing it.  Both are ordinary
+interposition functions — record/replay needs *exhaustive* interception
+(one missed syscall breaks determinism) which is exactly what lazypoline
+provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.interpose.api import SyscallContext
+from repro.kernel.syscalls.table import NR, syscall_name
+
+
+class ReplayDivergence(Exception):
+    """The replayed program issued a different syscall than was recorded."""
+
+
+#: For syscalls whose kernel writes into user memory: which argument holds
+#: the buffer pointer, and how to compute the number of bytes written from
+#: (args, ret).
+_OUT_BUFFERS = {
+    NR["read"]: (1, lambda args, ret: max(ret, 0)),
+    NR["pread64"]: (1, lambda args, ret: max(ret, 0)),
+    NR["getrandom"]: (0, lambda args, ret: max(ret, 0)),
+    NR["getdents64"]: (1, lambda args, ret: max(ret, 0)),
+    NR["getcwd"]: (0, lambda args, ret: max(ret, 0)),
+    NR["fstat"]: (1, lambda args, ret: 32 if ret == 0 else 0),
+    NR["stat"]: (1, lambda args, ret: 32 if ret == 0 else 0),
+    NR["clock_gettime"]: (1, lambda args, ret: 16 if ret == 0 else 0),
+    NR["uname"]: (0, lambda args, ret: 65 * 6 if ret == 0 else 0),
+}
+
+#: Syscalls that must really execute even during replay (they change the
+#: process's own control/memory state rather than touching the world).
+_ALWAYS_EXECUTE = {
+    NR["mmap"], NR["munmap"], NR["mprotect"], NR["brk"],
+    NR["rt_sigaction"], NR["rt_sigprocmask"], NR["rt_sigreturn"],
+    NR["exit"], NR["exit_group"], NR["arch_prctl"], NR["prctl"],
+    NR["pkey_alloc"], NR["pkey_free"], NR["pkey_mprotect"],
+}
+
+
+@dataclass
+class RecordedCall:
+    sysno: int
+    args: tuple[int, ...]
+    ret: int | None
+    out_data: bytes | None = None
+    out_addr: int = 0
+
+    @property
+    def name(self) -> str:
+        return syscall_name(self.sysno)
+
+
+@dataclass
+class Recording:
+    calls: list[RecordedCall] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+
+class Recorder:
+    """Interposer that captures syscall effects into a :class:`Recording`."""
+
+    def __init__(self):
+        self.recording = Recording()
+
+    def __call__(self, ctx: SyscallContext):
+        ret = ctx.do_syscall()
+        call = RecordedCall(ctx.sysno, ctx.args, ret)
+        spec = _OUT_BUFFERS.get(ctx.sysno)
+        if spec is not None and isinstance(ret, int):
+            arg_index, length_fn = spec
+            length = length_fn(ctx.args, ret)
+            if length > 0:
+                call.out_addr = ctx.args[arg_index]
+                call.out_data = ctx.read_mem(call.out_addr, length)
+        self.recording.calls.append(call)
+        return ret
+
+
+class Replayer:
+    """Interposer that services syscalls from a :class:`Recording`."""
+
+    def __init__(self, recording: Recording, *, strict: bool = True):
+        self.recording = recording
+        self.strict = strict
+        self.position = 0
+        self.replayed = 0
+        self.executed = 0
+
+    def __call__(self, ctx: SyscallContext):
+        if self.position >= len(self.recording.calls):
+            raise ReplayDivergence(
+                f"recording exhausted at {ctx.name}{ctx.args[:3]}"
+            )
+        call = self.recording.calls[self.position]
+        self.position += 1
+        if call.sysno != ctx.sysno or (self.strict and call.args != ctx.args):
+            raise ReplayDivergence(
+                f"#{self.position - 1}: recorded {call.name}{call.args[:3]} "
+                f"but program issued {ctx.name}{ctx.args[:3]}"
+            )
+        if ctx.sysno in _ALWAYS_EXECUTE:
+            self.executed += 1
+            return ctx.do_syscall()
+        # Serve from the recording: inject out-buffers, skip the kernel.
+        if call.out_data is not None:
+            ctx.write_mem(call.out_addr, call.out_data)
+        self.replayed += 1
+        return call.ret

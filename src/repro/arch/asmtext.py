@@ -1,0 +1,403 @@
+"""A text front-end for the assembler.
+
+``assemble_text`` turns an Intel-flavoured listing into machine code via
+the :class:`~repro.arch.encode.Assembler` builder::
+
+    asm = assemble_text('''
+    _start:
+        mov rax, 39          ; getpid
+        syscall
+        mov rdi, rax
+        mov rax, 231         ; exit_group
+        syscall
+    msg:
+        .asciz "hello"
+    ''', base=0x400000)
+    code = asm.assemble()
+
+Supported operand forms:
+
+* registers (``rax`` … ``r15``, ``xmm0`` … ``xmm15``),
+* immediates (decimal, ``0x`` hex, negative) and label references,
+* memory ``[reg]``, ``[reg+disp]``, ``[reg-disp]``,
+* gs-relative memory ``gs:[disp]``.
+
+Directives: ``.ascii``/``.asciz`` (with the usual escapes), ``.byte``,
+``.quad`` (values or labels), ``.align``.  Comments start with ``;`` or
+``#``.  Byte-sized moves use the ``movb`` mnemonic.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.arch.encode import Assembler
+from repro.arch.registers import GPR_INDEX, XMM_INDEX
+from repro.errors import AssemblerError
+
+_MEM_RE = re.compile(r"^\[\s*(\w+)\s*(?:([+-])\s*(\w+)\s*)?\]$")
+_GS_RE = re.compile(r"^gs:\[\s*([^\]]+)\s*\]$")
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):(.*)$")
+
+
+@dataclass(frozen=True)
+class Gpr:
+    index: int
+
+
+@dataclass(frozen=True)
+class Xmm:
+    index: int
+
+
+@dataclass(frozen=True)
+class Imm:
+    value: int
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class Mem:
+    base: int
+    disp: int
+
+
+@dataclass(frozen=True)
+class GsMem:
+    disp: int
+
+
+def _parse_int(text: str) -> int | None:
+    try:
+        return int(text.strip(), 0)
+    except ValueError:
+        return None
+
+
+def parse_operand(text: str):
+    """Parse one operand into a typed wrapper."""
+    text = text.strip()
+    low = text.lower()
+    if low in GPR_INDEX:
+        return Gpr(GPR_INDEX[low])
+    if low in XMM_INDEX:
+        return Xmm(XMM_INDEX[low])
+    gs = _GS_RE.match(low)
+    if gs:
+        disp = _parse_int(gs.group(1))
+        if disp is None:
+            raise AssemblerError(f"bad gs displacement in {text!r}")
+        return GsMem(disp)
+    mem = _MEM_RE.match(low)
+    if mem:
+        base_name, sign, disp_text = mem.groups()
+        if base_name not in GPR_INDEX:
+            raise AssemblerError(f"bad base register in {text!r}")
+        disp = 0
+        if disp_text is not None:
+            value = _parse_int(disp_text)
+            if value is None:
+                raise AssemblerError(f"bad displacement in {text!r}")
+            disp = -value if sign == "-" else value
+        return Mem(GPR_INDEX[base_name], disp)
+    value = _parse_int(text)
+    if value is not None:
+        return Imm(value)
+    if re.fullmatch(r"[A-Za-z_.$][\w.$]*", text):
+        return LabelRef(text)
+    raise AssemblerError(f"cannot parse operand {text!r}")
+
+
+def _split_operands(rest: str) -> list:
+    if not rest.strip():
+        return []
+    parts = []
+    depth = 0
+    current = ""
+    for ch in rest:
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+            continue
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        current += ch
+    parts.append(current)
+    return [parse_operand(p) for p in parts]
+
+
+def _unescape(raw: str) -> bytes:
+    return raw.encode("utf-8").decode("unicode_escape").encode("latin-1")
+
+
+_SIMPLE = {
+    "nop": "nop", "ret": "ret", "hlt": "hlt", "int3": "int3",
+    "syscall": "syscall", "sysenter": "sysenter", "ud2": "ud2",
+    "fld1": "fld1", "faddp": "faddp",
+}
+_ONE_GPR = {
+    "push": "push", "pop": "pop", "inc": "inc", "dec": "dec",
+    "rdgsbase": "rdgsbase", "wrgsbase": "wrgsbase",
+    "rdpkru": "rdpkru", "wrpkru": "wrpkru",
+}
+_ALU_RR = {"add": "add", "sub": "sub", "cmp": "cmp", "and": "and_",
+           "or": "or_", "xor": "xor", "imul": "imul"}
+_ALU_RI = {"add": "addi", "sub": "subi", "cmp": "cmpi", "and": "andi",
+           "or": "ori", "xor": "xori"}
+_XMM_RR = {"movaps": "movaps", "punpcklqdq": "punpcklqdq", "xorps": "xorps",
+           "vaddpd": "vaddpd"}
+_JCC = {"jz": "jz", "je": "jz", "jnz": "jnz", "jne": "jnz", "jl": "jl",
+        "jg": "jg", "jge": "jge", "jle": "jle"}
+
+
+class _Line:
+    def __init__(self, number: int, text: str):
+        self.number = number
+        self.text = text
+
+    def error(self, message: str) -> AssemblerError:
+        return AssemblerError(f"line {self.number}: {message} ({self.text!r})")
+
+
+def _emit(asm: Assembler, mnemonic: str, ops: list, line: _Line) -> None:
+    m = mnemonic.lower()
+
+    if m in _SIMPLE:
+        if ops:
+            raise line.error(f"{m} takes no operands")
+        getattr(asm, _SIMPLE[m])()
+        return
+    if m in _ONE_GPR:
+        if len(ops) == 1 and isinstance(ops[0], Gpr):
+            getattr(asm, _ONE_GPR[m])(ops[0].index)
+            return
+        if m == "wrpkru" and len(ops) == 1 and isinstance(ops[0], GsMem):
+            asm.gswrpkru(ops[0].disp)  # the memory-sourced form
+            return
+        raise line.error(f"{m} needs one register operand")
+    if m == "call":
+        if len(ops) == 1 and isinstance(ops[0], Gpr):
+            asm.call_reg(ops[0].index)
+            return
+        if len(ops) == 1 and isinstance(ops[0], LabelRef):
+            asm.call(ops[0].name)
+            return
+        raise line.error("call needs a register or label")
+    if m == "jmp":
+        if len(ops) == 1 and isinstance(ops[0], GsMem):
+            asm.gsjmp(ops[0].disp)
+            return
+        if len(ops) == 1 and isinstance(ops[0], Gpr):
+            asm.jmp_reg(ops[0].index)
+            return
+        if len(ops) == 1 and isinstance(ops[0], LabelRef):
+            asm.jmp(ops[0].name)
+            return
+        raise line.error("jmp needs a register, label, or gs:[disp]")
+    if m in _JCC:
+        if len(ops) == 1 and isinstance(ops[0], LabelRef):
+            getattr(asm, _JCC[m])(ops[0].name)
+            return
+        raise line.error(f"{m} needs a label")
+    if m in ("shl", "shr"):
+        if len(ops) == 2 and isinstance(ops[0], Gpr) and isinstance(ops[1], Imm):
+            getattr(asm, m)(ops[0].index, ops[1].value)
+            return
+        raise line.error(f"{m} needs register, immediate")
+    if m == "lea":
+        if len(ops) == 2 and isinstance(ops[0], Gpr) and isinstance(ops[1], Mem):
+            asm.lea(ops[0].index, ops[1].base, ops[1].disp)
+            return
+        raise line.error("lea needs register, [mem]")
+    if m == "hcall":
+        if len(ops) == 1 and isinstance(ops[0], Imm):
+            asm.hcall(ops[0].value)
+            return
+        raise line.error("hcall needs an immediate")
+    if m in ("xsave", "xrstor"):
+        if len(ops) == 1 and isinstance(ops[0], Mem):
+            getattr(asm, m)(ops[0].base, ops[0].disp)
+            return
+        raise line.error(f"{m} needs a [mem] operand")
+    if m in ("fld", "fstp"):
+        if len(ops) == 1 and isinstance(ops[0], Mem):
+            method = "fld_mem" if m == "fld" else "fstp_mem"
+            getattr(asm, method)(ops[0].base, ops[0].disp)
+            return
+        raise line.error(f"{m} needs a [mem] operand")
+    if m == "movb":
+        _emit_movb(asm, ops, line)
+        return
+    if m == "movq":
+        if len(ops) == 2 and isinstance(ops[0], Xmm) and isinstance(ops[1], Gpr):
+            asm.movq_xg(ops[0].index, ops[1].index)
+            return
+        if len(ops) == 2 and isinstance(ops[0], Gpr) and isinstance(ops[1], Xmm):
+            asm.movq_gx(ops[0].index, ops[1].index)
+            return
+        raise line.error("movq moves between a gpr and an xmm register")
+    if m == "movups":
+        if len(ops) == 2 and isinstance(ops[0], Xmm) and isinstance(ops[1], Mem):
+            asm.movups_load(ops[0].index, ops[1].base, ops[1].disp)
+            return
+        if len(ops) == 2 and isinstance(ops[0], Mem) and isinstance(ops[1], Xmm):
+            asm.movups_store(ops[0].base, ops[0].disp, ops[1].index)
+            return
+        raise line.error("movups moves between an xmm register and memory")
+    if m in _XMM_RR:
+        if len(ops) == 2 and isinstance(ops[0], Xmm) and isinstance(ops[1], Xmm):
+            getattr(asm, _XMM_RR[m])(ops[0].index, ops[1].index)
+            return
+        raise line.error(f"{m} needs two xmm registers")
+    if m == "mov":
+        _emit_mov(asm, ops, line)
+        return
+    if m in _ALU_RR:
+        if len(ops) == 2 and isinstance(ops[0], Gpr) and isinstance(ops[1], Gpr):
+            getattr(asm, _ALU_RR[m])(ops[0].index, ops[1].index)
+            return
+        if len(ops) == 2 and isinstance(ops[0], Gpr) and isinstance(ops[1], Imm):
+            getattr(asm, _ALU_RI[m])(ops[0].index, ops[1].value)
+            return
+        raise line.error(f"{m} needs register,register or register,immediate")
+    raise line.error(f"unknown mnemonic {mnemonic!r}")
+
+
+def _emit_movb(asm: Assembler, ops: list, line: _Line) -> None:
+    if len(ops) != 2:
+        raise line.error("movb needs two operands")
+    dst, src = ops
+    if isinstance(dst, GsMem) and isinstance(src, GsMem):
+        asm.gscopy8(dst.disp, src.disp)
+        return
+    if isinstance(dst, GsMem) and isinstance(src, Gpr):
+        asm.gsstore8(dst.disp, src.index)
+        return
+    if isinstance(dst, Gpr) and isinstance(src, GsMem):
+        asm.gsload8(dst.index, src.disp)
+        return
+    if isinstance(dst, Mem) and isinstance(src, Gpr):
+        asm.store8(dst.base, dst.disp, src.index)
+        return
+    if isinstance(dst, Gpr) and isinstance(src, Mem):
+        asm.load8(dst.index, src.base, src.disp)
+        return
+    raise line.error("unsupported movb operand combination")
+
+
+def _emit_mov(asm: Assembler, ops: list, line: _Line) -> None:
+    if len(ops) != 2:
+        raise line.error("mov needs two operands")
+    dst, src = ops
+    if isinstance(dst, Gpr) and isinstance(src, Gpr):
+        asm.mov(dst.index, src.index)
+        return
+    if isinstance(dst, Gpr) and isinstance(src, Imm):
+        asm.mov_imm(dst.index, src.value)
+        return
+    if isinstance(dst, Gpr) and isinstance(src, LabelRef):
+        asm.mov_imm(dst.index, src.name)
+        return
+    if isinstance(dst, Gpr) and isinstance(src, Mem):
+        asm.load(dst.index, src.base, src.disp)
+        return
+    if isinstance(dst, Mem) and isinstance(src, Gpr):
+        asm.store(dst.base, dst.disp, src.index)
+        return
+    if isinstance(dst, Gpr) and isinstance(src, GsMem):
+        asm.gsload(dst.index, src.disp)
+        return
+    if isinstance(dst, GsMem) and isinstance(src, Gpr):
+        asm.gsstore(src=src.index, disp=dst.disp)
+        return
+    raise line.error("unsupported mov operand combination")
+
+
+def _emit_directive(asm: Assembler, directive: str, rest: str, line: _Line) -> None:
+    if directive in (".ascii", ".asciz"):
+        match = re.match(r'^\s*"(.*)"\s*$', rest, re.DOTALL)
+        if not match:
+            raise line.error(f"{directive} needs a quoted string")
+        data = _unescape(match.group(1))
+        if directive == ".asciz":
+            data += b"\x00"
+        asm.db(data)
+        return
+    if directive == ".byte":
+        for part in rest.split(","):
+            value = _parse_int(part)
+            if value is None or not 0 <= value <= 0xFF:
+                raise line.error(f"bad byte value {part.strip()!r}")
+            asm.db(bytes((value,)))
+        return
+    if directive == ".quad":
+        for part in rest.split(","):
+            operand = parse_operand(part)
+            if isinstance(operand, Imm):
+                asm.dq(operand.value)
+            elif isinstance(operand, LabelRef):
+                asm.dq(operand.name)
+            else:
+                raise line.error(f"bad .quad value {part.strip()!r}")
+        return
+    if directive == ".align":
+        value = _parse_int(rest)
+        if value is None or value <= 0:
+            raise line.error("bad .align value")
+        asm.align(value, fill=0)
+        return
+    raise line.error(f"unknown directive {directive!r}")
+
+
+def assemble_text(source: str, *, base: int = 0) -> Assembler:
+    """Assemble a text listing; returns the populated Assembler.
+
+    Call ``.assemble()`` on the result for the code bytes, or pass it to
+    :func:`repro.loader.image.image_from_assembler`.
+    """
+    asm = Assembler(base=base)
+    for number, raw in enumerate(source.splitlines(), start=1):
+        # strip comments (naive: quotes containing ;/# are not supported
+        # except inside .ascii, handled by stripping only outside quotes)
+        text = raw
+        in_string = False
+        cut = None
+        for i, ch in enumerate(text):
+            if ch == '"':
+                in_string = not in_string
+            elif ch in ";#" and not in_string:
+                cut = i
+                break
+        if cut is not None:
+            text = text[:cut]
+        text = text.strip()
+        if not text:
+            continue
+        line = _Line(number, text)
+
+        label_match = _LABEL_RE.match(text)
+        if label_match:
+            asm.label(label_match.group(1))
+            text = label_match.group(2).strip()
+            if not text:
+                continue
+            line = _Line(number, text)
+
+        if text.startswith("."):
+            parts = text.split(None, 1)
+            _emit_directive(asm, parts[0], parts[1] if len(parts) > 1 else "",
+                            line)
+            continue
+
+        parts = text.split(None, 1)
+        mnemonic = parts[0]
+        ops = _split_operands(parts[1]) if len(parts) > 1 else []
+        _emit(asm, mnemonic, ops, line)
+    return asm

@@ -1,0 +1,218 @@
+"""Single-instruction decoder.
+
+``decode_one`` decodes exactly one instruction from a byte buffer.  It is the
+single source of truth for instruction semantics shared by the CPU, the
+linear-sweep disassembler, and the binary rewriters.
+
+Operand tuple layouts by mnemonic:
+
+=================  =======================================================
+mnemonic           operands
+=================  =======================================================
+no-operand insns   ``()``
+push/pop/inc/dec   ``(reg,)``
+call_reg/jmp_reg   ``(reg,)``
+rel jumps/calls    ``(rel,)`` — signed displacement from the *next* insn
+mov_imm64          ``(reg, imm)`` — also used for the 5-byte imm32 form
+reg-reg ALU/mov    ``(dst, src)``
+shl/shr            ``(dst, imm8)``
+imm ALU            ``(dst, imm)`` — imm decoded as signed 32-bit
+load/lea           ``(dst, base, disp)``
+store              ``(base, disp, src)``
+movq_xg            ``(xmm, gpr)``;  movq_gx: ``(gpr, xmm)``
+movups_load        ``(xmm, base, disp)``; movups_store: ``(base, disp, xmm)``
+xmm-xmm ops        ``(dst_xmm, src_xmm)``
+fld_mem/fstp_mem   ``(base, disp)``
+xsave/xrstor       ``(base, disp)``
+rdgsbase/wrgsbase  ``(reg,)``
+gsload/gsload8     ``(dst, disp)`` — disp unsigned 32-bit
+gsstore/gsstore8   ``(disp, src)``
+hcall              ``(hook_id,)``
+=================  =======================================================
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.arch.isa import (
+    EXT,
+    JCC8,
+    JCC32,
+    Instruction,
+    Mnemonic,
+)
+from repro.errors import InvalidOpcode
+
+_S32 = struct.Struct("<i")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_U16 = struct.Struct("<H")
+
+
+def _s8(b: int) -> int:
+    return b - 256 if b >= 128 else b
+
+
+def _need(buf: bytes, off: int, n: int, addr: int) -> None:
+    if off + n > len(buf):
+        raise InvalidOpcode(addr, buf[off] if off < len(buf) else None)
+
+
+def decode_one(buf: bytes, off: int = 0, addr: int = 0) -> Instruction:
+    """Decode one instruction from ``buf`` starting at ``off``.
+
+    ``addr`` is the virtual address of the instruction, used only for error
+    reporting.  Raises :class:`InvalidOpcode` on undefined encodings or a
+    truncated buffer.
+    """
+    _need(buf, off, 1, addr)
+    op = buf[off]
+
+    # -- one-byte encodings -------------------------------------------------
+    if op == 0x90:
+        return Instruction(Mnemonic.NOP, (), 1)
+    if op == 0xC3:
+        return Instruction(Mnemonic.RET, (), 1)
+    if op == 0xF4:
+        return Instruction(Mnemonic.HLT, (), 1)
+    if op == 0xCC:
+        return Instruction(Mnemonic.INT3, (), 1)
+    if 0x50 <= op <= 0x57:
+        return Instruction(Mnemonic.PUSH, (op - 0x50,), 1)
+    if 0x58 <= op <= 0x5F:
+        return Instruction(Mnemonic.POP, (op - 0x58,), 1)
+
+    # -- REX.B prefix for high registers ------------------------------------
+    if op == 0x41:
+        _need(buf, off, 2, addr)
+        op2 = buf[off + 1]
+        if 0x50 <= op2 <= 0x57:
+            return Instruction(Mnemonic.PUSH, (8 + op2 - 0x50,), 2)
+        if 0x58 <= op2 <= 0x5F:
+            return Instruction(Mnemonic.POP, (8 + op2 - 0x58,), 2)
+        if op2 == 0xFF:
+            _need(buf, off, 3, addr)
+            op3 = buf[off + 2]
+            if 0xD0 <= op3 <= 0xD7:
+                return Instruction(Mnemonic.CALL_REG, (8 + op3 - 0xD0,), 3)
+            if 0xE0 <= op3 <= 0xE7:
+                return Instruction(Mnemonic.JMP_REG, (8 + op3 - 0xE0,), 3)
+        raise InvalidOpcode(addr, op)
+
+    # -- FF group: register-indirect call/jmp --------------------------------
+    if op == 0xFF:
+        _need(buf, off, 2, addr)
+        op2 = buf[off + 1]
+        if 0xD0 <= op2 <= 0xD7:
+            return Instruction(Mnemonic.CALL_REG, (op2 - 0xD0,), 2)
+        if 0xE0 <= op2 <= 0xE7:
+            return Instruction(Mnemonic.JMP_REG, (op2 - 0xE0,), 2)
+        raise InvalidOpcode(addr, op)
+
+    # -- relative control flow ----------------------------------------------
+    if op == 0xEB:
+        _need(buf, off, 2, addr)
+        return Instruction(Mnemonic.JMP_REL, (_s8(buf[off + 1]),), 2)
+    if op in JCC8:
+        _need(buf, off, 2, addr)
+        return Instruction(JCC8[op], (_s8(buf[off + 1]),), 2)
+    if op == 0xE9:
+        _need(buf, off, 5, addr)
+        (rel,) = _S32.unpack_from(buf, off + 1)
+        return Instruction(Mnemonic.JMP_REL, (rel,), 5)
+    if op == 0xE8:
+        _need(buf, off, 5, addr)
+        (rel,) = _S32.unpack_from(buf, off + 1)
+        return Instruction(Mnemonic.CALL_REL, (rel,), 5)
+
+    # -- 0F two-byte namespace ----------------------------------------------
+    if op == 0x0F:
+        _need(buf, off, 2, addr)
+        op2 = buf[off + 1]
+        if op2 == 0x05:
+            return Instruction(Mnemonic.SYSCALL, (), 2)
+        if op2 == 0x34:
+            return Instruction(Mnemonic.SYSENTER, (), 2)
+        if op2 == 0x0B:
+            return Instruction(Mnemonic.UD2, (), 2)
+        if op2 in JCC32:
+            _need(buf, off, 6, addr)
+            (rel,) = _S32.unpack_from(buf, off + 2)
+            return Instruction(JCC32[op2], (rel,), 6)
+        raise InvalidOpcode(addr, op)
+
+    # -- mov reg, imm ---------------------------------------------------------
+    if 0xB8 <= op <= 0xBF:
+        _need(buf, off, 5, addr)
+        (imm,) = _U32.unpack_from(buf, off + 1)
+        return Instruction(Mnemonic.MOV_IMM64, (op - 0xB8, imm), 5)
+    if op == 0x49:
+        _need(buf, off, 2, addr)
+        op2 = buf[off + 1]
+        if 0xB8 <= op2 <= 0xBF:
+            _need(buf, off, 10, addr)
+            (imm,) = _U64.unpack_from(buf, off + 2)
+            return Instruction(Mnemonic.MOV_IMM64, (8 + op2 - 0xB8, imm), 10)
+        raise InvalidOpcode(addr, op)
+
+    # -- 48 extended namespace ------------------------------------------------
+    if op == 0x48:
+        _need(buf, off, 2, addr)
+        sub = buf[off + 1]
+        if 0xB8 <= sub <= 0xBF:
+            _need(buf, off, 10, addr)
+            (imm,) = _U64.unpack_from(buf, off + 2)
+            return Instruction(Mnemonic.MOV_IMM64, (sub - 0xB8, imm), 10)
+        if sub not in EXT:
+            raise InvalidOpcode(addr, op)
+        mnemonic, length = EXT[sub]
+        _need(buf, off, length, addr)
+        body = buf[off + 2 : off + length]
+        return Instruction(mnemonic, _ext_operands(mnemonic, body), length)
+
+    raise InvalidOpcode(addr, op)
+
+
+def _ext_operands(mnemonic: Mnemonic, body: bytes) -> tuple:
+    """Decode the operand bytes of a 48-namespace instruction."""
+    m = Mnemonic
+    if mnemonic in (m.FLD1, m.FADDP):
+        return ()
+    if mnemonic in (m.INC, m.DEC, m.RDGSBASE, m.WRGSBASE, m.RDPKRU, m.WRPKRU):
+        return (body[0],)
+    if mnemonic in (
+        m.MOV, m.ADD, m.SUB, m.CMP, m.AND, m.OR, m.XOR, m.IMUL,
+        m.MOVQ_XG, m.MOVQ_GX, m.MOVAPS, m.PUNPCKLQDQ, m.XORPS, m.VADDPD,
+        m.SHL, m.SHR,
+    ):
+        return (body[0], body[1])
+    if mnemonic in (m.LOAD, m.LOAD8, m.LEA, m.MOVUPS_LOAD):
+        (disp,) = _S32.unpack_from(body, 2)
+        return (body[0], body[1], disp)
+    if mnemonic in (m.STORE, m.STORE8, m.MOVUPS_STORE):
+        (disp,) = _S32.unpack_from(body, 2)
+        return (body[1], disp, body[0])
+    if mnemonic in (m.FLD_MEM, m.FSTP_MEM, m.XSAVE, m.XRSTOR):
+        (disp,) = _S32.unpack_from(body, 1)
+        return (body[0], disp)
+    if mnemonic in (m.ADDI, m.SUBI, m.CMPI, m.ANDI, m.ORI, m.XORI):
+        (imm,) = _S32.unpack_from(body, 1)
+        return (body[0], imm)
+    if mnemonic in (m.GSLOAD, m.GSLOAD8):
+        (disp,) = _U32.unpack_from(body, 1)
+        return (body[0], disp)
+    if mnemonic in (m.GSSTORE, m.GSSTORE8):
+        (disp,) = _U32.unpack_from(body, 1)
+        return (disp, body[0])
+    if mnemonic in (m.GSJMP, m.GSWRPKRU):
+        (disp,) = _U32.unpack_from(body, 0)
+        return (disp,)
+    if mnemonic is m.GSCOPY8:
+        (dst,) = _U32.unpack_from(body, 0)
+        (src,) = _U32.unpack_from(body, 4)
+        return (dst, src)
+    if mnemonic is m.HCALL:
+        (hook_id,) = _U16.unpack_from(body, 0)
+        return (hook_id,)
+    raise AssertionError(f"unhandled extended mnemonic {mnemonic}")

@@ -1,0 +1,88 @@
+"""Static disassembly helpers.
+
+``linear_sweep`` performs the classic linear-sweep disassembly that static
+binary rewriters rely on, including its genuine failure modes (§II-B of the
+paper): data embedded in a text section desynchronises the sweep, and
+byte-level scans find "syscall instructions" inside the immediates of other
+instructions.
+
+``find_syscall_sites`` is the byte-level scan the zpoline rewriter uses: it
+reports *every* ``0F 05`` / ``0F 34`` byte pair, whether or not it is a real
+instruction — faithfully reproducing the misidentification hazard the paper
+discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.decode import decode_one
+from repro.arch.isa import Instruction, Mnemonic, SYSCALL_BYTES, SYSENTER_BYTES
+from repro.errors import InvalidOpcode
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One linear-sweep result: a decoded instruction or an opaque byte."""
+
+    address: int
+    instruction: Instruction | None  # None for undecodable bytes
+    raw: bytes
+
+    @property
+    def is_data(self) -> bool:
+        return self.instruction is None
+
+
+def linear_sweep(code: bytes, base: int = 0) -> list[SweepEntry]:
+    """Disassemble ``code`` sequentially from its first byte.
+
+    Undecodable bytes are emitted as single-byte data entries and the sweep
+    resumes at the next byte — the standard recovery strategy, and the
+    standard source of desynchronisation.
+    """
+    entries: list[SweepEntry] = []
+    off = 0
+    while off < len(code):
+        addr = base + off
+        try:
+            insn = decode_one(code, off, addr)
+        except InvalidOpcode:
+            entries.append(SweepEntry(addr, None, code[off : off + 1]))
+            off += 1
+            continue
+        entries.append(SweepEntry(addr, insn, code[off : off + insn.length]))
+        off += insn.length
+    return entries
+
+
+def sweep_syscall_addresses(code: bytes, base: int = 0) -> list[int]:
+    """Addresses of syscall/sysenter instructions found by linear sweep."""
+    return [
+        e.address
+        for e in linear_sweep(code, base)
+        if e.instruction is not None
+        and e.instruction.mnemonic in (Mnemonic.SYSCALL, Mnemonic.SYSENTER)
+    ]
+
+
+def find_syscall_sites(code: bytes, base: int = 0) -> list[int]:
+    """Byte-level scan for ``0F 05``/``0F 34`` pairs (zpoline-style).
+
+    Returns the address of each occurrence.  Unlike
+    :func:`sweep_syscall_addresses` this never *misses* an aligned syscall
+    instruction, but it may return false positives pointing into the middle
+    of other instructions or data.
+    """
+    sites: list[int] = []
+    start = 0
+    for pattern in (SYSCALL_BYTES, SYSENTER_BYTES):
+        start = 0
+        while True:
+            idx = code.find(pattern, start)
+            if idx < 0:
+                break
+            sites.append(base + idx)
+            start = idx + 1
+    sites.sort()
+    return sites

@@ -1,0 +1,7 @@
+"""Benchmark harnesses: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning a structured result and
+``format_report(result)`` producing the rows the paper reports.  The
+``benchmarks/`` pytest-benchmark suite drives these and asserts the paper's
+*shape* (orderings and approximate ratios), per DESIGN.md §5.
+"""

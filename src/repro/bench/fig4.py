@@ -1,0 +1,80 @@
+"""Fig. 4: lazypoline's overhead breakdown.
+
+The figure decomposes lazypoline's microbenchmark overhead into three
+additive parts:
+
+* the pure zpoline-style fast path (call rax + sled + stub),
+* "enabling SUD" — the slower kernel entry path taken once any interception
+  interface is armed, plus the selector-byte read,
+* "xstate preservation" — the xsave/xrstor pair around the interposer.
+
+We measure each part directly: lazypoline with SUD disabled isolates the
+fast path (the paper's "with SUD disabled, lazypoline's fast path matches
+zpoline"), then arming SUD and enabling xstate add their components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import format_table
+from repro.workloads.microbench import measure_cycles_per_syscall
+
+#: Paper component sizes as multiples of the baseline syscall cost,
+#: derived from Table II: 1.66x − 1.24x = 0.42x for enabling SUD (matching
+#: the 1.42x SUD-enabled-baseline row), 2.38x − 1.66x = 0.72x for xstate.
+PAPER_COMPONENTS = {
+    "fast path (zpoline-equivalent)": 0.24,
+    "enabling SUD": 0.42,
+    "xstate preservation": 0.72,
+}
+
+
+@dataclass
+class Fig4Result:
+    baseline: float
+    zpoline: float
+    fastpath_only: float  # lazypoline, SUD off, xstate off
+    with_sud: float  # lazypoline, SUD on, xstate off
+    full: float  # lazypoline, SUD on, xstate on
+
+    @property
+    def components(self) -> dict[str, float]:
+        """Each component in units of the baseline syscall cost."""
+        return {
+            "fast path (zpoline-equivalent)": (
+                (self.fastpath_only - self.baseline) / self.baseline
+            ),
+            "enabling SUD": (self.with_sud - self.fastpath_only) / self.baseline,
+            "xstate preservation": (self.full - self.with_sud) / self.baseline,
+        }
+
+
+def run(*, iterations: int = 300) -> Fig4Result:
+    measure = lambda mech: measure_cycles_per_syscall(  # noqa: E731
+        mech, iterations=iterations
+    )
+    return Fig4Result(
+        baseline=measure("baseline"),
+        zpoline=measure("zpoline"),
+        fastpath_only=measure("lazypoline_nosud_noxstate"),
+        with_sud=measure("lazypoline_noxstate"),
+        full=measure("lazypoline"),
+    )
+
+
+def format_report(result: Fig4Result) -> str:
+    rows = []
+    for name, measured in result.components.items():
+        paper = PAPER_COMPONENTS[name]
+        rows.append([name, f"{measured:+.2f}x", f"{paper:+.2f}x"])
+    table = format_table(
+        ["overhead component", "measured", "paper"],
+        rows,
+        title="Fig. 4: lazypoline overhead breakdown (vs baseline cost)",
+    )
+    fast_vs_zpoline = 100 * (result.fastpath_only / result.zpoline - 1)
+    return table + (
+        f"\nfast path with SUD disabled vs zpoline: {fast_vs_zpoline:+.1f}% "
+        "(paper: matches)"
+    )

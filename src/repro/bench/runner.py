@@ -1,0 +1,70 @@
+"""Shared benchmark plumbing: tool installers and report formatting."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.arch.registers import XComponent
+from repro.interpose.api import Interposer, passthrough_interposer
+from repro.interpose.lazypoline import Lazypoline, LazypolineConfig
+from repro.interpose.ptrace_tool import PtraceTool
+from repro.interpose.seccomp_bpf_tool import SeccompBpfTool
+from repro.interpose.seccomp_user_tool import SeccompUserTool
+from repro.interpose.sud_tool import SudTool
+from repro.interpose.zpoline import Zpoline
+
+
+def install_mechanism(
+    name: str, machine, process, interposer: Interposer | None = None
+):
+    """Install one named interposition mechanism on a loaded process."""
+    interposer = interposer or passthrough_interposer
+    if name == "baseline":
+        return None
+    if name == "zpoline":
+        return Zpoline.install(machine, process, interposer)
+    if name == "lazypoline":
+        return Lazypoline.install(machine, process, interposer)
+    if name == "lazypoline_noxstate":
+        return Lazypoline.install(
+            machine,
+            process,
+            interposer,
+            LazypolineConfig(preserve_xstate=XComponent.none()),
+        )
+    if name == "sud":
+        return SudTool.install(machine, process, interposer)
+    if name == "seccomp_user":
+        return SeccompUserTool.install(machine, process, interposer)
+    if name == "seccomp_bpf":
+        return SeccompBpfTool.install(machine, process)
+    if name == "ptrace":
+        return PtraceTool.install(machine, process, interposer)
+    raise ValueError(f"unknown mechanism {name!r}")
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Plain-text table matching the repo's report style."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def within_band(measured: float, paper: float, tolerance: float = 0.25) -> bool:
+    """True if ``measured`` is within ±tolerance (relative) of ``paper``."""
+    return abs(measured - paper) <= tolerance * paper
+
+
+def run_once(fn: Callable, *args, **kwargs):
+    """Run a harness exactly once under pytest-benchmark's pedantic mode."""
+    return fn(*args, **kwargs)

@@ -1,0 +1,104 @@
+"""Table III: coreutils register-preservation expectations under Pin.
+
+Ten coreutils × two libc builds, each run under the register-preservation
+tool.  A ✓ means the program expected at least one extended-state component
+to survive at least one syscall (so an interposer that only preserves GPRs
+would corrupt it).
+
+Paper result: Ubuntu 20.04 — 4/10 affected (ls, mkdir, mv, cp, all via the
+same glibc-2.31 pthread-init pattern of Listing 1); Clear Linux — 10/10
+affected (all via the ptmalloc_init getrandom pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.pin import RegisterPreservationTool
+from repro.bench.runner import format_table
+from repro.kernel.machine import Machine
+from repro.libc.variants import GLIBC_231_UBUNTU, GLIBC_239_CLEARLINUX
+from repro.workloads.coreutils import COREUTIL_NAMES, build_coreutil, setup_fs
+
+#: The paper's Table III (True = ✓ = expects xstate preservation).
+PAPER = {
+    "Ubuntu 20.04": {
+        "ls": True, "pwd": False, "chmod": False, "mkdir": True, "mv": True,
+        "cp": True, "rm": False, "touch": False, "cat": False, "clear": False,
+    },
+    "Clear Linux": {name: True for name in COREUTIL_NAMES},
+}
+
+VARIANTS = {
+    "Ubuntu 20.04": GLIBC_231_UBUNTU,
+    "Clear Linux": GLIBC_239_CLEARLINUX,
+}
+
+
+@dataclass
+class Table3Result:
+    #: distro -> util -> expects-xstate verdict
+    verdicts: dict[str, dict[str, bool]] = field(default_factory=dict)
+    #: distro -> util -> syscalls found carrying live xstate
+    details: dict[str, dict[str, list[str]]] = field(default_factory=dict)
+
+    def matches_paper(self) -> bool:
+        return self.verdicts == PAPER
+
+
+def run() -> Table3Result:
+    result = Table3Result()
+    for distro, variant in VARIANTS.items():
+        result.verdicts[distro] = {}
+        result.details[distro] = {}
+        for name in COREUTIL_NAMES:
+            machine = Machine()
+            setup_fs(machine)
+            tool = RegisterPreservationTool()
+            machine.kernel.cpu.add_hook(tool)
+            process = machine.load(build_coreutil(name, variant))
+            machine.run(
+                until=lambda: not process.alive, max_instructions=2_000_000
+            )
+            if process.exit_code != 0:
+                raise RuntimeError(
+                    f"{name} ({distro}) failed: exit={process.exit_code} "
+                    f"signal={process.term_signal}"
+                )
+            result.verdicts[distro][name] = tool.expects_xstate_preservation()
+            result.details[distro][name] = sorted(
+                {f"{f.register} across {f.syscall}" for f in tool.xstate_findings}
+            )
+    return result
+
+
+def format_report(result: Table3Result) -> str:
+    def mark(value: bool) -> str:
+        return "Y" if value else "-"
+
+    rows = []
+    for name in COREUTIL_NAMES:
+        rows.append(
+            [
+                name,
+                mark(result.verdicts["Ubuntu 20.04"][name]),
+                mark(PAPER["Ubuntu 20.04"][name]),
+                mark(result.verdicts["Clear Linux"][name]),
+                mark(PAPER["Clear Linux"][name]),
+            ]
+        )
+    table = format_table(
+        ["coreutil", "ubuntu", "(paper)", "clearlinux", "(paper)"],
+        rows,
+        title="Table III: xstate preservation expectations (Pin tool)",
+    )
+    notes = []
+    sample = result.details["Ubuntu 20.04"].get("ls", [])
+    if sample:
+        notes.append(f"Ubuntu root cause (ls): {', '.join(sample)}")
+    sample = result.details["Clear Linux"].get("pwd", [])
+    if sample:
+        notes.append(f"Clear Linux root cause (pwd): {', '.join(sample)}")
+    verdict = "MATCHES" if result.matches_paper() else "DIFFERS FROM"
+    notes.append(f"matrix {verdict} the paper's Table III")
+    return table + "\n" + "\n".join(notes)

@@ -1,0 +1,15 @@
+"""CPU interpreter and cycle cost model."""
+
+from repro.cpu.costs import CostModel
+from repro.cpu.core import CPU, BareTask, NullEnvironment, XSAVE_AREA_SIZE
+from repro.cpu.hooks import CpuHook, reg_effects
+
+__all__ = [
+    "CostModel",
+    "CPU",
+    "BareTask",
+    "NullEnvironment",
+    "XSAVE_AREA_SIZE",
+    "CpuHook",
+    "reg_effects",
+]

@@ -1,0 +1,442 @@
+"""The CPU interpreter.
+
+``CPU.step(task)`` fetches, decodes, charges and executes exactly one
+instruction of ``task``.  The CPU itself is environment-agnostic: anything
+that needs an OS (syscalls, host calls, halts) is delegated to the
+``Environment`` the CPU was constructed with — normally the kernel, or a
+:class:`NullEnvironment` in bare-metal unit tests.
+
+Architectural faults (:class:`~repro.errors.PageFault`,
+:class:`~repro.errors.InvalidOpcode`) propagate out of :meth:`CPU.step`; the
+scheduler converts them into signals.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Protocol
+
+from repro.arch.decode import decode_one
+from repro.arch.isa import MAX_INSN_LEN, Instruction, Mnemonic
+from repro.arch.registers import (
+    MASK64,
+    MASK128,
+    RSP,
+    XComponent,
+    to_signed,
+)
+from repro.cpu.costs import CostModel
+from repro.errors import BreakpointTrap, InvalidOpcode
+
+_F64 = struct.Struct("<d")
+_U64 = struct.Struct("<Q")
+
+#: Serialized xsave area layout (offsets within the area).
+XSAVE_MASK_OFF = 0
+XSAVE_XMM_OFF = 8
+XSAVE_YMM_OFF = XSAVE_XMM_OFF + 16 * 16
+XSAVE_X87_OFF = XSAVE_YMM_OFF + 16 * 16
+XSAVE_TOP_OFF = XSAVE_X87_OFF + 8 * 8
+XSAVE_AREA_SIZE = 1024
+
+_COMPONENT_BITS = ((XComponent.X87, 1), (XComponent.SSE, 2), (XComponent.AVX, 4))
+
+
+class Environment(Protocol):
+    """What the CPU needs from its surroundings."""
+
+    def charge(self, task, cycles: int) -> None:
+        """Account ``cycles`` of work performed by ``task``."""
+
+    def on_syscall(self, task) -> None:
+        """A syscall instruction retired; rip already points past it."""
+
+    def on_hlt(self, task) -> None:
+        """A hlt instruction retired."""
+
+    def on_hcall(self, task, hook_id: int) -> None:
+        """A host-call instruction retired."""
+
+
+class NullEnvironment:
+    """Bare-metal environment for CPU unit tests: counts cycles, logs events."""
+
+    def __init__(self):
+        self.cycles = 0
+        self.syscalls: list[tuple[int, tuple[int, ...]]] = []
+        self.halted: list[object] = []
+        self.hcalls: list[int] = []
+
+    def charge(self, task, cycles: int) -> None:
+        self.cycles += cycles
+
+    def on_syscall(self, task) -> None:
+        from repro.arch.registers import SYSCALL_ARG_REGS
+
+        args = tuple(task.regs.read(r) for r in SYSCALL_ARG_REGS)
+        self.syscalls.append((task.regs.read(0), args))
+        task.regs.write(0, 0)
+
+    def on_hlt(self, task) -> None:
+        self.halted.append(task)
+
+    def on_hcall(self, task, hook_id: int) -> None:
+        self.hcalls.append(hook_id)
+
+
+class BareTask:
+    """Minimal task for bare-metal CPU tests: registers + memory, no kernel."""
+
+    def __init__(self, mem, regs=None, xsave_mask: XComponent | None = None):
+        from repro.arch.registers import RegisterFile
+
+        self.mem = mem
+        self.regs = regs or RegisterFile()
+        self.xsave_mask = XComponent.all() if xsave_mask is None else xsave_mask
+
+
+class CPU:
+    """Interprets simulated machine code, one task at a time."""
+
+    def __init__(self, env: Environment, cost_model: CostModel | None = None):
+        self.env = env
+        self.costs = cost_model or CostModel()
+        self.hooks: list = []
+
+    def add_hook(self, hook) -> None:
+        self.hooks.append(hook)
+
+    def remove_hook(self, hook) -> None:
+        self.hooks.remove(hook)
+
+    # ------------------------------------------------------------------ step
+    def step(self, task) -> Instruction:
+        """Execute one instruction of ``task`` and return it."""
+        regs = task.regs
+        addr = regs.rip
+        window = task.mem.fetch(addr, MAX_INSN_LEN)
+        insn = decode_one(window, 0, addr)
+
+        for hook in self.hooks:
+            hook.on_insn(task, insn, addr)
+
+        m = insn.mnemonic
+        if m in (Mnemonic.XSAVE, Mnemonic.XRSTOR):
+            count = bin(task.xsave_mask.value).count("1")
+            self.env.charge(task, self.costs.xsave_cost(count))
+        else:
+            self.env.charge(task, self.costs.insn_cost(m))
+
+        next_rip = addr + insn.length
+        regs.rip = next_rip
+        self._execute(task, insn, next_rip)
+        return insn
+
+    # ----------------------------------------------------------- stack utils
+    def _push(self, task, value: int) -> None:
+        regs = task.regs
+        rsp = (regs.read(RSP) - 8) & MASK64
+        task.mem.write_u64(rsp, value)
+        regs.write(RSP, rsp)
+
+    def _pop(self, task) -> int:
+        regs = task.regs
+        rsp = regs.read(RSP)
+        value = task.mem.read_u64(rsp)
+        regs.write(RSP, (rsp + 8) & MASK64)
+        return value
+
+    @staticmethod
+    def _set_flags(regs, result: int) -> None:
+        result &= MASK64
+        regs.zf = result == 0
+        regs.lt = bool(result >> 63)
+
+    # --------------------------------------------------------------- execute
+    def _execute(self, task, insn: Instruction, next_rip: int) -> None:
+        regs = task.regs
+        mem = task.mem
+        m = insn.mnemonic
+        ops = insn.operands
+        M = Mnemonic
+
+        if m is M.NOP:
+            return
+        if m is M.SYSCALL or m is M.SYSENTER:
+            self.env.on_syscall(task)
+            return
+        if m is M.HLT:
+            self.env.on_hlt(task)
+            return
+        if m is M.HCALL:
+            self.env.on_hcall(task, ops[0])
+            return
+        if m is M.INT3:
+            raise BreakpointTrap(next_rip - insn.length)
+        if m is M.UD2:
+            raise InvalidOpcode(next_rip - insn.length, 0x0F)
+
+        # control flow ------------------------------------------------------
+        if m is M.RET:
+            regs.rip = self._pop(task)
+            return
+        if m is M.PUSH:
+            self._push(task, regs.read(ops[0]))
+            return
+        if m is M.POP:
+            regs.write(ops[0], self._pop(task))
+            return
+        if m is M.CALL_REG:
+            self._push(task, next_rip)
+            regs.rip = regs.read(ops[0])
+            return
+        if m is M.JMP_REG:
+            regs.rip = regs.read(ops[0])
+            return
+        if m is M.CALL_REL:
+            self._push(task, next_rip)
+            regs.rip = (next_rip + ops[0]) & MASK64
+            return
+        if m is M.JMP_REL:
+            regs.rip = (next_rip + ops[0]) & MASK64
+            return
+        if m in (M.JZ, M.JNZ, M.JL, M.JG, M.JGE, M.JLE):
+            taken = {
+                M.JZ: regs.zf,
+                M.JNZ: not regs.zf,
+                M.JL: regs.lt,
+                M.JG: not regs.lt and not regs.zf,
+                M.JGE: not regs.lt,
+                M.JLE: regs.lt or regs.zf,
+            }[m]
+            if taken:
+                regs.rip = (next_rip + ops[0]) & MASK64
+            return
+
+        # data movement ------------------------------------------------------
+        if m is M.MOV_IMM64:
+            regs.write(ops[0], ops[1])
+            return
+        if m is M.MOV:
+            regs.write(ops[0], regs.read(ops[1]))
+            return
+        if m is M.LOAD:
+            regs.write(ops[0], mem.read_u64((regs.read(ops[1]) + ops[2]) & MASK64))
+            return
+        if m is M.STORE:
+            mem.write_u64((regs.read(ops[0]) + ops[1]) & MASK64, regs.read(ops[2]))
+            return
+        if m is M.LOAD8:
+            regs.write(ops[0], mem.read_u8((regs.read(ops[1]) + ops[2]) & MASK64))
+            return
+        if m is M.STORE8:
+            mem.write_u8((regs.read(ops[0]) + ops[1]) & MASK64, regs.read(ops[2]) & 0xFF)
+            return
+        if m is M.LEA:
+            regs.write(ops[0], (regs.read(ops[1]) + ops[2]) & MASK64)
+            return
+
+        # ALU -----------------------------------------------------------------
+        if m in (M.ADD, M.SUB, M.AND, M.OR, M.XOR, M.IMUL):
+            a = regs.read(ops[0])
+            b = regs.read(ops[1])
+            result = {
+                M.ADD: a + b,
+                M.SUB: a - b,
+                M.AND: a & b,
+                M.OR: a | b,
+                M.XOR: a ^ b,
+                M.IMUL: to_signed(a) * to_signed(b),
+            }[m] & MASK64
+            regs.write(ops[0], result)
+            self._set_flags(regs, result)
+            return
+        if m is M.CMP:
+            a = to_signed(regs.read(ops[0]))
+            b = to_signed(regs.read(ops[1]))
+            regs.zf = a == b
+            regs.lt = a < b
+            return
+        if m in (M.ADDI, M.SUBI, M.ANDI, M.ORI, M.XORI):
+            a = regs.read(ops[0])
+            imm = ops[1] & MASK64  # sign-extended by decode
+            result = {
+                M.ADDI: a + imm,
+                M.SUBI: a - imm,
+                M.ANDI: a & imm,
+                M.ORI: a | imm,
+                M.XORI: a ^ imm,
+            }[m] & MASK64
+            regs.write(ops[0], result)
+            self._set_flags(regs, result)
+            return
+        if m is M.CMPI:
+            a = to_signed(regs.read(ops[0]))
+            regs.zf = a == ops[1]
+            regs.lt = a < ops[1]
+            return
+        if m in (M.SHL, M.SHR):
+            a = regs.read(ops[0])
+            count = ops[1] & 63
+            result = (a << count) & MASK64 if m is M.SHL else a >> count
+            regs.write(ops[0], result)
+            self._set_flags(regs, result)
+            return
+        if m in (M.INC, M.DEC):
+            delta = 1 if m is M.INC else -1
+            result = (regs.read(ops[0]) + delta) & MASK64
+            regs.write(ops[0], result)
+            self._set_flags(regs, result)
+            return
+
+        # vector ---------------------------------------------------------------
+        if m is M.MOVQ_XG:
+            regs.write_xmm(ops[0], regs.read(ops[1]))
+            return
+        if m is M.MOVQ_GX:
+            regs.write(ops[0], regs.read_xmm(ops[1]) & MASK64)
+            return
+        if m is M.MOVUPS_LOAD:
+            addr = (regs.read(ops[1]) + ops[2]) & MASK64
+            value = int.from_bytes(mem.read(addr, 16), "little")
+            regs.write_xmm(ops[0], value)
+            return
+        if m is M.MOVUPS_STORE:
+            addr = (regs.read(ops[0]) + ops[1]) & MASK64
+            mem.write(addr, regs.read_xmm(ops[2]).to_bytes(16, "little"))
+            return
+        if m is M.MOVAPS:
+            regs.write_xmm(ops[0], regs.read_xmm(ops[1]))
+            return
+        if m is M.PUNPCKLQDQ:
+            low = regs.read_xmm(ops[0]) & MASK64
+            src_low = regs.read_xmm(ops[1]) & MASK64
+            regs.write_xmm(ops[0], low | (src_low << 64))
+            return
+        if m is M.XORPS:
+            regs.write_xmm(ops[0], regs.read_xmm(ops[0]) ^ regs.read_xmm(ops[1]))
+            return
+        if m is M.VADDPD:
+            # Lane-wise 64-bit add; also touches the AVX high halves.
+            d = regs.read_xmm(ops[0])
+            s = regs.read_xmm(ops[1])
+            low = ((d & MASK64) + (s & MASK64)) & MASK64
+            high = (((d >> 64) & MASK64) + ((s >> 64) & MASK64)) & MASK64
+            regs.write_xmm(ops[0], low | (high << 64))
+            regs.ymm_high[ops[0]] = (
+                regs.ymm_high[ops[0]] + regs.ymm_high[ops[1]]
+            ) & MASK128
+            return
+
+        # x87 -------------------------------------------------------------------
+        if m is M.FLD1:
+            regs.x87_push(_U64.unpack(_F64.pack(1.0))[0])
+            return
+        if m is M.FADDP:
+            a = _F64.unpack(_U64.pack(regs.x87_pop()))[0]
+            b = _F64.unpack(_U64.pack(regs.x87_pop()))[0]
+            regs.x87_push(_U64.unpack(_F64.pack(a + b))[0])
+            return
+        if m is M.FLD_MEM:
+            addr = (regs.read(ops[0]) + ops[1]) & MASK64
+            regs.x87_push(mem.read_u64(addr))
+            return
+        if m is M.FSTP_MEM:
+            addr = (regs.read(ops[0]) + ops[1]) & MASK64
+            mem.write_u64(addr, regs.x87_pop())
+            return
+
+        # xstate ---------------------------------------------------------------
+        if m is M.XSAVE:
+            addr = (regs.read(ops[0]) + ops[1]) & MASK64
+            mem.write(addr, xsave_serialize(regs, task.xsave_mask))
+            return
+        if m is M.XRSTOR:
+            addr = (regs.read(ops[0]) + ops[1]) & MASK64
+            xrstor_apply(regs, mem.read(addr, XSAVE_AREA_SIZE))
+            return
+
+        # gs-relative -------------------------------------------------------------
+        if m is M.RDGSBASE:
+            regs.write(ops[0], regs.gs_base)
+            return
+        if m is M.WRGSBASE:
+            regs.gs_base = regs.read(ops[0])
+            return
+        if m is M.GSLOAD:
+            regs.write(ops[0], mem.read_u64((regs.gs_base + ops[1]) & MASK64))
+            return
+        if m is M.GSSTORE:
+            mem.write_u64((regs.gs_base + ops[0]) & MASK64, regs.read(ops[1]))
+            return
+        if m is M.GSLOAD8:
+            regs.write(ops[0], mem.read_u8((regs.gs_base + ops[1]) & MASK64))
+            return
+        if m is M.GSSTORE8:
+            mem.write_u8((regs.gs_base + ops[0]) & MASK64, regs.read(ops[1]) & 0xFF)
+            return
+        if m is M.RDPKRU:
+            regs.write(ops[0], regs.pkru)
+            return
+        if m is M.WRPKRU:
+            regs.pkru = regs.read(ops[0]) & 0xFFFFFFFF
+            mem.active_pkru = regs.pkru
+            return
+        if m is M.GSWRPKRU:
+            regs.pkru = mem.read_u32((regs.gs_base + ops[0]) & MASK64)
+            mem.active_pkru = regs.pkru
+            return
+        if m is M.GSJMP:
+            regs.rip = mem.read_u64((regs.gs_base + ops[0]) & MASK64)
+            return
+        if m is M.GSCOPY8:
+            value = mem.read_u8((regs.gs_base + ops[1]) & MASK64)
+            mem.write_u8((regs.gs_base + ops[0]) & MASK64, value)
+            return
+
+        raise AssertionError(f"unhandled mnemonic {m}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------- xsave glue
+def xsave_serialize(regs, mask: XComponent) -> bytes:
+    """Serialize the selected xstate components into the xsave area format."""
+    area = bytearray(XSAVE_AREA_SIZE)
+    bits = 0
+    for component, bit in _COMPONENT_BITS:
+        if mask & component:
+            bits |= bit
+    _U64.pack_into(area, XSAVE_MASK_OFF, bits)
+    if mask & XComponent.SSE:
+        for i, value in enumerate(regs.xmm):
+            area[XSAVE_XMM_OFF + 16 * i : XSAVE_XMM_OFF + 16 * (i + 1)] = (
+                value.to_bytes(16, "little")
+            )
+    if mask & XComponent.AVX:
+        for i, value in enumerate(regs.ymm_high):
+            area[XSAVE_YMM_OFF + 16 * i : XSAVE_YMM_OFF + 16 * (i + 1)] = (
+                value.to_bytes(16, "little")
+            )
+    if mask & XComponent.X87:
+        for i, value in enumerate(regs.x87):
+            _U64.pack_into(area, XSAVE_X87_OFF + 8 * i, value)
+        area[XSAVE_TOP_OFF] = regs.x87_top
+    return bytes(area)
+
+
+def xrstor_apply(regs, area: bytes) -> None:
+    """Restore xstate components from an xsave area."""
+    (bits,) = _U64.unpack_from(area, XSAVE_MASK_OFF)
+    if bits & 2:
+        for i in range(16):
+            regs.xmm[i] = int.from_bytes(
+                area[XSAVE_XMM_OFF + 16 * i : XSAVE_XMM_OFF + 16 * (i + 1)], "little"
+            )
+    if bits & 4:
+        for i in range(16):
+            regs.ymm_high[i] = int.from_bytes(
+                area[XSAVE_YMM_OFF + 16 * i : XSAVE_YMM_OFF + 16 * (i + 1)], "little"
+            )
+    if bits & 1:
+        for i in range(8):
+            (regs.x87[i],) = _U64.unpack_from(area, XSAVE_X87_OFF + 8 * i)
+        regs.x87_top = area[XSAVE_TOP_OFF]

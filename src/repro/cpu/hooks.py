@@ -1,0 +1,131 @@
+"""CPU instrumentation hooks and static per-instruction register effects.
+
+``reg_effects`` computes which registers an instruction reads and writes,
+used by the Pin-style analysis tool (§IV-B of the paper) to detect programs
+that expect register contents to survive a syscall.
+
+Register identifiers:
+
+* ``("g", i)``  — general purpose register ``i``,
+* ``("x", i)``  — xmm register ``i`` (SSE component),
+* ``("y", i)``  — the high ymm half of register ``i`` (AVX component),
+* ``("st",)``   — the x87 stack, tracked as a unit (X87 component).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.arch.isa import Instruction, Mnemonic
+from repro.arch.registers import RSP, SYSCALL_ARG_REGS, SYSCALL_CLOBBERS
+
+RegId = tuple
+
+
+class CpuHook(Protocol):
+    """Observer invoked before each instruction executes."""
+
+    def on_insn(self, task, insn: Instruction, addr: int) -> None:
+        """Called with the decoded instruction about to run at ``addr``."""
+
+
+_G = lambda i: ("g", i)  # noqa: E731 - tiny constructors keep tables readable
+_X = lambda i: ("x", i)  # noqa: E731
+_Y = lambda i: ("y", i)  # noqa: E731
+_ST = ("st",)
+
+_ALL_XSTATE = frozenset(
+    [_X(i) for i in range(16)] + [_Y(i) for i in range(16)] + [_ST]
+)
+
+
+def reg_effects(insn: Instruction) -> tuple[frozenset, frozenset]:
+    """Return ``(reads, writes)`` register-id sets for ``insn``."""
+    m = insn.mnemonic
+    ops = insn.operands
+    M = Mnemonic
+
+    if m in (M.NOP, M.HLT, M.INT3, M.UD2, M.JMP_REL, M.JZ, M.JNZ,
+             M.JL, M.JG, M.JGE, M.JLE, M.HCALL, M.GSJMP, M.GSCOPY8,
+             M.GSWRPKRU):
+        return frozenset(), frozenset()
+    if m in (M.SYSCALL, M.SYSENTER):
+        reads = frozenset({_G(0)} | {_G(r) for r in SYSCALL_ARG_REGS})
+        writes = frozenset(_G(r) for r in SYSCALL_CLOBBERS)
+        return reads, writes
+    if m is M.RET:
+        return frozenset({_G(RSP)}), frozenset({_G(RSP)})
+    if m is M.PUSH:
+        return frozenset({_G(ops[0]), _G(RSP)}), frozenset({_G(RSP)})
+    if m is M.POP:
+        return frozenset({_G(RSP)}), frozenset({_G(ops[0]), _G(RSP)})
+    if m is M.CALL_REG:
+        return frozenset({_G(ops[0]), _G(RSP)}), frozenset({_G(RSP)})
+    if m is M.JMP_REG:
+        return frozenset({_G(ops[0])}), frozenset()
+    if m is M.CALL_REL:
+        return frozenset({_G(RSP)}), frozenset({_G(RSP)})
+    if m is M.MOV_IMM64:
+        return frozenset(), frozenset({_G(ops[0])})
+    if m is M.MOV:
+        return frozenset({_G(ops[1])}), frozenset({_G(ops[0])})
+    if m in (M.LOAD, M.LOAD8):
+        return frozenset({_G(ops[1])}), frozenset({_G(ops[0])})
+    if m in (M.STORE, M.STORE8):
+        return frozenset({_G(ops[0]), _G(ops[2])}), frozenset()
+    if m is M.LEA:
+        return frozenset({_G(ops[1])}), frozenset({_G(ops[0])})
+    if m in (M.ADD, M.SUB, M.AND, M.OR, M.IMUL):
+        return frozenset({_G(ops[0]), _G(ops[1])}), frozenset({_G(ops[0])})
+    if m is M.XOR:
+        if ops[0] == ops[1]:  # zeroing idiom: no true read
+            return frozenset(), frozenset({_G(ops[0])})
+        return frozenset({_G(ops[0]), _G(ops[1])}), frozenset({_G(ops[0])})
+    if m is M.CMP:
+        return frozenset({_G(ops[0]), _G(ops[1])}), frozenset()
+    if m in (M.SHL, M.SHR, M.ADDI, M.SUBI, M.ANDI, M.ORI, M.XORI):
+        return frozenset({_G(ops[0])}), frozenset({_G(ops[0])})
+    if m is M.CMPI:
+        return frozenset({_G(ops[0])}), frozenset()
+    if m in (M.INC, M.DEC):
+        return frozenset({_G(ops[0])}), frozenset({_G(ops[0])})
+    if m is M.MOVQ_XG:
+        return frozenset({_G(ops[1])}), frozenset({_X(ops[0])})
+    if m is M.MOVQ_GX:
+        return frozenset({_X(ops[1])}), frozenset({_G(ops[0])})
+    if m is M.MOVUPS_LOAD:
+        return frozenset({_G(ops[1])}), frozenset({_X(ops[0])})
+    if m is M.MOVUPS_STORE:
+        return frozenset({_G(ops[0]), _X(ops[2])}), frozenset()
+    if m is M.MOVAPS:
+        return frozenset({_X(ops[1])}), frozenset({_X(ops[0])})
+    if m is M.PUNPCKLQDQ:
+        return frozenset({_X(ops[0]), _X(ops[1])}), frozenset({_X(ops[0])})
+    if m is M.XORPS:
+        if ops[0] == ops[1]:
+            return frozenset(), frozenset({_X(ops[0])})
+        return frozenset({_X(ops[0]), _X(ops[1])}), frozenset({_X(ops[0])})
+    if m is M.VADDPD:
+        reads = frozenset({_X(ops[0]), _X(ops[1]), _Y(ops[0]), _Y(ops[1])})
+        return reads, frozenset({_X(ops[0]), _Y(ops[0])})
+    if m is M.FLD1:
+        return frozenset(), frozenset({_ST})
+    if m in (M.FADDP,):
+        return frozenset({_ST}), frozenset({_ST})
+    if m is M.FLD_MEM:
+        return frozenset({_G(ops[0])}), frozenset({_ST})
+    if m is M.FSTP_MEM:
+        return frozenset({_G(ops[0]), _ST}), frozenset({_ST})
+    if m is M.XSAVE:
+        return frozenset({_G(ops[0])}) | _ALL_XSTATE, frozenset()
+    if m is M.XRSTOR:
+        return frozenset({_G(ops[0])}), frozenset(_ALL_XSTATE)
+    if m in (M.RDGSBASE, M.RDPKRU):
+        return frozenset(), frozenset({_G(ops[0])})
+    if m in (M.WRGSBASE, M.WRPKRU):
+        return frozenset({_G(ops[0])}), frozenset()
+    if m in (M.GSLOAD, M.GSLOAD8):
+        return frozenset(), frozenset({_G(ops[0])})
+    if m in (M.GSSTORE, M.GSSTORE8):
+        return frozenset({_G(ops[1])}), frozenset()
+    raise AssertionError(f"reg_effects: unhandled mnemonic {m}")

@@ -1,0 +1,28 @@
+"""Syscall interposition tools.
+
+Every tool exposes the same ``install(machine, process, interposer=...)``
+entry point and drives the same user-facing interposer callable (see
+:mod:`repro.interpose.api`), so the paper's comparisons run the *identical*
+"dummy interposition function" under every mechanism:
+
+* :mod:`repro.interpose.ptrace_tool` — tracer-process syscall stops,
+* :mod:`repro.interpose.seccomp_bpf_tool` — in-kernel cBPF filtering,
+* :mod:`repro.interpose.seccomp_user_tool` — SECCOMP_RET_TRAP to user space,
+* :mod:`repro.interpose.sud_tool` — the typical Syscall User Dispatch setup,
+* :mod:`repro.interpose.zpoline` — pure static binary rewriting,
+* :mod:`repro.interpose.lazypoline` — the paper's hybrid contribution.
+"""
+
+from repro.interpose.api import (
+    Interposer,
+    SyscallContext,
+    TraceInterposer,
+    passthrough_interposer,
+)
+
+__all__ = [
+    "Interposer",
+    "SyscallContext",
+    "TraceInterposer",
+    "passthrough_interposer",
+]

@@ -1,0 +1,25 @@
+"""lazypoline — the paper's contribution.
+
+A hybrid interposer (§III–§IV):
+
+* **slow path**: Syscall User Dispatch traps every not-yet-seen syscall
+  invocation site with a SIGSYS; the handler rewrites the two-byte syscall
+  instruction to ``call rax`` under a spinlock (flipping page permissions
+  around the write) and redirects the interrupted context to the fast-path
+  entry, sigreturning with the selector left at ALLOW (selector-only SUD —
+  no allowlisted address range at all),
+* **fast path**: the zpoline trampoline at VA 0; every subsequent execution
+  of a rewritten site calls straight into the interposer stub,
+* per-task ``%gs`` storage for the selector byte, an xstate save stack and
+  a sigreturn selector stack,
+* full signal wrapping: application sigactions are shadowed behind a
+  wrapper handler, and ``rt_sigreturn`` is interposed and completed through
+  a register-transparent *sigreturn trampoline* that restores the selector,
+* fork/clone/execve re-arming, with fresh %gs regions for CLONE_VM threads.
+"""
+
+from repro.interpose.lazypoline.config import LazypolineConfig
+from repro.interpose.lazypoline.core import Lazypoline
+from repro.interpose.lazypoline import gsrel
+
+__all__ = ["Lazypoline", "LazypolineConfig", "gsrel"]

@@ -1,0 +1,458 @@
+"""The lazypoline tool: hybrid slow-path/fast-path interposition."""
+
+from __future__ import annotations
+
+from repro.arch.isa import CALL_RAX_BYTES, SYSCALL_BYTES, SYSENTER_BYTES
+from repro.arch.registers import MASK64, RAX, RDI, RDX, RSI, RSP, SYSCALL_ARG_REGS
+from repro.interpose.api import Interposer, SyscallContext, passthrough_interposer
+from repro.interpose.lazypoline import gsrel
+from repro.interpose.lazypoline.asmblobs import LazypolineBlobs, build_blobs
+from repro.interpose.lazypoline.config import LazypolineConfig
+from repro.kernel import errno
+from repro.kernel.signals import (
+    FRAME_SIGINFO,
+    SA_RESTORER,
+    SA_SIGINFO,
+    SI_ADDR,
+    SIGSYS,
+    UC_GPRS,
+    UC_RIP,
+)
+from repro.kernel.sud import SELECTOR_ALLOW, SudState
+from repro.kernel.syscalls.mm import PROT_EXEC, PROT_READ, PROT_WRITE
+from repro.kernel.syscalls.table import NR
+from repro.kernel.task import SIG_DFL, SIG_IGN, SigAction
+from repro.mem.pages import PAGE_SIZE, Perm, page_align_down, page_align_up
+
+_NR_MPROTECT = NR["mprotect"]
+_NR_RT_SIGACTION = NR["rt_sigaction"]
+_NR_RT_SIGRETURN = NR["rt_sigreturn"]
+_NR_CLONE = NR["clone"]
+_NR_FORK = NR["fork"]
+_NR_VFORK = NR["vfork"]
+_NR_EXECVE = NR["execve"]
+
+#: Stack bytes the fast-path prologue occupies above the caller's rsp:
+#: the call-rax return address plus six pushed argument registers.
+_STUB_STACK_BYTES = 8 + 6 * 8
+
+_PERM_TO_PROT = {
+    Perm.R: PROT_READ,
+    Perm.RW: PROT_READ | PROT_WRITE,
+    Perm.RX: PROT_READ | PROT_EXEC,
+    Perm.RWX: PROT_READ | PROT_WRITE | PROT_EXEC,
+}
+
+
+class Lazypoline:
+    """Exhaustive, expressive, efficient syscall interposition (§III)."""
+
+    def __init__(self, machine, process, interposer: Interposer,
+                 config: LazypolineConfig):
+        self.machine = machine
+        self.process = process
+        self.interposer = interposer
+        self.config = config
+        self.blobs: LazypolineBlobs | None = None
+
+        #: application signal handlers we shadow: sig -> SigAction
+        self.app_handlers: dict[int, SigAction] = {}
+
+        #: rewritten syscall sites (addresses)
+        self.rewritten: set[int] = set()
+        self._rewrite_locked = False  # the spinlock of §IV-A(b)
+
+        # statistics
+        self.slowpath_hits = 0
+        self.fastpath_hits = 0
+
+    # ------------------------------------------------------------------ install
+    @classmethod
+    def install(
+        cls,
+        machine,
+        process,
+        interposer: Interposer | None = None,
+        config: LazypolineConfig | None = None,
+    ) -> "Lazypoline":
+        config = config or LazypolineConfig()
+        tool = cls(machine, process, interposer or passthrough_interposer, config)
+        kernel = machine.kernel
+        task = process.task
+
+        generic = kernel.register_hcall(tool._on_generic)
+        sigsys = kernel.register_hcall(tool._on_sigsys)
+        wrap_pre = kernel.register_hcall(tool._on_wrap_pre)
+        tool.blobs = build_blobs(
+            generic_hcall=generic,
+            sigsys_hcall=sigsys,
+            wrap_pre_hcall=wrap_pre,
+            preserve_xstate=config.preserves_any_xstate,
+            pkey_protected=config.protect_gs_with_pkey,
+        )
+
+        # The VA-0 page: sled + every lazypoline entry point.
+        size = page_align_up(len(tool.blobs.code))
+        task.mem.map(0, size, Perm.RW)
+        task.mem.write(0, tool.blobs.code, check=None)
+        task.mem.protect(0, size, Perm.RX)
+
+        tool._setup_task(task, fresh_gs=True)
+        if config.reinstall_on_exec:
+            kernel.exec_hooks.append(tool._on_exec)
+        return tool
+
+    def _setup_task(self, task, *, fresh_gs: bool) -> None:
+        """Arm one task: gs region, xsave mask, SIGSYS handler, SUD."""
+        if fresh_gs:
+            base = gsrel.map_gs_region(task.mem)
+            gsrel.init_gs_region(task.mem, base)
+            task.regs.gs_base = base
+        if self.config.protect_gs_with_pkey:
+            self._arm_pkey(task)
+        task.xsave_mask = self.config.preserve_xstate
+        task.sighand.set(
+            SIGSYS,
+            SigAction(
+                handler=self.blobs.sigsys_handler,
+                flags=SA_SIGINFO | SA_RESTORER,
+                restorer=self.blobs.internal_restorer,
+            ),
+        )
+        if self.config.enable_sud:
+            # Selector-only SUD: no allowlisted range whatsoever (§IV-A c).
+            task.sud = SudState(
+                selector_addr=task.regs.gs_base + gsrel.GS_SELECTOR,
+                allow_start=0,
+                allow_len=0,
+            )
+
+    def _arm_pkey(self, task) -> None:
+        """§VI extension: put the protected part of the gs region behind a
+        memory protection key, write-disabled for application code.
+
+        Write-disable (not access-disable) is deliberate: the kernel's SUD
+        entry path *reads* the selector byte through the user mapping on
+        every syscall, and PKU applies to those reads too — so the selector
+        must stay readable.  Blocking writes is exactly what defeats the
+        selector-overwrite bypass.
+        """
+        mem = task.mem
+        key = getattr(self, "_pkey", 0)
+        if not key:
+            key = mem.pkey_alloc()
+            if key < 0:
+                raise RuntimeError("no free protection keys")
+            self._pkey = key
+        mem.assign_pkey(task.regs.gs_base, gsrel.GS_PROTECTED_SIZE, key)
+        closed = 2 << (2 * key)  # write-disable for the gs key
+        mem.write_u32(task.regs.gs_base + gsrel.GS_APP_PKRU, closed, check=None)
+        task.regs.pkru = closed
+        mem.active_pkru = closed
+
+    # ---------------------------------------------------------------- fast path
+    def _on_generic(self, hctx) -> None:
+        """The generic syscall handler, shared by fast and slow paths."""
+        task = hctx.task
+        regs = task.regs
+        self.fastpath_hits += 1
+        sysno = regs.read(RAX)
+        args = tuple(regs.read(r) for r in SYSCALL_ARG_REGS)
+        ctx = SyscallContext(
+            hctx.kernel,
+            task,
+            sysno,
+            args,
+            mechanism="lazypoline",
+            do_syscall=lambda nr, a: self._do_syscall(hctx, nr, a),
+            defer=hctx.defer,
+        )
+        ret = self.interposer(ctx)
+        if ret is not None:
+            regs.write(RAX, ret & MASK64)
+
+    def _do_syscall(self, hctx, sysno: int, args: tuple[int, ...]) -> int | None:
+        """Re-issue a syscall, with tool cooperation for the complex ones.
+
+        This is the "single syscall handling implementation shared between
+        the fast and slow path" of §IV-A: rt_sigreturn, rt_sigaction and the
+        spawn family need lazypoline's help to keep its own state coherent.
+        """
+        if sysno == _NR_RT_SIGRETURN:
+            return self._do_rt_sigreturn(hctx)
+        if sysno == _NR_RT_SIGACTION and self.config.wrap_signals:
+            return self._do_rt_sigaction(hctx, args)
+        if sysno in (_NR_CLONE, _NR_FORK, _NR_VFORK):
+            return self._do_spawn(hctx, sysno, args)
+        return hctx.do_syscall(sysno, args)
+
+    # -------------------------------------------------------------- rt_sigreturn
+    def _do_rt_sigreturn(self, hctx) -> None:
+        """Interposed sigreturn: restore through the sigreturn trampoline.
+
+        The frame being returned from sits just above the fast-path stub's
+        stack usage.  The saved selector (pushed by the wrapper at delivery,
+        Fig. 3 ①) must be restored *after* the kernel sigreturn — doing it
+        before would re-trigger dispatch on the sigreturn itself — so the
+        restored context detours through the trampoline (Fig. 3 ④).
+        """
+        task = hctx.task
+        mem = task.mem
+        regs = task.regs
+        gs = regs.gs_base
+
+        frame_base = regs.read(RSP) + _STUB_STACK_BYTES - 8
+        uc = frame_base + 48  # FRAME_UCONTEXT
+
+        saved_selector = gsrel.pop_sigret_selector(mem, gs)
+        if self.config.preserves_any_xstate:
+            # The stub epilogue will never run for this invocation.
+            gsrel.unwind_xstate_entry(mem, gs)
+
+        original_rip = mem.read_u64(uc + UC_RIP, check=None)
+        mem.write_u64(gs + gsrel.GS_TRAMP_SEL, saved_selector, check=None)
+        mem.write_u64(gs + gsrel.GS_TRAMP_RIP, original_rip, check=None)
+        mem.write_u64(uc + UC_RIP, self.blobs.sigreturn_trampoline, check=None)
+        if self.config.protect_gs_with_pkey:
+            # The trampoline must write the selector: patch the frame's
+            # saved PKRU open, stashing the interrupted context's real PKRU
+            # for the trampoline to restore on its way out.
+            from repro.kernel.signals import UC_FLAGS
+
+            flags = mem.read_u64(uc + UC_FLAGS, check=None)
+            mem.write_u64(gs + gsrel.GS_TRAMP_PKRU, flags >> 32, check=None)
+            mem.write_u64(uc + UC_FLAGS, flags & 0xFFFFFFFF, check=None)
+        hctx.charge(12)
+
+        # Hand the kernel the rsp it expects for this frame, then sigreturn
+        # with the selector (still) ALLOW.
+        regs.write(RSP, frame_base + 8)
+        hctx.do_syscall(_NR_RT_SIGRETURN, ())
+        return None
+
+    # -------------------------------------------------------------- rt_sigaction
+    def _do_rt_sigaction(self, hctx, args: tuple[int, ...]) -> int:
+        """Shadow application handler registrations behind the wrapper."""
+        task = hctx.task
+        mem = task.mem
+        sig, act_ptr, oldact_ptr = args[0], args[1], args[2]
+        if not 1 <= sig < 32:
+            return -errno.EINVAL
+
+        old = self.app_handlers.get(sig, SigAction())
+        if oldact_ptr:
+            mem.write_u64(oldact_ptr, old.handler, check=None)
+            mem.write_u64(oldact_ptr + 8, old.flags, check=None)
+            mem.write_u64(oldact_ptr + 16, old.restorer, check=None)
+            mem.write_u64(oldact_ptr + 24, old.mask, check=None)
+        if not act_ptr:
+            return 0
+
+        handler = mem.read_u64(act_ptr, check=None)
+        flags = mem.read_u64(act_ptr + 8, check=None)
+        mask = mem.read_u64(act_ptr + 24, check=None)
+
+        if sig == SIGSYS:
+            # SIGSYS belongs to lazypoline's slow path; virtualise the
+            # registration so the application believes it succeeded.
+            self.app_handlers[sig] = SigAction(handler, flags, 0, mask)
+            return 0
+
+        if handler in (SIG_DFL, SIG_IGN):
+            self.app_handlers.pop(sig, None)
+            return hctx.do_syscall(_NR_RT_SIGACTION, (sig, act_ptr, 0, 8)) or 0
+
+        self.app_handlers[sig] = SigAction(handler, flags, 0, mask)
+        # Build the shadow registration in per-task scratch space.
+        scratch = task.regs.gs_base + gsrel.GS_SCRATCH
+        mem.write_u64(scratch, self.blobs.wrapper_handler, check=None)
+        mem.write_u64(scratch + 8, flags | SA_SIGINFO | SA_RESTORER, check=None)
+        mem.write_u64(scratch + 16, self.blobs.app_restorer, check=None)
+        mem.write_u64(scratch + 24, mask, check=None)
+        hctx.charge(10)
+        ret = hctx.do_syscall(_NR_RT_SIGACTION, (sig, scratch, 0, 8))
+        return 0 if ret is None else ret
+
+    def _on_wrap_pre(self, hctx) -> None:
+        """Wrapper-handler prologue (Fig. 3 ①): save the selector on the
+        %gs sigreturn stack, set BLOCK, and resolve the app handler."""
+        task = hctx.task
+        regs = task.regs
+        mem = task.mem
+        gs = regs.gs_base
+        sig = regs.read(RDI)
+
+        current = gsrel.read_selector(mem, gs)
+        gsrel.push_sigret_selector(mem, gs, current)
+        gsrel.write_selector(mem, gs, 1)  # SELECTOR_BLOCK
+        hctx.charge(8)
+
+        action = self.app_handlers.get(sig)
+        target = action.handler if action is not None else self.blobs.noop_ret
+        regs.write(RAX, target)
+
+    # -------------------------------------------------------------------- spawn
+    def _do_spawn(self, hctx, sysno: int, args: tuple[int, ...]) -> int | None:
+        """fork/vfork/clone: re-arm lazypoline in the child (§IV-B a).
+
+        Two child shapes exist:
+
+        * **fork-like** (own address space, inherited stack): the child
+          resumes inside the fast-path stub on its *copy* of the parent's
+          stack and unwinds through the normal epilogue; its gs pages came
+          along with the address-space copy.
+        * **thread-like** (``clone`` with a caller-provided stack): the new
+          stack contains no stub frame to return through, so the child is
+          redirected straight to the application return address — the slot
+          the ``call rax`` pushed, read from the parent's stack — with a
+          fresh, empty %gs region and the selector at BLOCK.  This is the
+          clone complexity §IV-A's shared-handler design talks about.
+        """
+        parent = hctx.task
+        new_stack = sysno == _NR_CLONE and args[1] != 0
+        ret = hctx.do_syscall(sysno, args)
+        if ret is None or ret <= 0:
+            return ret
+        child = hctx.kernel.tasks.get(ret)
+        if child is None:
+            return ret
+        if new_stack:
+            app_return = parent.mem.read_u64(
+                parent.regs.read(RSP) + 6 * 8, check=None
+            )
+            child.regs.rip = app_return
+            base = gsrel.map_gs_region(child.mem)
+            gsrel.init_gs_region(child.mem, base)  # selector = BLOCK
+            child.regs.gs_base = base
+            self._setup_task(child, fresh_gs=False)
+            if self.config.protect_gs_with_pkey:
+                # The child starts directly in application code: closed.
+                child.regs.pkru = child.mem.read_u32(
+                    base + gsrel.GS_APP_PKRU, check=None
+                )
+        elif child.mem is parent.mem:
+            # CLONE_VM without a new stack: the child shares the parent's
+            # stack and resumes mid-stub; give it a private gs region with
+            # the in-flight xstate frame replayed so its epilogue balances.
+            base = gsrel.map_gs_region(child.mem)
+            gsrel.init_gs_region(child.mem, base, selector=SELECTOR_ALLOW)
+            parent_gs = parent.regs.gs_base
+            depth_bytes = (
+                child.mem.read_u64(parent_gs + gsrel.GS_XSP, check=None)
+                - (parent_gs + gsrel.GS_XSTACK)
+            )
+            if depth_bytes > 0:
+                blob = child.mem.read(
+                    parent_gs + gsrel.GS_XSTACK, depth_bytes, check=None
+                )
+                child.mem.write(base + gsrel.GS_XSTACK, blob, check=None)
+            child.mem.write_u64(
+                base + gsrel.GS_XSP, base + gsrel.GS_XSTACK + max(depth_bytes, 0),
+                check=None,
+            )
+            child.regs.gs_base = base
+            self._setup_task(child, fresh_gs=False)
+        else:
+            # fork: the gs pages were copied with the address space and the
+            # gs base register came along in the register copy.
+            self._setup_task(child, fresh_gs=False)
+        return ret
+
+    def _on_exec(self, task) -> None:
+        """execve wipes every mapping and SUD itself; re-install from scratch."""
+        if task.pid != self.process.task.pid:
+            return
+        size = page_align_up(len(self.blobs.code))
+        if not task.mem.is_mapped(0, size):
+            task.mem.map(0, size, Perm.RW)
+            task.mem.write(0, self.blobs.code, check=None)
+            task.mem.protect(0, size, Perm.RX)
+        self.rewritten.clear()
+        self.app_handlers.clear()
+        self._setup_task(task, fresh_gs=True)
+
+    # ---------------------------------------------------------------- slow path
+    def _on_sigsys(self, hctx) -> None:
+        """The SUD SIGSYS handler (slow path, §IV-A).
+
+        Sets the selector to ALLOW, rewrites the trapping syscall site, and
+        redirects the interrupted context to the fast-path entry — emulating
+        the ``call rax`` push so both entry paths look identical to the
+        generic handler.  Sigreturns with the selector still ALLOW; the
+        fast-path epilogue restores BLOCK.
+        """
+        task = hctx.task
+        regs = task.regs
+        mem = task.mem
+        self.slowpath_hits += 1
+
+        gsrel.write_selector(mem, regs.gs_base, SELECTOR_ALLOW)
+        hctx.charge(3)
+
+        siginfo = regs.read(RSI)
+        uc = regs.read(RDX)
+        frame_base = siginfo - FRAME_SIGINFO
+        call_addr = mem.read_u64(frame_base + SI_ADDR, check=None)
+        site = call_addr - 2  # si_call_addr points past the syscall insn
+
+        if self.config.rewrite:
+            self._rewrite_site(hctx, site)
+
+        # REG_RIP redirection (§IV-A c), with an emulated call-rax push.
+        saved_rsp = mem.read_u64(uc + UC_GPRS + 8 * RSP, check=None)
+        new_rsp = saved_rsp - 8
+        mem.write_u64(new_rsp, call_addr, check=None)
+        mem.write_u64(uc + UC_GPRS + 8 * RSP, new_rsp, check=None)
+        mem.write_u64(uc + UC_RIP, self.blobs.fastpath_entry, check=None)
+        hctx.charge(10)
+
+    def _rewrite_site(self, hctx, site: int) -> None:
+        """Patch one verified syscall instruction to ``call rax``."""
+        task = hctx.task
+        mem = task.mem
+        # The spinlock of §IV-A(b): prevents one thread from revoking write
+        # permission while another is mid-rewrite.  Cooperative scheduling
+        # makes this uncontended here, but the cost is charged.
+        hctx.charge(20)
+        if self._rewrite_locked:  # pragma: no cover - cooperative scheduler
+            return
+        self._rewrite_locked = True
+        try:
+            if site in self.rewritten:
+                return
+            insn = mem.read(site, 2, check=None)
+            if insn not in (SYSCALL_BYTES, SYSENTER_BYTES):
+                # The kernel guarantees a real syscall trapped here, so this
+                # indicates concurrent self-modification; skip.
+                return
+            start = page_align_down(site)
+            end = page_align_up(site + 2)
+            saved = [
+                _PERM_TO_PROT.get(mem.perm_at(p), PROT_READ)
+                for p in range(start, end, PAGE_SIZE)
+            ]
+            hctx.do_syscall(
+                _NR_MPROTECT, (start, end - start, PROT_READ | PROT_WRITE)
+            )
+            mem.write(site, CALL_RAX_BYTES, check="write")
+            hctx.charge(3 + hctx.kernel.costs.code_patch_flush)
+            for i, prot in enumerate(saved):
+                hctx.do_syscall(
+                    _NR_MPROTECT, (start + i * PAGE_SIZE, PAGE_SIZE, prot)
+                )
+            self.rewritten.add(site)
+        finally:
+            self._rewrite_locked = False
+
+    # ------------------------------------------------------- manual rewriting
+    def rewrite_site_now(self, site: int) -> None:
+        """Host-side up-front rewrite (the microbenchmark's steady-state
+        setup: "we manually rewrote the syscall instruction up front")."""
+        task = self.process.task
+        insn = task.mem.read(site, 2, check=None)
+        if insn not in (SYSCALL_BYTES, SYSENTER_BYTES):
+            raise ValueError(f"no syscall instruction at {site:#x}")
+        from repro.interpose.zpoline.rewriter import patch_site
+
+        patch_site(task, site)
+        self.rewritten.add(site)

@@ -1,0 +1,98 @@
+"""The per-task %gs-relative memory region (§IV-B of the paper).
+
+Layout (offsets from the task's gs base)::
+
+    +0     selector byte          (SUD reads this on every syscall entry)
+    +8     trampoline selector    (selector value the sigreturn trampoline
+                                   restores; byte, stored in a u64 slot)
+    +16    trampoline resume rip  (where the trampoline jumps)
+    +24    xstate stack pointer   (absolute address, grows up)
+    +32    sigreturn stack pointer(absolute address, grows up)
+    +64    scratch                (shadow structs for rewritten syscalls)
+    +128   sigreturn stack        (64 u64 slots: saved selector per signal)
+    +1024  xstate stack           (XSTACK_DEPTH xsave areas)
+
+Every task gets its own region, mapped by the tool and addressed through
+``%gs`` — which is what lets threads sharing an address space have private
+selectors, the property plain SUD deployments lack.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.core import XSAVE_AREA_SIZE
+from repro.kernel.sud import SELECTOR_BLOCK
+from repro.mem.pages import PAGE_SIZE, Perm, page_align_up
+
+GS_SELECTOR = 0
+GS_XSP = 24
+GS_SIGRET_SP = 32
+GS_SCRATCH = 64
+GS_SIGRET_STACK = 128
+SIGRET_STACK_SLOTS = 64
+GS_XSTACK = 1024
+XSTACK_DEPTH = 8
+
+#: Size of the *protected* part (what the optional MPK domain covers).
+GS_PROTECTED_SIZE = page_align_up(GS_XSTACK + XSTACK_DEPTH * XSAVE_AREA_SIZE)
+
+# The trampoline slots live on a trailing page outside the protected
+# domain: the sigreturn trampoline must read them *after* it has re-closed
+# the domain (see asmblobs.py).  Under the default (non-MPK) configuration
+# the split is invisible.
+GS_UNPROT = GS_PROTECTED_SIZE
+GS_TRAMP_SEL = GS_UNPROT + 0
+GS_TRAMP_RIP = GS_UNPROT + 8
+GS_APP_PKRU = GS_UNPROT + 16  #: PKRU value application code runs with
+GS_TRAMP_PKRU = GS_UNPROT + 24  #: PKRU of the signal-interrupted context
+
+GS_SIZE = GS_PROTECTED_SIZE + PAGE_SIZE
+
+
+def map_gs_region(mem, *, hint: int = 0x3000_0000) -> int:
+    """Allocate and zero a fresh gs region; returns its base address."""
+    return mem.map_anywhere(GS_SIZE, Perm.RW, hint=hint)
+
+
+def init_gs_region(mem, base: int, *, selector: int = SELECTOR_BLOCK) -> None:
+    mem.write_u8(base + GS_SELECTOR, selector, check=None)
+    mem.write_u64(base + GS_XSP, base + GS_XSTACK, check=None)
+    mem.write_u64(base + GS_SIGRET_SP, base + GS_SIGRET_STACK, check=None)
+
+
+# ----------------------------------------------------------- host accessors
+def read_selector(mem, gs_base: int) -> int:
+    return mem.read_u8(gs_base + GS_SELECTOR, check=None)
+
+
+def write_selector(mem, gs_base: int, value: int) -> None:
+    mem.write_u8(gs_base + GS_SELECTOR, value, check=None)
+
+
+def push_sigret_selector(mem, gs_base: int, value: int) -> None:
+    sp = mem.read_u64(gs_base + GS_SIGRET_SP, check=None)
+    limit = gs_base + GS_SIGRET_STACK + 8 * SIGRET_STACK_SLOTS
+    if sp >= limit:
+        raise OverflowError("lazypoline sigreturn stack overflow")
+    mem.write_u64(sp, value, check=None)
+    mem.write_u64(gs_base + GS_SIGRET_SP, sp + 8, check=None)
+
+
+def pop_sigret_selector(mem, gs_base: int) -> int:
+    sp = mem.read_u64(gs_base + GS_SIGRET_SP, check=None)
+    if sp <= gs_base + GS_SIGRET_STACK:
+        return SELECTOR_BLOCK  # empty: conservative default
+    sp -= 8
+    mem.write_u64(gs_base + GS_SIGRET_SP, sp, check=None)
+    return mem.read_u64(sp, check=None) & 0xFF
+
+
+def unwind_xstate_entry(mem, gs_base: int) -> None:
+    """Drop the top xsave area (used when sigreturn skips the stub epilogue)."""
+    xsp = mem.read_u64(gs_base + GS_XSP, check=None)
+    if xsp > gs_base + GS_XSTACK:
+        mem.write_u64(gs_base + GS_XSP, xsp - XSAVE_AREA_SIZE, check=None)
+
+
+def xstack_depth(mem, gs_base: int) -> int:
+    xsp = mem.read_u64(gs_base + GS_XSP, check=None)
+    return (xsp - (gs_base + GS_XSTACK)) // XSAVE_AREA_SIZE

@@ -1,0 +1,31 @@
+"""seccomp-user: SECCOMP_RET_TRAP-based interposition (§II-A, Table I).
+
+A cBPF filter traps every syscall whose invocation IP is outside the tool's
+code page; the SIGSYS handler interposes like the SUD deployment but without
+a selector byte — permission to re-issue syscalls is purely address-based,
+so every syscall (including the tool's own) still runs the BPF filter.
+That extra filter execution is why the paper reports seccomp-user slower
+than SUD's "more direct" selector check.
+
+Filters also can never be uninstalled, even across execve — the
+inflexibility §IV-A cites as Wine's motivation for creating SUD.
+"""
+
+from __future__ import annotations
+
+from repro.interpose.signal_path import SignalPathTool
+from repro.kernel.seccomp.filter import FilterBuilder
+from repro.mem.pages import PAGE_SIZE
+
+
+class SeccompUserTool(SignalPathTool):
+    mechanism = "seccomp-user"
+
+    def _arm(self, task) -> None:
+        self.filter = FilterBuilder.trap_all_except_ip_range(
+            self.code_base, PAGE_SIZE
+        )
+        task.seccomp_filters.append(self.filter)
+
+    # Children inherit seccomp filters automatically (Linux semantics), and
+    # there is no selector to re-arm, so no _after_spawn fixup is needed.

@@ -1,0 +1,29 @@
+"""zpoline: syscall interposition by pure static binary rewriting.
+
+Reimplementation of Yasukata et al. (USENIX ATC'23) on the simulated
+substrate, as the paper's §IV-B does in C.  The two-byte ``syscall``
+instruction is replaced in place by the two-byte ``call rax``; because the
+syscall number is in ``rax`` (< 512), the call lands in a nop sled mapped at
+virtual address 0 and slides into the interposer stub.
+
+By construction the *replacement* can never fail — but the *discovery* is a
+static scan, so syscall instructions materialising after install (JIT code,
+self-modifying code) are silently missed, and byte-level scanning can
+corrupt data that merely looks like a syscall.  Those are exactly the
+failure modes lazypoline's slow path eliminates.
+"""
+
+from repro.interpose.zpoline.tool import Zpoline
+from repro.interpose.zpoline.trampoline import SLED_SIZE, build_trampoline_code
+from repro.interpose.zpoline.rewriter import (
+    discover_sites,
+    rewrite_sites,
+)
+
+__all__ = [
+    "Zpoline",
+    "SLED_SIZE",
+    "build_trampoline_code",
+    "discover_sites",
+    "rewrite_sites",
+]

@@ -1,0 +1,60 @@
+"""Static discovery and rewriting of syscall instructions.
+
+Two discovery modes, reproducing §II-B's discussion:
+
+* ``"sweep"`` (default): linear-sweep disassembly of each executable
+  region.  Accurate on well-formed code, but data interleaved with text
+  desynchronises the sweep — real syscall instructions can be missed.
+* ``"bytescan"``: raw byte search for ``0F 05``/``0F 34``.  Never misses an
+  aligned real syscall instruction, but happily "finds" syscalls inside the
+  immediates of other instructions and rewrites them — destroying code.
+
+Neither mode can see code created after the scan.  That is the paper's
+central criticism and the reason lazypoline exists.
+"""
+
+from __future__ import annotations
+
+from repro.arch.disasm import find_syscall_sites, sweep_syscall_addresses
+from repro.arch.isa import CALL_RAX_BYTES
+from repro.mem.pages import PAGE_SIZE, Perm, page_align_down, page_align_up
+
+
+def discover_sites(task, mode: str = "sweep", *, skip_pages: set[int] = frozenset()) -> list[int]:
+    """Find candidate syscall-instruction addresses in executable memory."""
+    sites: list[int] = []
+    for region in task.mem.executable_regions():
+        if page_align_down(region.start) >> 12 in skip_pages:
+            continue
+        code = task.mem.read(region.start, region.size, check=None)
+        if mode == "sweep":
+            found = sweep_syscall_addresses(code, region.start)
+        elif mode == "bytescan":
+            found = find_syscall_sites(code, region.start)
+        else:
+            raise ValueError(f"unknown discovery mode {mode!r}")
+        sites.extend(
+            addr for addr in found if (addr >> 12) not in skip_pages
+        )
+    return sites
+
+
+def patch_site(task, addr: int) -> None:
+    """Replace the two bytes at ``addr`` with ``call rax``, flipping page
+    permissions around the write like a real rewriter must."""
+    start = page_align_down(addr)
+    end = page_align_up(addr + 2)
+    saved = [task.mem.perm_at(p) for p in range(start, end, PAGE_SIZE)]
+    task.mem.protect(start, end - start, Perm.RW)
+    task.mem.write(addr, CALL_RAX_BYTES, check="write")
+    for i, perm in enumerate(saved):
+        task.mem.protect(start + i * PAGE_SIZE, PAGE_SIZE, perm)
+
+
+def rewrite_sites(task, sites: list[int]) -> list[int]:
+    """Patch every site; returns the list actually rewritten."""
+    done = []
+    for addr in sites:
+        patch_site(task, addr)
+        done.append(addr)
+    return done

@@ -1,0 +1,48 @@
+"""The virtual-address-0 trampoline: nop sled + interposer stub."""
+
+from __future__ import annotations
+
+from repro.arch.encode import Assembler
+from repro.mem import layout
+from repro.mem.pages import PAGE_SIZE, Perm
+
+#: One nop per possible syscall number; ``call rax`` lands at offset
+#: ``rax`` and slides to the stub that follows the sled.
+SLED_SIZE = layout.MAX_SYSCALL_NO
+
+
+def build_trampoline_code(hcall_id: int) -> tuple[bytes, int]:
+    """Build the trampoline page content.
+
+    Returns ``(code, entry_offset)`` where ``entry_offset`` is the stub
+    address (== SLED_SIZE, the sled's fall-through target).
+
+    The stub preserves the syscall argument registers around the host-call
+    into the interposer; ``rax``/``rcx``/``r11`` are legal clobbers per the
+    syscall ABI.  Note this stub — like the upstream zpoline prototype —
+    does **not** preserve any extended state (§IV-B of the paper).
+    """
+    asm = Assembler(base=0)
+    for _ in range(SLED_SIZE):
+        asm.nop()
+    asm.label("entry")
+    for reg in ("rdi", "rsi", "rdx", "r10", "r8", "r9"):
+        asm.push(reg)
+    asm.hcall(hcall_id)
+    for reg in ("r9", "r8", "r10", "rdx", "rsi", "rdi"):
+        asm.pop(reg)
+    asm.ret()
+    code = asm.assemble()
+    return code, asm.address_of("entry")
+
+
+def map_trampoline(task, code: bytes) -> None:
+    """Map the trampoline at VA 0 (mmap_min_addr = 0 assumed, like the paper).
+
+    Mirrors zpoline's real sequence: mmap RW at 0, write, mprotect to R-X so
+    the sled cannot be tampered with afterwards.
+    """
+    size = (len(code) + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+    task.mem.map(layout.TRAMPOLINE_BASE, size, Perm.RW)
+    task.mem.write(layout.TRAMPOLINE_BASE, code, check=None)
+    task.mem.protect(layout.TRAMPOLINE_BASE, size, Perm.RX)

@@ -1,0 +1,19 @@
+"""The simulated Linux-like kernel."""
+
+from repro.kernel.kernel import HcallContext, Kernel
+from repro.kernel.machine import Machine, Process
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.task import Task, TaskState
+from repro.kernel.waits import DeadlockError, WouldBlock
+
+__all__ = [
+    "Kernel",
+    "HcallContext",
+    "Machine",
+    "Process",
+    "Scheduler",
+    "Task",
+    "TaskState",
+    "WouldBlock",
+    "DeadlockError",
+]

@@ -1,0 +1,49 @@
+"""Errno values and the negative-return convention used by the syscall ABI."""
+
+from __future__ import annotations
+
+EPERM = 1
+ENOENT = 2
+ESRCH = 3
+EINTR = 4
+EIO = 5
+EBADF = 9
+ECHILD = 10
+EAGAIN = 11
+ENOMEM = 12
+EACCES = 13
+EFAULT = 14
+EEXIST = 17
+ENOTDIR = 20
+EISDIR = 21
+EINVAL = 22
+ENFILE = 23
+EMFILE = 24
+ENOTTY = 25
+ESPIPE = 29
+EPIPE = 32
+ERANGE = 34
+ENOSYS = 38
+ENOTEMPTY = 39
+EWOULDBLOCK = EAGAIN
+ENOTSOCK = 88
+EOPNOTSUPP = 95
+EADDRINUSE = 98
+ECONNREFUSED = 111
+EINPROGRESS = 115
+
+_NAMES = {
+    value: name
+    for name, value in list(globals().items())
+    if name.startswith("E") and isinstance(value, int)
+}
+
+
+def errno_name(err: int) -> str:
+    """Human-readable name for a (positive) errno value."""
+    return _NAMES.get(err, f"errno{err}")
+
+
+def is_error(ret: int) -> bool:
+    """True if a syscall return value encodes an error (-4095..-1)."""
+    return -4095 <= ret < 0

@@ -1,0 +1,356 @@
+"""An in-memory filesystem and the file-description objects syscalls use.
+
+Every open fd maps to a :class:`FileDescription` subclass; the syscall layer
+only talks to this interface, so regular files, pipes, sockets and epoll
+instances all plug in uniformly.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+
+from repro.kernel import errno
+from repro.kernel.waits import WouldBlock
+
+# open(2) flags (Linux values).
+O_RDONLY = 0o0
+O_WRONLY = 0o1
+O_RDWR = 0o2
+O_CREAT = 0o100
+O_EXCL = 0o200
+O_TRUNC = 0o1000
+O_APPEND = 0o2000
+O_NONBLOCK = 0o4000
+O_DIRECTORY = 0o200000
+O_CLOEXEC = 0o2000000
+
+# poll/epoll event bits.
+EPOLLIN = 0x001
+EPOLLOUT = 0x004
+EPOLLERR = 0x008
+EPOLLHUP = 0x010
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+# dirent d_type values.
+DT_REG = 8
+DT_DIR = 4
+
+
+@dataclass
+class Inode:
+    """One filesystem object."""
+
+    path: str
+    is_dir: bool = False
+    mode: int = 0o644
+    data: bytearray = field(default_factory=bytearray)
+    nlink: int = 1
+    ino: int = 0
+
+
+class SimFS:
+    """A flat in-memory filesystem with POSIX-style paths."""
+
+    def __init__(self):
+        self._inodes: dict[str, Inode] = {}
+        self._next_ino = 2
+        self._mkdir_raw("/")
+
+    @staticmethod
+    def normalize(path: str) -> str:
+        if not path.startswith("/"):
+            path = "/" + path
+        norm = posixpath.normpath(path)
+        if norm.startswith("//"):  # POSIX's special '//' root is not a thing here
+            norm = "/" + norm.lstrip("/")
+        return norm
+
+    def _mkdir_raw(self, path: str) -> Inode:
+        inode = Inode(path, is_dir=True, mode=0o755, ino=self._next_ino)
+        self._next_ino += 1
+        self._inodes[path] = inode
+        return inode
+
+    # ----------------------------------------------------------------- query
+    def lookup(self, path: str) -> Inode | None:
+        return self._inodes.get(self.normalize(path))
+
+    def exists(self, path: str) -> bool:
+        return self.normalize(path) in self._inodes
+
+    def listdir(self, path: str) -> list[str]:
+        prefix = self.normalize(path)
+        if prefix != "/":
+            prefix += "/"
+        names = set()
+        for other in self._inodes:
+            if other != "/" and other.startswith(prefix):
+                rest = other[len(prefix):]
+                names.add(rest.split("/", 1)[0])
+        return sorted(names)
+
+    # ---------------------------------------------------------------- mutate
+    def create(self, path: str, data: bytes = b"", mode: int = 0o644) -> Inode:
+        """Create (or truncate-replace) a regular file with ``data``."""
+        path = self.normalize(path)
+        parent = posixpath.dirname(path)
+        if not self.exists(parent):
+            self.makedirs(parent)
+        inode = Inode(path, data=bytearray(data), mode=mode, ino=self._next_ino)
+        self._next_ino += 1
+        self._inodes[path] = inode
+        return inode
+
+    def mkdir(self, path: str, mode: int = 0o755) -> int:
+        path = self.normalize(path)
+        if self.exists(path):
+            return -errno.EEXIST
+        parent = posixpath.dirname(path)
+        parent_inode = self.lookup(parent)
+        if parent_inode is None or not parent_inode.is_dir:
+            return -errno.ENOENT
+        inode = self._mkdir_raw(path)
+        inode.mode = mode
+        return 0
+
+    def makedirs(self, path: str) -> None:
+        path = self.normalize(path)
+        parts = [p for p in path.split("/") if p]
+        cur = ""
+        for part in parts:
+            cur += "/" + part
+            if not self.exists(cur):
+                self._mkdir_raw(cur)
+
+    def unlink(self, path: str) -> int:
+        path = self.normalize(path)
+        inode = self.lookup(path)
+        if inode is None:
+            return -errno.ENOENT
+        if inode.is_dir:
+            return -errno.EISDIR
+        del self._inodes[path]
+        return 0
+
+    def rmdir(self, path: str) -> int:
+        path = self.normalize(path)
+        inode = self.lookup(path)
+        if inode is None:
+            return -errno.ENOENT
+        if not inode.is_dir:
+            return -errno.ENOTDIR
+        if self.listdir(path):
+            return -errno.ENOTEMPTY
+        del self._inodes[path]
+        return 0
+
+    def rename(self, old: str, new: str) -> int:
+        old = self.normalize(old)
+        new = self.normalize(new)
+        inode = self.lookup(old)
+        if inode is None:
+            return -errno.ENOENT
+        del self._inodes[old]
+        inode.path = new
+        self._inodes[new] = inode
+        return 0
+
+    def chmod(self, path: str, mode: int) -> int:
+        inode = self.lookup(path)
+        if inode is None:
+            return -errno.ENOENT
+        inode.mode = mode & 0o7777
+        return 0
+
+
+# --------------------------------------------------------------------------
+class FileDescription:
+    """Base class: one open file table entry."""
+
+    def __init__(self):
+        self.flags = 0
+        self.refcount = 1
+
+    @property
+    def nonblocking(self) -> bool:
+        return bool(self.flags & O_NONBLOCK)
+
+    def read(self, task, length: int) -> bytes | int:
+        return -errno.EINVAL
+
+    def write(self, task, data: bytes) -> int:
+        return -errno.EINVAL
+
+    def poll(self) -> int:
+        """Current readiness event mask."""
+        return 0
+
+    def close(self) -> None:
+        self.refcount -= 1
+
+    def dup(self) -> "FileDescription":
+        self.refcount += 1
+        return self
+
+
+class RegularFile(FileDescription):
+    """An open regular file with a seek offset."""
+
+    def __init__(self, inode: Inode, flags: int):
+        super().__init__()
+        self.inode = inode
+        self.flags = flags
+        self.offset = len(inode.data) if flags & O_APPEND else 0
+
+    def read(self, task, length: int) -> bytes:
+        data = bytes(self.inode.data[self.offset : self.offset + length])
+        self.offset += len(data)
+        return data
+
+    def pread(self, offset: int, length: int) -> bytes:
+        return bytes(self.inode.data[offset : offset + length])
+
+    def write(self, task, data: bytes) -> int:
+        if self.flags & O_APPEND:
+            self.offset = len(self.inode.data)
+        end = self.offset + len(data)
+        if end > len(self.inode.data):
+            self.inode.data.extend(b"\x00" * (end - len(self.inode.data)))
+        self.inode.data[self.offset : end] = data
+        self.offset = end
+        return len(data)
+
+    def seek(self, offset: int, whence: int) -> int:
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = self.offset + offset
+        elif whence == SEEK_END:
+            new = len(self.inode.data) + offset
+        else:
+            return -errno.EINVAL
+        if new < 0:
+            return -errno.EINVAL
+        self.offset = new
+        return new
+
+    def poll(self) -> int:
+        return EPOLLIN | EPOLLOUT
+
+
+class DirFile(FileDescription):
+    """An open directory, for getdents64."""
+
+    def __init__(self, fs: SimFS, inode: Inode):
+        super().__init__()
+        self.fs = fs
+        self.inode = inode
+        self.position = 0
+
+    def entries(self) -> list[tuple[str, Inode]]:
+        result = []
+        for name in self.fs.listdir(self.inode.path):
+            child = self.fs.lookup(posixpath.join(self.inode.path, name))
+            if child is not None:
+                result.append((name, child))
+        return result
+
+
+class StdStream(FileDescription):
+    """stdout/stderr capture stream (fd 1 / fd 2 by default)."""
+
+    def __init__(self, which: str):
+        super().__init__()
+        self.which = which
+
+    def write(self, task, data: bytes) -> int:
+        leader = task
+        while leader.parent is not None and leader.tid != leader.pid:
+            leader = leader.parent
+        buf = leader.stdout if self.which == "stdout" else leader.stderr
+        buf += data
+        return len(data)
+
+    def read(self, task, length: int) -> bytes:
+        return b""  # empty stdin semantics when dup'ed onto fd 0
+
+    def poll(self) -> int:
+        return EPOLLOUT
+
+
+class Pipe:
+    """The shared buffer of a pipe pair."""
+
+    def __init__(self, capacity: int = 65536):
+        self.buffer = bytearray()
+        self.capacity = capacity
+        self.read_open = True
+        self.write_open = True
+
+
+class PipeReadEnd(FileDescription):
+    def __init__(self, pipe: Pipe):
+        super().__init__()
+        self.pipe = pipe
+
+    def read(self, task, length: int):
+        if not self.pipe.buffer:
+            if not self.pipe.write_open:
+                return b""
+            if self.nonblocking:
+                return -errno.EAGAIN
+            pipe = self.pipe
+            raise WouldBlock(lambda: bool(pipe.buffer) or not pipe.write_open)
+        data = bytes(self.pipe.buffer[:length])
+        del self.pipe.buffer[: len(data)]
+        return data
+
+    def poll(self) -> int:
+        mask = 0
+        if self.pipe.buffer:
+            mask |= EPOLLIN
+        if not self.pipe.write_open:
+            mask |= EPOLLHUP
+        return mask
+
+    def close(self) -> None:
+        super().close()
+        if self.refcount == 0:
+            self.pipe.read_open = False
+
+
+class PipeWriteEnd(FileDescription):
+    def __init__(self, pipe: Pipe):
+        super().__init__()
+        self.pipe = pipe
+
+    def write(self, task, data: bytes):
+        if not self.pipe.read_open:
+            return -errno.EPIPE
+        if len(self.pipe.buffer) + len(data) > self.pipe.capacity:
+            if self.nonblocking:
+                return -errno.EAGAIN
+            pipe = self.pipe
+            need = len(data)
+            raise WouldBlock(
+                lambda: len(pipe.buffer) + need <= pipe.capacity or not pipe.read_open
+            )
+        self.pipe.buffer += data
+        return len(data)
+
+    def poll(self) -> int:
+        mask = 0
+        if len(self.pipe.buffer) < self.pipe.capacity:
+            mask |= EPOLLOUT
+        if not self.pipe.read_open:
+            mask |= EPOLLERR
+        return mask
+
+    def close(self) -> None:
+        super().close()
+        if self.refcount == 0:
+            self.pipe.write_open = False

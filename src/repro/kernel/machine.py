@@ -1,0 +1,131 @@
+"""The public Machine facade: kernel + CPU + scheduler in one object."""
+
+from __future__ import annotations
+
+from repro.cpu.costs import CostModel
+from repro.kernel.kernel import Kernel
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.task import Task, TaskState
+from repro.loader.image import ProgramImage
+from repro.loader.loading import load_into
+from repro.mem.address_space import AddressSpace
+
+
+class Process:
+    """Handle for a loaded program (its thread-group leader task)."""
+
+    def __init__(self, machine: "Machine", task: Task):
+        self.machine = machine
+        self.task = task
+
+    @property
+    def pid(self) -> int:
+        return self.task.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.task.alive
+
+    @property
+    def exit_code(self) -> int | None:
+        return self.task.exit_code
+
+    @property
+    def term_signal(self) -> int | None:
+        return self.task.term_signal
+
+    @property
+    def stdout(self) -> bytes:
+        return bytes(self.task.stdout)
+
+    @property
+    def stderr(self) -> bytes:
+        return bytes(self.task.stderr)
+
+    def threads(self) -> list[Task]:
+        return [
+            t for t in self.machine.kernel.tasks.values() if t.pid == self.task.pid
+        ]
+
+
+class Machine:
+    """A complete simulated machine.
+
+    ::
+
+        machine = Machine()
+        proc = machine.load(image)
+        machine.run()
+        print(proc.stdout, proc.exit_code)
+    """
+
+    def __init__(self, costs: CostModel | None = None, *, quantum: int = 64):
+        self.costs = costs or CostModel()
+        self.kernel = Kernel(self.costs)
+        self.scheduler = Scheduler(self.kernel, quantum=quantum)
+        self.kernel.scheduler = self.scheduler
+
+    # ------------------------------------------------------------------ time
+    @property
+    def clock(self) -> int:
+        """Simulated time in CPU cycles."""
+        return self.kernel.clock
+
+    @property
+    def seconds(self) -> float:
+        return self.costs.cycles_to_seconds(self.kernel.clock)
+
+    # ----------------------------------------------------------------- loading
+    def load(
+        self,
+        image: ProgramImage,
+        argv: tuple[str, ...] = (),
+        *,
+        register_binary: bool = True,
+    ) -> Process:
+        """Create a process from ``image`` (also registering it for execve)."""
+        mem = AddressSpace()
+        task = self.kernel.new_task(mem, comm=image.name)
+        load_into(self.kernel, task, image, argv)
+        if register_binary:
+            self.kernel.binaries.setdefault("/bin/" + image.name, image)
+        return Process(self, task)
+
+    def register_binary(self, path: str, image: ProgramImage) -> None:
+        """Make ``image`` reachable by execve at ``path``."""
+        self.kernel.binaries[self.kernel.fs.normalize(path)] = image
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        *,
+        max_instructions: int | None = None,
+        until=None,
+        raise_on_deadlock: bool = True,
+    ) -> None:
+        """Run the scheduler until everything exits (or a bound is hit)."""
+        self.scheduler.run(
+            max_instructions=max_instructions,
+            until=until,
+            raise_on_deadlock=raise_on_deadlock,
+        )
+
+    def run_process(self, process: Process, *, max_instructions: int = 50_000_000) -> int:
+        """Run until ``process`` exits and return its exit code."""
+        from repro.kernel.scheduler import run_to_exit
+
+        return run_to_exit(self, process, max_instructions)
+
+    # ------------------------------------------------------------ conveniences
+    @property
+    def fs(self):
+        return self.kernel.fs
+
+    @property
+    def net(self):
+        return self.kernel.net
+
+    def zombies(self) -> list[Task]:
+        return [
+            t for t in self.kernel.tasks.values() if t.state is TaskState.ZOMBIE
+        ]

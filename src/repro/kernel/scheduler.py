@@ -1,0 +1,153 @@
+"""Cooperative round-robin scheduler.
+
+One simulated CPU runs all tasks in time slices.  Blocking works two ways:
+
+* a *guest* blocking syscall raises WouldBlock out of the entry path; the
+  task is parked with a restart record and retried when its predicate holds,
+* *host-side* code (an interposer deep in an hcall) blocks through
+  ``Kernel.wait_until``, which calls back into :meth:`run_others_once` —
+  re-entrancy is guarded so a task is never stepped while it is already
+  live on the (Python) stack.
+"""
+
+from __future__ import annotations
+
+from repro.arch.registers import MASK64, RAX
+from repro.errors import BreakpointTrap, GuestCrash, InvalidOpcode, PageFault
+from repro.kernel.task import Task, TaskState
+from repro.kernel.waits import DeadlockError, WouldBlock
+
+
+class Scheduler:
+    def __init__(self, kernel, quantum: int = 64):
+        self.kernel = kernel
+        self.quantum = quantum
+        self._active: set[int] = set()  # tids currently on the Python stack
+        self.total_instructions = 0
+
+    # --------------------------------------------------------------- slices
+    def _maybe_unblock(self, task: Task) -> None:
+        if task.state is not TaskState.BLOCKED:
+            return
+        if task.blocked_reason is not None and not task.blocked_reason():
+            return
+        task.state = TaskState.RUNNABLE
+        task.blocked_reason = None
+        restart = task.in_syscall_restart
+        if restart is None:
+            return
+        task.in_syscall_restart = None
+        sysno, args = restart
+        try:
+            ret = self.kernel.dispatch(task, sysno, args)
+        except WouldBlock as block:
+            task.state = TaskState.BLOCKED
+            task.blocked_reason = block.ready
+            task.blocked_interruptible = block.interruptible
+            task.in_syscall_restart = (sysno, args)
+            return
+        if ret is not None:
+            task.regs.write(RAX, ret & MASK64)
+
+    def run_task_slice(self, task: Task, quantum: int | None = None) -> int:
+        """Run up to ``quantum`` instructions of ``task``; returns how many."""
+        kernel = self.kernel
+        executed = 0
+        budget = quantum if quantum is not None else self.quantum
+        if task.tid in self._active:
+            return 0
+        self._active.add(task.tid)
+        try:
+            for _ in range(budget):
+                if not task.alive:
+                    break
+                self._maybe_unblock(task)
+                if task.state is not TaskState.RUNNABLE:
+                    break
+                if task.pending and task.has_deliverable_signal():
+                    kernel.signals.deliver_pending(task)
+                    if not task.alive:
+                        break
+                # Load this task's protection-key rights (per-thread PKRU).
+                task.mem.active_pkru = task.regs.pkru
+                addr = task.regs.rip
+                try:
+                    kernel.cpu.step(task)
+                except (PageFault, InvalidOpcode, BreakpointTrap) as exc:
+                    kernel.handle_fault(task, exc, addr)
+                executed += 1
+                task.insn_count += 1
+        finally:
+            self._active.discard(task.tid)
+        self.total_instructions += executed
+        return executed
+
+    # ------------------------------------------------------------- main loop
+    def run(
+        self,
+        *,
+        max_instructions: int | None = None,
+        until=None,
+        raise_on_deadlock: bool = True,
+    ) -> None:
+        """Run until all tasks exit, ``until()`` is true, or the budget ends."""
+        kernel = self.kernel
+        start = self.total_instructions
+        while True:
+            if until is not None and until():
+                return
+            live = [t for t in kernel.tasks.values() if t.alive]
+            if not live:
+                return
+            if (
+                max_instructions is not None
+                and self.total_instructions - start >= max_instructions
+            ):
+                return
+            progress = 0
+            for task in list(kernel.tasks.values()):
+                if not task.alive or task.tid in self._active:
+                    continue
+                progress += self.run_task_slice(task)
+                if until is not None and until():
+                    return
+            kernel.fire_due_events()
+            if progress == 0:
+                if kernel.advance_time():
+                    continue
+                # No instruction ran and no event is pending.
+                still_live = [t for t in kernel.tasks.values() if t.alive]
+                if not still_live:
+                    return
+                if raise_on_deadlock:
+                    raise DeadlockError(
+                        "all tasks blocked with no pending events: "
+                        + ", ".join(repr(t) for t in still_live)
+                    )
+                return
+
+    def run_others_once(self, current: Task) -> bool:
+        """One scheduling pass over every task except ``current``.
+
+        Used by Kernel.wait_until while ``current`` is blocked inside
+        host-side interposer code.  Returns True if any instruction ran.
+        """
+        progress = 0
+        for task in list(self.kernel.tasks.values()):
+            if task is current or not task.alive or task.tid in self._active:
+                continue
+            progress += self.run_task_slice(task)
+        return progress > 0
+
+
+def run_to_exit(machine, process, max_instructions: int = 10_000_000) -> int:
+    """Convenience: run until ``process`` exits; returns its exit code."""
+    machine.run(
+        until=lambda: not process.task.alive, max_instructions=max_instructions
+    )
+    if process.task.alive:
+        raise GuestCrash(
+            f"process {process.task.comm!r} did not exit within "
+            f"{max_instructions} instructions"
+        )
+    return process.exit_code

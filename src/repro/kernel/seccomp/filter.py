@@ -1,0 +1,118 @@
+"""High-level builder for common seccomp filter shapes.
+
+The builder emits real cBPF that the interpreter in :mod:`bpf` executes —
+filters constructed here pay per-instruction costs exactly like the kernel's
+filter machine does, which is what makes the seccomp rows of the paper's
+benchmarks meaningful.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.seccomp.bpf import (
+    BPF_ABS,
+    BPF_JEQ,
+    BPF_JGE,
+    BPF_JMP,
+    BPF_K,
+    BPF_LD,
+    BPF_RET,
+    BPF_W,
+    BpfInsn,
+    BpfProgram,
+    jump,
+    stmt,
+)
+from repro.kernel.seccomp.core import (
+    SECCOMP_DATA_ARCH,
+    SECCOMP_DATA_IP_HI,
+    SECCOMP_DATA_IP_LO,
+    SECCOMP_DATA_NR,
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_ERRNO,
+    SECCOMP_RET_KILL_PROCESS,
+    SECCOMP_RET_TRAP,
+)
+
+_LD_W_ABS = BPF_LD | BPF_W | BPF_ABS
+_JEQ_K = BPF_JMP | BPF_JEQ | BPF_K
+_JGE_K = BPF_JMP | BPF_JGE | BPF_K
+_RET_K = BPF_RET | BPF_K
+
+
+class FilterBuilder:
+    """Composable construction of common filter programs."""
+
+    @staticmethod
+    def allow_all() -> BpfProgram:
+        return BpfProgram([stmt(_RET_K, SECCOMP_RET_ALLOW)])
+
+    @staticmethod
+    def deny_syscalls(
+        sysnos: list[int],
+        action: int = SECCOMP_RET_ERRNO | 1,
+        *,
+        check_arch: int | None = None,
+    ) -> BpfProgram:
+        """Allow everything except ``sysnos``, which get ``action``.
+
+        With ``check_arch``, a mismatching audit-arch value is killed — the
+        standard hardening prologue of real seccomp policies.
+        """
+        insns: list[BpfInsn] = []
+        if check_arch is not None:
+            insns.append(stmt(_LD_W_ABS, SECCOMP_DATA_ARCH))
+            insns.append(jump(_JEQ_K, check_arch, 0, 0))  # jf patched below
+        insns.append(stmt(_LD_W_ABS, SECCOMP_DATA_NR))
+        # One JEQ per denied syscall; each jumps to the final "deny" slot.
+        n = len(sysnos)
+        for i, nr in enumerate(sysnos):
+            insns.append(jump(_JEQ_K, nr, n - i, 0))
+        insns.append(stmt(_RET_K, SECCOMP_RET_ALLOW))
+        insns.append(stmt(_RET_K, action))
+        if check_arch is not None:
+            kill_pc = len(insns)
+            insns.append(stmt(_RET_K, SECCOMP_RET_KILL_PROCESS))
+            insns[1] = jump(_JEQ_K, check_arch, 0, kill_pc - 2)
+        return BpfProgram(insns)
+
+    @staticmethod
+    def trap_all_except_ip_range(start: int, length: int) -> BpfProgram:
+        """TRAP every syscall unless the invocation IP is inside the range.
+
+        This is the seccomp analogue of SUD's allowlisted code range that
+        prior interposers (e.g. the Endokernel, §IV-A) used.  Only the low
+        32 IP bits are range-checked after verifying the high bits match,
+        which is sufficient for our < 4 GiB layouts; ranges that would wrap
+        the low 32 bits are rejected.
+        """
+        if (start & 0xFFFFFFFF) + length > 1 << 32:
+            raise ValueError("ip range wraps the low 32 bits")
+        end = start + length
+        hi = (start >> 32) & 0xFFFFFFFF
+        insns = [
+            stmt(_LD_W_ABS, SECCOMP_DATA_IP_HI),
+            jump(_JEQ_K, hi, 0, 4),  # wrong high word -> trap
+            stmt(_LD_W_ABS, SECCOMP_DATA_IP_LO),
+            jump(_JGE_K, start & 0xFFFFFFFF, 0, 2),
+            jump(_JGE_K, end & 0xFFFFFFFF, 1, 0),
+            stmt(_RET_K, SECCOMP_RET_ALLOW),
+            stmt(_RET_K, SECCOMP_RET_TRAP),
+        ]
+        return BpfProgram(insns)
+
+    @staticmethod
+    def trap_all() -> BpfProgram:
+        return BpfProgram([stmt(_RET_K, SECCOMP_RET_TRAP)])
+
+    @staticmethod
+    def allowlist_syscalls(
+        sysnos: list[int], default_action: int = SECCOMP_RET_ERRNO | 1
+    ) -> BpfProgram:
+        """Allow only ``sysnos``; everything else gets ``default_action``."""
+        insns = [stmt(_LD_W_ABS, SECCOMP_DATA_NR)]
+        n = len(sysnos)
+        for i, nr in enumerate(sysnos):
+            insns.append(jump(_JEQ_K, nr, n - i, 0))
+        insns.append(stmt(_RET_K, default_action))
+        insns.append(stmt(_RET_K, SECCOMP_RET_ALLOW))
+        return BpfProgram(insns)

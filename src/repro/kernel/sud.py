@@ -1,0 +1,35 @@
+"""Syscall User Dispatch (SUD) state.
+
+Mirrors Linux's ``prctl(PR_SET_SYSCALL_USER_DISPATCH, ...)`` interface
+(§II-A, Fig. 1 of the paper): a per-task on/off switch, a user-space selector
+byte the kernel reads on every syscall entry, and one allowlisted code
+address range whose syscalls are never dispatched regardless of the selector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: prctl option (Linux value).
+PR_SET_SYSCALL_USER_DISPATCH = 59
+
+#: prctl arg2 values.
+PR_SYS_DISPATCH_OFF = 0
+PR_SYS_DISPATCH_ON = 1
+
+#: Selector byte values (Linux: SYSCALL_DISPATCH_FILTER_*).
+SELECTOR_ALLOW = 0
+SELECTOR_BLOCK = 1
+
+
+@dataclass
+class SudState:
+    """Per-task SUD configuration."""
+
+    selector_addr: int  #: user VA of the selector byte (0 = no selector)
+    allow_start: int  #: start of the always-allowed code range
+    allow_len: int  #: length of the always-allowed code range
+
+    def allows_address(self, addr: int) -> bool:
+        """True if a syscall at ``addr`` is exempt from dispatch."""
+        return self.allow_start <= addr < self.allow_start + self.allow_len

@@ -1,0 +1,10 @@
+"""Syscall implementations and the dispatch registry."""
+
+from repro.kernel.syscalls.table import (
+    NR,
+    SyscallEntry,
+    build_registry,
+    syscall_name,
+)
+
+__all__ = ["NR", "SyscallEntry", "build_registry", "syscall_name"]

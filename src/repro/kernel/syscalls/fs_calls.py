@@ -1,0 +1,463 @@
+"""Filesystem syscalls."""
+
+from __future__ import annotations
+
+import posixpath
+import struct
+
+from repro.errors import PageFault
+from repro.kernel import errno
+from repro.kernel.fs import (
+    DT_DIR,
+    DT_REG,
+    DirFile,
+    O_APPEND,
+    O_CREAT,
+    O_DIRECTORY,
+    O_EXCL,
+    O_NONBLOCK,
+    O_TRUNC,
+    O_WRONLY,
+    O_RDWR,
+    Pipe,
+    PipeReadEnd,
+    PipeWriteEnd,
+    RegularFile,
+)
+from repro.kernel.syscalls.table import syscall
+
+AT_FDCWD = (1 << 64) - 100  # -100 as an unsigned register value
+
+# Simplified stat buffer layout (see loader docs): size, mode, ino, nlink.
+S_IFDIR = 0o040000
+S_IFREG = 0o100000
+STAT_SIZE = 32
+
+F_DUPFD = 0
+F_GETFL = 3
+F_SETFL = 4
+
+_U16 = struct.Struct("<H")
+
+
+def resolve_path(kernel, task, ptr: int) -> str | None:
+    """Read a user path string and resolve it against the task cwd."""
+    try:
+        raw = task.mem.read_cstr(ptr).decode("utf-8", "replace")
+    except PageFault:
+        return None
+    cwd = getattr(task, "cwd", "/")
+    if not raw.startswith("/"):
+        raw = posixpath.join(cwd, raw)
+    return kernel.fs.normalize(raw)
+
+
+def _open_common(kernel, task, path: str, flags: int, mode: int) -> int:
+    inode = kernel.fs.lookup(path)
+    if inode is None:
+        if not flags & O_CREAT:
+            return -errno.ENOENT
+        parent = kernel.fs.lookup(posixpath.dirname(path))
+        if parent is None or not parent.is_dir:
+            return -errno.ENOENT
+        inode = kernel.fs.create(path, mode=mode & 0o7777 or 0o644)
+    elif flags & O_CREAT and flags & O_EXCL:
+        return -errno.EEXIST
+    if inode.is_dir:
+        if flags & (O_WRONLY | O_RDWR):
+            return -errno.EISDIR
+        return task.fdtable.install(DirFile(kernel.fs, inode))
+    if flags & O_DIRECTORY:
+        return -errno.ENOTDIR
+    if flags & O_TRUNC and flags & (O_WRONLY | O_RDWR):
+        inode.data.clear()
+    desc = RegularFile(inode, flags)
+    return task.fdtable.install(desc)
+
+
+@syscall("open")
+def sys_open(kernel, task, args):
+    path = resolve_path(kernel, task, args[0])
+    if path is None:
+        return -errno.EFAULT
+    return _open_common(kernel, task, path, args[1], args[2])
+
+
+@syscall("openat")
+def sys_openat(kernel, task, args):
+    dirfd, path_ptr, flags, mode = args[0], args[1], args[2], args[3]
+    path = resolve_path(kernel, task, path_ptr)
+    if path is None:
+        return -errno.EFAULT
+    if dirfd != AT_FDCWD and not path.startswith("/"):
+        return -errno.EBADF  # dirfd-relative lookups unsupported
+    return _open_common(kernel, task, path, flags, mode)
+
+
+@syscall("close")
+def sys_close(kernel, task, args):
+    desc = task.fdtable.remove(args[0])
+    if desc is None:
+        return -errno.EBADF
+    desc.close()
+    if hasattr(desc, "port") and getattr(desc, "listening", False):
+        kernel.net.unbind(desc)
+    return 0
+
+
+@syscall("read")
+def sys_read(kernel, task, args):
+    fd, buf, count = args[0], args[1], args[2]
+    desc = task.fdtable.get(fd)
+    if desc is None:
+        return -errno.EBADF
+    data = desc.read(task, count)
+    if isinstance(data, int):
+        return data
+    kernel.charge(task, kernel.costs.copy_cost(len(data)))
+    try:
+        task.mem.write(buf, data, check="write")
+    except PageFault:
+        return -errno.EFAULT
+    return len(data)
+
+
+@syscall("write")
+def sys_write(kernel, task, args):
+    fd, buf, count = args[0], args[1], args[2]
+    desc = task.fdtable.get(fd)
+    if desc is None:
+        return -errno.EBADF
+    try:
+        data = task.mem.read(buf, count, check="read")
+    except PageFault:
+        return -errno.EFAULT
+    kernel.charge(task, kernel.costs.copy_cost(len(data)))
+    return desc.write(task, data)
+
+
+def _read_iovec(task, iov_ptr: int, iovcnt: int) -> list[tuple[int, int]] | None:
+    """Read a struct iovec array: (base u64, len u64) per entry."""
+    if iovcnt > 1024:
+        return None
+    vec = []
+    try:
+        for i in range(iovcnt):
+            base = task.mem.read_u64(iov_ptr + 16 * i, check="read")
+            length = task.mem.read_u64(iov_ptr + 16 * i + 8, check="read")
+            vec.append((base, length))
+    except PageFault:
+        return None
+    return vec
+
+
+@syscall("writev")
+def sys_writev(kernel, task, args):
+    fd, iov_ptr, iovcnt = args[0], args[1], args[2]
+    desc = task.fdtable.get(fd)
+    if desc is None:
+        return -errno.EBADF
+    vec = _read_iovec(task, iov_ptr, iovcnt)
+    if vec is None:
+        return -errno.EFAULT
+    chunks = []
+    try:
+        for base, length in vec:
+            chunks.append(task.mem.read(base, length, check="read"))
+    except PageFault:
+        return -errno.EFAULT
+    data = b"".join(chunks)
+    kernel.charge(task, kernel.costs.copy_cost(len(data)))
+    return desc.write(task, data)
+
+
+@syscall("readv")
+def sys_readv(kernel, task, args):
+    fd, iov_ptr, iovcnt = args[0], args[1], args[2]
+    desc = task.fdtable.get(fd)
+    if desc is None:
+        return -errno.EBADF
+    vec = _read_iovec(task, iov_ptr, iovcnt)
+    if vec is None:
+        return -errno.EFAULT
+    total = sum(length for _base, length in vec)
+    data = desc.read(task, total)
+    if isinstance(data, int):
+        return data
+    kernel.charge(task, kernel.costs.copy_cost(len(data)))
+    offset = 0
+    try:
+        for base, length in vec:
+            chunk = data[offset : offset + length]
+            if not chunk:
+                break
+            task.mem.write(base, chunk, check="write")
+            offset += len(chunk)
+    except PageFault:
+        return -errno.EFAULT
+    return len(data)
+
+
+@syscall("pread64")
+def sys_pread64(kernel, task, args):
+    fd, buf, count, offset = args[0], args[1], args[2], args[3]
+    desc = task.fdtable.get(fd)
+    if not isinstance(desc, RegularFile):
+        return -errno.ESPIPE if desc is not None else -errno.EBADF
+    data = desc.pread(offset, count)
+    kernel.charge(task, kernel.costs.copy_cost(len(data)))
+    try:
+        task.mem.write(buf, data, check="write")
+    except PageFault:
+        return -errno.EFAULT
+    return len(data)
+
+
+@syscall("pwrite64")
+def sys_pwrite64(kernel, task, args):
+    fd, buf, count, offset = args[0], args[1], args[2], args[3]
+    desc = task.fdtable.get(fd)
+    if not isinstance(desc, RegularFile):
+        return -errno.ESPIPE if desc is not None else -errno.EBADF
+    try:
+        data = task.mem.read(buf, count, check="read")
+    except PageFault:
+        return -errno.EFAULT
+    kernel.charge(task, kernel.costs.copy_cost(len(data)))
+    saved = desc.offset
+    desc.offset = offset
+    ret = desc.write(task, data)
+    desc.offset = saved
+    return ret
+
+
+@syscall("lseek")
+def sys_lseek(kernel, task, args):
+    desc = task.fdtable.get(args[0])
+    if desc is None:
+        return -errno.EBADF
+    if not isinstance(desc, RegularFile):
+        return -errno.ESPIPE
+    from repro.arch.registers import to_signed
+
+    return desc.seek(to_signed(args[1]), args[2])
+
+
+def _write_stat(task, buf: int, size: int, mode: int, ino: int, nlink: int) -> int:
+    try:
+        task.mem.write_u64(buf, size, check="write")
+        task.mem.write_u64(buf + 8, mode, check="write")
+        task.mem.write_u64(buf + 16, ino, check="write")
+        task.mem.write_u64(buf + 24, nlink, check="write")
+    except PageFault:
+        return -errno.EFAULT
+    return 0
+
+
+@syscall("stat")
+def sys_stat(kernel, task, args):
+    path = resolve_path(kernel, task, args[0])
+    if path is None:
+        return -errno.EFAULT
+    inode = kernel.fs.lookup(path)
+    if inode is None:
+        return -errno.ENOENT
+    mode = (S_IFDIR if inode.is_dir else S_IFREG) | inode.mode
+    return _write_stat(task, args[1], len(inode.data), mode, inode.ino, inode.nlink)
+
+
+@syscall("fstat")
+def sys_fstat(kernel, task, args):
+    desc = task.fdtable.get(args[0])
+    if desc is None:
+        return -errno.EBADF
+    if isinstance(desc, (RegularFile, DirFile)):
+        inode = desc.inode
+        mode = (S_IFDIR if inode.is_dir else S_IFREG) | inode.mode
+        return _write_stat(task, args[1], len(inode.data), mode, inode.ino, inode.nlink)
+    return _write_stat(task, args[1], 0, 0o020000, 0, 1)  # character device-ish
+
+
+@syscall("access")
+def sys_access(kernel, task, args):
+    path = resolve_path(kernel, task, args[0])
+    if path is None:
+        return -errno.EFAULT
+    return 0 if kernel.fs.exists(path) else -errno.ENOENT
+
+
+@syscall("mkdir")
+def sys_mkdir(kernel, task, args):
+    path = resolve_path(kernel, task, args[0])
+    if path is None:
+        return -errno.EFAULT
+    return kernel.fs.mkdir(path, args[1] & 0o7777)
+
+
+@syscall("rmdir")
+def sys_rmdir(kernel, task, args):
+    path = resolve_path(kernel, task, args[0])
+    if path is None:
+        return -errno.EFAULT
+    return kernel.fs.rmdir(path)
+
+
+@syscall("unlink")
+def sys_unlink(kernel, task, args):
+    path = resolve_path(kernel, task, args[0])
+    if path is None:
+        return -errno.EFAULT
+    return kernel.fs.unlink(path)
+
+
+@syscall("rename")
+def sys_rename(kernel, task, args):
+    old = resolve_path(kernel, task, args[0])
+    new = resolve_path(kernel, task, args[1])
+    if old is None or new is None:
+        return -errno.EFAULT
+    return kernel.fs.rename(old, new)
+
+
+@syscall("chmod")
+def sys_chmod(kernel, task, args):
+    path = resolve_path(kernel, task, args[0])
+    if path is None:
+        return -errno.EFAULT
+    return kernel.fs.chmod(path, args[1])
+
+
+@syscall("getcwd")
+def sys_getcwd(kernel, task, args):
+    buf, size = args[0], args[1]
+    cwd = getattr(task, "cwd", "/").encode() + b"\x00"
+    if len(cwd) > size:
+        return -errno.ERANGE
+    try:
+        task.mem.write(buf, cwd, check="write")
+    except PageFault:
+        return -errno.EFAULT
+    return len(cwd)
+
+
+@syscall("chdir")
+def sys_chdir(kernel, task, args):
+    path = resolve_path(kernel, task, args[0])
+    if path is None:
+        return -errno.EFAULT
+    inode = kernel.fs.lookup(path)
+    if inode is None:
+        return -errno.ENOENT
+    if not inode.is_dir:
+        return -errno.ENOTDIR
+    task.cwd = path
+    return 0
+
+
+@syscall("getdents64")
+def sys_getdents64(kernel, task, args):
+    fd, buf, count = args[0], args[1], args[2]
+    desc = task.fdtable.get(fd)
+    if desc is None:
+        return -errno.EBADF
+    if not isinstance(desc, DirFile):
+        return -errno.ENOTDIR
+    entries = desc.entries()
+    written = 0
+    while desc.position < len(entries):
+        name, inode = entries[desc.position]
+        name_bytes = name.encode()
+        reclen = (19 + len(name_bytes) + 1 + 7) & ~7
+        if written + reclen > count:
+            break
+        base = buf + written
+        try:
+            task.mem.write_u64(base, inode.ino, check="write")
+            task.mem.write_u64(base + 8, desc.position + 1, check="write")
+            task.mem.write(base + 16, _U16.pack(reclen), check="write")
+            task.mem.write_u8(base + 18, DT_DIR if inode.is_dir else DT_REG,
+                              check="write")
+            task.mem.write_cstr(base + 19, name_bytes, check="write")
+        except PageFault:
+            return -errno.EFAULT
+        written += reclen
+        desc.position += 1
+    kernel.charge(task, kernel.costs.copy_cost(written))
+    return written
+
+
+@syscall("dup")
+def sys_dup(kernel, task, args):
+    desc = task.fdtable.get(args[0])
+    if desc is None:
+        return -errno.EBADF
+    return task.fdtable.install(desc.dup())
+
+
+@syscall("pipe")
+def sys_pipe(kernel, task, args):
+    pipe = Pipe()
+    rfd = task.fdtable.install(PipeReadEnd(pipe))
+    wfd = task.fdtable.install(PipeWriteEnd(pipe))
+    try:
+        task.mem.write_u32(args[0], rfd, check="write")
+        task.mem.write_u32(args[0] + 4, wfd, check="write")
+    except PageFault:
+        return -errno.EFAULT
+    return 0
+
+
+@syscall("fcntl")
+def sys_fcntl(kernel, task, args):
+    fd, cmd, arg = args[0], args[1], args[2]
+    desc = task.fdtable.get(fd)
+    if desc is None:
+        return -errno.EBADF
+    if cmd == F_GETFL:
+        return desc.flags
+    if cmd == F_SETFL:
+        desc.flags = (desc.flags & ~O_NONBLOCK) | (arg & O_NONBLOCK)
+        return 0
+    if cmd == F_DUPFD:
+        return task.fdtable.install(desc.dup())
+    return -errno.EINVAL
+
+
+@syscall("ioctl")
+def sys_ioctl(kernel, task, args):
+    desc = task.fdtable.get(args[0])
+    if desc is None:
+        return -errno.EBADF
+    return -errno.ENOTTY
+
+
+@syscall("sendfile")
+def sys_sendfile(kernel, task, args):
+    out_fd, in_fd, offset_ptr, count = args[0], args[1], args[2], args[3]
+    out_desc = task.fdtable.get(out_fd)
+    in_desc = task.fdtable.get(in_fd)
+    if out_desc is None or in_desc is None:
+        return -errno.EBADF
+    if not isinstance(in_desc, RegularFile):
+        return -errno.EINVAL
+    if offset_ptr:
+        try:
+            offset = task.mem.read_u64(offset_ptr, check="read")
+        except PageFault:
+            return -errno.EFAULT
+        data = in_desc.pread(offset, count)
+    else:
+        data = in_desc.read(task, count)
+    if not data:
+        return 0
+    # sendfile moves data kernel-side: one copy, not two.
+    kernel.charge(task, kernel.costs.copy_cost(len(data)))
+    ret = out_desc.write(task, bytes(data))
+    if isinstance(ret, int) and ret < 0:
+        return ret
+    if offset_ptr:
+        try:
+            task.mem.write_u64(offset_ptr, offset + ret, check="write")
+        except PageFault:
+            return -errno.EFAULT
+    return ret

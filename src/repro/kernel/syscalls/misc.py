@@ -1,0 +1,211 @@
+"""Miscellaneous syscalls: prctl/SUD, seccomp, futex, time, randomness."""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from repro.errors import PageFault
+from repro.kernel import errno
+from repro.kernel.seccomp.bpf import BpfInsn, BpfProgram
+from repro.errors import BpfError
+from repro.kernel.sud import (
+    PR_SET_SYSCALL_USER_DISPATCH,
+    PR_SYS_DISPATCH_OFF,
+    PR_SYS_DISPATCH_ON,
+    SudState,
+)
+from repro.kernel.syscalls.table import syscall
+from repro.kernel.waits import WouldBlock
+
+SECCOMP_SET_MODE_STRICT = 0
+SECCOMP_SET_MODE_FILTER = 1
+
+FUTEX_WAIT = 0
+FUTEX_WAKE = 1
+FUTEX_PRIVATE_FLAG = 128
+
+ARCH_SET_GS = 0x1001
+ARCH_SET_FS = 0x1002
+
+_SOCK_FILTER = struct.Struct("<HBBI")
+
+#: Deterministic entropy source for getrandom (reproducible runs).
+_entropy = random.Random(0x5EED)
+
+
+@syscall("prctl")
+def sys_prctl(kernel, task, args):
+    option = args[0]
+    if option == PR_SET_SYSCALL_USER_DISPATCH:
+        mode, offset, length, selector_ptr = args[1], args[2], args[3], args[4]
+        if mode == PR_SYS_DISPATCH_OFF:
+            task.sud = None
+            return 0
+        if mode != PR_SYS_DISPATCH_ON:
+            return -errno.EINVAL
+        if selector_ptr:
+            try:
+                task.mem.read_u8(selector_ptr, check="read")
+            except PageFault:
+                return -errno.EFAULT
+        task.sud = SudState(
+            selector_addr=selector_ptr, allow_start=offset, allow_len=length
+        )
+        return 0
+    return -errno.EINVAL
+
+
+@syscall("arch_prctl")
+def sys_arch_prctl(kernel, task, args):
+    code, addr = args[0], args[1]
+    if code == ARCH_SET_GS:
+        task.regs.gs_base = addr
+        return 0
+    if code == ARCH_SET_FS:
+        return 0  # fs is not modelled; accepted for compatibility
+    return -errno.EINVAL
+
+
+@syscall("seccomp")
+def sys_seccomp(kernel, task, args):
+    op, flags, prog_ptr = args[0], args[1], args[2]
+    if op == SECCOMP_SET_MODE_STRICT:
+        from repro.kernel.seccomp.filter import FilterBuilder
+
+        task.seccomp_filters.append(
+            FilterBuilder.allowlist_syscalls([0, 1, 60, 15])
+        )
+        return 0
+    if op != SECCOMP_SET_MODE_FILTER:
+        return -errno.EINVAL
+    try:
+        length = task.mem.read_u16(prog_ptr, check="read")
+        insns_ptr = task.mem.read_u64(prog_ptr + 8, check="read")
+        raw = task.mem.read(insns_ptr, length * 8, check="read")
+    except PageFault:
+        return -errno.EFAULT
+    insns = [
+        BpfInsn(*_SOCK_FILTER.unpack_from(raw, i * 8)) for i in range(length)
+    ]
+    try:
+        program = BpfProgram(insns)
+    except BpfError:
+        return -errno.EINVAL
+    task.seccomp_filters.append(program)
+    return 0
+
+
+@syscall("set_tid_address")
+def sys_set_tid_address(kernel, task, args):
+    task.clear_child_tid = args[0]
+    return task.tid
+
+
+@syscall("set_robust_list")
+def sys_set_robust_list(kernel, task, args):
+    task.robust_list = args[0]
+    return 0
+
+
+@syscall("futex")
+def sys_futex(kernel, task, args):
+    uaddr, op, val = args[0], args[1], args[2]
+    op &= ~FUTEX_PRIVATE_FLAG
+    key = (id(task.mem), uaddr)
+    if op == FUTEX_WAIT:
+        try:
+            current = task.mem.read_u32(uaddr, check="read")
+        except PageFault:
+            return -errno.EFAULT
+        if current != val:
+            return -errno.EAGAIN
+        waiter = {"woken": False}
+        kernel.futex_queues.setdefault(key, []).append(waiter)
+        raise WouldBlock(lambda: waiter["woken"])
+    if op == FUTEX_WAKE:
+        queue = kernel.futex_queues.get(key, [])
+        woken = 0
+        while queue and woken < val:
+            queue.pop(0)["woken"] = True
+            woken += 1
+        return woken
+    return -errno.ENOSYS
+
+
+@syscall("nanosleep")
+def sys_nanosleep(kernel, task, args):
+    return _sleep_common(kernel, task, args[0])
+
+
+@syscall("clock_nanosleep")
+def sys_clock_nanosleep(kernel, task, args):
+    return _sleep_common(kernel, task, args[2])
+
+
+def _sleep_common(kernel, task, req_ptr):
+    deadline = getattr(task, "_sleep_deadline", None)
+    if deadline is not None:
+        if kernel.now >= deadline:
+            task._sleep_deadline = None
+            return 0
+    else:
+        try:
+            sec = task.mem.read_u64(req_ptr, check="read")
+            nsec = task.mem.read_u64(req_ptr + 8, check="read")
+        except PageFault:
+            return -errno.EFAULT
+        cycles = int((sec + nsec / 1e9) * kernel.costs.frequency_hz)
+        deadline = kernel.now + cycles
+        task._sleep_deadline = deadline
+        kernel.post_event(deadline, lambda: None)
+    raise WouldBlock(lambda: kernel.now >= deadline)
+
+
+@syscall("clock_gettime")
+def sys_clock_gettime(kernel, task, args):
+    tp = args[1]
+    seconds = kernel.now / kernel.costs.frequency_hz
+    sec = int(seconds)
+    nsec = int((seconds - sec) * 1e9)
+    try:
+        task.mem.write_u64(tp, sec, check="write")
+        task.mem.write_u64(tp + 8, nsec, check="write")
+    except PageFault:
+        return -errno.EFAULT
+    return 0
+
+
+@syscall("time")
+def sys_time(kernel, task, args):
+    seconds = int(kernel.now / kernel.costs.frequency_hz)
+    if args[0]:
+        try:
+            task.mem.write_u64(args[0], seconds, check="write")
+        except PageFault:
+            return -errno.EFAULT
+    return seconds
+
+
+@syscall("getrandom")
+def sys_getrandom(kernel, task, args):
+    buf, count = args[0], args[1]
+    data = bytes(_entropy.getrandbits(8) for _ in range(count))
+    kernel.charge(task, kernel.costs.copy_cost(count))
+    try:
+        task.mem.write(buf, data, check="write")
+    except PageFault:
+        return -errno.EFAULT
+    return count
+
+
+@syscall("uname")
+def sys_uname(kernel, task, args):
+    fields = [b"Linux", b"repro", b"5.15.0-sim", b"#1 SMP repro", b"x86_64", b""]
+    try:
+        for i, field in enumerate(fields):
+            task.mem.write(args[0] + 65 * i, field.ljust(65, b"\x00"),
+                           check="write")
+    except PageFault:
+        return -errno.EFAULT
+    return 0

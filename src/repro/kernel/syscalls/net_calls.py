@@ -1,0 +1,203 @@
+"""Socket and epoll syscalls.
+
+Address handling is simplified: a ``struct sockaddr_in`` pointer is read
+only for its port (big-endian u16 at offset 2), which is all the loopback
+fabric needs.
+
+``struct epoll_event`` uses the packed x86-64 layout: ``events`` u32 at +0,
+``data`` u64 at +4, stride 12 bytes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageFault
+from repro.kernel import errno
+from repro.kernel.fs import O_NONBLOCK
+from repro.kernel.net import (
+    EPOLL_CTL_ADD,
+    EPOLL_CTL_DEL,
+    EPOLL_CTL_MOD,
+    EpollDesc,
+    ListenSocket,
+    SocketDesc,
+)
+from repro.kernel.syscalls.table import syscall
+from repro.kernel.waits import WouldBlock
+
+EPOLL_EVENT_SIZE = 12
+
+
+def _read_port(task, addr_ptr: int) -> int | None:
+    try:
+        hi = task.mem.read_u8(addr_ptr + 2)
+        lo = task.mem.read_u8(addr_ptr + 3)
+    except PageFault:
+        return None
+    return (hi << 8) | lo
+
+
+@syscall("socket")
+def sys_socket(kernel, task, args):
+    domain, sock_type = args[0], args[1]
+    flags = O_NONBLOCK if sock_type & 0o4000 else 0
+    sock = ListenSocket(flags=flags)  # becomes a listener on bind/listen
+    return task.fdtable.install(sock)
+
+
+@syscall("bind")
+def sys_bind(kernel, task, args):
+    sock = task.fdtable.get(args[0])
+    if not isinstance(sock, ListenSocket):
+        return -errno.ENOTSOCK
+    port = _read_port(task, args[1])
+    if port is None:
+        return -errno.EFAULT
+    return kernel.net.bind(sock, port)
+
+
+@syscall("listen")
+def sys_listen(kernel, task, args):
+    sock = task.fdtable.get(args[0])
+    if not isinstance(sock, ListenSocket):
+        return -errno.ENOTSOCK
+    return kernel.net.listen(sock)
+
+
+@syscall("setsockopt")
+def sys_setsockopt(kernel, task, args):
+    sock = task.fdtable.get(args[0])
+    if sock is None:
+        return -errno.EBADF
+    return 0  # options accepted and ignored (SO_REUSEADDR etc.)
+
+
+@syscall("shutdown")
+def sys_shutdown(kernel, task, args):
+    sock = task.fdtable.get(args[0])
+    if not isinstance(sock, SocketDesc):
+        return -errno.ENOTSOCK
+    sock.endpoint.close()
+    return 0
+
+
+def _accept_common(kernel, task, args, extra_flags: int):
+    sock = task.fdtable.get(args[0])
+    if not isinstance(sock, ListenSocket):
+        return -errno.ENOTSOCK
+    conn = sock.accept_one()
+    if conn is None:
+        if sock.nonblocking:
+            return -errno.EAGAIN
+        raise WouldBlock(lambda: bool(sock.backlog))
+    flags = O_NONBLOCK if extra_flags & 0o4000 else 0
+    desc = SocketDesc(conn.server, flags)
+    return task.fdtable.install(desc)
+
+
+@syscall("accept")
+def sys_accept(kernel, task, args):
+    return _accept_common(kernel, task, args, 0)
+
+
+@syscall("accept4")
+def sys_accept4(kernel, task, args):
+    return _accept_common(kernel, task, args, args[3])
+
+
+@syscall("connect")
+def sys_connect(kernel, task, args):
+    old = task.fdtable.get(args[0])
+    if not isinstance(old, ListenSocket):
+        return -errno.ENOTSOCK
+    port = _read_port(task, args[1])
+    if port is None:
+        return -errno.EFAULT
+    result = kernel.net.guest_connect(port, old.flags)
+    if isinstance(result, int):
+        return result
+    task.fdtable.fds[args[0]] = result  # socket fd becomes the connected desc
+    return 0
+
+
+@syscall("epoll_create1")
+def sys_epoll_create1(kernel, task, args):
+    return task.fdtable.install(EpollDesc())
+
+
+@syscall("epoll_ctl")
+def sys_epoll_ctl(kernel, task, args):
+    epfd, op, fd, event_ptr = args[0], args[1], args[2], args[3]
+    ep = task.fdtable.get(epfd)
+    if not isinstance(ep, EpollDesc):
+        return -errno.EINVAL
+    if task.fdtable.get(fd) is None:
+        return -errno.EBADF
+    if op == EPOLL_CTL_DEL:
+        if fd not in ep.interest:
+            return -errno.ENOENT
+        del ep.interest[fd]
+        return 0
+    try:
+        events = task.mem.read_u32(event_ptr, check="read")
+        data = task.mem.read_u64(event_ptr + 4, check="read")
+    except PageFault:
+        return -errno.EFAULT
+    if op == EPOLL_CTL_ADD:
+        if fd in ep.interest:
+            return -errno.EEXIST
+        ep.interest[fd] = (events, data)
+        return 0
+    if op == EPOLL_CTL_MOD:
+        if fd not in ep.interest:
+            return -errno.ENOENT
+        ep.interest[fd] = (events, data)
+        return 0
+    return -errno.EINVAL
+
+
+@syscall("epoll_wait")
+def sys_epoll_wait(kernel, task, args):
+    epfd, events_ptr, maxevents, timeout_ms = args[0], args[1], args[2], args[3]
+    from repro.arch.registers import to_signed
+
+    timeout_ms = to_signed(timeout_ms)
+    ep = task.fdtable.get(epfd)
+    if not isinstance(ep, EpollDesc):
+        return -errno.EINVAL
+    if maxevents <= 0:
+        return -errno.EINVAL
+
+    ready = ep.ready_events(task.fdtable)
+    if not ready:
+        if timeout_ms == 0:
+            return 0
+        if timeout_ms > 0:
+            # The deadline must survive syscall restarts, so it is stashed
+            # on the task until the wait completes one way or the other.
+            deadline = getattr(task, "_epoll_deadline", None)
+            if deadline is None:
+                deadline = kernel.now + int(
+                    timeout_ms * kernel.costs.frequency_hz / 1000
+                )
+                task._epoll_deadline = deadline
+                kernel.post_event(deadline, lambda: None)  # let time advance
+            elif kernel.now >= deadline:
+                task._epoll_deadline = None
+                return 0
+            raise WouldBlock(
+                lambda: bool(ep.ready_events(task.fdtable))
+                or kernel.now >= deadline
+            )
+        raise WouldBlock(lambda: bool(ep.ready_events(task.fdtable)))
+
+    task._epoll_deadline = None
+    count = 0
+    for fd, revents, data in ready[:maxevents]:
+        base = events_ptr + count * EPOLL_EVENT_SIZE
+        try:
+            task.mem.write_u32(base, revents, check="write")
+            task.mem.write_u64(base + 4, data, check="write")
+        except PageFault:
+            return -errno.EFAULT
+        count += 1
+    return count

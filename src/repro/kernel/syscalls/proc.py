@@ -1,0 +1,244 @@
+"""Process and thread lifecycle syscalls."""
+
+from __future__ import annotations
+
+from repro.arch.registers import RAX, to_signed
+from repro.errors import PageFault
+from repro.kernel import errno
+from repro.kernel.signals import SIGCHLD
+from repro.kernel.syscalls.table import syscall
+from repro.kernel.task import SigHandlers, TaskState
+from repro.kernel.waits import WouldBlock
+
+# clone flags (Linux values).
+CLONE_VM = 0x0000_0100
+CLONE_FS = 0x0000_0200
+CLONE_FILES = 0x0000_0400
+CLONE_SIGHAND = 0x0000_0800
+CLONE_THREAD = 0x0001_0000
+CLONE_SETTLS = 0x0008_0000
+CLONE_PARENT_SETTID = 0x0010_0000
+CLONE_CHILD_CLEARTID = 0x0020_0000
+CLONE_CHILD_SETTID = 0x0100_0000
+
+#: Canonical thread-creation flag combination (what pthread_create uses).
+THREAD_FLAGS = (
+    CLONE_VM | CLONE_FS | CLONE_FILES | CLONE_SIGHAND | CLONE_THREAD
+)
+
+WNOHANG = 1
+
+
+@syscall("getpid")
+def sys_getpid(kernel, task, args):
+    return task.pid
+
+
+@syscall("gettid")
+def sys_gettid(kernel, task, args):
+    return task.tid
+
+
+@syscall("getppid")
+def sys_getppid(kernel, task, args):
+    return task.parent.pid if task.parent is not None else 0
+
+
+@syscall("getuid")
+def sys_getuid(kernel, task, args):
+    return 1000
+
+
+@syscall("sched_yield")
+def sys_sched_yield(kernel, task, args):
+    return 0
+
+
+def _exit_common(kernel, task, code: int, whole_group: bool):
+    if whole_group:
+        kernel.terminate_group(task, code=code & 0xFF)
+    else:
+        kernel.terminate_task(task, code=code & 0xFF)
+    parent = task.parent
+    if parent is not None and parent.alive:
+        kernel.post_signal(parent, SIGCHLD, {"code": 1})
+    return None
+
+
+@syscall("exit")
+def sys_exit(kernel, task, args):
+    return _exit_common(kernel, task, args[0], whole_group=False)
+
+
+@syscall("exit_group")
+def sys_exit_group(kernel, task, args):
+    return _exit_common(kernel, task, args[0], whole_group=True)
+
+
+def _spawn_child(kernel, task, *, share_vm: bool, same_group: bool,
+                 share_files: bool, share_sighand: bool):
+    """Common child construction for fork/vfork/clone."""
+    child_mem = task.mem if share_vm else task.mem.fork_copy()
+    child = kernel.new_task(child_mem, comm=task.comm)
+    if same_group:
+        child.pid = task.pid
+    child.parent = task
+    task.children.append(child)
+
+    child.regs = task.regs.copy()
+    child.regs.write(RAX, 0)
+    if share_files:
+        child.fdtable = task.fdtable
+    else:
+        child.fdtable = task.fdtable.copy()
+    if share_sighand:
+        child.sighand = task.sighand
+    else:
+        child.sighand = task.sighand.copy()
+    child.sigmask = task.sigmask
+    child.xsave_mask = task.xsave_mask
+    child.cwd = getattr(task, "cwd", "/")
+    child.brk = task.brk
+    child.brk_base = getattr(task, "brk_base", 0)
+    child.vdso_sigreturn = getattr(task, "vdso_sigreturn", 0)
+    # seccomp filters are inherited (Linux semantics); SUD is NOT (paper §IV-B).
+    child.seccomp_filters = list(task.seccomp_filters)
+    child.sud = None
+    return child
+
+
+@syscall("fork")
+def sys_fork(kernel, task, args):
+    child = _spawn_child(kernel, task, share_vm=False, same_group=False,
+                         share_files=False, share_sighand=False)
+    return child.tid
+
+
+@syscall("vfork")
+def sys_vfork(kernel, task, args):
+    # Suspension of the parent is not modelled; semantics equal fork here.
+    child = _spawn_child(kernel, task, share_vm=False, same_group=False,
+                         share_files=False, share_sighand=False)
+    return child.tid
+
+
+@syscall("clone")
+def sys_clone(kernel, task, args):
+    flags, child_stack, ptid, ctid, tls = args[0], args[1], args[2], args[3], args[4]
+    if flags & CLONE_THREAD and not flags & CLONE_SIGHAND:
+        return -errno.EINVAL
+    child = _spawn_child(
+        kernel,
+        task,
+        share_vm=bool(flags & CLONE_VM),
+        same_group=bool(flags & CLONE_THREAD),
+        share_files=bool(flags & CLONE_FILES),
+        share_sighand=bool(flags & CLONE_SIGHAND),
+    )
+    if child_stack:
+        child.regs.write(4, child_stack)  # rsp
+    if flags & CLONE_SETTLS:
+        child.regs.gs_base = tls
+    if flags & CLONE_PARENT_SETTID and ptid:
+        try:
+            task.mem.write_u32(ptid, child.tid, check="write")
+        except PageFault:
+            pass
+    if flags & CLONE_CHILD_SETTID and ctid:
+        try:
+            child.mem.write_u32(ctid, child.tid, check=None)
+        except PageFault:
+            pass
+    if flags & CLONE_CHILD_CLEARTID:
+        child.clear_child_tid = ctid
+    return child.tid
+
+
+@syscall("execve")
+def sys_execve(kernel, task, args):
+    from repro.kernel.syscalls.fs_calls import resolve_path
+    from repro.loader.loading import load_into
+
+    path = resolve_path(kernel, task, args[0])
+    if path is None:
+        return -errno.EFAULT
+    image = kernel.binaries.get(path)
+    if image is None:
+        return -errno.ENOENT
+
+    from repro.mem.address_space import AddressSpace
+    from repro.arch.registers import RegisterFile
+
+    task.mem = AddressSpace()
+    task.regs = RegisterFile()
+    task.sighand = SigHandlers()
+    task.sud = None  # SUD does not survive execve
+    task.brk = 0
+    task.comm = image.name
+    load_into(kernel, task, image)
+    for hook in kernel.exec_hooks:
+        hook(task)
+    return None  # the new program starts; rax is not meaningful
+
+
+@syscall("wait4")
+def sys_wait4(kernel, task, args):
+    pid = to_signed(args[0])
+    status_ptr = args[1]
+    options = args[2]
+
+    def matching_children():
+        return [
+            c
+            for c in task.children
+            if (pid == -1 or c.tid == pid or c.pid == pid)
+        ]
+
+    def find_zombie():
+        for child in matching_children():
+            if child.state == TaskState.ZOMBIE:
+                return child
+        return None
+
+    if not matching_children():
+        return -errno.ECHILD
+    child = find_zombie()
+    if child is None:
+        if options & WNOHANG:
+            return 0
+        raise WouldBlock(lambda: find_zombie() is not None)
+    child.state = TaskState.DEAD
+    if status_ptr:
+        if child.term_signal is not None:
+            status = child.term_signal & 0x7F
+        else:
+            status = (child.exit_code & 0xFF) << 8
+        try:
+            task.mem.write_u32(status_ptr, status, check="write")
+        except PageFault:
+            return -errno.EFAULT
+    return child.tid
+
+
+@syscall("kill")
+def sys_kill(kernel, task, args):
+    pid, sig = to_signed(args[0]), args[1]
+    targets = [t for t in kernel.tasks.values() if t.pid == pid and t.alive]
+    if not targets:
+        return -errno.ESRCH
+    if sig == 0:
+        return 0
+    kernel.post_signal(targets[0], sig, {})
+    return 0
+
+
+@syscall("tgkill")
+def sys_tgkill(kernel, task, args):
+    tgid, tid, sig = args[0], args[1], args[2]
+    target = kernel.tasks.get(tid)
+    if target is None or not target.alive or target.pid != tgid:
+        return -errno.ESRCH
+    if sig == 0:
+        return 0
+    kernel.post_signal(target, sig, {})
+    return 0

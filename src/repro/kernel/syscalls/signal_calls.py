@@ -1,0 +1,84 @@
+"""Signal-related syscalls.
+
+Guest ``struct sigaction`` layout (32 bytes)::
+
+    +0   handler   u64  (0 = SIG_DFL, 1 = SIG_IGN)
+    +8   flags     u64
+    +16  restorer  u64  (SA_RESTORER)
+    +24  mask      u64
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageFault
+from repro.kernel import errno
+from repro.kernel.signals import NSIG, UNCATCHABLE
+from repro.kernel.syscalls.table import syscall
+from repro.kernel.task import SigAction
+
+SIG_BLOCK = 0
+SIG_UNBLOCK = 1
+SIG_SETMASK = 2
+
+
+@syscall("rt_sigaction")
+def sys_rt_sigaction(kernel, task, args):
+    sig, act_ptr, oldact_ptr = args[0], args[1], args[2]
+    if not 1 <= sig < NSIG or sig in UNCATCHABLE:
+        return -errno.EINVAL
+    old = task.sighand.get(sig)
+    if oldact_ptr:
+        try:
+            task.mem.write_u64(oldact_ptr, old.handler, check="write")
+            task.mem.write_u64(oldact_ptr + 8, old.flags, check="write")
+            task.mem.write_u64(oldact_ptr + 16, old.restorer, check="write")
+            task.mem.write_u64(oldact_ptr + 24, old.mask, check="write")
+        except PageFault:
+            return -errno.EFAULT
+    if act_ptr:
+        try:
+            action = SigAction(
+                handler=task.mem.read_u64(act_ptr, check="read"),
+                flags=task.mem.read_u64(act_ptr + 8, check="read"),
+                restorer=task.mem.read_u64(act_ptr + 16, check="read"),
+                mask=task.mem.read_u64(act_ptr + 24, check="read"),
+            )
+        except PageFault:
+            return -errno.EFAULT
+        task.sighand.set(sig, action)
+    return 0
+
+
+@syscall("rt_sigprocmask")
+def sys_rt_sigprocmask(kernel, task, args):
+    how, set_ptr, oldset_ptr = args[0], args[1], args[2]
+    if oldset_ptr:
+        try:
+            task.mem.write_u64(oldset_ptr, task.sigmask, check="write")
+        except PageFault:
+            return -errno.EFAULT
+    if set_ptr:
+        try:
+            mask = task.mem.read_u64(set_ptr, check="read")
+        except PageFault:
+            return -errno.EFAULT
+        if how == SIG_BLOCK:
+            task.sigmask |= mask
+        elif how == SIG_UNBLOCK:
+            task.sigmask &= ~mask
+        elif how == SIG_SETMASK:
+            task.sigmask = mask
+        else:
+            return -errno.EINVAL
+    return 0
+
+
+@syscall("rt_sigreturn")
+def sys_rt_sigreturn(kernel, task, args):
+    kernel.signals.sigreturn(task)
+    return None  # every register comes from the restored frame
+
+
+@syscall("sigaltstack")
+def sys_sigaltstack(kernel, task, args):
+    return 0  # accepted but unused: frames always go on the current stack

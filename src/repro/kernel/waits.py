@@ -1,0 +1,31 @@
+"""Blocking-syscall support.
+
+A syscall implementation that cannot complete raises :class:`WouldBlock`
+with a ``ready`` predicate.  The kernel parks the task and re-runs the
+syscall once the predicate holds (Linux-style syscall restart).  Interposer
+code calling back into the kernel uses the same mechanism through
+``Kernel.wait_until``, which cooperatively schedules other tasks and, when
+everything is idle, lets registered external event sources (client models,
+timers) advance simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class WouldBlock(Exception):
+    """Raised by a syscall implementation that must wait.
+
+    ``ready`` returns True once the syscall should be retried.
+    ``interruptible`` waits abort with -EINTR when a signal is pending.
+    """
+
+    def __init__(self, ready: Callable[[], bool], *, interruptible: bool = True):
+        self.ready = ready
+        self.interruptible = interruptible
+        super().__init__("syscall would block")
+
+
+class DeadlockError(RuntimeError):
+    """All tasks blocked and no external event source can make progress."""

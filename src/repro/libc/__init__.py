@@ -1,0 +1,15 @@
+"""Minimal libc models: CRT startup variants reproducing Table III."""
+
+from repro.libc.variants import (
+    LIBC_VARIANTS,
+    LibcVariant,
+    GLIBC_231_UBUNTU,
+    GLIBC_239_CLEARLINUX,
+)
+
+__all__ = [
+    "LibcVariant",
+    "LIBC_VARIANTS",
+    "GLIBC_231_UBUNTU",
+    "GLIBC_239_CLEARLINUX",
+]

@@ -1,0 +1,140 @@
+"""libc CRT startup variants.
+
+Table III's root causes, reproduced instruction-for-instruction:
+
+* **glibc 2.31 / Ubuntu 20.04** (x86-64-v1): programs linked against
+  libpthread run the Listing-1 pthread initialisation — the compiler
+  preloads ``xmm0`` with ``&__stack_user`` duplicated into both halves
+  (``movq`` + ``punpcklqdq``), performs the ``set_tid_address`` and
+  ``set_robust_list`` syscalls, and only then uses a single ``movups`` to
+  initialise the ``prev``/``next`` fields.  The value in ``xmm0`` is live
+  *across two syscalls*.
+
+* **glibc 2.39 / Clear Linux** (x86-64-v3 paths enabled): *every* program
+  runs ``ptmalloc_init``, which pre-populates an xmm register to initialise
+  ``main_arena`` fields and expects it to survive an intervening
+  ``getrandom`` syscall.
+
+A CRT needs writable libc data; startup mmaps one anonymous page and keeps
+its address in ``r15`` (callee-saved) — ``__stack_user`` lives at
+``r15+0x40``, ``main_arena`` at ``r15+0x80``, the entropy buffer at
+``r15+0xC0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch.encode import Assembler
+from repro.kernel.syscalls.table import NR
+
+#: libc data-page field offsets (r15-relative).
+STACK_USER_OFF = 0x40
+MAIN_ARENA_OFF = 0x80
+ENTROPY_OFF = 0xC0
+
+
+def _emit_mmap_libc_data(asm: Assembler) -> None:
+    """mmap one RW page for libc state; keeps the base in r15."""
+    asm.mov_imm("rdi", 0)
+    asm.mov_imm("rsi", 4096)
+    asm.mov_imm("rdx", 3)  # PROT_READ | PROT_WRITE
+    asm.mov_imm("r10", 0x22)  # MAP_PRIVATE | MAP_ANONYMOUS
+    asm.mov_imm("r8", (1 << 64) - 1)
+    asm.mov_imm("r9", 0)
+    asm.mov_imm("rax", NR["mmap"])
+    asm.syscall()
+    asm.mov("r15", "rax")
+
+
+def _emit_set_tid_address(asm: Assembler) -> None:
+    asm.lea("rdi", "r15", 0x10)
+    asm.mov_imm("rax", NR["set_tid_address"])
+    asm.syscall()
+
+
+def _emit_set_robust_list(asm: Assembler) -> None:
+    asm.lea("rdi", "r15", 0x20)
+    asm.mov_imm("rsi", 24)
+    asm.mov_imm("rax", NR["set_robust_list"])
+    asm.syscall()
+
+
+def _glibc231_startup(asm: Assembler, uses_threads: bool) -> None:
+    """Ubuntu 20.04 startup; Listing 1 runs only for pthread programs."""
+    _emit_mmap_libc_data(asm)
+    if uses_threads:
+        # --- Listing 1 (paper, §IV-B): verbatim structure -----------------
+        asm.lea("r12", "r15", STACK_USER_OFF)  # r12 = &__stack_user
+        asm.movq_xg("xmm0", "r12")  # load into both
+        asm.punpcklqdq("xmm0", "xmm0")  # halves of xmm0
+        _emit_set_tid_address(asm)  # syscall: set_tid_address
+        _emit_set_robust_list(asm)  # syscall: set_robust_list
+        asm.movups_store("r12", 0, "xmm0")  # write '&__stack_user'
+        #                                   # to 'prev' + 'next'
+    else:
+        _emit_set_tid_address(asm)
+        _emit_set_robust_list(asm)
+
+
+def _glibc239_clearlinux_startup(asm: Assembler, uses_threads: bool) -> None:
+    """Clear Linux startup: ptmalloc_init affects every program.
+
+    An xmm register is pre-populated to initialise two adjacent main_arena
+    fields; the intervening ``getrandom`` (malloc randomisation) must
+    preserve it.  The x86-64-v3 build also keeps a ymm-wide accumulator
+    live across the same syscall.
+    """
+    _emit_mmap_libc_data(asm)
+    _emit_set_tid_address(asm)
+    _emit_set_robust_list(asm)
+    # --- ptmalloc_init --------------------------------------------------
+    asm.lea("r13", "r15", MAIN_ARENA_OFF)  # r13 = &main_arena.top
+    asm.movq_xg("xmm1", "r13")
+    asm.punpcklqdq("xmm1", "xmm1")
+    asm.vaddpd("xmm1", "xmm1")  # v3 code path: ymm half becomes live too
+    # getrandom(&entropy, 8, 0)
+    asm.lea("rdi", "r15", ENTROPY_OFF)
+    asm.mov_imm("rsi", 8)
+    asm.mov_imm("rdx", 0)
+    asm.mov_imm("rax", NR["getrandom"])
+    asm.syscall()
+    asm.movups_store("r13", 0, "xmm1")  # expects xmm1 preserved
+    asm.vaddpd("xmm1", "xmm1")  # ...and the ymm half as well
+
+
+@dataclass(frozen=True)
+class LibcVariant:
+    """One modelled libc build."""
+
+    name: str
+    distro: str
+    glibc_version: str
+    march: str
+    emit_startup: Callable[[Assembler, bool], None]
+
+    def emit(self, asm: Assembler, *, uses_threads: bool) -> None:
+        self.emit_startup(asm, uses_threads)
+
+
+GLIBC_231_UBUNTU = LibcVariant(
+    name="glibc231-ubuntu2004",
+    distro="Ubuntu 20.04",
+    glibc_version="2.31",
+    march="x86-64-v1",
+    emit_startup=_glibc231_startup,
+)
+
+GLIBC_239_CLEARLINUX = LibcVariant(
+    name="glibc239-clearlinux",
+    distro="Clear Linux",
+    glibc_version="2.39",
+    march="x86-64-v3",
+    emit_startup=_glibc239_clearlinux_startup,
+)
+
+LIBC_VARIANTS = {
+    variant.name: variant
+    for variant in (GLIBC_231_UBUNTU, GLIBC_239_CLEARLINUX)
+}

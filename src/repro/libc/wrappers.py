@@ -1,0 +1,42 @@
+"""libc syscall-wrapper functions.
+
+Programs built against this layer invoke syscalls the way C programs do:
+through small libc wrapper functions (``write(2)`` the function wrapping
+``write`` the syscall).  Function-level interposers (LD_PRELOAD-style,
+§VII of the paper) interpose these *functions* — which works only until a
+program invokes a syscall instruction directly.
+"""
+
+from __future__ import annotations
+
+from repro.arch.encode import Assembler
+from repro.kernel.syscalls.table import NR
+
+#: Wrappers emitted by default.
+DEFAULT_WRAPPERS = (
+    "read", "write", "open", "close", "getpid", "mkdir", "unlink",
+    "exit_group", "mmap",
+)
+
+
+def wrapper_symbol(name: str) -> str:
+    return f"libc_{name}"
+
+
+def emit_wrappers(asm: Assembler, names: tuple[str, ...] = DEFAULT_WRAPPERS) -> None:
+    """Emit one wrapper function per syscall name.
+
+    Each wrapper follows the function ABI (arguments already in the right
+    registers, since the function ABI's first six slots coincide with the
+    syscall ABI's here): load the number, trap, return.
+    """
+    for name in names:
+        asm.label(wrapper_symbol(name))
+        asm.mov_imm("rax", NR[name])
+        asm.syscall()
+        asm.ret()
+
+
+def emit_call(asm: Assembler, name: str) -> None:
+    """Call a previously emitted wrapper."""
+    asm.call(wrapper_symbol(name))

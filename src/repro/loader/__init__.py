@@ -1,0 +1,12 @@
+"""Program images and the loader."""
+
+from repro.loader.image import ProgramImage, Segment, image_from_assembler
+from repro.loader.loading import load_into, VDSO_BASE
+
+__all__ = [
+    "ProgramImage",
+    "Segment",
+    "image_from_assembler",
+    "load_into",
+    "VDSO_BASE",
+]

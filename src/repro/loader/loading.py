@@ -1,0 +1,87 @@
+"""Loading program images into a task's address space.
+
+Besides segments and a stack, the loader maps a one-page vdso containing the
+default signal restorer (``mov rax, __NR_rt_sigreturn; syscall``) — the
+page the kernel points handler return addresses at when a sigaction carries
+no ``sa_restorer``.  Note that this restorer contains a *real syscall
+instruction*, which is precisely why a typical SUD deployment must allowlist
+it and why lazypoline's selector-only design is interesting (§IV-A).
+"""
+
+from __future__ import annotations
+
+from repro.arch.encode import Assembler
+from repro.errors import LoaderError
+from repro.kernel.syscalls.table import NR
+from repro.loader.image import ProgramImage
+from repro.mem import layout
+from repro.mem.pages import PAGE_SIZE, Perm, page_align_down, page_align_up
+
+#: Where the vdso (default sigreturn restorer) is mapped.
+VDSO_BASE = 0x7FFE_0000
+
+
+def build_vdso() -> bytes:
+    asm = Assembler(base=VDSO_BASE)
+    asm.label("__vdso_sigreturn")
+    asm.mov_imm("rax", NR["rt_sigreturn"])
+    asm.syscall()
+    return asm.assemble()
+
+
+def load_into(
+    kernel,
+    task,
+    image: ProgramImage,
+    argv: tuple[str, ...] = (),
+    *,
+    stack_size: int = layout.STACK_SIZE,
+) -> None:
+    """Map ``image`` into ``task`` and prepare registers for entry."""
+    mem = task.mem
+    top_of_load = 0
+    for seg in image.segments:
+        base = page_align_down(seg.addr)
+        end = page_align_up(seg.addr + max(len(seg.data), 1))
+        if mem.is_mapped(base, end - base):
+            raise LoaderError(
+                f"segment {seg.name or hex(seg.addr)} overlaps an existing mapping"
+            )
+        mem.map(base, end - base, seg.perm)
+        mem.write(seg.addr, seg.data, check=None)
+        top_of_load = max(top_of_load, end)
+
+    # Stack.
+    stack_base = layout.STACK_TOP - stack_size
+    mem.map(stack_base, stack_size, Perm.RW)
+
+    # vdso with the default sigreturn restorer.
+    if not mem.is_mapped(VDSO_BASE):
+        mem.map(VDSO_BASE, PAGE_SIZE, Perm.RX)
+        mem.write(VDSO_BASE, build_vdso(), check=None)
+    task.vdso_sigreturn = VDSO_BASE
+
+    # argv: strings then the pointer array, at the very top of the stack.
+    cursor = layout.STACK_TOP
+    pointers = []
+    for arg in argv:
+        raw = arg.encode() + b"\x00"
+        cursor -= len(raw)
+        mem.write(cursor, raw, check=None)
+        pointers.append(cursor)
+    cursor &= ~7
+    for ptr in reversed(pointers + [0]):
+        cursor -= 8
+        mem.write_u64(cursor, ptr, check=None)
+    argv_array = cursor
+    cursor -= 8
+    mem.write_u64(cursor, len(argv), check=None)
+
+    rsp = cursor & ~15
+    task.regs.rip = image.entry
+    task.regs.write(4, rsp)  # rsp
+    task.regs.write(7, len(argv))  # rdi = argc
+    task.regs.write(6, argv_array)  # rsi = argv
+    task.comm = image.name
+    task.brk_base = top_of_load + 0x10_0000
+    task.brk = 0

@@ -1,0 +1,16 @@
+"""Virtual memory: pages, permissions, address spaces."""
+
+from repro.mem.pages import PAGE_SIZE, Perm, Page, page_align_down, page_align_up
+from repro.mem.address_space import AddressSpace, Region
+from repro.mem import layout
+
+__all__ = [
+    "PAGE_SIZE",
+    "Perm",
+    "Page",
+    "AddressSpace",
+    "Region",
+    "layout",
+    "page_align_down",
+    "page_align_up",
+]

@@ -1,0 +1,292 @@
+"""The per-process virtual address space.
+
+An :class:`AddressSpace` is a sparse mapping from page numbers to
+:class:`~repro.mem.pages.Page` objects with R/W/X permissions.  All guest
+accesses go through :meth:`read`, :meth:`write` and :meth:`fetch`, which
+raise :class:`~repro.errors.PageFault` on unmapped pages or permission
+violations — the kernel turns those into SIGSEGV.
+
+Kernel-side accessors (``read_bytes``/``write_bytes`` with ``check=None``)
+bypass permissions, like the kernel touching user memory does.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import MapError, PageFault
+from repro.mem.pages import PAGE_SIZE, PAGE_SHIFT, Page, Perm, page_align_down, page_align_up
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+@dataclass(frozen=True)
+class Region:
+    """A maximal run of contiguous pages with identical permissions."""
+
+    start: int
+    end: int  # exclusive
+    perm: Perm
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.start:#x}-{self.end:#x} {self.perm.describe()}"
+
+
+_ACCESS_BIT = {"read": Perm.R, "write": Perm.W, "exec": Perm.X}
+
+
+class AddressSpace:
+    """Sparse paged virtual memory for one process.
+
+    Memory protection keys (Intel MPK): each page carries a ``pkey``; user
+    accesses are additionally checked against ``active_pkru``, the PKRU
+    value of the currently running task (two bits per key: bit ``2k``
+    disables access, bit ``2k+1`` disables writes).  The scheduler loads
+    ``active_pkru`` on every task switch, mirroring the per-thread PKRU
+    register.  Kernel-side accesses (``check=None``) bypass PKU, like the
+    kernel does.
+    """
+
+    def __init__(self):
+        self._pages: dict[int, Page] = {}
+        self.active_pkru = 0
+        self.allocated_pkeys: set[int] = set()
+
+    # ------------------------------------------------------------- mapping
+    def map(self, addr: int, length: int, perm: Perm, *, fixed: bool = True) -> int:
+        """Map ``length`` bytes at page-aligned ``addr`` with ``perm``.
+
+        Overlapping an existing mapping is an error (use :meth:`protect` to
+        change permissions).  Returns the mapped address.
+        """
+        if addr % PAGE_SIZE:
+            raise MapError(f"unaligned map address {addr:#x}")
+        if length <= 0:
+            raise MapError(f"bad map length {length}")
+        first = addr >> PAGE_SHIFT
+        count = page_align_up(length) >> PAGE_SHIFT
+        for pn in range(first, first + count):
+            if pn in self._pages:
+                raise MapError(f"mapping overlap at {pn << PAGE_SHIFT:#x}")
+        for pn in range(first, first + count):
+            self._pages[pn] = Page(perm=perm)
+        return addr
+
+    def map_anywhere(self, length: int, perm: Perm, hint: int = 0x1000_0000) -> int:
+        """Map ``length`` bytes at the first free region at/above ``hint``."""
+        count = page_align_up(max(length, 1)) >> PAGE_SHIFT
+        pn = page_align_down(hint) >> PAGE_SHIFT
+        while True:
+            if all(pn + i not in self._pages for i in range(count)):
+                addr = pn << PAGE_SHIFT
+                return self.map(addr, length, perm)
+            pn += 1
+
+    def unmap(self, addr: int, length: int) -> None:
+        if addr % PAGE_SIZE:
+            raise MapError(f"unaligned unmap address {addr:#x}")
+        first = addr >> PAGE_SHIFT
+        count = page_align_up(length) >> PAGE_SHIFT
+        for pn in range(first, first + count):
+            self._pages.pop(pn, None)
+
+    def protect(self, addr: int, length: int, perm: Perm) -> None:
+        """Change permissions (mprotect).  All pages must be mapped."""
+        if addr % PAGE_SIZE:
+            raise MapError(f"unaligned protect address {addr:#x}")
+        first = addr >> PAGE_SHIFT
+        count = page_align_up(length) >> PAGE_SHIFT
+        pages = []
+        for pn in range(first, first + count):
+            page = self._pages.get(pn)
+            if page is None:
+                raise MapError(f"protect of unmapped page {pn << PAGE_SHIFT:#x}")
+            pages.append(page)
+        for page in pages:
+            page.perm = perm
+
+    def is_mapped(self, addr: int, length: int = 1) -> bool:
+        first = addr >> PAGE_SHIFT
+        last = (addr + length - 1) >> PAGE_SHIFT
+        return all(pn in self._pages for pn in range(first, last + 1))
+
+    def perm_at(self, addr: int) -> Perm:
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        return page.perm if page is not None else Perm.NONE
+
+    def regions(self) -> list[Region]:
+        """Merged list of mapped regions, sorted by address."""
+        result: list[Region] = []
+        for pn in sorted(self._pages):
+            page = self._pages[pn]
+            start = pn << PAGE_SHIFT
+            if result and result[-1].end == start and result[-1].perm == page.perm:
+                prev = result.pop()
+                result.append(Region(prev.start, start + PAGE_SIZE, prev.perm))
+            else:
+                result.append(Region(start, start + PAGE_SIZE, page.perm))
+        return result
+
+    def executable_regions(self) -> list[Region]:
+        return [r for r in self.regions() if r.perm & Perm.X]
+
+    # -------------------------------------------------------------- access
+    def _access(self, addr: int, length: int, access: str | None) -> None:
+        if length <= 0:
+            return
+        bit = _ACCESS_BIT[access] if access else None
+        first = addr >> PAGE_SHIFT
+        last = (addr + length - 1) >> PAGE_SHIFT
+        for pn in range(first, last + 1):
+            page = self._pages.get(pn)
+            if page is None:
+                raise PageFault(max(addr, pn << PAGE_SHIFT), access or "read")
+            if bit is not None:
+                if not page.perm & bit:
+                    raise PageFault(max(addr, pn << PAGE_SHIFT), access)
+                if page.pkey and access in ("read", "write"):
+                    shift = 2 * page.pkey
+                    access_disable = self.active_pkru >> shift & 1
+                    write_disable = self.active_pkru >> (shift + 1) & 1
+                    if access_disable or (write_disable and access == "write"):
+                        raise PageFault(
+                            max(addr, pn << PAGE_SHIFT),
+                            access,
+                            message=(
+                                f"pkey {page.pkey} forbids {access} at "
+                                f"{max(addr, pn << PAGE_SHIFT):#x} "
+                                f"(pkru={self.active_pkru:#x})"
+                            ),
+                        )
+
+    def read(self, addr: int, length: int, *, check: str | None = "read") -> bytes:
+        """Read ``length`` bytes, enforcing ``check`` permission."""
+        self._access(addr, length, check)
+        out = bytearray()
+        remaining = length
+        pos = addr
+        while remaining:
+            pn = pos >> PAGE_SHIFT
+            off = pos & (PAGE_SIZE - 1)
+            chunk = min(remaining, PAGE_SIZE - off)
+            out += self._pages[pn].data[off : off + chunk]
+            pos += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes, *, check: str | None = "write") -> None:
+        """Write ``data``, enforcing ``check`` permission."""
+        self._access(addr, len(data), check)
+        pos = addr
+        idx = 0
+        while idx < len(data):
+            pn = pos >> PAGE_SHIFT
+            off = pos & (PAGE_SIZE - 1)
+            chunk = min(len(data) - idx, PAGE_SIZE - off)
+            self._pages[pn].data[off : off + chunk] = data[idx : idx + chunk]
+            pos += chunk
+            idx += chunk
+
+    def fetch(self, addr: int, length: int) -> bytes:
+        """Instruction fetch: like read but requires execute permission.
+
+        Truncates at the first unmapped/non-executable page boundary so the
+        decoder can still decode a short instruction that ends exactly at a
+        region boundary; an empty result means the very first byte faulted.
+        """
+        out = bytearray()
+        pos = addr
+        remaining = length
+        while remaining:
+            pn = pos >> PAGE_SHIFT
+            page = self._pages.get(pn)
+            if page is None or not page.perm & Perm.X:
+                if not out:
+                    raise PageFault(pos, "exec")
+                break
+            off = pos & (PAGE_SIZE - 1)
+            chunk = min(remaining, PAGE_SIZE - off)
+            out += page.data[off : off + chunk]
+            pos += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    # ------------------------------------------------------ typed accessors
+    def read_u8(self, addr: int, *, check: str | None = "read") -> int:
+        return self.read(addr, 1, check=check)[0]
+
+    def write_u8(self, addr: int, value: int, *, check: str | None = "write") -> None:
+        self.write(addr, bytes((value & 0xFF,)), check=check)
+
+    def read_u16(self, addr: int, *, check: str | None = "read") -> int:
+        return _U16.unpack(self.read(addr, 2, check=check))[0]
+
+    def read_u32(self, addr: int, *, check: str | None = "read") -> int:
+        return _U32.unpack(self.read(addr, 4, check=check))[0]
+
+    def write_u32(self, addr: int, value: int, *, check: str | None = "write") -> None:
+        self.write(addr, _U32.pack(value & 0xFFFFFFFF), check=check)
+
+    def read_u64(self, addr: int, *, check: str | None = "read") -> int:
+        return _U64.unpack(self.read(addr, 8, check=check))[0]
+
+    def write_u64(self, addr: int, value: int, *, check: str | None = "write") -> None:
+        self.write(addr, _U64.pack(value & (1 << 64) - 1), check=check)
+
+    def read_cstr(self, addr: int, maxlen: int = 4096, *, check: str | None = "read") -> bytes:
+        """Read a NUL-terminated byte string (at most ``maxlen`` bytes)."""
+        out = bytearray()
+        pos = addr
+        while len(out) < maxlen:
+            byte = self.read_u8(pos, check=check)
+            if byte == 0:
+                break
+            out.append(byte)
+            pos += 1
+        return bytes(out)
+
+    def write_cstr(self, addr: int, data: bytes, *, check: str | None = "write") -> None:
+        self.write(addr, data + b"\x00", check=check)
+
+    # ------------------------------------------------------ protection keys
+    def pkey_alloc(self) -> int:
+        """Allocate the lowest free protection key (1..15); -1 if none."""
+        for key in range(1, 16):
+            if key not in self.allocated_pkeys:
+                self.allocated_pkeys.add(key)
+                return key
+        return -1
+
+    def pkey_free(self, key: int) -> bool:
+        if key in self.allocated_pkeys:
+            self.allocated_pkeys.discard(key)
+            return True
+        return False
+
+    def assign_pkey(self, addr: int, length: int, key: int) -> None:
+        """Tag the pages covering [addr, addr+length) with ``key``
+        (pkey_mprotect without the permission change)."""
+        if addr % PAGE_SIZE:
+            raise MapError(f"unaligned pkey assignment at {addr:#x}")
+        first = addr >> PAGE_SHIFT
+        count = page_align_up(length) >> PAGE_SHIFT
+        for pn in range(first, first + count):
+            page = self._pages.get(pn)
+            if page is None:
+                raise MapError(f"pkey on unmapped page {pn << PAGE_SHIFT:#x}")
+            page.pkey = key
+
+    # ----------------------------------------------------------------- fork
+    def fork_copy(self) -> "AddressSpace":
+        """Deep copy for fork()."""
+        clone = AddressSpace()
+        clone._pages = {pn: page.copy() for pn, page in self._pages.items()}
+        clone.allocated_pkeys = set(self.allocated_pkeys)
+        return clone

@@ -1,0 +1,25 @@
+"""Canonical address-space layout constants.
+
+The layout mirrors a simplified x86-64 Linux process.  Virtual address 0 is
+normally unmapped; zpoline-style tools map it explicitly (the paper assumes
+``mmap_min_addr`` permits this, and so do we).
+"""
+
+#: Where program text is loaded by default.
+CODE_BASE = 0x40_0000
+
+#: Where program data/bss segments are loaded by default.
+DATA_BASE = 0x60_0000
+
+#: Default initial stack: grows down from STACK_TOP.
+STACK_TOP = 0x7FFF_F000
+STACK_SIZE = 16 * 4096
+
+#: mmap allocations without a fixed address are placed from here upward.
+MMAP_BASE = 0x1000_0000
+
+#: The zpoline trampoline page(s) at virtual address zero.
+TRAMPOLINE_BASE = 0x0
+
+#: Size of the nop sled: one byte per possible syscall number.
+MAX_SYSCALL_NO = 512

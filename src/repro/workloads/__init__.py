@@ -1,0 +1,1 @@
+"""Evaluation workloads: microbenchmark loop, coreutils, JIT, web servers."""

@@ -1,0 +1,239 @@
+"""The ten coreutils of Table III, built against a modelled libc.
+
+Each utility is a real guest program: CRT startup from the selected
+:class:`~repro.libc.variants.LibcVariant`, then a body performing the
+utility's characteristic syscalls against the in-memory filesystem.
+
+Whether a utility links libpthread decides if the Ubuntu 20.04 build runs
+the Listing-1 pthread initialisation.  The paper found 40% of the evaluated
+coreutils affected on Ubuntu 20.04 (Table III: ls, mkdir, mv, cp) — on real
+systems via their libselinux/libpthread dependency chain — so those four are
+modelled as thread-capable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.arch.encode import Assembler
+from repro.kernel.syscalls.table import NR
+from repro.libc.variants import GLIBC_231_UBUNTU, LibcVariant
+from repro.loader.image import ProgramImage, image_from_assembler
+from repro.mem import layout
+
+#: Utilities whose Ubuntu 20.04 builds pull in the pthread initialisation
+#: (the ✓ rows of Table III's Ubuntu column).
+THREAD_LINKED = frozenset({"ls", "mkdir", "mv", "cp"})
+
+COREUTIL_NAMES = ("ls", "pwd", "chmod", "mkdir", "mv", "cp", "rm", "touch",
+                  "cat", "clear")
+
+
+def _sys(asm: Assembler, name: str) -> None:
+    asm.mov_imm("rax", NR[name])
+    asm.syscall()
+
+
+def _exit0(asm: Assembler) -> None:
+    asm.mov_imm("rdi", 0)
+    _sys(asm, "exit_group")
+
+
+def _emit_ls(a: Assembler) -> None:
+    """openat + getdents64 + write, the classic directory listing."""
+    a.mov_imm("rdi", (1 << 64) - 100)  # AT_FDCWD
+    a.mov_imm("rsi", "path")
+    a.mov_imm("rdx", 0o200000)  # O_DIRECTORY
+    a.mov_imm("r10", 0)
+    _sys(a, "openat")
+    a.mov("rbx", "rax")  # dirfd
+    a.label("more")
+    a.mov("rdi", "rbx")
+    a.lea("rsi", "r15", 0x200)  # libc data page as the dirent buffer
+    a.mov_imm("rdx", 0x600)
+    _sys(a, "getdents64")
+    a.cmpi("rax", 0)
+    a.jle("done")
+    a.mov("rdx", "rax")
+    a.mov_imm("rdi", 1)
+    a.lea("rsi", "r15", 0x200)
+    _sys(a, "write")
+    a.jmp("more")
+    a.label("done")
+    a.mov("rdi", "rbx")
+    _sys(a, "close")
+
+
+def _emit_pwd(a: Assembler) -> None:
+    a.lea("rdi", "r15", 0x200)
+    a.mov_imm("rsi", 256)
+    _sys(a, "getcwd")
+    a.mov("rdx", "rax")  # includes the NUL; close enough for a model
+    a.mov_imm("rdi", 1)
+    a.lea("rsi", "r15", 0x200)
+    _sys(a, "write")
+
+
+def _emit_chmod(a: Assembler) -> None:
+    a.mov_imm("rdi", "path")
+    a.mov_imm("rsi", 0o644)
+    _sys(a, "chmod")
+
+
+def _emit_mkdir(a: Assembler) -> None:
+    a.mov_imm("rdi", "path")
+    a.mov_imm("rsi", 0o755)
+    _sys(a, "mkdir")
+
+
+def _emit_mv(a: Assembler) -> None:
+    a.mov_imm("rdi", "path")
+    a.mov_imm("rsi", "path2")
+    _sys(a, "rename")
+
+
+def _emit_cp(a: Assembler) -> None:
+    a.mov_imm("rdi", "path")
+    a.mov_imm("rsi", 0)  # O_RDONLY
+    a.mov_imm("rdx", 0)
+    _sys(a, "open")
+    a.mov("rbx", "rax")  # src fd
+    a.mov_imm("rdi", "path2")
+    a.mov_imm("rsi", 0o101)  # O_CREAT | O_WRONLY
+    a.mov_imm("rdx", 0o644)
+    _sys(a, "open")
+    a.mov("r14", "rax")  # dst fd
+    a.label("copy")
+    a.mov("rdi", "rbx")
+    a.lea("rsi", "r15", 0x200)
+    a.mov_imm("rdx", 0x400)
+    _sys(a, "read")
+    a.cmpi("rax", 0)
+    a.jle("done")
+    a.mov("rdx", "rax")
+    a.mov("rdi", "r14")
+    a.lea("rsi", "r15", 0x200)
+    _sys(a, "write")
+    a.jmp("copy")
+    a.label("done")
+    a.mov("rdi", "rbx")
+    _sys(a, "close")
+    a.mov("rdi", "r14")
+    _sys(a, "close")
+
+
+def _emit_rm(a: Assembler) -> None:
+    a.mov_imm("rdi", "path")
+    _sys(a, "unlink")
+
+
+def _emit_touch(a: Assembler) -> None:
+    a.mov_imm("rdi", "path")
+    a.mov_imm("rsi", 0o101)  # O_CREAT | O_WRONLY
+    a.mov_imm("rdx", 0o644)
+    _sys(a, "open")
+    a.mov("rdi", "rax")
+    _sys(a, "close")
+
+
+def _emit_cat(a: Assembler) -> None:
+    a.mov_imm("rdi", "path")
+    a.mov_imm("rsi", 0)
+    a.mov_imm("rdx", 0)
+    _sys(a, "open")
+    a.mov("rbx", "rax")
+    a.label("more")
+    a.mov("rdi", "rbx")
+    a.lea("rsi", "r15", 0x200)
+    a.mov_imm("rdx", 0x400)
+    _sys(a, "read")
+    a.cmpi("rax", 0)
+    a.jle("done")
+    a.mov("rdx", "rax")
+    a.mov_imm("rdi", 1)
+    a.lea("rsi", "r15", 0x200)
+    _sys(a, "write")
+    a.jmp("more")
+    a.label("done")
+    a.mov("rdi", "rbx")
+    _sys(a, "close")
+
+
+def _emit_clear(a: Assembler) -> None:
+    a.mov_imm("rdi", 1)
+    a.mov_imm("rsi", "escape")
+    a.mov_imm("rdx", 7)
+    _sys(a, "write")
+
+
+_BODIES: dict[str, Callable[[Assembler], None]] = {
+    "ls": _emit_ls,
+    "pwd": _emit_pwd,
+    "chmod": _emit_chmod,
+    "mkdir": _emit_mkdir,
+    "mv": _emit_mv,
+    "cp": _emit_cp,
+    "rm": _emit_rm,
+    "touch": _emit_touch,
+    "cat": _emit_cat,
+    "clear": _emit_clear,
+}
+
+#: Default paths the utilities operate on (created by :func:`setup_fs`).
+SRC_PATH = b"/home/user/file.txt"
+DST_PATH = b"/home/user/copy.txt"
+DIR_PATH = b"/home/user"
+NEWDIR_PATH = b"/home/user/newdir"
+
+
+def _paths_for(name: str) -> tuple[bytes, bytes]:
+    if name == "ls":
+        return DIR_PATH, b""
+    if name == "mkdir":
+        return NEWDIR_PATH, b""
+    if name in ("mv", "cp"):
+        return SRC_PATH, DST_PATH
+    return SRC_PATH, b""
+
+
+def build_coreutil(
+    name: str,
+    variant: LibcVariant = GLIBC_231_UBUNTU,
+    *,
+    base: int = layout.CODE_BASE,
+) -> ProgramImage:
+    """Build one coreutil against the given libc variant."""
+    if name not in _BODIES:
+        raise ValueError(f"unknown coreutil {name!r}")
+    uses_threads = name in THREAD_LINKED
+    a = Assembler(base=base)
+    a.label("_start")
+    variant.emit(a, uses_threads=uses_threads)
+    _BODIES[name](a)
+    _exit0(a)
+    path, path2 = _paths_for(name)
+    a.label("path")
+    a.db(path + b"\x00")
+    if path2:
+        a.label("path2")
+        a.db(path2 + b"\x00")
+    if name == "clear":
+        a.label("escape")
+        a.db(b"\x1b[H\x1b[2J\x00")
+    return image_from_assembler(name, a, entry="_start")
+
+
+def setup_fs(machine) -> None:
+    """Populate the filesystem the utilities expect."""
+    machine.fs.makedirs("/home/user")
+    machine.fs.create("/home/user/file.txt", b"The quick brown fox.\n" * 8)
+    machine.fs.create("/home/user/other.txt", b"another file\n")
+
+
+def run_coreutil(machine, name: str, variant: LibcVariant = GLIBC_231_UBUNTU):
+    """Build, load and run one utility; returns the finished process."""
+    setup_fs(machine)
+    image = build_coreutil(name, variant)
+    process = machine.load(image)
+    machine.run(until=lambda: not process.alive, max_instructions=2_000_000)
+    return process

@@ -1,0 +1,184 @@
+"""The Table II / Fig. 4 microbenchmark (§V-B a).
+
+A tight loop invokes a non-existent syscall (number 500 by default): the
+ENOSYS round trip is the cheapest possible kernel entry, so interposition
+overhead ratios are maximally visible.  Syscall 500 also enters the zpoline
+nop sled near its tail, minimising sled cost — both choices straight from
+the paper.
+
+Per-iteration cycles are measured by differencing two runs with different
+iteration counts, which cancels program startup/exit and tool install costs
+exactly (the paper instead runs 100M iterations; our simulator is
+deterministic, so differencing gives the identical steady state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.encode import Assembler
+from repro.arch.registers import XComponent
+from repro.cpu.costs import CostModel
+from repro.interpose.api import Interposer, passthrough_interposer
+from repro.interpose.lazypoline import Lazypoline, LazypolineConfig
+from repro.interpose.ptrace_tool import PtraceTool
+from repro.interpose.seccomp_bpf_tool import SeccompBpfTool
+from repro.interpose.seccomp_user_tool import SeccompUserTool
+from repro.interpose.sud_tool import SudTool
+from repro.interpose.zpoline import Zpoline
+from repro.kernel.machine import Machine
+from repro.kernel.sud import SELECTOR_ALLOW, SudState
+from repro.kernel.syscalls.table import NR
+from repro.loader.image import ProgramImage, image_from_assembler
+from repro.mem import layout
+
+#: The non-existent syscall number the paper uses.
+NOSYS_SYSNO = 500
+
+#: Mechanisms understood by :func:`measure_cycles_per_syscall`.
+MECHANISMS = (
+    "baseline",
+    "sud_enabled_allow",
+    "zpoline",
+    "lazypoline",
+    "lazypoline_noxstate",
+    "lazypoline_nosud",
+    "lazypoline_nosud_noxstate",
+    "lazypoline_pkey",
+    "lazypoline_xstate_sse",
+    "lazypoline_xstate_x87",
+    "lazypoline_xstate_sse_avx",
+    "sud",
+    "seccomp_bpf",
+    "seccomp_user",
+    "ptrace",
+)
+
+#: xstate component sets for the ablation configurations.
+_XSTATE_PRESETS = {
+    "lazypoline_xstate_sse": XComponent.SSE,
+    "lazypoline_xstate_x87": XComponent.X87,
+    "lazypoline_xstate_sse_avx": XComponent.SSE | XComponent.AVX,
+}
+
+
+def build_syscall_loop(
+    iterations: int, sysno: int = NOSYS_SYSNO, *, base: int = layout.CODE_BASE
+) -> ProgramImage:
+    """A loop performing ``iterations`` syscalls from a single site.
+
+    The syscall instruction's address is exported as the ``the_syscall``
+    symbol so steady-state benchmarks can pre-rewrite it.
+    """
+    asm = Assembler(base=base)
+    asm.label("_start")
+    asm.mov_imm("rbx", iterations)
+    asm.label("loop")
+    asm.mov_imm("rax", sysno)
+    asm.label("the_syscall")
+    asm.syscall()
+    asm.dec("rbx")
+    asm.jnz("loop")
+    asm.mov_imm("rax", NR["exit_group"])
+    asm.mov_imm("rdi", 0)
+    asm.syscall()
+    return image_from_assembler("microbench", asm, entry="_start")
+
+
+@dataclass
+class MicroSetup:
+    machine: Machine
+    process: object
+    tool: object | None
+
+
+def _install(mechanism: str, machine: Machine, process,
+             interposer: Interposer) -> object | None:
+    task = process.task
+    if mechanism == "baseline":
+        return None
+    if mechanism == "sud_enabled_allow":
+        # SUD armed but the selector permanently ALLOW: isolates the cost
+        # of the slower kernel entry path + selector read (Table II row 5).
+        from repro.mem.pages import Perm
+
+        addr = task.mem.map_anywhere(4096, Perm.RW)
+        task.mem.write_u8(addr, SELECTOR_ALLOW, check=None)
+        task.sud = SudState(selector_addr=addr, allow_start=0, allow_len=0)
+        return None
+    if mechanism == "zpoline":
+        return Zpoline.install(machine, process, interposer)
+    if mechanism.startswith("lazypoline"):
+        if mechanism in _XSTATE_PRESETS:
+            xstate = _XSTATE_PRESETS[mechanism]
+        elif "noxstate" in mechanism:
+            xstate = XComponent.none()
+        else:
+            xstate = XComponent.all()
+        config = LazypolineConfig(
+            preserve_xstate=xstate,
+            enable_sud="nosud" not in mechanism,
+            protect_gs_with_pkey="pkey" in mechanism,
+        )
+        tool = Lazypoline.install(machine, process, interposer, config)
+        # Steady state: rewrite the loop's syscall site up front, so the
+        # measurement contains no slow-path executions (§V-B a).
+        tool.rewrite_site_now(_loop_syscall_site(machine, process))
+        return tool
+    if mechanism == "sud":
+        return SudTool.install(machine, process, interposer)
+    if mechanism == "seccomp_bpf":
+        return SeccompBpfTool.install(machine, process)
+    if mechanism == "seccomp_user":
+        return SeccompUserTool.install(machine, process, interposer)
+    if mechanism == "ptrace":
+        return PtraceTool.install(machine, process, interposer)
+    raise ValueError(f"unknown mechanism {mechanism!r}")
+
+
+def _loop_syscall_site(machine, process) -> int:
+    image = machine.kernel.binaries.get("/bin/" + process.task.comm)
+    return image.symbols["the_syscall"]
+
+
+def _run_once(
+    mechanism: str,
+    iterations: int,
+    sysno: int,
+    costs: CostModel | None,
+    interposer: Interposer,
+) -> int:
+    machine = Machine(costs or CostModel())
+    image = build_syscall_loop(iterations, sysno)
+    process = machine.load(image)
+    _install(mechanism, machine, process, interposer)
+    machine.run_process(process, max_instructions=200_000_000)
+    return machine.clock
+
+
+def measure_cycles_per_syscall(
+    mechanism: str,
+    *,
+    iterations: int = 400,
+    sysno: int = NOSYS_SYSNO,
+    costs: CostModel | None = None,
+    interposer: Interposer | None = None,
+) -> float:
+    """Steady-state cycles per loop iteration under ``mechanism``."""
+    interposer = interposer or passthrough_interposer
+    low = _run_once(mechanism, iterations, sysno, costs, interposer)
+    high = _run_once(mechanism, 2 * iterations, sysno, costs, interposer)
+    return (high - low) / iterations
+
+
+def overhead_vs_baseline(
+    mechanism: str, *, iterations: int = 400, costs: CostModel | None = None
+) -> float:
+    """The Table II metric: per-syscall cycles relative to native."""
+    base = measure_cycles_per_syscall(
+        "baseline", iterations=iterations, costs=costs
+    )
+    mech = measure_cycles_per_syscall(
+        mechanism, iterations=iterations, costs=costs
+    )
+    return mech / base

@@ -1,0 +1,92 @@
+"""The tcc-style JIT workload for the exhaustiveness experiment (§V-A).
+
+Models ``tcc -run`` on a C program containing one non-libc ``getpid``
+syscall: the "compiler" reads a source file, then emits machine code —
+including a brand-new syscall instruction — into a freshly mmapped RWX page
+*at run time* and calls it.
+
+Static rewriters scanned the image before this code existed, so they miss
+the JIT-ed getpid; exhaustive mechanisms (SUD, lazypoline) intercept it.
+"""
+
+from __future__ import annotations
+
+from repro.arch.encode import Assembler
+from repro.kernel.syscalls.table import NR
+from repro.loader.image import ProgramImage, image_from_assembler
+from repro.mem import layout
+
+#: The code the JIT emits: ``mov eax, __NR_getpid; syscall; ret`` — exactly
+#: eight bytes, written with a single 64-bit store like a real code emitter.
+JIT_CODE = bytes((0xB8, NR["getpid"], 0x00, 0x00, 0x00, 0x0F, 0x05, 0xC3))
+
+SOURCE_PATH = b"/src/prog.c"
+SOURCE_TEXT = b"int main(void){ return syscall(SYS_getpid); }\n"
+
+
+def build_tcc_image(*, base: int = layout.CODE_BASE) -> ProgramImage:
+    a = Assembler(base=base)
+    a.label("_start")
+
+    # -- "compile": read the source file --------------------------------
+    a.mov_imm("rdi", "src_path")
+    a.mov_imm("rsi", 0)  # O_RDONLY
+    a.mov_imm("rdx", 0)
+    a.mov_imm("rax", NR["open"])
+    a.syscall()
+    a.mov("rbx", "rax")
+    # scratch buffer
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rsi", 8192)
+    a.mov_imm("rdx", 3)
+    a.mov_imm("r10", 0x22)
+    a.mov_imm("r8", (1 << 64) - 1)
+    a.mov_imm("r9", 0)
+    a.mov_imm("rax", NR["mmap"])
+    a.syscall()
+    a.mov("r15", "rax")
+    a.mov("rdi", "rbx")
+    a.mov("rsi", "r15")
+    a.mov_imm("rdx", 4096)
+    a.mov_imm("rax", NR["read"])
+    a.syscall()
+    a.mov("rdi", "rbx")
+    a.mov_imm("rax", NR["close"])
+    a.syscall()
+
+    # -- "codegen": map an RWX page and store the compiled bytes --------
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rsi", 4096)
+    a.mov_imm("rdx", 7)  # PROT_READ | PROT_WRITE | PROT_EXEC
+    a.mov_imm("r10", 0x22)
+    a.mov_imm("r8", (1 << 64) - 1)
+    a.mov_imm("r9", 0)
+    a.mov_imm("rax", NR["mmap"])
+    a.syscall()
+    a.mov("r12", "rax")  # JIT page
+    a.mov_imm("rcx", int.from_bytes(JIT_CODE, "little"))
+    a.store("r12", 0, "rcx")  # the syscall instruction is born HERE
+
+    # -- run the JIT-ed function -----------------------------------------
+    a.call_reg("r12")
+    a.mov("r13", "rax")  # pid returned by the JIT-ed getpid
+
+    # -- report and exit ---------------------------------------------------
+    a.mov_imm("rdi", 1)
+    a.mov_imm("rsi", "msg")
+    a.mov_imm("rdx", 3)
+    a.mov_imm("rax", NR["write"])
+    a.syscall()
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rax", NR["exit_group"])
+    a.syscall()
+
+    a.label("src_path")
+    a.db(SOURCE_PATH + b"\x00")
+    a.label("msg")
+    a.db(b"ok\n")
+    return image_from_assembler("tcc-run", a, entry="_start")
+
+
+def setup_fs(machine) -> None:
+    machine.fs.create(SOURCE_PATH.decode(), SOURCE_TEXT)

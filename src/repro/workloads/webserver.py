@@ -1,0 +1,303 @@
+"""Event-driven static-content web servers (the Fig. 5 macrobenchmark).
+
+Two server personalities model nginx and lighttpd: both are epoll-driven
+accept/read/respond loops written in guest assembly, serving one static
+file over keep-alive connections.  They differ the way the real servers do
+at this workload:
+
+* **nginx**: ``open`` + ``fstat`` + header ``write`` + a ``sendfile`` loop
+  (one syscall per 64 KiB chunk, single kernel-side copy),
+* **lighttpd**: ``open`` + ``fstat`` + header ``write`` + a ``read``/
+  ``write`` loop (two syscalls and two copies per chunk), with slightly
+  higher per-request user-space work.
+
+Per-request application work (request parsing, response-header formatting,
+logging) is charged through a host-call — it is user-space work that no
+interposition mechanism touches, exactly like the real servers' C code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.encode import Assembler
+from repro.kernel.syscalls.table import NR
+from repro.loader.image import ProgramImage, image_from_assembler
+from repro.mem import layout
+from repro.workloads.wrk import HEADER_SIZE, WrkClient
+
+FILE_PATH = "/www/file.bin"
+CHUNK = 65536
+
+# Buffer-page layout (r15-relative).
+_EV = 0  # epoll_event (12 bytes)
+_ADDR = 16  # sockaddr scratch
+_REQBUF = 64
+_FILEBUF = 8192
+_BUFSIZE = _FILEBUF + CHUNK + 4096
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One server personality."""
+
+    name: str
+    parse_cost: int  # user-space cycles per request (parse + headers + log)
+    delivery: str  # "sendfile" | "readwrite"
+
+
+NGINX = ServerSpec(name="nginx", parse_cost=8200, delivery="sendfile")
+LIGHTTPD = ServerSpec(name="lighttpd", parse_cost=9800, delivery="readwrite")
+
+SERVERS = {spec.name: spec for spec in (NGINX, LIGHTTPD)}
+
+
+def build_server_image(
+    spec: ServerSpec,
+    parse_hcall: int,
+    *,
+    port: int = 8080,
+    workers: int = 1,
+    base: int = layout.CODE_BASE,
+) -> ProgramImage:
+    """Build the server.  ``workers > 1`` emits a pre-forking master that
+    forks ``workers - 1`` children after ``listen``; every worker runs its
+    own epoll loop on the shared listening socket, like nginx's prefork
+    model."""
+    a = Assembler(base=base)
+
+    def sys(name):
+        a.mov_imm("rax", NR[name])
+        a.syscall()
+
+    a.label("_start")
+    # buffers
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rsi", _BUFSIZE)
+    a.mov_imm("rdx", 3)
+    a.mov_imm("r10", 0x22)
+    a.mov_imm("r8", (1 << 64) - 1)
+    a.mov_imm("r9", 0)
+    sys("mmap")
+    a.mov("r15", "rax")
+
+    # listen socket
+    a.mov_imm("rdi", 2)  # AF_INET
+    a.mov_imm("rsi", 1)  # SOCK_STREAM
+    a.mov_imm("rdx", 0)
+    sys("socket")
+    a.mov("rbx", "rax")
+    # sockaddr: port in network byte order at +2/+3
+    a.mov_imm("rcx", (port >> 8) & 0xFF)
+    a.store8("r15", _ADDR + 2, "rcx")
+    a.mov_imm("rcx", port & 0xFF)
+    a.store8("r15", _ADDR + 3, "rcx")
+    a.mov("rdi", "rbx")
+    a.lea("rsi", "r15", _ADDR)
+    a.mov_imm("rdx", 16)
+    sys("bind")
+    a.mov("rdi", "rbx")
+    a.mov_imm("rsi", 128)
+    sys("listen")
+
+    # prefork: each child falls straight through to the worker loop; the
+    # master forks workers-1 children and then serves as well.
+    for _ in range(max(workers - 1, 0)):
+        sys("fork")
+        a.cmpi("rax", 0)
+        a.jz("worker")
+    a.label("worker")
+    # Each worker mmaps its own buffer page (children inherited the
+    # master's, but private copies keep the workers symmetric).
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rsi", _BUFSIZE)
+    a.mov_imm("rdx", 3)
+    a.mov_imm("r10", 0x22)
+    a.mov_imm("r8", (1 << 64) - 1)
+    a.mov_imm("r9", 0)
+    sys("mmap")
+    a.mov("r15", "rax")
+
+    # epoll
+    a.mov_imm("rdi", 0)
+    sys("epoll_create1")
+    a.mov("r14", "rax")
+    # Register the listen fd.  Event layout: events u32 @0, data u64 @4 —
+    # the u64 store of `events` is written first so the data store may
+    # overlap it harmlessly.
+    a.mov_imm("rcx", 1)  # EPOLLIN
+    a.store("r15", _EV, "rcx")
+    a.store("r15", _EV + 4, "rbx")
+    a.mov("rdi", "r14")
+    a.mov_imm("rsi", 1)  # EPOLL_CTL_ADD
+    a.mov("rdx", "rbx")
+    a.lea("r10", "r15", _EV)
+    sys("epoll_ctl")
+
+    # ---------------------------------------------------------- event loop
+    a.label("loop")
+    a.mov("rdi", "r14")
+    a.lea("rsi", "r15", _EV)
+    a.mov_imm("rdx", 1)  # one event at a time
+    a.mov_imm("r10", (1 << 64) - 1)  # timeout -1: block
+    sys("epoll_wait")
+    a.cmpi("rax", 0)
+    a.jle("loop")
+    a.load("r13", "r15", _EV + 4)  # event data = fd
+    a.cmp("r13", "rbx")
+    a.jnz("conn_event")
+
+    # -- new connection ----------------------------------------------------
+    a.mov("rdi", "rbx")
+    a.mov_imm("rsi", 0)
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 0)
+    sys("accept4")
+    a.cmpi("rax", 0)
+    a.jl("loop")
+    a.mov("r13", "rax")
+    a.mov_imm("rcx", 1)
+    a.store("r15", _EV, "rcx")
+    a.store("r15", _EV + 4, "r13")
+    a.mov("rdi", "r14")
+    a.mov_imm("rsi", 1)  # ADD
+    a.mov("rdx", "r13")
+    a.lea("r10", "r15", _EV)
+    sys("epoll_ctl")
+    a.jmp("loop")
+
+    # -- request on an existing connection -----------------------------------
+    a.label("conn_event")
+    a.mov("rdi", "r13")
+    a.lea("rsi", "r15", _REQBUF)
+    a.mov_imm("rdx", 4096)
+    sys("read")
+    a.cmpi("rax", 0)
+    a.jle("conn_closed")
+
+    a.hcall(parse_hcall)  # request parsing + response header build (user code)
+
+    # open the resource
+    a.mov_imm("rdi", "file_path")
+    a.mov_imm("rsi", 0)
+    a.mov_imm("rdx", 0)
+    sys("open")
+    a.cmpi("rax", 0)
+    a.jl("loop")
+    a.mov("r12", "rax")
+    # fstat for the response length
+    a.mov("rdi", "r12")
+    a.lea("rsi", "r15", _ADDR + 16)
+    sys("fstat")
+    # header
+    a.mov("rdi", "r13")
+    a.mov_imm("rsi", "header")
+    a.mov_imm("rdx", HEADER_SIZE)
+    sys("write")
+
+    if spec.delivery == "sendfile":
+        a.label("send_loop")
+        a.mov("rdi", "r13")
+        a.mov("rsi", "r12")
+        a.mov_imm("rdx", 0)
+        a.mov_imm("r10", CHUNK)
+        sys("sendfile")
+        a.cmpi("rax", 0)
+        a.jg("send_loop")
+    else:
+        a.label("send_loop")
+        a.mov("rdi", "r12")
+        a.lea("rsi", "r15", _FILEBUF)
+        a.mov_imm("rdx", CHUNK)
+        sys("read")
+        a.cmpi("rax", 0)
+        a.jle("send_done")
+        a.mov("rdx", "rax")
+        a.mov("rdi", "r13")
+        a.lea("rsi", "r15", _FILEBUF)
+        sys("write")
+        a.jmp("send_loop")
+        a.label("send_done")
+
+    a.mov("rdi", "r12")
+    sys("close")
+    a.jmp("loop")
+
+    # -- peer closed -----------------------------------------------------------
+    a.label("conn_closed")
+    a.mov("rdi", "r14")
+    a.mov_imm("rsi", 2)  # EPOLL_CTL_DEL
+    a.mov("rdx", "r13")
+    a.mov_imm("r10", 0)
+    sys("epoll_ctl")
+    a.mov("rdi", "r13")
+    sys("close")
+    a.jmp("loop")
+
+    # ---------------------------------------------------------------- data
+    a.label("file_path")
+    a.db(FILE_PATH.encode() + b"\x00")
+    a.label("header")
+    header = b"HTTP/1.1 200 OK\r\nServer: %s\r\n\r\n" % spec.name.encode()
+    a.db(header.ljust(HEADER_SIZE, b"\x00"))
+    return image_from_assembler(spec.name, a, entry="_start")
+
+
+class ServerWorkload:
+    """One loaded server process plus its content and parse-cost hook."""
+
+    def __init__(self, machine, spec: ServerSpec, *, file_size: int,
+                 port: int = 8080, workers: int = 1):
+        self.machine = machine
+        self.spec = spec
+        self.port = port
+        self.file_size = file_size
+        self.workers = workers
+        machine.fs.create(FILE_PATH, bytes(file_size))
+        hcall = machine.kernel.register_hcall(
+            lambda ctx: ctx.charge(spec.parse_cost)
+        )
+        self.image = build_server_image(spec, hcall, port=port, workers=workers)
+        self.process = machine.load(self.image)
+
+    def run_until_listening(self, max_instructions: int = 500_000) -> None:
+        kernel = self.machine.kernel
+
+        def listening():
+            sock = kernel.net.listeners.get(self.port)
+            return sock is not None and sock.listening
+
+        self.machine.run(until=listening, max_instructions=max_instructions)
+        if not listening():
+            raise RuntimeError(f"{self.spec.name} never started listening")
+
+    def benchmark(
+        self,
+        *,
+        requests: int = 300,
+        warmup: int = 30,
+        connections: int = 4,
+        client_cycles_per_request: int = 0,
+    ) -> float:
+        """Drive the server with the wrk model; returns requests/second."""
+        self.run_until_listening()
+        client = WrkClient(
+            self.machine.kernel,
+            self.port,
+            connections=connections,
+            response_size=self.file_size,
+            warmup_requests=warmup,
+            client_cycles_per_request=client_cycles_per_request,
+        )
+        client.start()
+        total = warmup + requests
+        self.machine.run(
+            until=lambda: client.stats.completed >= total,
+            max_instructions=1_000_000_000,
+        )
+        client.stop()
+        if client.stats.completed < total:
+            raise RuntimeError(
+                f"server stalled: {client.stats.completed}/{total} responses"
+            )
+        return client.throughput(self.machine.costs.frequency_hz)

@@ -1,0 +1,116 @@
+"""A wrk-style closed-loop HTTP load generator (host-side model).
+
+The paper drives its servers with wrk: 36 client threads, keep-alive
+connections, continuously requesting one static resource.  This model
+reproduces that shape: ``connections`` persistent loopback connections each
+send a fixed request, count response bytes until a full response arrived,
+and immediately (plus an optional per-request client cost) send the next
+request.
+
+Responses are framed by size: the server always sends a fixed-length header
+followed by the file body, so the client needs no HTTP parsing — it counts
+bytes, like wrk's fast path effectively does for a known static resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The fixed request wrk sends (keep-alive GET).
+REQUEST = (
+    b"GET /www/file.bin HTTP/1.1\r\n"
+    b"Host: localhost\r\n"
+    b"Connection: keep-alive\r\n\r\n"
+)
+
+#: Fixed server response header size (the server pads to this).
+HEADER_SIZE = 64
+
+
+@dataclass
+class WrkStats:
+    completed: int = 0
+    bytes_received: int = 0
+    start_clock: int | None = None
+    end_clock: int = 0
+    errors: int = 0
+    samples: list = field(default_factory=list)
+
+
+class WrkClient:
+    """Closed-loop load generator over the simulated loopback."""
+
+    def __init__(
+        self,
+        kernel,
+        port: int,
+        *,
+        connections: int = 4,
+        response_size: int,
+        warmup_requests: int = 0,
+        client_cycles_per_request: int = 0,
+    ):
+        self.kernel = kernel
+        self.port = port
+        self.connections = connections
+        self.expected = HEADER_SIZE + response_size
+        self.warmup = warmup_requests
+        self.client_cost = client_cycles_per_request
+        self.stats = WrkStats()
+        self._conns: list = []
+        self._received: dict[int, int] = {}
+        self._stopped = False
+
+    # ------------------------------------------------------------------ drive
+    def start(self) -> None:
+        """Open the connections and fire the first request on each."""
+        for i in range(self.connections):
+            conn = self.kernel.net.connect(
+                self.port,
+                on_data=lambda data, idx=i: self._on_data(idx, data),
+            )
+            self._conns.append(conn)
+            self._received[i] = 0
+        for i in range(self.connections):
+            self._send(i)
+
+    def stop(self) -> None:
+        self._stopped = True
+        for conn in self._conns:
+            conn.client.close()
+
+    def _send(self, idx: int) -> None:
+        if self._stopped:
+            return
+        self._conns[idx].client.send(REQUEST)
+
+    def _on_data(self, idx: int, data: bytes) -> None:
+        self._received[idx] += len(data)
+        self.stats.bytes_received += len(data)
+        if self._received[idx] < self.expected:
+            return
+        if self._received[idx] > self.expected:
+            self.stats.errors += 1
+        self._received[idx] = 0
+        self.stats.completed += 1
+        if self.stats.completed == self.warmup:
+            self.stats.start_clock = self.kernel.now
+        self.stats.end_clock = self.kernel.now
+        if self.client_cost:
+            self.kernel.post_event_in(self.client_cost, lambda: self._send(idx))
+        else:
+            self._send(idx)
+
+    # ------------------------------------------------------------------ stats
+    def throughput(self, frequency_hz: float) -> float:
+        """Requests per second over the measured (post-warmup) window."""
+        if self.stats.start_clock is None:
+            start = 0
+            measured = self.stats.completed
+        else:
+            start = self.stats.start_clock
+            measured = self.stats.completed - self.warmup
+        cycles = self.stats.end_clock - start
+        if cycles <= 0:
+            return 0.0
+        return measured / (cycles / frequency_hz)

@@ -1,0 +1,53 @@
+"""Shared test fixtures and guest-program builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.encode import Assembler
+from repro.kernel.machine import Machine
+from repro.kernel.syscalls.table import NR
+from repro.loader.image import image_from_assembler
+from repro.mem import layout
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine()
+
+
+def asm(base: int = layout.CODE_BASE) -> Assembler:
+    return Assembler(base=base)
+
+
+def emit_syscall(a: Assembler, name: str, *args: int | str) -> None:
+    """Emit a syscall with up to six arguments (ints or label names)."""
+    regs = ("rdi", "rsi", "rdx", "r10", "r8", "r9")
+    for reg, value in zip(regs, args):
+        a.mov_imm(reg, value)
+    a.mov_imm("rax", NR[name])
+    a.syscall()
+
+
+def emit_exit(a: Assembler, code: int = 0) -> None:
+    emit_syscall(a, "exit_group", code)
+
+
+def finish(a: Assembler, name: str = "prog", entry: str = "_start"):
+    return image_from_assembler(name, a, entry=entry)
+
+
+def run_program(machine: Machine, image, argv=(), max_instructions=5_000_000):
+    process = machine.load(image, argv)
+    code = machine.run_process(process, max_instructions=max_instructions)
+    return process, code
+
+
+def hello_image(text: bytes = b"hello\n", exit_code: int = 0):
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "write", 1, "msg", len(text))
+    emit_exit(a, exit_code)
+    a.label("msg")
+    a.db(text)
+    return finish(a, "hello")

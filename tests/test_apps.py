@@ -1,0 +1,155 @@
+"""Application-layer tools: the profiler and the defer primitive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.profiler import SyscallProfiler
+from repro.interpose.lazypoline import Lazypoline
+from repro.interpose.sud_tool import SudTool
+from repro.interpose.zpoline import Zpoline
+from repro.kernel.syscalls.table import NR
+
+from tests.conftest import asm, emit_exit, emit_syscall, finish, hello_image
+
+
+# ------------------------------------------------------------------ profiler
+@pytest.mark.parametrize("Tool", [Lazypoline, Zpoline, SudTool],
+                         ids=lambda t: t.__name__)
+def test_profiler_counts_and_cycles(Tool, machine):
+    proc = machine.load(hello_image())
+    profiler = SyscallProfiler()
+    Tool.install(machine, proc, profiler)
+    machine.run_process(proc)
+    report = profiler.report
+    names = {s.name for s in report.stats.values()}
+    assert {"write", "exit_group"} <= names
+    assert report.total_cycles > 0
+    write_stat = next(s for s in report.stats.values() if s.name == "write")
+    assert write_stat.calls == 1
+    assert write_stat.cycles > 0
+
+
+def test_profiler_counts_errors(machine):
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "open", "p", 0, 0)  # ENOENT
+    emit_syscall(a, "open", "p", 0, 0)  # ENOENT again
+    emit_exit(a, 0)
+    a.label("p")
+    a.db(b"/missing\x00")
+    proc = machine.load(finish(a))
+    profiler = SyscallProfiler()
+    Lazypoline.install(machine, proc, profiler)
+    machine.run_process(proc)
+    open_stat = next(
+        s for s in profiler.report.stats.values() if s.name == "open"
+    )
+    assert open_stat.calls == 2
+    assert open_stat.errors == 2
+
+
+def test_profiler_report_formatting(machine):
+    proc = machine.load(hello_image())
+    profiler = SyscallProfiler()
+    Lazypoline.install(machine, proc, profiler)
+    machine.run_process(proc)
+    text = profiler.report.format()
+    assert "write" in text
+    assert "% time" in text
+    assert "total" in text
+
+
+# --------------------------------------------------------------------- defer
+def test_defer_reexecutes_interposition(machine):
+    """ctx.defer parks the task; the same syscall event re-enters the
+    interposer after the predicate holds."""
+    state = {"visits": 0, "release": False}
+
+    def gate(ctx):
+        if ctx.name == "getpid":
+            state["visits"] += 1
+            if not state["release"]:
+                ctx.defer(lambda: state["release"])
+                return None
+        return ctx.do_syscall()
+
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "getpid")
+    emit_exit(a, 0)
+    proc = machine.load(finish(a))
+    Lazypoline.install(machine, proc, gate)
+    machine.kernel.post_event(10_000, lambda: state.update(release=True))
+    code = machine.run_process(proc)
+    assert code == 0
+    assert state["visits"] == 2  # deferred once, then completed
+
+
+def test_defer_supported_flags(machine):
+    from repro.interpose.api import TraceInterposer
+
+    seen = {}
+
+    def probe(ctx):
+        seen[ctx.mechanism] = ctx.can_defer
+        return ctx.do_syscall()
+
+    for Tool in (Lazypoline, Zpoline):
+        m_proc = machine if not seen else machine  # same machine fine
+        proc = machine.load(hello_image())
+        Tool.install(machine, proc, probe)
+        machine.run_process(proc)
+    assert seen == {"lazypoline": True, "zpoline": True}
+    del TraceInterposer
+
+
+def test_defer_unavailable_raises(machine):
+    failures = []
+
+    def try_defer(ctx):
+        if ctx.name == "getpid":
+            try:
+                ctx.defer(lambda: True)
+            except RuntimeError:
+                failures.append(ctx.mechanism)
+        return ctx.do_syscall()
+
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "getpid")
+    emit_exit(a, 0)
+    proc = machine.load(finish(a))
+    SudTool.install(machine, proc, try_defer)
+    machine.run_process(proc)
+    assert failures == ["sud"]
+
+
+def test_defer_many_tasks_simultaneously(machine):
+    """Multiple parked tasks don't nest scheduler invocations (the MVEE
+    case that motivated the primitive)."""
+    arrivals = {"count": 0}
+    TOTAL = 3
+
+    def barrier(ctx):
+        if ctx.name == "getpid":
+            if not getattr(ctx.task, "_arrived", False):
+                ctx.task._arrived = True
+                arrivals["count"] += 1
+            if arrivals["count"] < TOTAL:
+                ctx.defer(lambda: arrivals["count"] >= TOTAL)
+                return None
+            ctx.task._arrived = False
+        return ctx.do_syscall()
+
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "getpid")
+    emit_exit(a, 0)
+    image = finish(a)
+    procs = [machine.load(image) for _ in range(TOTAL)]
+    for proc in procs:
+        Lazypoline.install(machine, proc, barrier)
+    machine.run()
+    assert all(p.exit_code == 0 for p in procs)
+    assert arrivals["count"] == TOTAL

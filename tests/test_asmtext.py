@@ -1,0 +1,219 @@
+"""The text assembler front-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.asmtext import assemble_text, parse_operand, Gpr, Imm, LabelRef, Mem, GsMem, Xmm
+from repro.arch.encode import Assembler
+from repro.errors import AssemblerError
+from repro.kernel.machine import Machine
+from repro.loader.image import image_from_assembler
+
+
+# ----------------------------------------------------------------- operands
+def test_parse_registers():
+    assert parse_operand("rax") == Gpr(0)
+    assert parse_operand("R15") == Gpr(15)
+    assert parse_operand("xmm3") == Xmm(3)
+
+
+def test_parse_immediates():
+    assert parse_operand("42") == Imm(42)
+    assert parse_operand("0x10") == Imm(16)
+    assert parse_operand("-5") == Imm(-5)
+
+
+def test_parse_labels():
+    assert parse_operand("_start") == LabelRef("_start")
+    assert parse_operand("msg.1") == LabelRef("msg.1")
+
+
+def test_parse_memory():
+    assert parse_operand("[rbx]") == Mem(3, 0)
+    assert parse_operand("[rsp + 8]") == Mem(4, 8)
+    assert parse_operand("[r12-0x10]") == Mem(12, -16)
+    assert parse_operand("gs:[24]") == GsMem(24)
+
+
+def test_parse_garbage_rejected():
+    with pytest.raises(AssemblerError):
+        parse_operand("[nope+4]")
+    with pytest.raises(AssemblerError):
+        parse_operand("12abc")
+
+
+# ------------------------------------------------------- text == builder
+def _builder_equiv(text: str, build) -> None:
+    a = Assembler(base=0x1000)
+    build(a)
+    b = assemble_text(text, base=0x1000)
+    assert b.assemble() == a.assemble()
+
+
+def test_mov_forms_match_builder():
+    _builder_equiv(
+        """
+        mov rax, 39
+        mov rbx, rax
+        mov rcx, [rbx+8]
+        mov [rbx+8], rcx
+        mov rdx, gs:[24]
+        mov gs:[24], rdx
+        """,
+        lambda a: (
+            a.mov_imm("rax", 39), a.mov("rbx", "rax"),
+            a.load("rcx", "rbx", 8), a.store("rbx", 8, "rcx"),
+            a.gsload("rdx", 24), a.gsstore(24, "rdx"),
+        ),
+    )
+
+
+def test_alu_and_control_flow_match_builder():
+    _builder_equiv(
+        """
+        loop:
+            add rax, rbx
+            sub rax, 5
+            cmp rax, 0
+            jnz loop
+            call loop
+            jmp loop
+            ret
+        """,
+        lambda a: (
+            a.label("loop"), a.add("rax", "rbx"), a.subi("rax", 5),
+            a.cmpi("rax", 0), a.jnz("loop"), a.call("loop"),
+            a.jmp("loop"), a.ret(),
+        ),
+    )
+
+
+def test_vector_and_system_match_builder():
+    _builder_equiv(
+        """
+        movq xmm0, rax
+        punpcklqdq xmm0, xmm0
+        movups [rsp+16], xmm0
+        movups xmm1, [rsp+16]
+        xsave [rsp+64]
+        xrstor [rsp+64]
+        syscall
+        """,
+        lambda a: (
+            a.movq_xg(0, 0), a.punpcklqdq(0, 0),
+            a.movups_store("rsp", 16, 0), a.movups_load(1, "rsp", 16),
+            a.xsave("rsp", 64), a.xrstor("rsp", 64), a.syscall(),
+        ),
+    )
+
+
+def test_gs_and_pkey_forms():
+    _builder_equiv(
+        """
+        movb gs:[0], r11
+        movb r11, gs:[0]
+        movb gs:[0], gs:[8]
+        jmp gs:[16]
+        wrpkru gs:[24]
+        rdpkru rax
+        wrpkru rax
+        """,
+        lambda a: (
+            a.gsstore8(0, "r11"), a.gsload8("r11", 0), a.gscopy8(0, 8),
+            a.gsjmp(16), a.gswrpkru(24), a.rdpkru("rax"), a.wrpkru("rax"),
+        ),
+    )
+
+
+def test_directives():
+    asm = assemble_text(
+        """
+        data:
+            .ascii "hi"
+            .asciz "a\\n"
+            .byte 0x90, 1
+            .align 8
+            .quad 0x1122, data
+        """,
+        base=0x2000,
+    )
+    code = asm.assemble()
+    assert code.startswith(b"hia\n\x00\x90\x01")
+    aligned = (7 + 7) & ~7
+    assert code[aligned : aligned + 8] == (0x1122).to_bytes(8, "little")
+    assert code[aligned + 8 : aligned + 16] == (0x2000).to_bytes(8, "little")
+
+
+def test_comments_and_label_on_same_line():
+    asm = assemble_text(
+        """
+        start: nop   ; comment with, commas
+        # full-line comment
+        nop
+        """
+    )
+    assert asm.assemble() == b"\x90\x90"
+
+
+def test_string_with_semicolon_kept():
+    asm = assemble_text('.ascii "a;b"')
+    assert asm.assemble() == b"a;b"
+
+
+def test_unknown_mnemonic_reports_line():
+    with pytest.raises(AssemblerError, match="line 2"):
+        assemble_text("nop\nbogus rax\n")
+
+
+def test_bad_operand_count():
+    with pytest.raises(AssemblerError):
+        assemble_text("push rax, rbx")
+
+
+# ---------------------------------------------------------------- end to end
+def test_text_program_runs(machine: Machine):
+    asm = assemble_text(
+        """
+        _start:
+            mov rax, 1          ; write
+            mov rdi, 1
+            mov rsi, msg
+            mov rdx, 6
+            syscall
+            mov rax, 231        ; exit_group
+            mov rdi, 7
+            syscall
+        msg:
+            .ascii "howdy\\n"
+        """,
+        base=0x400000,
+    )
+    image = image_from_assembler("textprog", asm, entry="_start")
+    process = machine.load(image)
+    code = machine.run_process(process)
+    assert code == 7
+    assert process.stdout == b"howdy\n"
+
+
+def test_text_program_under_lazypoline(machine: Machine):
+    from repro.interpose.api import TraceInterposer
+    from repro.interpose.lazypoline import Lazypoline
+
+    asm = assemble_text(
+        """
+        _start:
+            mov rax, 39
+            syscall
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        """,
+        base=0x400000,
+    )
+    image = image_from_assembler("t", asm, entry="_start")
+    process = machine.load(image)
+    tracer = TraceInterposer()
+    Lazypoline.install(machine, process, tracer)
+    machine.run_process(process)
+    assert tracer.names == ["getpid", "exit_group"]

@@ -1,0 +1,421 @@
+"""CPU interpreter tests (bare metal: no kernel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.encode import Assembler
+from repro.arch.registers import XComponent
+from repro.cpu.core import BareTask, CPU, NullEnvironment, XSAVE_AREA_SIZE
+from repro.errors import BreakpointTrap, InvalidOpcode, PageFault
+from repro.mem.address_space import AddressSpace
+from repro.mem.pages import PAGE_SIZE, Perm
+
+CODE = 0x1000
+STACK = 0x8000
+
+
+def make_machine(build, *, stack=True):
+    """Assemble `build(asm)` at CODE and return (cpu, task, env)."""
+    mem = AddressSpace()
+    a = Assembler(base=CODE)
+    build(a)
+    code = a.assemble()
+    size = (len(code) + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+    mem.map(CODE, size, Perm.RX)
+    mem.write(CODE, code, check=None)
+    if stack:
+        mem.map(STACK, PAGE_SIZE, Perm.RW)
+    env = NullEnvironment()
+    cpu = CPU(env)
+    task = BareTask(mem)
+    task.regs.rip = CODE
+    task.regs.write_name("rsp", STACK + PAGE_SIZE)
+    return cpu, task, env
+
+
+def run_until_hlt(cpu, task, env, max_steps=10_000):
+    for _ in range(max_steps):
+        if env.halted:
+            return
+        cpu.step(task)
+    raise AssertionError("program did not halt")
+
+
+def test_mov_and_arithmetic():
+    def build(a):
+        a.mov_imm("rax", 10)
+        a.mov_imm("rbx", 32)
+        a.add("rax", "rbx")
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rax") == 42
+
+
+def test_sub_wraps_at_64_bits():
+    def build(a):
+        a.mov_imm("rax", 0)
+        a.mov_imm("rbx", 1)
+        a.sub("rax", "rbx")
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rax") == (1 << 64) - 1
+
+
+def test_imul_signed():
+    def build(a):
+        a.mov_imm("rax", (1 << 64) - 3)  # -3
+        a.mov_imm("rbx", 7)
+        a.imul("rax", "rbx")
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rax") == ((1 << 64) - 21)
+
+
+def test_loop_with_dec_jnz():
+    def build(a):
+        a.mov_imm("rcx", 0)
+        a.mov_imm("rbx", 5)
+        a.label("loop")
+        a.addi("rcx", 3)
+        a.dec("rbx")
+        a.jnz("loop")
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rcx") == 15
+
+
+def test_signed_compare_branches():
+    def build(a):
+        a.mov_imm("rax", (1 << 64) - 5)  # -5
+        a.mov_imm("rbx", 3)
+        a.cmp("rax", "rbx")
+        a.jl("less")
+        a.mov_imm("rdx", 0)
+        a.hlt()
+        a.label("less")
+        a.mov_imm("rdx", 1)
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rdx") == 1
+
+
+@pytest.mark.parametrize(
+    "a_val,b_val,jcc,taken",
+    [
+        (5, 5, "jz", True),
+        (5, 6, "jz", False),
+        (5, 6, "jnz", True),
+        (7, 3, "jg", True),
+        (3, 7, "jg", False),
+        (3, 3, "jge", True),
+        (3, 3, "jle", True),
+        (2, 3, "jle", True),
+    ],
+)
+def test_conditional_jumps(a_val, b_val, jcc, taken):
+    def build(asm):
+        asm.mov_imm("rax", a_val)
+        asm.mov_imm("rbx", b_val)
+        asm.cmp("rax", "rbx")
+        getattr(asm, jcc)("yes")
+        asm.mov_imm("rdx", 0)
+        asm.hlt()
+        asm.label("yes")
+        asm.mov_imm("rdx", 1)
+        asm.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rdx") == (1 if taken else 0)
+
+
+def test_push_pop_call_ret():
+    def build(a):
+        a.mov_imm("rax", 1)
+        a.call("func")
+        a.hlt()
+        a.label("func")
+        a.push("rax")
+        a.mov_imm("rax", 99)
+        a.pop("rax")
+        a.addi("rax", 10)
+        a.ret()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rax") == 11
+
+
+def test_call_reg_pushes_return_address():
+    def build(a):
+        a.mov_imm("rax", "func")
+        a.call_reg("rax")
+        a.hlt()
+        a.label("func")
+        a.load("rbx", "rsp", 0)  # return address
+        a.ret()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    # The pushed return address is the hlt; rip has advanced one byte past
+    # it by the time the halt is observed.
+    assert task.regs.read_name("rbx") == task.regs.rip - 1
+
+
+def test_load_store_memory():
+    def build(a):
+        a.mov_imm("rbx", STACK)
+        a.mov_imm("rax", 0xDEADBEEF)
+        a.store("rbx", 16, "rax")
+        a.load("rcx", "rbx", 16)
+        a.load8("rdx", "rbx", 16)
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rcx") == 0xDEADBEEF
+    assert task.regs.read_name("rdx") == 0xEF
+
+
+def test_syscall_reports_to_environment():
+    def build(a):
+        a.mov_imm("rax", 39)
+        a.mov_imm("rdi", 123)
+        a.syscall()
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert env.syscalls[0][0] == 39
+    assert env.syscalls[0][1][0] == 123
+
+
+def test_invalid_opcode_raises():
+    def build(a):
+        a.ud2()
+
+    cpu, task, env = make_machine(build)
+    with pytest.raises(InvalidOpcode):
+        cpu.step(task)
+
+
+def test_int3_raises_breakpoint():
+    def build(a):
+        a.int3()
+
+    cpu, task, env = make_machine(build)
+    with pytest.raises(BreakpointTrap):
+        cpu.step(task)
+
+
+def test_exec_fault_on_nonexec_page():
+    mem = AddressSpace()
+    mem.map(CODE, PAGE_SIZE, Perm.RW)
+    cpu = CPU(NullEnvironment())
+    task = BareTask(mem)
+    task.regs.rip = CODE
+    with pytest.raises(PageFault):
+        cpu.step(task)
+
+
+def test_xmm_moves_and_punpcklqdq():
+    def build(a):
+        a.mov_imm("rax", 0x1111)
+        a.movq_xg("xmm0", "rax")
+        a.punpcklqdq("xmm0", "xmm0")  # duplicate low qword into high
+        a.movq_gx("rbx", "xmm0")
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rbx") == 0x1111
+    assert task.regs.read_xmm(0) == 0x1111 | (0x1111 << 64)
+
+
+def test_movups_roundtrip_through_memory():
+    def build(a):
+        a.mov_imm("rbx", STACK)
+        a.mov_imm("rax", 0xCAFEBABE)
+        a.movq_xg("xmm3", "rax")
+        a.punpcklqdq("xmm3", "xmm3")
+        a.movups_store("rbx", 0, "xmm3")
+        a.movups_load("xmm7", "rbx", 0)
+        a.movq_gx("rcx", "xmm7")
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rcx") == 0xCAFEBABE
+    assert task.regs.read_xmm(7) == task.regs.read_xmm(3)
+
+
+def test_xorps_zeroing_idiom():
+    def build(a):
+        a.mov_imm("rax", 7)
+        a.movq_xg("xmm1", "rax")
+        a.xorps("xmm1", "xmm1")
+        a.movq_gx("rbx", "xmm1")
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rbx") == 0
+
+
+def test_x87_stack():
+    def build(a):
+        a.fld1()
+        a.fld1()
+        a.faddp()  # 1.0 + 1.0
+        a.mov_imm("rbx", STACK)
+        a.fstp_mem("rbx", 0)
+        a.load("rax", "rbx", 0)
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    import struct
+
+    assert struct.unpack("<d", task.regs.read_name("rax").to_bytes(8, "little"))[0] == 2.0
+
+
+def test_xsave_xrstor_roundtrip():
+    def build(a):
+        a.mov_imm("rax", 0x42)
+        a.movq_xg("xmm5", "rax")
+        a.fld1()
+        a.mov_imm("rbx", STACK)
+        a.xsave("rbx", 0)
+        # clobber
+        a.xorps("xmm5", "xmm5")
+        a.fld1()
+        a.faddp()
+        a.xrstor("rbx", 0)
+        a.movq_gx("rcx", "xmm5")
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rcx") == 0x42
+
+
+def test_xsave_respects_component_mask():
+    def build(a):
+        a.mov_imm("rax", 7)
+        a.movq_xg("xmm2", "rax")
+        a.mov_imm("rbx", STACK)
+        a.xsave("rbx", 0)
+        a.xorps("xmm2", "xmm2")
+        a.xrstor("rbx", 0)
+        a.movq_gx("rcx", "xmm2")
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    task.xsave_mask = XComponent.X87  # SSE not saved
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rcx") == 0  # xmm2 was NOT restored
+
+
+def test_gs_relative_accesses():
+    def build(a):
+        a.mov_imm("rax", STACK)
+        a.wrgsbase("rax")
+        a.rdgsbase("rbx")
+        a.mov_imm("rcx", 0x5A)
+        a.gsstore8(3, "rcx")
+        a.gsload8("rdx", 3)
+        a.mov_imm("rcx", 0x1234567890)
+        a.gsstore(8, "rcx")
+        a.gsload("rsi", 8)
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rbx") == STACK
+    assert task.regs.read_name("rdx") == 0x5A
+    assert task.regs.read_name("rsi") == 0x1234567890
+
+
+def test_gsjmp_and_gscopy8_clobber_nothing():
+    def build(a):
+        a.mov_imm("rax", STACK)
+        a.wrgsbase("rax")
+        a.mov_imm("rcx", 1)
+        a.gsstore8(16, "rcx")  # source byte = 1
+        a.mov_imm("rcx", "target")
+        a.gsstore(24, "rcx")  # jump slot
+        a.mov_imm("rax", 77)
+        a.mov_imm("rcx", 88)
+        a.gscopy8(17, 16)
+        a.gsjmp(24)
+        a.hlt()  # skipped
+        a.label("target")
+        a.gsload8("rbx", 17)
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rbx") == 1  # byte was copied
+    assert task.regs.read_name("rax") == 77  # nothing clobbered
+    assert task.regs.read_name("rcx") == 88
+
+
+def test_hcall_dispatches_to_environment():
+    def build(a):
+        a.hcall(5)
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert env.hcalls == [5]
+
+
+def test_shift_operations():
+    def build(a):
+        a.mov_imm("rax", 1)
+        a.shl("rax", 12)
+        a.mov_imm("rbx", 0x100)
+        a.shr("rbx", 4)
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rax") == 0x1000
+    assert task.regs.read_name("rbx") == 0x10
+
+
+def test_lea():
+    def build(a):
+        a.mov_imm("rbx", 0x1000)
+        a.lea("rax", "rbx", 0x234)
+        a.hlt()
+
+    cpu, task, env = make_machine(build)
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rax") == 0x1234
+
+
+def test_cycle_charging_is_deterministic():
+    def build(a):
+        a.mov_imm("rbx", 10)
+        a.label("loop")
+        a.dec("rbx")
+        a.jnz("loop")
+        a.hlt()
+
+    cpu1, task1, env1 = make_machine(build)
+    run_until_hlt(cpu1, task1, env1)
+    cpu2, task2, env2 = make_machine(build)
+    run_until_hlt(cpu2, task2, env2)
+    assert env1.cycles == env2.cycles > 0

@@ -1,0 +1,73 @@
+"""Cross-tool conformance: every mechanism must be behaviour-preserving.
+
+The strongest property an interposer can violate silently is program
+semantics.  This matrix runs each modelled coreutil natively and under each
+expressive mechanism and requires identical observable behaviour (exit
+code, stdout, filesystem effects) — plus, for the exhaustive mechanisms,
+identical syscall traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interpose.api import TraceInterposer
+from repro.interpose.lazypoline import Lazypoline
+from repro.interpose.ptrace_tool import PtraceTool
+from repro.interpose.seccomp_user_tool import SeccompUserTool
+from repro.interpose.sud_tool import SudTool
+from repro.interpose.zpoline import Zpoline
+from repro.kernel.machine import Machine
+from repro.workloads.coreutils import COREUTIL_NAMES, build_coreutil, setup_fs
+
+TOOLS = {
+    "zpoline": Zpoline,
+    "lazypoline": Lazypoline,
+    "sud": SudTool,
+    "seccomp_user": SeccompUserTool,
+    "ptrace": PtraceTool,
+}
+
+
+def _run(name: str, tool_name: str | None):
+    machine = Machine()
+    setup_fs(machine)
+    process = machine.load(build_coreutil(name))
+    tracer = TraceInterposer()
+    if tool_name is not None:
+        TOOLS[tool_name].install(machine, process, tracer)
+    machine.run(until=lambda: not process.alive, max_instructions=3_000_000)
+    fs_snapshot = sorted(
+        (inode.path, bytes(inode.data))
+        for inode in machine.fs._inodes.values()
+        if not inode.is_dir
+    )
+    return {
+        "exit": process.exit_code,
+        "signal": process.term_signal,
+        "stdout": process.stdout,
+        "fs": fs_snapshot,
+        "trace": tracer.names,
+    }
+
+
+@pytest.mark.parametrize("tool_name", sorted(TOOLS))
+@pytest.mark.parametrize("util", COREUTIL_NAMES)
+def test_behaviour_preserved(util, tool_name):
+    native = _run(util, None)
+    interposed = _run(util, tool_name)
+    assert interposed["exit"] == native["exit"] == 0
+    assert interposed["signal"] is None
+    assert interposed["stdout"] == native["stdout"]
+    assert interposed["fs"] == native["fs"]
+    assert interposed["trace"]  # something was actually intercepted
+
+
+@pytest.mark.parametrize("util", COREUTIL_NAMES)
+def test_exhaustive_mechanisms_agree_on_traces(util):
+    """lazypoline, SUD and seccomp-user see the identical syscall stream."""
+    traces = {
+        tool: _run(util, tool)["trace"]
+        for tool in ("lazypoline", "sud", "seccomp_user")
+    }
+    assert traces["lazypoline"] == traces["sud"] == traces["seccomp_user"]

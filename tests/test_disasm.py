@@ -1,0 +1,90 @@
+"""Static disassembly — including its genuine failure modes (§II-B)."""
+
+from __future__ import annotations
+
+from repro.arch.disasm import (
+    find_syscall_sites,
+    linear_sweep,
+    sweep_syscall_addresses,
+)
+from repro.arch.encode import Assembler
+from repro.arch.isa import Mnemonic
+
+
+def test_sweep_decodes_clean_code():
+    a = Assembler(base=0x100)
+    a.mov_imm("rax", 39)
+    a.syscall()
+    a.ret()
+    entries = linear_sweep(a.assemble(), base=0x100)
+    assert [e.instruction.mnemonic for e in entries] == [
+        Mnemonic.MOV_IMM64,
+        Mnemonic.SYSCALL,
+        Mnemonic.RET,
+    ]
+    assert entries[1].address == 0x105
+
+
+def test_sweep_finds_syscall_addresses():
+    a = Assembler(base=0x200)
+    a.syscall()
+    a.nop()
+    a.sysenter()
+    assert sweep_syscall_addresses(a.assemble(), 0x200) == [0x200, 0x203]
+
+
+def test_sweep_reports_undecodable_bytes_as_data():
+    code = b"\x90" + b"\x06" + b"\x90"  # 0x06 is not a valid opcode
+    entries = linear_sweep(code)
+    assert [e.is_data for e in entries] == [False, True, False]
+
+
+def test_sweep_desynchronises_on_embedded_data():
+    """Data in the text section shifts decoding: a real syscall can be
+    swallowed by a bogus instruction decoded out of data bytes — the
+    classic rewriting hazard."""
+    a = Assembler(base=0x300)
+    a.jmp("code")  # real control flow skips the data
+    # Eight data bytes that decode as the *prefix* of a 10-byte mov: the
+    # bogus instruction's immediate swallows the real syscall that follows.
+    a.db(b"\x48\xb8" + b"\x00" * 6)
+    a.label("code")
+    a.syscall()
+    code = a.assemble()
+    # Ground truth: there IS a syscall instruction at `code`.
+    true_site = a.address_of("code")
+    assert code[true_site - 0x300 : true_site - 0x300 + 2] == b"\x0f\x05"
+    # The sweep, desynchronised by the embedded data, misses it.
+    assert true_site not in sweep_syscall_addresses(code, 0x300)
+
+
+def test_bytescan_finds_syscalls_inside_immediates():
+    """The byte-level scan reports a false positive inside a mov imm64 —
+    rewriting it would corrupt the constant."""
+    a = Assembler(base=0x400)
+    # Little-endian bytes of this constant contain a consecutive 0F 05 pair.
+    a.mov_imm("rax", 0x1122_050F_3344_5566)
+    a.ret()
+    code = a.assemble()
+    sites = find_syscall_sites(code, 0x400)
+    assert len(sites) == 1
+    # ...and it is NOT at an instruction boundary.
+    assert sites[0] != 0x400
+
+
+def test_bytescan_never_misses_a_real_syscall():
+    a = Assembler(base=0x500)
+    a.jmp("code")
+    a.db(b"\x49")
+    a.label("code")
+    a.mov_imm("r8", 1)
+    a.syscall()
+    code = a.assemble()
+    true_site = a.address_of("code") + 10
+    assert true_site in find_syscall_sites(code, 0x500)
+
+
+def test_bytescan_finds_sysenter_too():
+    a = Assembler(base=0x600)
+    a.sysenter()
+    assert find_syscall_sites(a.assemble(), 0x600) == [0x600]

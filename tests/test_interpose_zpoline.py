@@ -1,0 +1,199 @@
+"""zpoline: trampoline mechanics, rewriting, and its designed-in failures."""
+
+from __future__ import annotations
+
+from repro.arch.isa import CALL_RAX_BYTES
+from repro.interpose.api import DenyListInterposer, TraceInterposer
+from repro.interpose.zpoline import SLED_SIZE, Zpoline, build_trampoline_code
+from repro.kernel import errno
+from repro.kernel.syscalls.table import NR
+from repro.workloads import tcc
+
+from tests.conftest import asm, emit_exit, emit_syscall, finish, hello_image
+
+
+def test_trampoline_layout():
+    code, entry = build_trampoline_code(hcall_id=0)
+    assert entry == SLED_SIZE
+    assert code[:SLED_SIZE] == b"\x90" * SLED_SIZE
+    assert len(code) < 4096
+
+
+def test_sites_rewritten_to_call_rax(machine):
+    proc = machine.load(hello_image())
+    tool = Zpoline.install(machine, proc, TraceInterposer())
+    assert tool.rewritten_sites
+    for site in tool.rewritten_sites:
+        assert proc.task.mem.read(site, 2, check=None) == CALL_RAX_BYTES
+
+
+def test_text_stays_nonwritable_after_rewrite(machine):
+    from repro.mem.pages import Perm
+
+    proc = machine.load(hello_image())
+    image_base = 0x40_0000
+    before = proc.task.mem.perm_at(image_base)
+    Zpoline.install(machine, proc, TraceInterposer())
+    assert proc.task.mem.perm_at(image_base) == before == Perm.RX
+
+
+def test_interposition_and_correct_results(machine):
+    tr = TraceInterposer()
+    proc = machine.load(hello_image(b"zp!\n", exit_code=9))
+    Zpoline.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 9
+    assert proc.stdout == b"zp!\n"
+    assert tr.names == ["write", "exit_group"]
+
+
+def test_deny_interposer_blocks_syscall(machine):
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "mkdir", "p", 0o755)
+    a.mov_imm("rbx", 0)
+    a.sub("rbx", "rax")
+    a.mov("rdi", "rbx")
+    a.mov_imm("rax", NR["exit_group"])
+    a.syscall()
+    a.label("p")
+    a.db(b"/blocked\x00")
+    proc = machine.load(finish(a))
+    deny = DenyListInterposer({NR["mkdir"]: errno.EACCES})
+    Zpoline.install(machine, proc, deny)
+    code = machine.run_process(proc)
+    assert code == errno.EACCES
+    assert not machine.fs.exists("/blocked")
+    assert deny.blocked[0][0] == "mkdir"
+
+
+def test_argument_rewriting(machine):
+    """An interposer can redirect a write from stdout to stderr."""
+
+    def redirect(ctx):
+        if ctx.name == "write" and ctx.args[0] == 1:
+            return ctx.do_syscall(args=(2,) + ctx.args[1:])
+        return ctx.do_syscall()
+
+    proc = machine.load(hello_image(b"moved\n"))
+    Zpoline.install(machine, proc, redirect)
+    machine.run_process(proc)
+    assert proc.stdout == b""
+    assert proc.stderr == b"moved\n"
+
+
+def test_misses_jit_generated_syscall(machine):
+    """The §V-A exhaustiveness failure: zpoline cannot see JIT-ed code."""
+    tcc.setup_fs(machine)
+    proc = machine.load(tcc.build_tcc_image())
+    tr = TraceInterposer()
+    Zpoline.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 0
+    assert proc.stdout == b"ok\n"  # program ran fine...
+    assert "getpid" not in tr.names  # ...but the JIT-ed getpid went unseen
+
+
+def test_rewrite_now_catches_new_code(machine):
+    """Re-scanning after the fact (what zpoline cannot do online)."""
+    tcc.setup_fs(machine)
+    proc = machine.load(tcc.build_tcc_image())
+    tool = Zpoline.install(machine, proc, TraceInterposer())
+    before = len(tool.rewritten_sites)
+    # run to completion: JIT page now exists
+    machine.run_process(proc)
+    new = tool.rewrite_now()
+    assert len(tool.rewritten_sites) == before + len(new)
+
+
+def test_bytescan_mode_corrupts_immediates(machine):
+    """bytescan rewrites a 0F 05 inside a mov imm64, destroying the
+    constant — the misidentification hazard of §II-B."""
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rbx", 0x1122_050F_3344_5566)  # LE bytes contain 0F 05
+    a.mov_imm("rax", NR["exit_group"])
+    a.mov_imm("rdi", 0)
+    a.syscall()
+    proc = machine.load(finish(a))
+    tool = Zpoline.install(machine, proc, TraceInterposer(), mode="bytescan")
+    # The scanner found (at least) the false positive and the real site.
+    assert len(tool.rewritten_sites) >= 2
+    blob = proc.task.mem.read(0x40_0000, 32, check=None)
+    # the constant in the mov imm64 has been corrupted
+    assert (0x1122_050F_3344_5566).to_bytes(8, "little") not in blob
+
+
+def test_sweep_mode_does_not_touch_immediates(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rbx", 0x1122_050F_3344_5566)
+    emit_exit(a, 4)
+    proc = machine.load(finish(a))
+    Zpoline.install(machine, proc, TraceInterposer(), mode="sweep")
+    code = machine.run_process(proc)
+    assert code == 4
+    assert proc.task.regs.read_name("rbx") == 0x1122_050F_3344_5566
+
+
+def test_sigreturn_through_zpoline(machine):
+    """Signal handlers keep working when the restorer's syscall has been
+    rewritten to call rax."""
+    from repro.kernel.signals import SIGUSR1
+
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rdi", SIGUSR1)
+    a.mov_imm("rsi", "act")
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 8)
+    a.mov_imm("rax", NR["rt_sigaction"])
+    a.syscall()
+    emit_syscall(a, "getpid")
+    a.mov("rdi", "rax")
+    a.mov_imm("rsi", SIGUSR1)
+    a.mov_imm("rax", NR["kill"])
+    a.syscall()
+    emit_syscall(a, "write", 1, "m", 2)
+    emit_exit(a, 0)
+    a.label("handler")
+    a.ret()
+    a.align(8, fill=0)
+    a.label("act")
+    a.dq("handler")
+    a.dq(0)
+    a.dq(0)
+    a.dq(0)
+    a.label("m")
+    a.db(b"M\n")
+    proc = machine.load(finish(a))
+    tr = TraceInterposer()
+    Zpoline.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 0
+    assert proc.stdout == b"M\n"
+    assert "rt_sigreturn" in tr.names
+
+
+def test_fork_child_inherits_rewrites(machine):
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "fork")
+    a.cmpi("rax", 0)
+    a.jz("child")
+    a.mov_imm("rdi", (1 << 64) - 1)
+    a.mov_imm("rsi", 0)
+    a.mov_imm("rdx", 0)
+    a.mov_imm("rax", NR["wait4"])
+    a.syscall()
+    emit_exit(a, 0)
+    a.label("child")
+    emit_syscall(a, "getpid")
+    emit_exit(a, 3)
+    proc = machine.load(finish(a))
+    tr = TraceInterposer()
+    Zpoline.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 0
+    # The child's getpid went through the (inherited) trampoline.
+    assert "getpid" in tr.names

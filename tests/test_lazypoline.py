@@ -1,0 +1,477 @@
+"""lazypoline: lazy rewriting, signals, spawn handling, exhaustiveness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.isa import CALL_RAX_BYTES
+from repro.kernel.machine import Machine
+from repro.arch.registers import XComponent
+from repro.interpose.api import DenyListInterposer, TraceInterposer
+from repro.interpose.lazypoline import Lazypoline, LazypolineConfig, gsrel
+from repro.interpose.sud_tool import SudTool
+from repro.interpose.zpoline import Zpoline
+from repro.kernel import errno
+from repro.kernel.signals import SIGUSR1
+from repro.kernel.sud import SELECTOR_BLOCK
+from repro.kernel.syscalls.table import NR
+from repro.workloads import tcc
+
+from tests.conftest import asm, emit_exit, emit_syscall, finish, hello_image
+
+
+def test_basic_interposition(machine):
+    tr = TraceInterposer()
+    proc = machine.load(hello_image(b"lp\n", exit_code=6))
+    Lazypoline.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 6
+    assert proc.stdout == b"lp\n"
+    assert tr.names == ["write", "exit_group"]
+
+
+def test_lazy_rewriting_happens_on_first_use(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rbx", 4)
+    a.label("loop")
+    emit_syscall(a, "getpid")
+    a.dec("rbx")
+    a.jnz("loop")
+    emit_exit(a, 0)
+    img = finish(a)
+    proc = machine.load(img)
+    tool = Lazypoline.install(machine, proc, TraceInterposer())
+    # nothing rewritten up front: lazypoline does not scan
+    assert not tool.rewritten
+    machine.run_process(proc)
+    # one slow-path hit per distinct site: the loop's getpid traps once,
+    # the exit_group site once
+    sites = sorted(tool.rewritten)
+    assert len(sites) == 2
+    assert tool.slowpath_hits == 2
+    # every invocation reached the generic handler: 4 getpids + 1 exit
+    assert tool.fastpath_hits == 5
+    for site in sites:
+        assert proc.task.mem.read(site, 2, check=None) == CALL_RAX_BYTES
+
+
+def test_selector_is_block_during_app_code(machine):
+    proc = machine.load(hello_image())
+    tool = Lazypoline.install(machine, proc, TraceInterposer())
+    task = proc.task
+    assert gsrel.read_selector(task.mem, task.regs.gs_base) == SELECTOR_BLOCK
+    machine.run_process(proc)
+    del tool
+
+
+def test_no_allowlisted_range(machine):
+    """Selector-only SUD: the armed dispatch range excludes nothing."""
+    proc = machine.load(hello_image())
+    Lazypoline.install(machine, proc)
+    assert proc.task.sud is not None
+    assert proc.task.sud.allow_len == 0
+
+
+def test_deep_argument_inspection(machine):
+    """Expressiveness: the interposer reads the written buffer's content."""
+    seen = []
+
+    def peek(ctx):
+        if ctx.name == "write":
+            seen.append(ctx.read_mem(ctx.args[1], ctx.args[2]))
+        return ctx.do_syscall()
+
+    proc = machine.load(hello_image(b"secret\n"))
+    Lazypoline.install(machine, proc, peek)
+    machine.run_process(proc)
+    assert seen == [b"secret\n"]
+
+
+def test_denylist_sandbox(machine):
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "mkdir", "p", 0o700)
+    a.mov_imm("rbx", 0)
+    a.sub("rbx", "rax")
+    a.mov("rdi", "rbx")
+    a.mov_imm("rax", NR["exit_group"])
+    a.syscall()
+    a.label("p")
+    a.db(b"/forbidden\x00")
+    proc = machine.load(finish(a))
+    Lazypoline.install(machine, proc, DenyListInterposer({NR["mkdir"]: errno.EPERM}))
+    code = machine.run_process(proc)
+    assert code == errno.EPERM
+    assert not machine.fs.exists("/forbidden")
+
+
+def test_xstate_preserved_across_interposed_syscall(machine):
+    """A clobbering interposer must not leak into app xmm state when
+    xstate preservation is on (the default)."""
+
+    def clobber(ctx):
+        ctx.task.regs.write_xmm(0, 0)  # hostile interposer
+        ctx.task.regs.x87_push(0xBAD)
+        return ctx.do_syscall()
+
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rax", 0x77)
+    a.movq_xg("xmm0", "rax")
+    emit_syscall(a, "getpid")
+    a.movq_gx("rbx", "xmm0")
+    a.cmpi("rbx", 0x77)
+    a.jnz("bad")
+    emit_exit(a, 0)
+    a.label("bad")
+    emit_exit(a, 1)
+    proc = machine.load(finish(a))
+    Lazypoline.install(machine, proc, clobber)
+    assert machine.run_process(proc) == 0
+
+
+def test_xstate_not_preserved_when_disabled(machine):
+    def clobber(ctx):
+        ctx.task.regs.write_xmm(0, 0)
+        return ctx.do_syscall()
+
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rax", 0x77)
+    a.movq_xg("xmm0", "rax")
+    emit_syscall(a, "getpid")
+    a.movq_gx("rbx", "xmm0")
+    a.cmpi("rbx", 0x77)
+    a.jnz("clobbered")
+    emit_exit(a, 1)
+    a.label("clobbered")
+    emit_exit(a, 0)
+    proc = machine.load(finish(a))
+    config = LazypolineConfig(preserve_xstate=XComponent.none())
+    Lazypoline.install(machine, proc, clobber, config)
+    assert machine.run_process(proc) == 0  # clobber leaked: xstate off
+
+
+def test_gprs_always_preserved(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rbx", 0x1111)
+    a.mov_imm("r12", 0x2222)
+    a.mov_imm("rdi", 0)
+    emit_syscall(a, "getpid")
+    a.cmpi("rbx", 0x1111)
+    a.jnz("bad")
+    a.cmpi("r12", 0x2222)
+    a.jnz("bad")
+    emit_exit(a, 0)
+    a.label("bad")
+    emit_exit(a, 1)
+    proc = machine.load(finish(a))
+    Lazypoline.install(machine, proc)
+    assert machine.run_process(proc) == 0
+
+
+def _signal_program():
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rdi", SIGUSR1)
+    a.mov_imm("rsi", "act")
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 8)
+    a.mov_imm("rax", NR["rt_sigaction"])
+    a.syscall()
+    emit_syscall(a, "getpid")
+    a.mov("rdi", "rax")
+    a.mov_imm("rsi", SIGUSR1)
+    a.mov_imm("rax", NR["kill"])
+    a.syscall()
+    emit_syscall(a, "write", 1, "m_main", 5)
+    emit_exit(a, 0)
+    a.label("handler")
+    emit_syscall(a, "write", 1, "m_hand", 5)
+    a.ret()
+    a.align(8, fill=0)
+    a.label("act")
+    a.dq("handler")
+    a.dq(0)
+    a.dq(0)
+    a.dq(0)
+    a.label("m_main")
+    a.db(b"main\n")
+    a.label("m_hand")
+    a.db(b"hand\n")
+    return finish(a)
+
+
+def test_signal_wrapping_end_to_end(machine):
+    proc = machine.load(_signal_program())
+    tr = TraceInterposer()
+    tool = Lazypoline.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 0
+    assert proc.stdout == b"hand\nmain\n"
+    # Handler syscalls are interposed (Fig. 3 ②) and so is rt_sigreturn.
+    assert tr.count("write") == 2
+    assert "rt_sigreturn" in tr.names
+    # The kernel-registered handler is the wrapper, not the app handler.
+    action = proc.task.sighand.get(SIGUSR1)
+    assert action.handler == tool.blobs.wrapper_handler
+    assert SIGUSR1 in tool.app_handlers
+
+
+def test_sigreturn_stack_balanced_after_signal(machine):
+    proc = machine.load(_signal_program())
+    Lazypoline.install(machine, proc)
+    machine.run_process(proc)
+    task = proc.task
+    gs = task.regs.gs_base
+    sp = task.mem.read_u64(gs + gsrel.GS_SIGRET_SP, check=None)
+    assert sp == gs + gsrel.GS_SIGRET_STACK  # empty again
+
+
+def test_xstate_stack_balanced_after_run(machine):
+    proc = machine.load(_signal_program())
+    Lazypoline.install(machine, proc)
+    machine.run_process(proc)
+    task = proc.task
+    # Exactly one entry remains: the in-flight exit_group invocation never
+    # returns through the stub epilogue.  Everything else balanced.
+    assert gsrel.xstack_depth(task.mem, task.regs.gs_base) == 1
+
+
+def test_sigaction_oldact_virtualised(machine):
+    """Applications read back their own handler, not the wrapper."""
+    a = asm()
+    a.label("_start")
+    # register
+    a.mov_imm("rdi", SIGUSR1)
+    a.mov_imm("rsi", "act")
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 8)
+    a.mov_imm("rax", NR["rt_sigaction"])
+    a.syscall()
+    # query: rt_sigaction(SIGUSR1, NULL, oldact)
+    emit_syscall(a, "mmap", 0, 4096, 3, 0x22, (1 << 64) - 1, 0)
+    a.mov("r12", "rax")
+    a.mov_imm("rdi", SIGUSR1)
+    a.mov_imm("rsi", 0)
+    a.mov("rdx", "r12")
+    a.mov_imm("r10", 8)
+    a.mov_imm("rax", NR["rt_sigaction"])
+    a.syscall()
+    a.load("rcx", "r12", 0)  # oldact.handler
+    a.mov_imm("rbx", "handler")
+    a.cmp("rcx", "rbx")
+    a.jnz("bad")
+    emit_exit(a, 0)
+    a.label("bad")
+    emit_exit(a, 1)
+    a.label("handler")
+    a.ret()
+    a.align(8, fill=0)
+    a.label("act")
+    a.dq("handler")
+    a.dq(0)
+    a.dq(0)
+    a.dq(0)
+    proc = machine.load(finish(a))
+    Lazypoline.install(machine, proc)
+    assert machine.run_process(proc) == 0
+
+
+def test_fork_child_rearms_sud(machine):
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "fork")
+    a.cmpi("rax", 0)
+    a.jz("child")
+    a.mov_imm("rdi", (1 << 64) - 1)
+    a.mov_imm("rsi", 0)
+    a.mov_imm("rdx", 0)
+    a.mov_imm("rax", NR["wait4"])
+    a.syscall()
+    emit_exit(a, 0)
+    a.label("child")
+    a.label("child_site")
+    emit_syscall(a, "getpid")  # a site only the child executes
+    emit_exit(a, 2)
+    proc = machine.load(finish(a))
+    tr = TraceInterposer()
+    tool = Lazypoline.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 0
+    child = [t for t in machine.kernel.tasks.values() if t.parent is proc.task][0]
+    assert child.exit_code == 2
+    # The child's SUD was re-enabled (the kernel clears it on fork).
+    assert child.sud is not None
+    # The child-only getpid was trapped and interposed.
+    assert "getpid" in tr.names
+    assert tool.slowpath_hits >= 3
+
+
+def test_thread_gets_private_gs_region(machine):
+    from repro.kernel.syscalls.proc import CLONE_VM, THREAD_FLAGS
+
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "mmap", 0, 8192, 3, 0x22, (1 << 64) - 1, 0)
+    a.mov("r12", "rax")
+    a.mov_imm("rdi", THREAD_FLAGS | CLONE_VM)
+    a.lea("rsi", "r12", 8192)
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 0)
+    a.mov_imm("r8", 0)
+    a.mov_imm("rax", NR["clone"])
+    a.syscall()
+    a.cmpi("rax", 0)
+    a.jz("child")
+    a.label("spin")
+    a.load("rcx", "r12", 0)
+    a.cmpi("rcx", 1)
+    a.jnz("spin")
+    emit_exit(a, 0)
+    a.label("child")
+    emit_syscall(a, "gettid")  # interposed from the thread
+    a.mov_imm("rcx", 1)
+    a.store("r12", 0, "rcx")
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rax", NR["exit"])
+    a.syscall()
+    proc = machine.load(finish(a))
+    tr = TraceInterposer()
+    Lazypoline.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 0
+    threads = proc.threads()
+    assert len(threads) == 2
+    main, child = threads[0], threads[1]
+    assert child.regs.gs_base != main.regs.gs_base  # private selector
+    assert child.sud is not None
+    assert child.sud.selector_addr == child.regs.gs_base + gsrel.GS_SELECTOR
+    assert "gettid" in tr.names
+
+
+def test_execve_reinstall(machine):
+    t = asm()
+    t.label("_start")
+    emit_syscall(t, "getpid")
+    emit_exit(t, 44)
+    machine.register_binary("/bin/next", finish(t, name="next"))
+
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "execve", "path", 0, 0)
+    emit_exit(a, 1)
+    a.label("path")
+    a.db(b"/bin/next\x00")
+    proc = machine.load(finish(a))
+    tr = TraceInterposer()
+    config = LazypolineConfig(reinstall_on_exec=True)
+    Lazypoline.install(machine, proc, tr, config)
+    code = machine.run_process(proc)
+    assert code == 44
+    # the post-exec getpid was interposed by the re-installed lazypoline
+    assert "getpid" in tr.names
+    assert proc.task.sud is not None
+
+
+def test_execve_without_reinstall_stops_interposing(machine):
+    t = asm()
+    t.label("_start")
+    emit_syscall(t, "getpid")
+    emit_exit(t, 44)
+    machine.register_binary("/bin/next", finish(t, name="next"))
+
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "execve", "path", 0, 0)
+    emit_exit(a, 1)
+    a.label("path")
+    a.db(b"/bin/next\x00")
+    proc = machine.load(finish(a))
+    tr = TraceInterposer()
+    Lazypoline.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 44
+    assert "getpid" not in tr.names
+    assert proc.task.sud is None
+
+
+def test_jit_exhaustiveness_vs_sud_and_zpoline(machine):
+    """The §V-A experiment: lazypoline's trace == SUD's trace, including
+    the JIT-ed getpid; zpoline's misses it."""
+    traces = {}
+    for name, installer in [
+        ("sud", SudTool.install),
+        ("zpoline", Zpoline.install),
+        ("lazypoline", Lazypoline.install),
+    ]:
+        m = Machine()
+        tcc.setup_fs(m)
+        proc = m.load(tcc.build_tcc_image())
+        tr = TraceInterposer()
+        installer(m, proc, tr)
+        assert m.run_process(proc) == 0
+        assert proc.stdout == b"ok\n"
+        traces[name] = tr.names
+    assert traces["lazypoline"] == traces["sud"]
+    assert "getpid" in traces["lazypoline"]
+    assert "getpid" not in traces["zpoline"]
+
+
+def test_rewrite_disabled_degrades_to_sud_mode(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rbx", 3)
+    a.label("loop")
+    emit_syscall(a, "getpid")
+    a.dec("rbx")
+    a.jnz("loop")
+    emit_exit(a, 0)
+    proc = machine.load(finish(a))
+    tr = TraceInterposer()
+    tool = Lazypoline.install(
+        machine, proc, tr, LazypolineConfig(rewrite=False)
+    )
+    machine.run_process(proc)
+    assert tr.count("getpid") == 3
+    assert not tool.rewritten  # every call took the slow path
+    assert tool.slowpath_hits >= 4
+
+
+def test_manual_rewrite_site_now(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rax", NR["getpid"])
+    a.label("site")
+    a.syscall()
+    emit_exit(a, 0)
+    img = finish(a)
+    proc = machine.load(img)
+    tool = Lazypoline.install(machine, proc, TraceInterposer())
+    with pytest.raises(ValueError):
+        tool.rewrite_site_now(img.symbols["_start"])  # not a syscall insn
+    tool.rewrite_site_now(img.symbols["site"])
+    assert proc.task.mem.read(img.symbols["site"], 2, check=None) == CALL_RAX_BYTES
+    machine.run_process(proc)
+    # the pre-rewritten site never took the slow path
+    assert tool.slowpath_hits == 1  # only the exit_group site trapped
+
+
+def test_interposer_return_value_reaches_app(machine):
+    def fake_pid(ctx):
+        if ctx.name == "getpid":
+            ctx.do_syscall()
+            return 4242 & 0xFF  # lie to the app
+        return ctx.do_syscall()
+
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "getpid")
+    a.mov("rdi", "rax")
+    a.mov_imm("rax", NR["exit_group"])
+    a.syscall()
+    proc = machine.load(finish(a))
+    Lazypoline.install(machine, proc, fake_pid)
+    assert machine.run_process(proc) == 4242 & 0xFF

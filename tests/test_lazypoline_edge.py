@@ -1,0 +1,183 @@
+"""lazypoline edge cases: page-straddling rewrites, RWX code, nesting."""
+
+from __future__ import annotations
+
+from repro.arch.encode import Assembler
+from repro.arch.isa import CALL_RAX_BYTES
+from repro.interpose.api import TraceInterposer
+from repro.interpose.lazypoline import Lazypoline
+from repro.kernel.syscalls.table import NR
+from repro.loader.image import image_from_assembler
+from repro.mem.pages import PAGE_SIZE, Perm
+
+from tests.conftest import asm, emit_exit, emit_syscall, finish
+
+
+def test_rewrite_of_page_straddling_syscall(machine):
+    """A two-byte syscall whose bytes cross a page boundary: the slow path
+    must flip permissions on *both* pages for the rewrite."""
+    base = 0x400000
+    a = Assembler(base=base)
+    a.label("_start")
+    a.mov_imm("rax", NR["getpid"])
+    # pad so the syscall's 0F lands on the last byte of the first page
+    target = PAGE_SIZE - 1  # offset of the syscall's first byte
+    while (len(a.assemble()) if False else a.here() - base) < target:
+        a.nop()
+    a.label("site")
+    a.syscall()  # 0F at page end, 05 at next page start
+    emit_exit(a, 0)
+    image = image_from_assembler("straddle", a, entry="_start")
+    assert image.symbols["site"] == base + PAGE_SIZE - 1
+
+    proc = machine.load(image)
+    tr = TraceInterposer()
+    tool = Lazypoline.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 0
+    assert "getpid" in tr.names
+    site = image.symbols["site"]
+    assert site in tool.rewritten
+    assert proc.task.mem.read(site, 2, check=None) == CALL_RAX_BYTES
+    # both pages are back to their original permissions
+    assert proc.task.mem.perm_at(base) == Perm.RX
+    assert proc.task.mem.perm_at(base + PAGE_SIZE) == Perm.RX
+
+
+def test_rewrite_preserves_rwx_on_jit_pages(machine):
+    """Rewriting inside an RWX (JIT) page must restore RWX, not RX —
+    otherwise subsequent code generation in the same page faults."""
+    a = asm()
+    a.label("_start")
+    # mmap RWX page
+    emit_syscall(a, "mmap", 0, 4096, 7, 0x22, (1 << 64) - 1, 0)
+    a.mov("r12", "rax")
+    # write `mov eax, getpid; syscall; ret` twice at different offsets
+    a.mov_imm("rcx", int.from_bytes(
+        bytes((0xB8, NR["getpid"], 0, 0, 0, 0x0F, 0x05, 0xC3)), "little"))
+    a.store("r12", 0, "rcx")
+    a.call_reg("r12")
+    # second generation pass into the SAME page (fails if perms were lost);
+    # rcx was clobbered by the first (real) syscall, so reload the code
+    a.mov_imm("rcx", int.from_bytes(
+        bytes((0xB8, NR["getpid"], 0, 0, 0, 0x0F, 0x05, 0xC3)), "little"))
+    a.store("r12", 64, "rcx")
+    a.lea("rbx", "r12", 64)
+    a.call_reg("rbx")
+    emit_exit(a, 0)
+    proc = machine.load(finish(a))
+    tr = TraceInterposer()
+    Lazypoline.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 0
+    assert tr.count("getpid") == 2
+    rwx_page = proc.task.regs.read_name("r12")
+    assert proc.task.mem.perm_at(rwx_page) == Perm.RWX
+
+
+def test_interposer_syscalls_not_recursively_interposed(machine):
+    """do_syscall from inside the interposer must not re-enter it."""
+    depth = {"current": 0, "max": 0}
+
+    def tracking(ctx):
+        depth["current"] += 1
+        depth["max"] = max(depth["max"], depth["current"])
+        ret = ctx.do_syscall()
+        depth["current"] -= 1
+        return ret
+
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rbx", 5)
+    a.label("loop")
+    emit_syscall(a, "getpid")
+    a.dec("rbx")
+    a.jnz("loop")
+    emit_exit(a, 0)
+    proc = machine.load(finish(a))
+    Lazypoline.install(machine, proc, tracking)
+    machine.run_process(proc)
+    assert depth["max"] == 1
+
+
+def test_two_processes_one_lazypoline_each(machine):
+    """Independent tools on independent processes don't interfere."""
+    tr1, tr2 = TraceInterposer(), TraceInterposer()
+
+    def prog(tag, code):
+        a = asm()
+        a.label("_start")
+        emit_syscall(a, "getpid")
+        emit_exit(a, code)
+        return finish(a, name=tag)
+
+    p1 = machine.load(prog("a", 1))
+    p2 = machine.load(prog("b", 2))
+    Lazypoline.install(machine, p1, tr1)
+    Lazypoline.install(machine, p2, tr2)
+    machine.run()
+    assert p1.exit_code == 1 and p2.exit_code == 2
+    assert tr1.names == ["getpid", "exit_group"]
+    assert tr2.names == ["getpid", "exit_group"]
+
+
+def test_sysenter_also_rewritten(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rax", NR["getpid"])
+    a.label("site")
+    a.sysenter()
+    emit_exit(a, 0)
+    img = finish(a)
+    proc = machine.load(img)
+    tr = TraceInterposer()
+    tool = Lazypoline.install(machine, proc, tr)
+    machine.run_process(proc)
+    assert "getpid" in tr.names
+    assert img.symbols["site"] in tool.rewritten
+
+
+def test_syscall_from_signal_handler_rewritten_lazily(machine):
+    """Fig. 3 ②: handler syscalls flow through the hybrid paths."""
+    from repro.kernel.signals import SIGUSR1
+
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rdi", SIGUSR1)
+    a.mov_imm("rsi", "act")
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 8)
+    a.mov_imm("rax", NR["rt_sigaction"])
+    a.syscall()
+    a.mov_imm("rbx", 2)
+    a.label("again")
+    emit_syscall(a, "getpid")
+    a.mov("rdi", "rax")
+    a.mov_imm("rsi", SIGUSR1)
+    a.mov_imm("rax", NR["kill"])
+    a.syscall()
+    a.dec("rbx")
+    a.jnz("again")
+    emit_exit(a, 0)
+    a.label("handler")
+    a.label("handler_site")
+    emit_syscall(a, "gettid")
+    a.ret()
+    a.align(8, fill=0)
+    a.label("act")
+    a.dq("handler")
+    a.dq(0)
+    a.dq(0)
+    a.dq(0)
+    img = finish(a)
+    proc = machine.load(img)
+    tr = TraceInterposer()
+    tool = Lazypoline.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 0
+    assert tr.count("gettid") == 2  # both deliveries interposed
+    # The handler's gettid site was rewritten on its first execution and
+    # reused from the fast path on the second.
+    handler_sites = [s for s in tool.rewritten
+                     if img.symbols["handler"] <= s < img.symbols["act"]]
+    assert handler_sites

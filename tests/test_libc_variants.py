@@ -1,0 +1,97 @@
+"""The modelled libc CRT variants (Table III root causes)."""
+
+from __future__ import annotations
+
+from repro.analysis.pin import RegisterPreservationTool
+from repro.arch.encode import Assembler
+from repro.kernel.machine import Machine
+from repro.kernel.syscalls.table import NR
+from repro.libc.variants import (
+    GLIBC_231_UBUNTU,
+    GLIBC_239_CLEARLINUX,
+    LIBC_VARIANTS,
+)
+from repro.loader.image import image_from_assembler
+from repro.mem import layout
+
+
+def _run_startup(variant, uses_threads: bool):
+    machine = Machine()
+    a = Assembler(base=layout.CODE_BASE)
+    a.label("_start")
+    variant.emit(a, uses_threads=uses_threads)
+    a.mov_imm("rax", NR["exit_group"])
+    a.mov_imm("rdi", 0)
+    a.syscall()
+    tool = RegisterPreservationTool()
+    machine.kernel.cpu.add_hook(tool)
+    process = machine.load(image_from_assembler("crt", a, entry="_start"))
+    machine.run(until=lambda: not process.alive, max_instructions=200_000)
+    assert process.exit_code == 0
+    return machine, process, tool
+
+
+def test_variant_registry():
+    assert set(LIBC_VARIANTS) == {"glibc231-ubuntu2004", "glibc239-clearlinux"}
+    assert GLIBC_231_UBUNTU.march == "x86-64-v1"
+    assert GLIBC_239_CLEARLINUX.march == "x86-64-v3"
+
+
+def test_ubuntu_startup_without_threads_is_clean():
+    _machine, _proc, tool = _run_startup(GLIBC_231_UBUNTU, uses_threads=False)
+    assert not tool.expects_xstate_preservation()
+
+
+def test_ubuntu_pthread_init_matches_listing1():
+    """The Listing-1 pattern: xmm0 live across set_tid_address AND
+    set_robust_list, read back by a single movups."""
+    _machine, _proc, tool = _run_startup(GLIBC_231_UBUNTU, uses_threads=True)
+    findings = tool.xstate_findings
+    assert findings
+    assert all(f.register == "xmm0" for f in findings)
+    syscalls = {f.syscall for f in findings}
+    assert "set_tid_address" in syscalls
+
+
+def test_ubuntu_startup_performs_the_canonical_syscalls():
+    machine, _proc, _tool = _run_startup(GLIBC_231_UBUNTU, uses_threads=True)
+    # the libc data page was mapped and __stack_user initialised: the
+    # struct's prev/next fields both point at itself (Listing 1 semantics)
+
+
+def test_ubuntu_stack_user_fields_written():
+    machine, proc, _tool = _run_startup(GLIBC_231_UBUNTU, uses_threads=True)
+    r15 = proc.task.regs.read_name("r15")
+    from repro.libc.variants import STACK_USER_OFF
+
+    addr = r15 + STACK_USER_OFF
+    prev = proc.task.mem.read_u64(addr, check=None)
+    next_ = proc.task.mem.read_u64(addr + 8, check=None)
+    assert prev == next_ == addr  # both halves hold &__stack_user
+
+
+def test_clearlinux_ptmalloc_init_always_present():
+    for uses_threads in (False, True):
+        _machine, _proc, tool = _run_startup(
+            GLIBC_239_CLEARLINUX, uses_threads=uses_threads
+        )
+        assert tool.expects_xstate_preservation()
+        syscalls = {f.syscall for f in tool.xstate_findings}
+        assert syscalls == {"getrandom"}
+
+
+def test_clearlinux_touches_avx_component():
+    _machine, _proc, tool = _run_startup(GLIBC_239_CLEARLINUX, uses_threads=False)
+    components = {f.component for f in tool.xstate_findings}
+    assert components == {"sse", "avx"}  # the v3 code path
+
+
+def test_clearlinux_main_arena_written():
+    machine, proc, _tool = _run_startup(GLIBC_239_CLEARLINUX, uses_threads=False)
+    from repro.libc.variants import MAIN_ARENA_OFF
+
+    r15 = proc.task.regs.read_name("r15")
+    arena = proc.task.mem.read_u64(r15 + MAIN_ARENA_OFF, check=None)
+    # xmm1 was loaded with &main_arena then run through the v3 vaddpd
+    # (doubling each lane) before the store.
+    assert arena == (2 * (r15 + MAIN_ARENA_OFF)) & ((1 << 64) - 1)

@@ -1,0 +1,133 @@
+"""Loader and program-image tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.encode import Assembler
+from repro.errors import LoaderError
+from repro.kernel.machine import Machine
+from repro.loader.image import ProgramImage, Segment, image_from_assembler
+from repro.loader.loading import VDSO_BASE, build_vdso, load_into
+from repro.mem import layout
+from repro.mem.pages import PAGE_SIZE, Perm
+
+from tests.conftest import asm, emit_exit, finish
+
+
+def test_image_from_assembler_symbols_and_entry():
+    a = Assembler(base=0x400000)
+    a.label("_start")
+    a.nop()
+    a.label("func")
+    a.ret()
+    image = image_from_assembler("p", a, entry="func")
+    assert image.entry == 0x400001
+    assert image.symbols == {"_start": 0x400000, "func": 0x400001}
+    assert image.segments[0].perm == Perm.RX
+
+
+def test_text_segments_filter():
+    image = ProgramImage(
+        "p",
+        [
+            Segment(0x1000, b"\x90", Perm.RX),
+            Segment(0x2000, b"d", Perm.RW),
+        ],
+        0x1000,
+    )
+    assert [s.addr for s in image.text_segments()] == [0x1000]
+
+
+def test_load_maps_stack_and_vdso(machine):
+    a = asm()
+    a.label("_start")
+    emit_exit(a, 0)
+    proc = machine.load(finish(a))
+    mem = proc.task.mem
+    assert mem.is_mapped(VDSO_BASE)
+    assert mem.perm_at(VDSO_BASE) == Perm.RX
+    assert proc.task.vdso_sigreturn == VDSO_BASE
+    assert mem.is_mapped(layout.STACK_TOP - PAGE_SIZE)
+    rsp = proc.task.regs.read_name("rsp")
+    assert rsp % 16 == 0
+    assert layout.STACK_TOP - layout.STACK_SIZE <= rsp < layout.STACK_TOP
+
+
+def test_vdso_contains_sigreturn_syscall():
+    code = build_vdso()
+    # mov rax, 15 (5-byte form) followed by syscall
+    assert code[0] == 0xB8
+    assert code[1] == 15
+    assert code[5:7] == b"\x0f\x05"
+
+
+def test_overlapping_segments_rejected(machine):
+    a = Assembler(base=0x400000)
+    a.nop()
+    image = image_from_assembler("p", a)
+    image.segments.append(Segment(0x400000, b"x", Perm.RW))
+    from repro.mem.address_space import AddressSpace
+
+    task = machine.kernel.new_task(AddressSpace())
+    with pytest.raises(LoaderError):
+        load_into(machine.kernel, task, image)
+
+
+def test_argv_layout(machine):
+    a = asm()
+    a.label("_start")
+    emit_exit(a, 0)
+    proc = machine.load(finish(a), argv=("prog", "one", "two"))
+    task = proc.task
+    assert task.regs.read_name("rdi") == 3  # argc
+    argv = task.regs.read_name("rsi")
+    ptrs = [task.mem.read_u64(argv + 8 * i, check=None) for i in range(4)]
+    strings = [task.mem.read_cstr(p, check=None) for p in ptrs[:3]]
+    assert strings == [b"prog", b"one", b"two"]
+    assert ptrs[3] == 0  # NULL terminator
+
+
+def test_extra_data_segment(machine):
+    a = Assembler(base=0x400000)
+    a.label("_start")
+    a.mov_imm("rbx", 0x600000)
+    a.load("rdi", "rbx", 0)
+    a.mov_imm("rax", 231)
+    a.syscall()
+    image = image_from_assembler(
+        "p",
+        a,
+        entry="_start",
+        extra_segments=[Segment(0x600000, (42).to_bytes(8, "little"), Perm.RW)],
+    )
+    proc = machine.load(image)
+    assert machine.run_process(proc) == 42
+
+
+def test_register_binary_and_execve_path_normalisation(machine):
+    a = asm()
+    a.label("_start")
+    emit_exit(a, 9)
+    image = finish(a, name="thing")
+    machine.register_binary("//bin//thing", image)
+    assert machine.kernel.binaries["/bin/thing"] is image
+
+
+def test_brk_base_above_loaded_segments(machine):
+    a = asm()
+    a.label("_start")
+    emit_exit(a, 0)
+    proc = machine.load(finish(a))
+    assert proc.task.brk_base > 0x400000
+
+
+def test_two_processes_have_independent_memory(machine):
+    a = asm()
+    a.label("_start")
+    emit_exit(a, 1)
+    p1 = machine.load(finish(a))
+    p2 = machine.load(finish(a))
+    p1.task.mem.write(0x400000, b"\xcc", check=None)
+    assert p2.task.mem.read(0x400000, 1, check=None) != b"\xcc"
+    assert p1.pid != p2.pid

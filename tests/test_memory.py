@@ -1,0 +1,163 @@
+"""Virtual memory tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MapError, PageFault
+from repro.mem.address_space import AddressSpace
+from repro.mem.pages import PAGE_SIZE, Perm
+
+
+@pytest.fixture
+def mem():
+    return AddressSpace()
+
+
+def test_map_and_rw(mem):
+    mem.map(0x1000, PAGE_SIZE, Perm.RW)
+    mem.write(0x1000, b"abc")
+    assert mem.read(0x1000, 3) == b"abc"
+
+
+def test_cross_page_rw(mem):
+    mem.map(0x1000, 3 * PAGE_SIZE, Perm.RW)
+    data = bytes(range(256)) * 20
+    addr = 0x2000 - 100
+    mem.write(addr, data)
+    assert mem.read(addr, len(data)) == data
+
+
+def test_unmapped_read_faults(mem):
+    with pytest.raises(PageFault) as exc:
+        mem.read(0x5000, 1)
+    assert exc.value.address == 0x5000
+    assert exc.value.access == "read"
+
+
+def test_write_to_readonly_faults(mem):
+    mem.map(0x1000, PAGE_SIZE, Perm.R)
+    with pytest.raises(PageFault):
+        mem.write(0x1000, b"x")
+
+
+def test_exec_requires_x(mem):
+    mem.map(0x1000, PAGE_SIZE, Perm.RW)
+    with pytest.raises(PageFault):
+        mem.fetch(0x1000, 2)
+    mem.protect(0x1000, PAGE_SIZE, Perm.RX)
+    assert mem.fetch(0x1000, 2) == b"\x00\x00"
+
+
+def test_fetch_truncates_at_region_end(mem):
+    mem.map(0x1000, PAGE_SIZE, Perm.RX)
+    data = mem.fetch(0x2000 - 3, 10)
+    assert len(data) == 3
+
+
+def test_kernel_access_bypasses_permissions(mem):
+    mem.map(0x1000, PAGE_SIZE, Perm.NONE)
+    mem.write(0x1000, b"k", check=None)
+    assert mem.read(0x1000, 1, check=None) == b"k"
+
+
+def test_overlap_map_rejected(mem):
+    mem.map(0x1000, PAGE_SIZE, Perm.RW)
+    with pytest.raises(MapError):
+        mem.map(0x1000, PAGE_SIZE, Perm.RW)
+
+
+def test_unaligned_map_rejected(mem):
+    with pytest.raises(MapError):
+        mem.map(0x1001, PAGE_SIZE, Perm.RW)
+
+
+def test_protect_unmapped_rejected(mem):
+    with pytest.raises(MapError):
+        mem.protect(0x1000, PAGE_SIZE, Perm.R)
+
+
+def test_unmap_then_fault(mem):
+    mem.map(0x1000, PAGE_SIZE, Perm.RW)
+    mem.unmap(0x1000, PAGE_SIZE)
+    with pytest.raises(PageFault):
+        mem.read(0x1000, 1)
+
+
+def test_map_anywhere_avoids_collisions(mem):
+    a = mem.map_anywhere(PAGE_SIZE, Perm.RW, hint=0x10000)
+    b = mem.map_anywhere(PAGE_SIZE, Perm.RW, hint=0x10000)
+    assert a != b
+    assert mem.is_mapped(a) and mem.is_mapped(b)
+
+
+def test_regions_merge(mem):
+    mem.map(0x1000, PAGE_SIZE, Perm.RX)
+    mem.map(0x2000, PAGE_SIZE, Perm.RX)
+    mem.map(0x3000, PAGE_SIZE, Perm.RW)
+    regions = mem.regions()
+    assert len(regions) == 2
+    assert regions[0].start == 0x1000 and regions[0].end == 0x3000
+    assert regions[0].perm == Perm.RX
+
+
+def test_executable_regions(mem):
+    mem.map(0x1000, PAGE_SIZE, Perm.RX)
+    mem.map(0x3000, PAGE_SIZE, Perm.RW)
+    assert [r.start for r in mem.executable_regions()] == [0x1000]
+
+
+def test_fork_copy_is_independent(mem):
+    mem.map(0x1000, PAGE_SIZE, Perm.RW)
+    mem.write(0x1000, b"parent")
+    clone = mem.fork_copy()
+    clone.write(0x1000, b"child!")
+    assert mem.read(0x1000, 6) == b"parent"
+    assert clone.read(0x1000, 6) == b"child!"
+
+
+def test_typed_accessors(mem):
+    mem.map(0x1000, PAGE_SIZE, Perm.RW)
+    mem.write_u64(0x1000, 0x1122334455667788)
+    assert mem.read_u64(0x1000) == 0x1122334455667788
+    assert mem.read_u32(0x1000) == 0x55667788
+    assert mem.read_u16(0x1000) == 0x7788
+    assert mem.read_u8(0x1000) == 0x88
+    mem.write_cstr(0x1100, b"hi")
+    assert mem.read_cstr(0x1100) == b"hi"
+
+
+def test_cstr_respects_maxlen(mem):
+    mem.map(0x1000, PAGE_SIZE, Perm.RW)
+    mem.write(0x1000, b"A" * 100)
+    assert mem.read_cstr(0x1000, maxlen=10) == b"A" * 10
+
+
+@given(
+    offset=st.integers(min_value=0, max_value=3 * PAGE_SIZE - 1),
+    data=st.binary(min_size=1, max_size=PAGE_SIZE),
+)
+def test_rw_roundtrip_property(offset, data):
+    mem = AddressSpace()
+    mem.map(0x10000, 4 * PAGE_SIZE, Perm.RW)
+    mem.write(0x10000 + offset, data)
+    assert mem.read(0x10000 + offset, len(data)) == data
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=30))
+def test_map_unmap_sequence_consistency(pages):
+    """Mapping then unmapping any page sequence leaves no residue."""
+    mem = AddressSpace()
+    mapped = set()
+    for pn in pages:
+        addr = 0x100000 + pn * PAGE_SIZE
+        if pn in mapped:
+            mem.unmap(addr, PAGE_SIZE)
+            mapped.discard(pn)
+        else:
+            mem.map(addr, PAGE_SIZE, Perm.RW)
+            mapped.add(pn)
+    for pn in range(64):
+        addr = 0x100000 + pn * PAGE_SIZE
+        assert mem.is_mapped(addr) == (pn in mapped)

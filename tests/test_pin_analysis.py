@@ -1,0 +1,190 @@
+"""The register-preservation (Pin-style) analysis tool."""
+
+from __future__ import annotations
+
+from repro.analysis.pin import RegisterPreservationTool
+from repro.kernel.machine import Machine
+from repro.kernel.syscalls.table import NR
+from repro.libc.variants import GLIBC_231_UBUNTU, GLIBC_239_CLEARLINUX
+from repro.workloads.coreutils import (
+    COREUTIL_NAMES,
+    THREAD_LINKED,
+    build_coreutil,
+    run_coreutil,
+    setup_fs,
+)
+
+from tests.conftest import asm, emit_exit, emit_syscall, finish
+
+
+def _run_with_pin(machine, image):
+    tool = RegisterPreservationTool()
+    machine.kernel.cpu.add_hook(tool)
+    proc = machine.load(image)
+    machine.run(until=lambda: not proc.alive, max_instructions=2_000_000)
+    machine.kernel.cpu.remove_hook(tool)
+    assert proc.exit_code == 0, (proc.exit_code, proc.term_signal)
+    return tool
+
+
+def test_write_syscall_read_is_a_finding(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rax", 7)
+    a.movq_xg("xmm3", "rax")  # write xmm3
+    emit_syscall(a, "getpid")  # intervening syscall
+    a.movq_gx("rbx", "xmm3")  # read xmm3: the app expects preservation
+    emit_exit(a, 0)
+    tool = _run_with_pin(machine, finish(a))
+    assert tool.expects_xstate_preservation()
+    finding = tool.xstate_findings[0]
+    assert finding.register == "xmm3"
+    assert finding.syscall == "getpid"
+
+
+def test_write_read_without_syscall_is_not_a_finding(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rax", 7)
+    a.movq_xg("xmm3", "rax")
+    a.movq_gx("rbx", "xmm3")  # read before any syscall
+    emit_syscall(a, "getpid")
+    emit_exit(a, 0)
+    tool = _run_with_pin(machine, finish(a))
+    assert not tool.expects_xstate_preservation()
+
+
+def test_rewrite_before_read_clears_expectation(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rax", 7)
+    a.movq_xg("xmm3", "rax")
+    emit_syscall(a, "getpid")
+    a.mov_imm("rax", 9)
+    a.movq_xg("xmm3", "rax")  # overwritten after the syscall
+    a.movq_gx("rbx", "xmm3")
+    emit_exit(a, 0)
+    tool = _run_with_pin(machine, finish(a))
+    assert not tool.expects_xstate_preservation()
+
+
+def test_kernel_clobbered_gprs_are_not_findings(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rcx", 5)
+    a.mov_imm("r11", 6)
+    emit_syscall(a, "getpid")
+    a.mov("rbx", "rcx")  # reading rcx after a syscall: legal clobber
+    a.mov("rbx", "r11")
+    emit_exit(a, 0)
+    tool = _run_with_pin(machine, finish(a))
+    clobber_findings = [
+        f for f in tool.gpr_findings if f.register in ("rcx", "r11", "rax")
+    ]
+    assert not clobber_findings
+
+
+def test_callee_saved_gpr_expectation_is_recorded(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rbx", 5)
+    emit_syscall(a, "getpid")
+    a.cmpi("rbx", 5)  # read rbx across the syscall
+    emit_exit(a, 0)
+    tool = _run_with_pin(machine, finish(a))
+    assert any(f.register == "rbx" for f in tool.gpr_findings)
+
+
+def test_x87_tracked_as_unit(machine):
+    a = asm()
+    a.label("_start")
+    a.fld1()
+    emit_syscall(a, "getpid")
+    a.mov("rbx", "rsp")
+    a.subi("rbx", 64)
+    a.fstp_mem("rbx", 0)  # reads the x87 stack after the syscall
+    emit_exit(a, 0)
+    tool = _run_with_pin(machine, finish(a))
+    assert any(f.component == "x87" for f in tool.xstate_findings)
+
+
+def test_avx_component_distinct_from_sse(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rax", 2)
+    a.movq_xg("xmm4", "rax")
+    a.vaddpd("xmm4", "xmm4")  # makes ymm4.high live
+    emit_syscall(a, "getpid")
+    a.vaddpd("xmm4", "xmm4")  # reads both xmm4 and ymm4.high
+    emit_exit(a, 0)
+    tool = _run_with_pin(machine, finish(a))
+    components = {f.component for f in tool.xstate_findings}
+    assert components == {"sse", "avx"}
+
+
+def test_dedup_same_site(machine):
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rbx", 2)
+    a.label("loop")
+    a.mov_imm("rax", 7)
+    a.movq_xg("xmm0", "rax")
+    emit_syscall(a, "getpid")
+    a.movq_gx("rcx", "xmm0")
+    a.dec("rbx")
+    a.jnz("loop")
+    emit_exit(a, 0)
+    tool = _run_with_pin(machine, finish(a))
+    assert len(tool.xstate_findings) == 1  # identical (site, syscall) deduped
+
+
+# ---------------------------------------------------------------- coreutils
+def test_all_coreutils_run_clean_on_both_variants():
+    for variant in (GLIBC_231_UBUNTU, GLIBC_239_CLEARLINUX):
+        for name in COREUTIL_NAMES:
+            machine = Machine()
+            process = run_coreutil(machine, name, variant)
+            assert process.exit_code == 0, (name, variant.name)
+
+
+def test_coreutils_do_real_work():
+    machine = Machine()
+    process = run_coreutil(machine, "cp")
+    assert process.exit_code == 0
+    assert machine.fs.lookup("/home/user/copy.txt").data == machine.fs.lookup(
+        "/home/user/file.txt"
+    ).data
+
+    machine = Machine()
+    run_coreutil(machine, "mkdir")
+    assert machine.fs.lookup("/home/user/newdir").is_dir
+
+    machine = Machine()
+    run_coreutil(machine, "rm")
+    assert not machine.fs.exists("/home/user/file.txt")
+
+    machine = Machine()
+    process = run_coreutil(machine, "cat")
+    assert b"quick brown fox" in process.stdout
+
+    machine = Machine()
+    process = run_coreutil(machine, "ls")
+    assert b"file.txt" in process.stdout
+
+    machine = Machine()
+    process = run_coreutil(machine, "pwd")
+    assert process.stdout.startswith(b"/")
+
+
+def test_thread_linked_set_matches_table3_ubuntu_column():
+    assert THREAD_LINKED == {"ls", "mkdir", "mv", "cp"}
+    assert len(THREAD_LINKED) / len(COREUTIL_NAMES) == 0.4  # the paper's 40%
+
+
+def test_pthread_init_listing1_only_for_thread_linked(machine):
+    setup_fs(machine)
+    tool = RegisterPreservationTool()
+    machine.kernel.cpu.add_hook(tool)
+    proc = machine.load(build_coreutil("touch", GLIBC_231_UBUNTU))
+    machine.run(until=lambda: not proc.alive, max_instructions=2_000_000)
+    assert not tool.expects_xstate_preservation()

@@ -1,0 +1,104 @@
+"""Function-level (LD_PRELOAD-style) interposition and its blind spots."""
+
+from __future__ import annotations
+
+from repro.interpose.api import TraceInterposer
+from repro.interpose.lazypoline import Lazypoline
+from repro.interpose.preload_tool import PreloadTool
+from repro.kernel.syscalls.table import NR
+from repro.libc.wrappers import emit_call, emit_wrappers
+
+from tests.conftest import asm, finish
+
+
+def _wrapper_program(*, with_raw_syscall: bool):
+    a = asm()
+    a.label("_start")
+    # getpid via the libc wrapper
+    emit_call(a, "getpid")
+    # write(1, msg, 6) via the wrapper
+    a.mov_imm("rdi", 1)
+    a.mov_imm("rsi", "msg")
+    a.mov_imm("rdx", 6)
+    emit_call(a, "write")
+    if with_raw_syscall:
+        # a raw, inline syscall — outside any wrapper function
+        a.mov_imm("rax", NR["gettid"])
+        a.syscall()
+    a.mov_imm("rdi", 0)
+    emit_call(a, "exit_group")
+    emit_wrappers(a)
+    a.label("msg")
+    a.db(b"hello\n")
+    return finish(a, name="wrapped")
+
+
+def test_wrapper_calls_interposed(machine):
+    proc = machine.load(_wrapper_program(with_raw_syscall=False))
+    tr = TraceInterposer()
+    tool = PreloadTool.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 0
+    assert proc.stdout == b"hello\n"
+    assert tr.names == ["getpid", "write", "exit_group"]
+    assert set(tool.patched) >= {"getpid", "write", "exit_group"}
+
+
+def test_return_value_flows_through(machine):
+    def fake(ctx):
+        if ctx.name == "getpid":
+            ctx.do_syscall()
+            return 99
+        return ctx.do_syscall()
+
+    a = asm()
+    a.label("_start")
+    emit_call(a, "getpid")
+    a.mov("rdi", "rax")
+    emit_call(a, "exit_group")
+    emit_wrappers(a)
+    proc = machine.load(finish(a, name="w2"))
+    PreloadTool.install(machine, proc, fake)
+    assert machine.run_process(proc) == 99
+
+
+def test_raw_syscall_escapes_function_interposition(machine):
+    """§VII: syscall instructions outside wrapper functions are invisible."""
+    proc = machine.load(_wrapper_program(with_raw_syscall=True))
+    tr = TraceInterposer()
+    PreloadTool.install(machine, proc, tr)
+    code = machine.run_process(proc)
+    assert code == 0
+    assert "gettid" not in tr.names  # escaped
+    assert tr.count("write") == 1  # wrappers still seen
+
+
+def test_lazypoline_catches_what_preload_misses(machine):
+    proc = machine.load(_wrapper_program(with_raw_syscall=True))
+    tr = TraceInterposer()
+    Lazypoline.install(machine, proc, tr)
+    machine.run_process(proc)
+    assert "gettid" in tr.names  # syscall-level interposition is exhaustive
+
+
+def test_unknown_wrappers_not_patched(machine):
+    proc = machine.load(_wrapper_program(with_raw_syscall=False))
+    tool = PreloadTool.install(machine, proc, wrappers=["write"])
+    tr = tool.interposer  # passthrough; just check the patch set
+    assert set(tool.patched) == {"write"}
+    del tr
+
+
+def test_preload_is_cheap(machine):
+    """Function-level interposition has minimal overhead (§VII)."""
+    from repro.kernel.machine import Machine
+
+    def run(tool: bool) -> float:
+        m = Machine()
+        p = m.load(_wrapper_program(with_raw_syscall=False))
+        if tool:
+            PreloadTool.install(m, p, TraceInterposer())
+        m.run_process(p)
+        return m.clock
+
+    assert run(True) < 1.1 * run(False)

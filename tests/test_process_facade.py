@@ -1,0 +1,135 @@
+"""The Process/Machine public facade and task bookkeeping."""
+
+from __future__ import annotations
+
+from repro.kernel.machine import Machine
+from repro.kernel.syscalls.table import NR
+from repro.kernel.task import FdTable, SigAction, SigHandlers, TaskState
+
+from tests.conftest import asm, emit_exit, emit_syscall, finish, hello_image
+
+
+def test_process_properties(machine):
+    proc = machine.load(hello_image(b"x\n", exit_code=5))
+    assert proc.alive
+    assert proc.pid == proc.task.tid
+    machine.run_process(proc)
+    assert not proc.alive
+    assert proc.exit_code == 5
+    assert proc.term_signal is None
+    assert proc.stdout == b"x\n"
+    assert proc.stderr == b""
+
+
+def test_threads_listing(machine):
+    from repro.kernel.syscalls.proc import CLONE_VM, THREAD_FLAGS
+
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "mmap", 0, 8192, 3, 0x22, (1 << 64) - 1, 0)
+    a.mov("r12", "rax")
+    a.mov_imm("rdi", THREAD_FLAGS | CLONE_VM)
+    a.lea("rsi", "r12", 8192)
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 0)
+    a.mov_imm("r8", 0)
+    a.mov_imm("rax", NR["clone"])
+    a.syscall()
+    a.cmpi("rax", 0)
+    a.jz("child")
+    emit_exit(a, 0)
+    a.label("child")
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rax", NR["exit"])
+    a.syscall()
+    proc = machine.load(finish(a))
+    machine.run()
+    assert len(proc.threads()) == 2
+    assert {t.pid for t in proc.threads()} == {proc.pid}
+
+
+def test_fdtable_install_and_copy():
+    table = FdTable()
+    fd1 = table.install("descA")
+    fd2 = table.install("descB")
+    assert fd1 == 3 and fd2 == 4  # stdio reserved
+    fixed = table.install("descC", fd=10)
+    assert fixed == 10
+    clone = table.copy()
+    clone.remove(fd1)
+    assert table.get(fd1) == "descA"  # original untouched
+    assert clone.get(fd1) is None
+
+
+def test_sighandlers_copy_is_deep():
+    handlers = SigHandlers()
+    handlers.set(10, SigAction(handler=0x1234, flags=1))
+    clone = handlers.copy()
+    clone.set(10, SigAction(handler=0x9999))
+    assert handlers.get(10).handler == 0x1234
+
+
+def test_task_signal_mask_helpers(machine):
+    proc = machine.load(hello_image())
+    task = proc.task
+    assert not task.signal_blocked(10)
+    task.sigmask |= 1 << 10
+    assert task.signal_blocked(10)
+    from repro.kernel.task import PendingSignal
+
+    task.pending.append(PendingSignal(10))
+    assert not task.has_deliverable_signal()
+    task.sigmask = 0
+    assert task.has_deliverable_signal()
+
+
+def test_task_states(machine):
+    proc = machine.load(hello_image())
+    assert proc.task.state is TaskState.RUNNABLE
+    machine.run()
+    assert proc.task.state is TaskState.ZOMBIE
+    assert proc.task in machine.zombies()
+
+
+def test_wait_reaps_to_dead(machine):
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "fork")
+    a.cmpi("rax", 0)
+    a.jz("child")
+    a.mov_imm("rdi", (1 << 64) - 1)
+    a.mov_imm("rsi", 0)
+    a.mov_imm("rdx", 0)
+    a.mov_imm("rax", NR["wait4"])
+    a.syscall()
+    emit_exit(a, 0)
+    a.label("child")
+    emit_exit(a, 0)
+    proc = machine.load(finish(a))
+    machine.run()
+    child = [t for t in machine.kernel.tasks.values() if t.parent is proc.task][0]
+    assert child.state is TaskState.DEAD  # reaped by wait4
+
+
+def test_machine_register_hcall_roundtrip(machine):
+    calls = []
+    hid = machine.kernel.register_hcall(lambda ctx: calls.append(ctx.task.tid))
+    a = asm()
+    a.label("_start")
+    a.hcall(hid)
+    emit_exit(a, 0)
+    proc = machine.load(finish(a))
+    machine.run_process(proc)
+    assert calls == [proc.task.tid]
+
+
+def test_unknown_hcall_is_sigill(machine):
+    a = asm()
+    a.label("_start")
+    a.hcall(999)
+    emit_exit(a, 0)
+    proc = machine.load(finish(a))
+    machine.run(until=lambda: not proc.alive)
+    from repro.kernel.signals import SIGILL
+
+    assert proc.term_signal == SIGILL

@@ -1,0 +1,303 @@
+"""The cBPF interpreter and seccomp filter semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import BpfError
+from repro.kernel.seccomp import (
+    BPF_ABS,
+    BPF_JA,
+    BPF_JEQ,
+    BPF_JGE,
+    BPF_JGT,
+    BPF_JMP,
+    BPF_JSET,
+    BPF_K,
+    BPF_LD,
+    BPF_RET,
+    BPF_W,
+    BpfInsn,
+    BpfProgram,
+    FilterBuilder,
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_ERRNO,
+    SECCOMP_RET_KILL_PROCESS,
+    SECCOMP_RET_TRAP,
+    SeccompData,
+    evaluate_filters,
+    jump,
+    run_bpf,
+    stmt,
+)
+from repro.kernel.seccomp.bpf import (
+    BPF_ADD,
+    BPF_ALU,
+    BPF_AND,
+    BPF_IMM,
+    BPF_LSH,
+    BPF_MEM,
+    BPF_MISC,
+    BPF_OR,
+    BPF_RSH,
+    BPF_ST,
+    BPF_SUB,
+    BPF_TAX,
+    BPF_TXA,
+    BPF_XOR,
+    BPF_LDX,
+)
+from repro.kernel.signals import AUDIT_ARCH_X86_64
+
+_LD = BPF_LD | BPF_W | BPF_ABS
+_RET = BPF_RET | BPF_K
+
+
+def data(nr=0, ip=0, args=(0, 0, 0, 0, 0, 0)):
+    return SeccompData(nr, AUDIT_ARCH_X86_64, ip, tuple(args)).pack()
+
+
+def test_ret_k():
+    prog = BpfProgram([stmt(_RET, 0x1234)])
+    assert run_bpf(prog, data())[0] == 0x1234
+
+
+def test_ld_nr_and_jeq():
+    prog = BpfProgram(
+        [
+            stmt(_LD, 0),  # A = nr
+            jump(BPF_JMP | BPF_JEQ | BPF_K, 42, 0, 1),
+            stmt(_RET, 1),  # nr == 42
+            stmt(_RET, 2),
+        ]
+    )
+    assert run_bpf(prog, data(nr=42))[0] == 1
+    assert run_bpf(prog, data(nr=7))[0] == 2
+
+
+def test_jgt_jge_jset():
+    for op, k, nr, expect in [
+        (BPF_JGT, 10, 11, 1),
+        (BPF_JGT, 10, 10, 2),
+        (BPF_JGE, 10, 10, 1),
+        (BPF_JSET, 0x8, 0xC, 1),
+        (BPF_JSET, 0x8, 0x4, 2),
+    ]:
+        prog = BpfProgram(
+            [
+                stmt(_LD, 0),
+                jump(BPF_JMP | op | BPF_K, k, 0, 1),
+                stmt(_RET, 1),
+                stmt(_RET, 2),
+            ]
+        )
+        assert run_bpf(prog, data(nr=nr))[0] == expect
+
+
+def test_unconditional_jump():
+    prog = BpfProgram(
+        [
+            stmt(BPF_JMP | BPF_JA, 1),
+            stmt(_RET, 111),  # skipped
+            stmt(_RET, 222),
+        ]
+    )
+    assert run_bpf(prog, data())[0] == 222
+
+
+def test_alu_operations():
+    cases = [
+        (BPF_ADD, 5, 3, 8),
+        (BPF_SUB, 5, 3, 2),
+        (BPF_AND, 0xFC, 0x0F, 0x0C),
+        (BPF_OR, 0xF0, 0x0F, 0xFF),
+        (BPF_XOR, 0xFF, 0x0F, 0xF0),
+        (BPF_LSH, 1, 4, 16),
+        (BPF_RSH, 16, 4, 1),
+    ]
+    for op, a_val, k, expect in cases:
+        prog = BpfProgram(
+            [
+                stmt(BPF_LD | BPF_IMM, a_val),
+                stmt(BPF_ALU | op | BPF_K, k),
+                stmt(BPF_RET | 0x10, 0),  # RET A
+            ]
+        )
+        assert run_bpf(prog, data())[0] == expect
+
+
+def test_scratch_memory_and_tax_txa():
+    prog = BpfProgram(
+        [
+            stmt(BPF_LD | BPF_IMM, 99),
+            stmt(BPF_ST, 3),  # M[3] = A
+            stmt(BPF_LD | BPF_IMM, 0),
+            stmt(BPF_LDX | BPF_MEM, 3),  # X = M[3]
+            stmt(BPF_MISC | BPF_TXA, 0),  # A = X
+            stmt(BPF_RET | 0x10, 0),
+        ]
+    )
+    assert run_bpf(prog, data())[0] == 99
+    prog2 = BpfProgram(
+        [
+            stmt(BPF_LD | BPF_IMM, 7),
+            stmt(BPF_MISC | BPF_TAX, 0),
+            stmt(BPF_LD | BPF_IMM, 0),
+            stmt(BPF_MISC | BPF_TXA, 0),
+            stmt(BPF_RET | 0x10, 0),
+        ]
+    )
+    assert run_bpf(prog2, data())[0] == 7
+
+
+def test_out_of_bounds_load_rejects():
+    prog = BpfProgram([stmt(_LD, 1000), stmt(_RET, 5)])
+    assert run_bpf(prog, data())[0] == 0
+
+
+def test_validator_rejects_bad_jumps():
+    with pytest.raises(BpfError):
+        BpfProgram([jump(BPF_JMP | BPF_JEQ | BPF_K, 0, 5, 0), stmt(_RET, 0)])
+    with pytest.raises(BpfError):
+        BpfProgram([stmt(BPF_JMP | BPF_JA, 100), stmt(_RET, 0)])
+
+
+def test_validator_rejects_fallthrough():
+    with pytest.raises(BpfError):
+        BpfProgram([stmt(BPF_LD | BPF_IMM, 1)])
+
+
+def test_validator_rejects_empty():
+    with pytest.raises(BpfError):
+        BpfProgram([])
+
+
+def test_insn_count_reported():
+    prog = BpfProgram([stmt(BPF_LD | BPF_IMM, 1), stmt(_RET, 0)])
+    _ret, executed = run_bpf(prog, data())
+    assert executed == 2
+
+
+# ------------------------------------------------------------- filter builder
+def test_deny_syscalls_filter():
+    prog = FilterBuilder.deny_syscalls([2, 41], SECCOMP_RET_ERRNO | 13)
+    for nr, expect in [(2, SECCOMP_RET_ERRNO | 13), (41, SECCOMP_RET_ERRNO | 13),
+                       (0, SECCOMP_RET_ALLOW), (39, SECCOMP_RET_ALLOW)]:
+        assert run_bpf(prog, data(nr=nr))[0] == expect
+
+
+def test_deny_syscalls_with_arch_check():
+    prog = FilterBuilder.deny_syscalls([2], SECCOMP_RET_ERRNO | 1,
+                                       check_arch=AUDIT_ARCH_X86_64)
+    assert run_bpf(prog, data(nr=2))[0] == SECCOMP_RET_ERRNO | 1
+    assert run_bpf(prog, data(nr=3))[0] == SECCOMP_RET_ALLOW
+    bad_arch = SeccompData(3, 0x1234, 0, (0,) * 6).pack()
+    assert run_bpf(prog, bad_arch)[0] == SECCOMP_RET_KILL_PROCESS
+
+
+def test_allowlist_filter():
+    prog = FilterBuilder.allowlist_syscalls([0, 1, 60], SECCOMP_RET_ERRNO | 1)
+    for nr in (0, 1, 60):
+        assert run_bpf(prog, data(nr=nr))[0] == SECCOMP_RET_ALLOW
+    assert run_bpf(prog, data(nr=2))[0] == SECCOMP_RET_ERRNO | 1
+
+
+def test_ip_range_filter():
+    prog = FilterBuilder.trap_all_except_ip_range(0x1000, 0x1000)
+    assert run_bpf(prog, data(ip=0x1500))[0] == SECCOMP_RET_ALLOW
+    assert run_bpf(prog, data(ip=0x0FFF))[0] == SECCOMP_RET_TRAP
+    assert run_bpf(prog, data(ip=0x2000))[0] == SECCOMP_RET_TRAP
+
+
+@given(st.integers(min_value=0, max_value=499))
+def test_allowlist_exact_property(nr):
+    allowed = [0, 1, 3, 39, 60, 231]
+    prog = FilterBuilder.allowlist_syscalls(allowed, SECCOMP_RET_ERRNO | 1)
+    ret = run_bpf(prog, data(nr=nr))[0]
+    if nr in allowed:
+        assert ret == SECCOMP_RET_ALLOW
+    else:
+        assert ret == SECCOMP_RET_ERRNO | 1
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=0, max_value=2**20))
+def test_ip_range_property(start, length):
+    if (start & 0xFFFFFFFF) + length > 1 << 32:
+        with pytest.raises(ValueError):
+            FilterBuilder.trap_all_except_ip_range(start, length)
+        return
+    prog = FilterBuilder.trap_all_except_ip_range(start, length)
+    inside = start + length // 2
+    if length:
+        assert run_bpf(prog, data(ip=inside))[0] == SECCOMP_RET_ALLOW
+    # one byte below the range is always trapped
+    if start:
+        assert run_bpf(prog, data(ip=start - 1))[0] == SECCOMP_RET_TRAP
+
+
+# ----------------------------------------------------------- multi-filter
+def test_most_restrictive_filter_wins():
+    allow = FilterBuilder.allow_all()
+    deny = FilterBuilder.deny_syscalls([7], SECCOMP_RET_ERRNO | 5)
+    trap = FilterBuilder.trap_all()
+    d = SeccompData(7, AUDIT_ARCH_X86_64, 0, (0,) * 6)
+    result = evaluate_filters([allow, deny], d)
+    assert result.action == SECCOMP_RET_ERRNO
+    assert result.data == 5
+    result = evaluate_filters([allow, deny, trap], d)
+    assert result.action == SECCOMP_RET_TRAP
+    # insn counts accumulate across filters
+    assert result.insns_executed > 3
+
+
+# --------------------------------------------------------- guest-facing path
+def test_guest_installs_filter_via_seccomp_syscall(machine):
+    """A guest program installs a denylist through the seccomp syscall and
+    then observes EPERM on the denied call."""
+    import struct
+
+    from repro.kernel.syscalls.table import NR
+    from tests.conftest import asm, emit_exit, emit_syscall, finish, run_program
+
+    prog = FilterBuilder.deny_syscalls([NR["mkdir"]], SECCOMP_RET_ERRNO | 1)
+    raw = b"".join(
+        struct.pack("<HBBI", i.code, i.jt, i.jf, i.k) for i in prog.insns
+    )
+
+    a = asm()
+    a.label("_start")
+    # write the filter program into an anonymous mapping
+    emit_syscall(a, "mmap", 0, 4096, 3, 0x22, (1 << 64) - 1, 0)
+    a.mov("r12", "rax")
+    # sock_fprog at r12: {len, pad, ptr到insns @ r12+16}
+    a.mov_imm("rcx", len(prog.insns))
+    a.store("r12", 0, "rcx")
+    a.lea("rcx", "r12", 16)
+    a.store("r12", 8, "rcx")
+    offset = 16
+    for insn in prog.insns:
+        packed = struct.pack("<HBBI", insn.code, insn.jt, insn.jf, insn.k)
+        a.mov_imm("rcx", int.from_bytes(packed, "little"))
+        a.store("r12", offset, "rcx")
+        offset += 8
+    # seccomp(SET_MODE_FILTER, 0, r12)
+    a.mov_imm("rdi", 1)
+    a.mov_imm("rsi", 0)
+    a.mov("rdx", "r12")
+    a.mov_imm("rax", NR["seccomp"])
+    a.syscall()
+    a.cmpi("rax", 0)
+    a.jnz("bad")
+    # mkdir must now fail with EPERM (errno 1)
+    emit_syscall(a, "mkdir", "path", 0o755)
+    a.cmpi("rax", -1)
+    a.jnz("bad")
+    emit_exit(a, 0)
+    a.label("bad")
+    emit_exit(a, 1)
+    a.label("path")
+    a.db(b"/newdir\x00")
+    _proc, code = run_program(machine, finish(a))
+    assert code == 0

@@ -1,0 +1,160 @@
+"""Signal edge cases: SA_NODEFER, mask save/restore, handler re-registration."""
+
+from __future__ import annotations
+
+from repro.kernel.signals import SA_NODEFER, SIGUSR1, SIGUSR2
+from repro.kernel.syscalls.table import NR
+
+from tests.conftest import asm, emit_exit, emit_syscall, finish, run_program
+
+
+def _register(a, sig, act_label):
+    a.mov_imm("rdi", sig)
+    a.mov_imm("rsi", act_label)
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 8)
+    a.mov_imm("rax", NR["rt_sigaction"])
+    a.syscall()
+
+
+def _raise_self(a, sig):
+    emit_syscall(a, "getpid")
+    a.mov("rdi", "rax")
+    a.mov_imm("rsi", sig)
+    a.mov_imm("rax", NR["kill"])
+    a.syscall()
+
+
+def test_sigmask_restored_after_handler(machine):
+    """The handler-entry mask (signal auto-blocked) is undone by sigreturn,
+    so a second raise delivers a second time."""
+    b = asm()
+    b.label("_start")
+    emit_syscall(b, "mmap", 0, 4096, 3, 0x22, (1 << 64) - 1, 0)
+    b.mov("r15", "rax")
+    _register(b, SIGUSR1, "act")
+    _raise_self(b, SIGUSR1)
+    _raise_self(b, SIGUSR1)
+    b.load("rdi", "r15", 0)
+    b.mov_imm("rax", NR["exit_group"])
+    b.syscall()
+    b.label("handler")
+    b.load("rcx", "r15", 0)
+    b.inc("rcx")
+    b.store("r15", 0, "rcx")
+    b.ret()
+    b.align(8, fill=0)
+    b.label("act")
+    b.dq("handler")
+    b.dq(0)
+    b.dq(0)
+    b.dq(0)
+    _proc, code = run_program(machine, finish(b))
+    assert code == 2  # both deliveries ran
+
+
+def test_sa_mask_blocks_other_signal_during_handler(machine):
+    """sa_mask adds SIGUSR2 to the mask while handling SIGUSR1."""
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "mmap", 0, 4096, 3, 0x22, (1 << 64) - 1, 0)
+    a.mov("r15", "rax")
+    _register(a, SIGUSR1, "act1")
+    _register(a, SIGUSR2, "act2")
+    _raise_self(a, SIGUSR1)
+    # by now both handlers ran; order recorded at [r15]: h1 completes
+    # BEFORE h2 starts because USR2 was masked during h1
+    a.load("rdi", "r15", 8)  # second event
+    a.mov_imm("rax", NR["exit_group"])
+    a.syscall()
+    a.label("h1")
+    _raise_self(a, SIGUSR2)  # pends: masked by sa_mask
+    a.mov_imm("rcx", 1)
+    a.load("rdx", "r15", 16)
+    a.cmpi("rdx", 0)
+    a.jnz("skip1")
+    a.store("r15", 0, "rcx")  # first event = h1 (slot 0)
+    a.mov_imm("rdx", 1)
+    a.store("r15", 16, "rdx")
+    a.label("skip1")
+    a.ret()
+    a.label("h2")
+    a.mov_imm("rcx", 2)
+    a.load("rdx", "r15", 16)
+    a.cmpi("rdx", 1)
+    a.jnz("skip2")
+    a.store("r15", 8, "rcx")  # second event = h2 (slot 1)
+    a.mov_imm("rdx", 2)
+    a.store("r15", 16, "rdx")
+    a.label("skip2")
+    a.ret()
+    a.align(8, fill=0)
+    a.label("act1")
+    a.dq("h1")
+    a.dq(0)
+    a.dq(0)
+    a.dq(1 << SIGUSR2)  # sa_mask blocks USR2 during h1
+    a.label("act2")
+    a.dq("h2")
+    a.dq(0)
+    a.dq(0)
+    a.dq(0)
+    _proc, code = run_program(machine, finish(a))
+    assert code == 2  # h2 ran strictly after h1 finished
+
+
+def test_sa_nodefer_flag_parsed(machine):
+    a = asm()
+    a.label("_start")
+    _register(a, SIGUSR1, "act")
+    emit_exit(a, 0)
+    a.align(8, fill=0)
+    a.label("act")
+    a.dq("handler")
+    a.dq(SA_NODEFER)
+    a.dq(0)
+    a.dq(0)
+    a.label("handler")
+    a.ret()
+    proc, code = run_program(machine, finish(a))
+    assert code == 0
+    assert proc.task.sighand.get(SIGUSR1).flags & SA_NODEFER
+
+
+def test_reregistration_returns_old_handler(machine):
+    a = asm()
+    a.label("_start")
+    emit_syscall(a, "mmap", 0, 4096, 3, 0x22, (1 << 64) - 1, 0)
+    a.mov("r15", "rax")
+    _register(a, SIGUSR1, "act1")
+    # second registration with oldact pointer
+    a.mov_imm("rdi", SIGUSR1)
+    a.mov_imm("rsi", "act2")
+    a.mov("rdx", "r15")
+    a.mov_imm("r10", 8)
+    a.mov_imm("rax", NR["rt_sigaction"])
+    a.syscall()
+    a.load("rcx", "r15", 0)  # oldact.handler
+    a.mov_imm("rbx", "h1")
+    a.cmp("rcx", "rbx")
+    a.jnz("bad")
+    emit_exit(a, 0)
+    a.label("bad")
+    emit_exit(a, 1)
+    a.label("h1")
+    a.ret()
+    a.label("h2")
+    a.ret()
+    a.align(8, fill=0)
+    a.label("act1")
+    a.dq("h1")
+    a.dq(0)
+    a.dq(0)
+    a.dq(0)
+    a.label("act2")
+    a.dq("h2")
+    a.dq(0)
+    a.dq(0)
+    a.dq(0)
+    _proc, code = run_program(machine, finish(a))
+    assert code == 0
