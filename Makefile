@@ -1,0 +1,23 @@
+PYTHON ?= python
+PYTHONPATH := src
+export PYTHONPATH
+
+FUZZ_MINUTES ?= 5
+FAULT_SEEDS ?= 0:64
+
+.PHONY: test test-fast faults fuzz bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not faults"
+
+faults:
+	$(PYTHON) -m repro.faults --seeds $(FAULT_SEEDS)
+
+fuzz:
+	$(PYTHON) -m repro.faults --minutes $(FUZZ_MINUTES)
+
+bench:
+	$(PYTHON) -m repro.bench

@@ -169,42 +169,50 @@ def decode_one(buf: bytes, off: int = 0, addr: int = 0) -> Instruction:
         mnemonic, length = EXT[sub]
         _need(buf, off, length, addr)
         body = buf[off + 2 : off + length]
-        return Instruction(mnemonic, _ext_operands(mnemonic, body), length)
+        return Instruction(mnemonic, _ext_operands(mnemonic, body, addr), length)
 
     raise InvalidOpcode(addr, op)
 
 
-def _ext_operands(mnemonic: Mnemonic, body: bytes) -> tuple:
+def _reg(byte: int, addr: int) -> int:
+    """Validate a register-field byte: only 16 registers exist (#UD else)."""
+    if byte >= 16:
+        raise InvalidOpcode(addr, byte)
+    return byte
+
+
+def _ext_operands(mnemonic: Mnemonic, body: bytes, addr: int) -> tuple:
     """Decode the operand bytes of a 48-namespace instruction."""
     m = Mnemonic
     if mnemonic in (m.FLD1, m.FADDP):
         return ()
     if mnemonic in (m.INC, m.DEC, m.RDGSBASE, m.WRGSBASE, m.RDPKRU, m.WRPKRU):
-        return (body[0],)
+        return (_reg(body[0], addr),)
+    if mnemonic in (m.SHL, m.SHR):  # second byte is a shift count, not a reg
+        return (_reg(body[0], addr), body[1])
     if mnemonic in (
         m.MOV, m.ADD, m.SUB, m.CMP, m.AND, m.OR, m.XOR, m.IMUL,
         m.MOVQ_XG, m.MOVQ_GX, m.MOVAPS, m.PUNPCKLQDQ, m.XORPS, m.VADDPD,
-        m.SHL, m.SHR,
     ):
-        return (body[0], body[1])
+        return (_reg(body[0], addr), _reg(body[1], addr))
     if mnemonic in (m.LOAD, m.LOAD8, m.LEA, m.MOVUPS_LOAD):
         (disp,) = _S32.unpack_from(body, 2)
-        return (body[0], body[1], disp)
+        return (_reg(body[0], addr), _reg(body[1], addr), disp)
     if mnemonic in (m.STORE, m.STORE8, m.MOVUPS_STORE):
         (disp,) = _S32.unpack_from(body, 2)
-        return (body[1], disp, body[0])
+        return (_reg(body[1], addr), disp, _reg(body[0], addr))
     if mnemonic in (m.FLD_MEM, m.FSTP_MEM, m.XSAVE, m.XRSTOR):
         (disp,) = _S32.unpack_from(body, 1)
-        return (body[0], disp)
+        return (_reg(body[0], addr), disp)
     if mnemonic in (m.ADDI, m.SUBI, m.CMPI, m.ANDI, m.ORI, m.XORI):
         (imm,) = _S32.unpack_from(body, 1)
-        return (body[0], imm)
+        return (_reg(body[0], addr), imm)
     if mnemonic in (m.GSLOAD, m.GSLOAD8):
         (disp,) = _U32.unpack_from(body, 1)
-        return (body[0], disp)
+        return (_reg(body[0], addr), disp)
     if mnemonic in (m.GSSTORE, m.GSSTORE8):
         (disp,) = _U32.unpack_from(body, 1)
-        return (disp, body[0])
+        return (disp, _reg(body[0], addr))
     if mnemonic in (m.GSJMP, m.GSWRPKRU):
         (disp,) = _U32.unpack_from(body, 0)
         return (disp,)

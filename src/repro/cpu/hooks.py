@@ -29,6 +29,33 @@ class CpuHook(Protocol):
         """Called with the decoded instruction about to run at ``addr``."""
 
 
+class WindowWatch:
+    """CpuHook recording executed instructions inside watched address ranges.
+
+    The fault harness uses this to assert *coverage*: that a schedule
+    exploration actually drove execution through every instruction boundary
+    of a critical window (e.g. the lazypoline fast-path stub), instead of
+    trusting that it did.  ``covered`` holds the executed addresses per
+    window; ``hits`` the full (tid, addr) sequence in execution order.
+    """
+
+    def __init__(self, windows):
+        #: half-open (start, end) address ranges, in priority order
+        self.windows = tuple(tuple(w) for w in windows)
+        self.covered: set[int] = set()
+        self.hits: list[tuple[int, int]] = []
+
+    def on_insn(self, task, insn: Instruction, addr: int) -> None:
+        for start, end in self.windows:
+            if start <= addr < end:
+                self.covered.add(addr)
+                self.hits.append((getattr(task, "tid", -1), addr))
+                return
+
+    def covered_in(self, start: int, end: int) -> set[int]:
+        return {a for a in self.covered if start <= a < end}
+
+
 _G = lambda i: ("g", i)  # noqa: E731 - tiny constructors keep tables readable
 _X = lambda i: ("x", i)  # noqa: E731
 _Y = lambda i: ("y", i)  # noqa: E731

@@ -1,0 +1,65 @@
+"""Deterministic fault injection & schedule exploration (the test harness).
+
+The paper's correctness claims live on adversarial schedules: a signal
+arriving *inside* the lazypoline fast-path stub, a second thread executing
+a syscall site mid-rewrite, fork/clone/execve racing the SUD re-arm.  The
+tier-1 tests exercise those paths only on the happy cooperative schedule;
+this subsystem explores the unhappy ones, reproducibly:
+
+* :mod:`repro.faults.explorer` — a seeded :class:`SchedulePolicy` that
+  perturbs time-slice quanta and task order, and forces preemption or
+  signal delivery at every instruction boundary inside marked windows;
+* :mod:`repro.faults.injector` — per-site/count/predicate syscall fault
+  injection (``EINTR``/``ENOMEM``/``EAGAIN``, mprotect failures) hooked
+  into ``Kernel.dispatch``, with a recorded plan for exact replay;
+* :mod:`repro.faults.oracle` — runs one guest under two tool
+  configurations (or with/without recoverable faults) and checks
+  syscall-trace and final-state equivalence, generalising the §V-A
+  exhaustiveness comparison;
+* :mod:`repro.faults.scenarios` + ``python -m repro.faults`` — named
+  guest/tool/fault combinations, seed sweeps, and failing-seed
+  minimisation, so every failure reproduces from one command.
+
+Everything is derived from a single integer seed: the same seed yields a
+byte-identical schedule, fault plan and syscall trace (asserted in CI).
+"""
+
+from repro.faults.corpus import CORPUS, CorpusProgram
+from repro.faults.explorer import (
+    ExplorerPolicy,
+    ScheduleTrace,
+    SignalTrigger,
+    Window,
+    instruction_boundaries,
+    lazypoline_boundaries,
+    lazypoline_windows,
+)
+from repro.faults.injector import FaultInjector, FaultRecord, FaultRule
+from repro.faults.oracle import (
+    FULL_EXPRESSIVENESS,
+    GuestReport,
+    differences,
+    run_guest,
+)
+from repro.faults.scenarios import SCENARIOS, ScenarioResult
+
+__all__ = [
+    "CORPUS",
+    "CorpusProgram",
+    "ExplorerPolicy",
+    "FULL_EXPRESSIVENESS",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultRule",
+    "GuestReport",
+    "SCENARIOS",
+    "ScenarioResult",
+    "ScheduleTrace",
+    "SignalTrigger",
+    "Window",
+    "differences",
+    "instruction_boundaries",
+    "lazypoline_boundaries",
+    "lazypoline_windows",
+    "run_guest",
+]

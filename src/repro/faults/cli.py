@@ -1,0 +1,219 @@
+"""``python -m repro.faults`` — seed sweeps, replay, and minimisation.
+
+Usage patterns (also documented in README.md):
+
+* ``python -m repro.faults --scenario rewrite_window --seeds 0:64``
+  sweep a seed range; exit status 1 if any seed fails.
+* ``python -m repro.faults --scenario rewrite_window --seed 17``
+  replay exactly one seed — the one-command reproduction for a CI failure.
+* ``python -m repro.faults --scenario differential --seed 17 --minimize``
+  shrink a failing seed: drop perturbation ingredients one at a time and
+  scan downward for the smallest failing seed, then print the minimal
+  reproduction command.
+* ``python -m repro.faults --minutes 2``
+  time-budgeted fuzz over all scenarios with incrementing seeds.
+
+Every run of a given (scenario, seed, variant) is deterministic, so any
+failure printed here reproduces forever.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.faults.scenarios import SCENARIOS, ScenarioResult
+
+
+def _parse_seeds(spec: str) -> list[int]:
+    try:
+        if ":" in spec:
+            lo, hi = spec.split(":", 1)
+            return list(range(int(lo), int(hi)))
+        return [int(s) for s in spec.split(",")]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid seed spec {spec!r}: expected 'lo:hi' or 'a,b,c'"
+        ) from None
+
+
+def run_one(scenario: str, seed: int, **variant) -> ScenarioResult:
+    return SCENARIOS[scenario](seed, **variant)
+
+
+def minimize(scenario: str, seed: int, *, scan_below: int = 64) -> dict:
+    """Shrink a failing (scenario, seed) to its simplest reproduction.
+
+    Two axes: which perturbation ingredients are required (schedule order
+    shuffling / quantum jitter), and the smallest seed value that still
+    fails under the minimal ingredient set.  Returns a dict with the
+    minimal variant, the minimal seed, and the reproduction command.
+    """
+    fn = SCENARIOS[scenario]
+    baseline = fn(seed)
+    if baseline.ok:
+        return {"scenario": scenario, "seed": seed, "already_passing": True}
+
+    # Axis 1: drop ingredients while the failure persists.
+    variant = {"perturb_order": True, "perturb_quantum": True}
+    for ingredient in ("perturb_order", "perturb_quantum"):
+        trial = dict(variant)
+        trial[ingredient] = False
+        if not fn(seed, **trial).ok:
+            variant = trial
+
+    # Axis 2: smallest seed (bounded scan) still failing under the
+    # minimal variant.
+    minimal_seed = seed
+    for candidate in range(0, min(seed, scan_below)):
+        if not fn(candidate, **variant).ok:
+            minimal_seed = candidate
+            break
+
+    flags = "".join(
+        f" --no-{name.replace('perturb_', '')}"
+        for name, on in sorted(variant.items())
+        if not on
+    )
+    command = (
+        f"python -m repro.faults --scenario {scenario} "
+        f"--seed {minimal_seed}{flags}"
+    )
+    final = fn(minimal_seed, **variant)
+    return {
+        "scenario": scenario,
+        "seed": seed,
+        "minimal_seed": minimal_seed,
+        "variant": variant,
+        "detail": final.detail or baseline.detail,
+        "command": command,
+    }
+
+
+def sweep(
+    scenarios: list[str],
+    seeds: list[int],
+    *,
+    verbose: bool = False,
+    **variant,
+) -> list[ScenarioResult]:
+    failures = []
+    for name in scenarios:
+        for seed in seeds:
+            result = SCENARIOS[name](seed, **variant)
+            if not result.ok:
+                failures.append(result)
+                print(f"FAIL {name} seed={seed}: {result.detail}")
+                print(
+                    f"  reproduce: python -m repro.faults "
+                    f"--scenario {name} --seed {seed}"
+                )
+            elif verbose:
+                print(f"ok   {name} seed={seed}")
+    return failures
+
+
+def fuzz_minutes(minutes: float, scenarios: list[str], start_seed: int = 0):
+    """Run incrementing seeds across scenarios until the clock runs out."""
+    deadline = time.monotonic() + minutes * 60
+    seed = start_seed
+    failures = []
+    runs = 0
+    while time.monotonic() < deadline:
+        for name in scenarios:
+            result = SCENARIOS[name](seed)
+            runs += 1
+            if not result.ok:
+                failures.append(result)
+                print(f"FAIL {name} seed={seed}: {result.detail}")
+                print(
+                    f"  reproduce: python -m repro.faults "
+                    f"--scenario {name} --seed {seed}"
+                )
+            if time.monotonic() >= deadline:
+                break
+        seed += 1
+    print(f"fuzz: {runs} runs, last seed {seed - 1}, "
+          f"{len(failures)} failure(s)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="deterministic fault-injection & schedule-exploration "
+                    "harness (seed sweeps, replay, minimisation)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="scenario to run (repeatable; default: all)",
+    )
+    parser.add_argument("--seed", type=int, help="run exactly one seed")
+    parser.add_argument(
+        "--seeds", default="0:16", type=_parse_seeds,
+        help="seed range 'lo:hi' or comma list (default 0:16)",
+    )
+    parser.add_argument(
+        "--minutes", type=float,
+        help="time-budgeted fuzz: incrementing seeds until the clock runs out",
+    )
+    parser.add_argument(
+        "--minimize", action="store_true",
+        help="with --seed: shrink the failing seed and print the minimal "
+             "reproduction command",
+    )
+    parser.add_argument(
+        "--no-order", action="store_true",
+        help="disable schedule-order perturbation",
+    )
+    parser.add_argument(
+        "--no-quantum", action="store_true",
+        help="disable quantum perturbation",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    scenarios = args.scenario or sorted(SCENARIOS)
+    variant = {
+        "perturb_order": not args.no_order,
+        "perturb_quantum": not args.no_quantum,
+    }
+
+    if args.minutes is not None:
+        failures = fuzz_minutes(args.minutes, scenarios)
+        return 1 if failures else 0
+
+    if args.seed is not None:
+        if args.minimize:
+            reports = [minimize(name, args.seed) for name in scenarios]
+            for report in reports:
+                print(json.dumps(report, indent=2))
+            return 1 if any("command" in r for r in reports) else 0
+        rc = 0
+        for name in scenarios:
+            result = SCENARIOS[name](args.seed, **variant)
+            if args.json:
+                print(json.dumps({
+                    "scenario": name,
+                    "seed": args.seed,
+                    "ok": result.ok,
+                    "detail": result.detail,
+                    "digests": result.digests,
+                }))
+            else:
+                status = "ok" if result.ok else f"FAIL: {result.detail}"
+                print(f"{name} seed={args.seed}: {status}")
+            rc |= 0 if result.ok else 1
+        return rc
+
+    failures = sweep(scenarios, args.seeds, verbose=args.verbose, **variant)
+    total = len(scenarios) * len(args.seeds)
+    print(f"{total - len(failures)}/{total} scenario runs passed")
+    return 1 if failures else 0

@@ -1,0 +1,262 @@
+"""Schedule-invariant guest corpus for the differential oracle.
+
+Each program is written so its *observable* behaviour (exit status, stdout,
+filesystem effects, per-thread syscall name sequence) is independent of
+scheduling: cross-thread communication goes through explicit handshakes,
+signals are self-directed via ``tgkill`` (delivered at a deterministic
+point in the sender's own stream), and no output depends on which thread
+won a race.  That invariance is exactly what lets the oracle demand
+byte-identical reports across explorer seeds and across tools.
+
+The corpus spans the syscalls the paper calls out as hard for interposers:
+``fork`` (address-space copy), ``clone`` (threads + per-thread SUD/gsbase
+state), ``execve`` (interposer teardown semantics) and ``rt_sigaction`` /
+signal delivery (handler virtualisation, Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.arch.encode import Assembler
+from repro.kernel.fs import O_CREAT, O_TRUNC, O_WRONLY
+from repro.kernel.signals import SIGUSR1
+from repro.kernel.syscalls.proc import CLONE_VM, THREAD_FLAGS
+from repro.kernel.syscalls.table import NR
+from repro.loader.image import ProgramImage, image_from_assembler
+from repro.mem import layout
+
+
+def _syscall(a: Assembler, name: str, *args) -> None:
+    regs = ("rdi", "rsi", "rdx", "r10", "r8", "r9")
+    for reg, value in zip(regs, args):
+        a.mov_imm(reg, value)
+    a.mov_imm("rax", NR[name])
+    a.syscall()
+
+
+def _exit(a: Assembler, code: int) -> None:
+    _syscall(a, "exit_group", code)
+
+
+def build_syscall_loop() -> ProgramImage:
+    """Single thread: mixed fast-path syscalls, then a file write."""
+    a = Assembler(base=layout.CODE_BASE)
+    a.label("_start")
+    a.mov_imm("rbx", 8)
+    a.label("loop")
+    _syscall(a, "getpid")
+    _syscall(a, "sched_yield")
+    _syscall(a, "write", 1, "dot", 1)
+    a.dec("rbx")
+    a.cmpi("rbx", 0)
+    a.jnz("loop")
+    _syscall(a, "open", "path", O_WRONLY | O_CREAT | O_TRUNC, 0o644)
+    a.mov("rdi", "rax")
+    a.mov_imm("rsi", "msg")
+    a.mov_imm("rdx", 5)
+    a.mov_imm("rax", NR["write"])
+    a.syscall()
+    _syscall(a, "close")  # fd still in rdi
+    _exit(a, 0)
+    a.label("dot")
+    a.db(b".")
+    a.label("msg")
+    a.db(b"data\n")
+    a.label("path")
+    a.db(b"/tmp/loop.txt\x00")
+    return image_from_assembler("syscall_loop", a, entry="_start")
+
+
+def build_fork_wait() -> ProgramImage:
+    """fork; child writes a file and exits 21; parent reaps and echoes."""
+    a = Assembler(base=layout.CODE_BASE)
+    a.label("_start")
+    _syscall(a, "mmap", 0, 4096, 3, 0x22, (1 << 64) - 1, 0)
+    a.mov("r12", "rax")  # writable scratch for the wait4 status word
+    _syscall(a, "fork")
+    a.cmpi("rax", 0)
+    a.jz("child")
+    # parent: wait4(-1, status, 0, 0); exit(status >> 8)
+    _syscall(a, "write", 1, "pmsg", 7)
+    a.mov_imm("rdi", (1 << 64) - 1)
+    a.mov("rsi", "r12")
+    a.mov_imm("rdx", 0)
+    a.mov_imm("rax", NR["wait4"])
+    a.syscall()
+    a.load("rdi", "r12", 0)
+    a.shr("rdi", 8)
+    a.mov_imm("rax", NR["exit_group"])
+    a.syscall()
+    a.label("child")
+    _syscall(a, "open", "cpath", O_WRONLY | O_CREAT | O_TRUNC, 0o644)
+    a.mov("rdi", "rax")
+    a.mov_imm("rsi", "cmsg")
+    a.mov_imm("rdx", 6)
+    a.mov_imm("rax", NR["write"])
+    a.syscall()
+    _syscall(a, "close")
+    _exit(a, 21)
+    a.label("pmsg")
+    a.db(b"parent\n")
+    a.label("cmsg")
+    a.db(b"child\n")
+    a.label("cpath")
+    a.db(b"/tmp/child.txt\x00")
+    return image_from_assembler("fork_wait", a, entry="_start")
+
+
+def build_clone_shared() -> ProgramImage:
+    """Two threads, explicit handshake; both issue syscalls on both sides."""
+    a = Assembler(base=layout.CODE_BASE)
+    a.label("_start")
+    _syscall(a, "mmap", 0, 8192, 3, 0x22, (1 << 64) - 1, 0)
+    a.mov("r12", "rax")
+    a.mov_imm("rdi", THREAD_FLAGS | CLONE_VM)
+    a.lea("rsi", "r12", 8192)
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 0)
+    a.mov_imm("r8", 0)
+    a.mov_imm("rax", NR["clone"])
+    a.syscall()
+    a.cmpi("rax", 0)
+    a.jz("worker")
+    # main: wait for the worker's flag (pure-memory spin: a syscall here
+    # would make the trace length schedule-dependent), then report
+    a.label("spin")
+    a.load("rcx", "r12", 0)
+    a.cmpi("rcx", 7)
+    a.jnz("spin")
+    _syscall(a, "write", 1, "done", 5)
+    _exit(a, 7)
+    a.label("worker")
+    _syscall(a, "getpid")
+    _syscall(a, "gettid")
+    _syscall(a, "write", 1, "work", 5)
+    a.mov_imm("rcx", 7)
+    a.store("r12", 0, "rcx")
+    # no exit syscall here: whether it would dispatch before main's
+    # exit_group is schedule-dependent, which would make the worker's
+    # trace length vary per seed.  Spin until exit_group reaps us.
+    a.label("park")
+    a.jmp("park")
+    a.label("done")
+    a.db(b"done\n")
+    a.label("work")
+    a.db(b"work\n")
+    return image_from_assembler("clone_shared", a, entry="_start")
+
+
+def build_sig_pingpong() -> ProgramImage:
+    """Self-directed SIGUSR1 three times; handler counts + writes."""
+    a = Assembler(base=layout.CODE_BASE)
+    a.label("_start")
+    _syscall(a, "mmap", 0, 4096, 3, 0x22, (1 << 64) - 1, 0)
+    a.mov("r14", "rax")  # writable counter cell shared with the handler
+    # rt_sigaction(SIGUSR1, act, NULL, 8)
+    a.mov_imm("rdi", SIGUSR1)
+    a.mov_imm("rsi", "act")
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 8)
+    a.mov_imm("rax", NR["rt_sigaction"])
+    a.syscall()
+    a.mov_imm("rbx", 3)
+    a.label("loop")
+    # tgkill(getpid(), gettid(), SIGUSR1) — delivered before the next
+    # instruction of this very thread, so ordering is schedule-invariant
+    _syscall(a, "getpid")
+    a.mov("r13", "rax")
+    _syscall(a, "gettid")
+    a.mov("rsi", "rax")
+    a.mov("rdi", "r13")
+    a.mov_imm("rdx", SIGUSR1)
+    a.mov_imm("rax", NR["tgkill"])
+    a.syscall()
+    a.dec("rbx")
+    a.cmpi("rbx", 0)
+    a.jnz("loop")
+    a.load("rdi", "r14", 0)
+    a.cmpi("rdi", 3)
+    a.jnz("bad")
+    _syscall(a, "write", 1, "done", 5)
+    _exit(a, 0)
+    a.label("bad")
+    _exit(a, 1)
+    a.label("handler")
+    a.load("rdx", "r14", 0)
+    a.inc("rdx")
+    a.store("r14", 0, "rdx")
+    _syscall(a, "write", 1, "hand", 2)
+    a.ret()
+    a.align(8, fill=0)
+    a.label("act")
+    a.dq("handler")
+    a.dq(0)
+    a.dq(0)
+    a.dq(0)
+    a.label("done")
+    a.db(b"done\n")
+    a.label("hand")
+    a.db(b"h\n")
+    return image_from_assembler("sig_pingpong", a, entry="_start")
+
+
+def build_execve_child() -> ProgramImage:
+    a = Assembler(base=layout.CODE_BASE)
+    a.label("_start")
+    _syscall(a, "write", 1, "msg", 6)
+    _exit(a, 5)
+    a.label("msg")
+    a.db(b"after\n")
+    return image_from_assembler("execve_child", a, entry="_start")
+
+
+def build_execve_chain() -> ProgramImage:
+    a = Assembler(base=layout.CODE_BASE)
+    a.label("_start")
+    _syscall(a, "write", 1, "msg", 7)
+    _syscall(a, "execve", "path", 0, 0)
+    _exit(a, 99)  # unreachable unless execve failed
+    a.label("msg")
+    a.db(b"before\n")
+    a.label("path")
+    a.db(b"/bin/execve_child\x00")
+    return image_from_assembler("execve_chain", a, entry="_start")
+
+
+def _execve_setup(machine) -> None:
+    machine.register_binary("/bin/execve_child", build_execve_child())
+
+
+@dataclass(frozen=True)
+class CorpusProgram:
+    """One guest plus the tool set whose traces must agree on it."""
+
+    name: str
+    build: Callable[[], ProgramImage]
+    setup: Optional[Callable] = None
+    #: full-expressiveness tools expected to produce identical traces.
+    #: execve is the exception: seccomp filters survive execve (as on real
+    #: Linux) so a seccomp-user supervisor still intercepts the *new*
+    #: program, whose handler page the exec wiped — faithful behaviour, but
+    #: not trace-comparable, so that program pins lazypoline vs plain SUD.
+    tools: tuple[str, ...] = ("lazypoline", "sud", "seccomp_user")
+    max_instructions: int = 3_000_000
+
+
+CORPUS: dict[str, CorpusProgram] = {
+    p.name: p
+    for p in (
+        CorpusProgram("syscall_loop", build_syscall_loop),
+        CorpusProgram("fork_wait", build_fork_wait),
+        CorpusProgram("clone_shared", build_clone_shared),
+        CorpusProgram("sig_pingpong", build_sig_pingpong),
+        CorpusProgram(
+            "execve_chain",
+            build_execve_chain,
+            setup=_execve_setup,
+            tools=("lazypoline", "sud"),
+        ),
+    )
+}

@@ -1,0 +1,160 @@
+"""Syscall fault injection hooked into ``Kernel.dispatch``.
+
+Faults are injected at the dispatch layer — after the interception gate,
+before the syscall implementation — so an injected ``EINTR`` is
+indistinguishable from a real premature return, for the application *and*
+for any interposer that re-issued the call.  Rules select syscalls by
+name/number, invocation count, target task or arbitrary predicate; a
+seeded mode injects retryable errnos at random eligible dispatches.
+
+Every decision appends a :class:`FaultRecord` to ``plan``; the recorded
+plan replays exactly via :meth:`FaultInjector.from_plan`, which is how a
+failing fuzz run reproduces without its original rule objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.kernel import errno as errno_mod
+from repro.kernel.syscalls.table import NR, syscall_name
+from repro.faults.rng import SplitMix64
+
+#: The classic transient errnos (what a hardened application must retry).
+TRANSIENT_ERRNOS = (errno_mod.EINTR, errno_mod.EAGAIN, errno_mod.ENOMEM)
+
+
+@dataclass
+class FaultRule:
+    """Inject ``errno`` into matching dispatches.
+
+    ``name``/``sysno`` select the syscall (either form); ``skip`` lets the
+    first N matching dispatches through; ``max_injections`` bounds how many
+    faults this rule produces; ``tid`` restricts to one task; ``predicate``
+    (task, sysno, args) -> bool adds arbitrary matching (e.g. "only the
+    mprotect that opens the rewrite window").
+    """
+
+    errno: int
+    name: str | None = None
+    sysno: int | None = None
+    max_injections: int = 1
+    skip: int = 0
+    tid: int | None = None
+    predicate: Optional[Callable] = None
+
+    def __post_init__(self):
+        if self.sysno is None and self.name is not None:
+            self.sysno = NR[self.name]
+        self._seen = 0
+        self._injected = 0
+
+    def matches(self, task, sysno: int, args) -> bool:
+        if self._injected >= self.max_injections:
+            return False
+        if self.sysno is not None and sysno != self.sysno:
+            return False
+        if self.tid is not None and task.tid != self.tid:
+            return False
+        if self.predicate is not None and not self.predicate(task, sysno, args):
+            return False
+        self._seen += 1
+        if self._seen <= self.skip:
+            return False
+        self._injected += 1
+        return True
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault: dispatch sequence number + what was injected."""
+
+    seq: int
+    tid: int
+    sysno: int
+    errno: int
+
+    @property
+    def name(self) -> str:
+        return syscall_name(self.sysno)
+
+    def to_json(self) -> dict:
+        return {"seq": self.seq, "tid": self.tid, "sysno": self.sysno,
+                "errno": self.errno}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultRecord":
+        return cls(data["seq"], data["tid"], data["sysno"], data["errno"])
+
+
+class FaultInjector:
+    """Attached as ``kernel.fault_injector``; consulted on every dispatch."""
+
+    def __init__(
+        self,
+        rules: tuple[FaultRule, ...] = (),
+        *,
+        seed: int | None = None,
+        rate: tuple[int, int] = (0, 1),
+        errnos: tuple[int, ...] = TRANSIENT_ERRNOS,
+        eligible: tuple[str, ...] = (),
+    ):
+        self.rules = list(rules)
+        self.rng = SplitMix64(seed) if seed is not None else None
+        self.rate = rate
+        self.errnos = tuple(errnos)
+        self.eligible = frozenset(NR[name] for name in eligible)
+        self.seq = 0
+        self.plan: list[FaultRecord] = []
+        self._replay: dict[int, FaultRecord] | None = None
+
+    @classmethod
+    def from_plan(cls, plan) -> "FaultInjector":
+        """Replay a recorded plan exactly (by dispatch sequence number)."""
+        injector = cls()
+        records = [
+            r if isinstance(r, FaultRecord) else FaultRecord.from_json(r)
+            for r in plan
+        ]
+        injector._replay = {r.seq: r for r in records}
+        return injector
+
+    # ------------------------------------------------------------------ hook
+    def intercept(self, kernel, task, sysno: int, args) -> int | None:
+        """Return a negative errno to inject a fault, or None to pass."""
+        seq = self.seq
+        self.seq += 1
+
+        if self._replay is not None:
+            record = self._replay.get(seq)
+            if record is None:
+                return None
+            self.plan.append(record)
+            return -record.errno
+
+        for rule in self.rules:
+            if rule.matches(task, sysno, args):
+                self.plan.append(FaultRecord(seq, task.tid, sysno, rule.errno))
+                return -rule.errno
+
+        if (
+            self.rng is not None
+            and sysno in self.eligible
+            and self.rng.chance(*self.rate)
+        ):
+            injected = self.errnos[self.rng.below(len(self.errnos))]
+            self.plan.append(FaultRecord(seq, task.tid, sysno, injected))
+            return -injected
+        return None
+
+    # ------------------------------------------------------------ diagnostics
+    def plan_digest(self) -> str:
+        h = hashlib.sha256()
+        for r in self.plan:
+            h.update(b"%d:%d:%d:%d;" % (r.seq, r.tid, r.sysno, r.errno))
+        return h.hexdigest()
+
+    def plan_json(self) -> list[dict]:
+        return [r.to_json() for r in self.plan]

@@ -1,0 +1,211 @@
+"""Differential trace oracle: two runs of one guest must agree.
+
+This generalises the §V-A exhaustiveness experiment
+(:mod:`repro.bench.exhaustiveness`): instead of only comparing syscall
+*counts* across tools on the happy schedule, :func:`run_guest` runs a guest
+under an arbitrary (tool, schedule policy, fault plan) configuration and
+returns a :class:`GuestReport`; :func:`differences` then checks that two
+reports are observationally equivalent — same exit status, same output,
+same filesystem effects and (for full-expressiveness mechanisms) the same
+per-thread syscall name sequence.
+
+Traces are compared per thread by *name only*: pointer arguments and
+cross-thread interleaving legitimately differ between mechanisms (stack
+layouts shift, emulation order varies), but the sequence of syscalls each
+thread issues is part of program semantics and must not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import GuestCrash
+from repro.interpose.lazypoline import Lazypoline
+from repro.interpose.ptrace_tool import PtraceTool
+from repro.interpose.seccomp_user_tool import SeccompUserTool
+from repro.interpose.sud_tool import SudTool
+from repro.interpose.zpoline import Zpoline
+from repro.kernel.machine import Machine
+
+TOOLS = {
+    "zpoline": Zpoline,
+    "lazypoline": Lazypoline,
+    "sud": SudTool,
+    "seccomp_user": SeccompUserTool,
+    "ptrace": PtraceTool,
+}
+
+#: Tool pairs with full expressiveness (Table I) — these must observe the
+#: *identical* per-thread syscall stream, not merely preserve behaviour.
+FULL_EXPRESSIVENESS = ("lazypoline", "sud", "seccomp_user")
+
+
+class TidTracer:
+    """Interposer recording ``(tid, name)`` per intercepted syscall."""
+
+    def __init__(self):
+        self.events: list[tuple[int, str]] = []
+
+    def __call__(self, ctx):
+        self.events.append((ctx.task.tid, ctx.name))
+        return ctx.do_syscall()
+
+
+@dataclass
+class GuestReport:
+    """Everything observable about one run of a guest."""
+
+    tool: str | None
+    exit: int | None
+    signal: int | None
+    stdout: bytes
+    fs: tuple
+    trace: tuple[tuple[int, str], ...]
+    crashed: bool = False
+    schedule_digest: str | None = None
+    fault_digest: str | None = None
+    fault_plan: tuple = ()
+
+    def trace_by_tid(self) -> dict[int, tuple[str, ...]]:
+        out: dict[int, list[str]] = {}
+        for tid, name in self.trace:
+            out.setdefault(tid, []).append(name)
+        return {tid: tuple(names) for tid, names in out.items()}
+
+    def digest(self) -> str:
+        """Byte-stable digest of the whole observable outcome."""
+        h = hashlib.sha256()
+        h.update(repr((self.exit, self.signal, self.crashed)).encode())
+        h.update(self.stdout)
+        h.update(repr(self.fs).encode())
+        h.update(repr(self.trace).encode())
+        if self.schedule_digest:
+            h.update(self.schedule_digest.encode())
+        if self.fault_digest:
+            h.update(self.fault_digest.encode())
+        return h.hexdigest()
+
+
+def run_guest(
+    image,
+    tool: str | None = None,
+    *,
+    policy=None,
+    injector=None,
+    interposer=None,
+    argv: tuple[str, ...] = (),
+    max_instructions: int = 3_000_000,
+    setup=None,
+    configure=None,
+) -> GuestReport:
+    """Run ``image`` under ``tool`` with optional schedule/fault harnessing.
+
+    ``image`` may be a :class:`ProgramImage` or a zero-argument callable
+    producing one (so corpus entries rebuild fresh per run).  ``setup`` runs
+    against the bare machine (seed the fs, register execve binaries);
+    ``configure(machine, process, tool_instance)`` runs after the tool is
+    installed but before execution — the hook where explorer windows are
+    derived from the installed tool's blob addresses.
+    """
+    machine = Machine(policy=policy)
+    if injector is not None:
+        machine.kernel.fault_injector = injector
+    if setup is not None:
+        setup(machine)
+    if callable(image) and not hasattr(image, "segments"):
+        image = image()
+    process = machine.load(image, argv)
+    tracer = interposer if interposer is not None else TidTracer()
+    tool_instance = None
+    if tool is not None:
+        tool_instance = TOOLS[tool].install(machine, process, tracer)
+    if configure is not None:
+        configure(machine, process, tool_instance)
+    crashed = False
+    try:
+        machine.run(
+            until=lambda: not any(t.alive for t in machine.kernel.tasks.values()),
+            max_instructions=max_instructions,
+        )
+    except GuestCrash:
+        crashed = True
+    if any(t.alive for t in machine.kernel.tasks.values()):
+        crashed = True
+    fs_snapshot = tuple(
+        sorted(
+            (inode.path, bytes(inode.data))
+            for inode in machine.fs._inodes.values()
+            if not inode.is_dir
+        )
+    )
+    trace = tuple(tracer.events) if isinstance(tracer, TidTracer) else ()
+    report = GuestReport(
+        tool=tool,
+        exit=process.exit_code,
+        signal=process.term_signal,
+        stdout=process.stdout,
+        fs=fs_snapshot,
+        trace=trace,
+        crashed=crashed,
+    )
+    if policy is not None and hasattr(policy, "trace"):
+        report.schedule_digest = policy.trace.digest()
+    if injector is not None:
+        report.fault_digest = injector.plan_digest()
+        report.fault_plan = tuple(injector.plan)
+    return report
+
+
+def differences(
+    a: GuestReport,
+    b: GuestReport,
+    *,
+    compare_trace: bool = True,
+) -> list[str]:
+    """Human-readable list of observable divergences (empty = equivalent)."""
+    diffs: list[str] = []
+    if a.crashed != b.crashed:
+        diffs.append(f"crashed: {a.crashed} vs {b.crashed}")
+    if a.exit != b.exit:
+        diffs.append(f"exit code: {a.exit} vs {b.exit}")
+    if a.signal != b.signal:
+        diffs.append(f"terminating signal: {a.signal} vs {b.signal}")
+    if a.stdout != b.stdout:
+        diffs.append(f"stdout: {a.stdout!r} vs {b.stdout!r}")
+    if a.fs != b.fs:
+        paths_a = {p for p, _ in a.fs}
+        paths_b = {p for p, _ in b.fs}
+        if paths_a != paths_b:
+            diffs.append(
+                f"fs paths differ: only-left={sorted(paths_a - paths_b)} "
+                f"only-right={sorted(paths_b - paths_a)}"
+            )
+        else:
+            changed = [
+                p
+                for (p, da), (_, db) in zip(a.fs, b.fs)
+                if da != db
+            ]
+            diffs.append(f"fs contents differ at {changed}")
+    if compare_trace:
+        ta, tb = a.trace_by_tid(), b.trace_by_tid()
+        if set(ta) != set(tb):
+            diffs.append(f"thread sets differ: {sorted(ta)} vs {sorted(tb)}")
+        else:
+            for tid in sorted(ta):
+                if ta[tid] != tb[tid]:
+                    pos = next(
+                        (
+                            i
+                            for i, (x, y) in enumerate(zip(ta[tid], tb[tid]))
+                            if x != y
+                        ),
+                        min(len(ta[tid]), len(tb[tid])),
+                    )
+                    diffs.append(
+                        f"tid {tid} trace diverges at #{pos}: "
+                        f"{ta[tid][pos:pos + 3]} vs {tb[tid][pos:pos + 3]} "
+                        f"(lengths {len(ta[tid])}/{len(tb[tid])})"
+                    )
+    return diffs

@@ -1,0 +1,43 @@
+"""A tiny self-contained PRNG (SplitMix64).
+
+The harness promises byte-identical behaviour for a given seed across
+Python versions and platforms, so it owns its generator instead of relying
+on :mod:`random` internals.  Integer-only arithmetic; no float paths.
+"""
+
+from __future__ import annotations
+
+_MASK = (1 << 64) - 1
+
+
+class SplitMix64:
+    """Deterministic 64-bit generator; good enough for schedule jitter."""
+
+    def __init__(self, seed: int):
+        self.state = seed & _MASK
+
+    def next_u64(self) -> int:
+        self.state = (self.state + 0x9E3779B97F4A7C15) & _MASK
+        z = self.state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+        return z ^ (z >> 31)
+
+    def below(self, n: int) -> int:
+        """Uniform-ish integer in ``[0, n)`` (modulo bias is irrelevant here)."""
+        if n <= 1:
+            return 0
+        return self.next_u64() % n
+
+    def chance(self, numerator: int, denominator: int) -> bool:
+        """True with probability ``numerator/denominator``."""
+        if numerator <= 0:
+            return False
+        return self.next_u64() % denominator < numerator
+
+    def shuffle(self, items: list) -> list:
+        """Fisher–Yates in place; returns ``items`` for chaining."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.below(i + 1)
+            items[i], items[j] = items[j], items[i]
+        return items

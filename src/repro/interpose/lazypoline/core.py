@@ -210,18 +210,35 @@ class Lazypoline:
             gsrel.unwind_xstate_entry(mem, gs)
 
         original_rip = mem.read_u64(uc + UC_RIP, check=None)
-        mem.write_u64(gs + gsrel.GS_TRAMP_SEL, saved_selector, check=None)
-        mem.write_u64(gs + gsrel.GS_TRAMP_RIP, original_rip, check=None)
-        mem.write_u64(uc + UC_RIP, self.blobs.sigreturn_trampoline, check=None)
-        if self.config.protect_gs_with_pkey:
-            # The trampoline must write the selector: patch the frame's
-            # saved PKRU open, stashing the interrupted context's real PKRU
-            # for the trampoline to restore on its way out.
-            from repro.kernel.signals import UC_FLAGS
+        if self.blobs.sigreturn_trampoline <= original_rip < self.blobs.noop_ret:
+            # INVARIANT (nested trampoline): a signal that lands *between*
+            # the trampoline's gscopy8 and gsjmp belongs to an outer
+            # restore whose GS_TRAMP_SEL/GS_TRAMP_RIP slots are still live.
+            # Overwriting them here would make the outer gsjmp target the
+            # trampoline address itself — an infinite self-jump.  Instead
+            # leave the slots untouched and resume at the trampoline *top*:
+            # every trampoline instruction is an idempotent read of those
+            # slots, so re-running it completes the outer restore.  The
+            # selector the nested wrapper pushed is discarded (popped
+            # above) — gscopy8 re-derives the definitive value from the
+            # outer GS_TRAMP_SEL.  In the pkey configuration the nested
+            # frame's saved PKRU is already the patched-open value the
+            # trampoline was interrupted with, so no UC_FLAGS surgery and
+            # no touching the outer GS_TRAMP_PKRU stash.
+            mem.write_u64(uc + UC_RIP, self.blobs.sigreturn_trampoline, check=None)
+        else:
+            mem.write_u64(gs + gsrel.GS_TRAMP_SEL, saved_selector, check=None)
+            mem.write_u64(gs + gsrel.GS_TRAMP_RIP, original_rip, check=None)
+            mem.write_u64(uc + UC_RIP, self.blobs.sigreturn_trampoline, check=None)
+            if self.config.protect_gs_with_pkey:
+                # The trampoline must write the selector: patch the frame's
+                # saved PKRU open, stashing the interrupted context's real
+                # PKRU for the trampoline to restore on its way out.
+                from repro.kernel.signals import UC_FLAGS
 
-            flags = mem.read_u64(uc + UC_FLAGS, check=None)
-            mem.write_u64(gs + gsrel.GS_TRAMP_PKRU, flags >> 32, check=None)
-            mem.write_u64(uc + UC_FLAGS, flags & 0xFFFFFFFF, check=None)
+                flags = mem.read_u64(uc + UC_FLAGS, check=None)
+                mem.write_u64(gs + gsrel.GS_TRAMP_PKRU, flags >> 32, check=None)
+                mem.write_u64(uc + UC_FLAGS, flags & 0xFFFFFFFF, check=None)
         hctx.charge(12)
 
         # Hand the kernel the rsp it expects for this frame, then sigreturn
@@ -431,9 +448,15 @@ class Lazypoline:
                 _PERM_TO_PROT.get(mem.perm_at(p), PROT_READ)
                 for p in range(start, end, PAGE_SIZE)
             ]
-            hctx.do_syscall(
+            ret = hctx.do_syscall(
                 _NR_MPROTECT, (start, end - start, PROT_READ | PROT_WRITE)
             )
+            if ret is not None and ret < 0:
+                # mprotect can transiently fail (ENOMEM: the kernel could
+                # not split the VMA).  The site stays on the slow path —
+                # correct, merely slower; writing anyway would fault on the
+                # still read-only page and SIGSEGV the guest.
+                return
             mem.write(site, CALL_RAX_BYTES, check="write")
             hctx.charge(3 + hctx.kernel.costs.code_patch_flush)
             for i, prot in enumerate(saved):

@@ -138,7 +138,15 @@ class SignalPathTool:
         ctx = SyscallContext(
             hctx.kernel, task, sysno, args, mechanism=self.mechanism, do_syscall=do
         )
+        mem_before = task.mem
         ret = self.interposer(ctx)
+        if task.mem is not mem_before:
+            # A successful execve replaced the address space: on Linux the
+            # syscall never returns into the handler, the handler pages and
+            # the signal frame are gone, and SUD/our sighand entry died with
+            # the old image.  Touching the (old) selector/frame addresses
+            # now would fault the *new* program, so stop here.
+            return
         if ret is not None and sysno != _NR_RT_SIGRETURN:
             task.mem.write_u64(uc + UC_GPRS + 8 * RAX, ret, check=None)
         if sysno in (_NR_FORK, _NR_VFORK, _NR_CLONE) and ret is not None and ret > 0:

@@ -145,6 +145,10 @@ class Kernel:
         #: host supervisor for SECCOMP_RET_USER_NOTIF, or None
         self.usernotif_supervisor = None
 
+        #: fault-injection hook consulted by :meth:`dispatch`, or None.
+        #: See :class:`repro.faults.injector.FaultInjector`.
+        self.fault_injector = None
+
         #: optional global syscall trace: (tid, sysno, args, ret)
         self.trace_syscalls = False
         self.syscall_log: list[tuple[int, int, tuple[int, ...], int | None]] = []
@@ -383,6 +387,12 @@ class Kernel:
     # ------------------------------------------------------------- dispatching
     def dispatch(self, task: Task, sysno: int, args: tuple[int, ...]) -> int | None:
         """Run the syscall implementation (no interception)."""
+        if self.fault_injector is not None:
+            injected = self.fault_injector.intercept(self, task, sysno, args)
+            if injected is not None:
+                if self.trace_syscalls:
+                    self.syscall_log.append((task.tid, sysno, args, injected))
+                return injected
         entry = self.syscall_registry.get(sysno)
         if entry is None:
             self.charge(task, self.costs.nosys_penalty)

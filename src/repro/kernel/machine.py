@@ -59,10 +59,16 @@ class Machine:
         print(proc.stdout, proc.exit_code)
     """
 
-    def __init__(self, costs: CostModel | None = None, *, quantum: int = 64):
+    def __init__(
+        self,
+        costs: CostModel | None = None,
+        *,
+        quantum: int = 64,
+        policy=None,
+    ):
         self.costs = costs or CostModel()
         self.kernel = Kernel(self.costs)
-        self.scheduler = Scheduler(self.kernel, quantum=quantum)
+        self.scheduler = Scheduler(self.kernel, quantum=quantum, policy=policy)
         self.kernel.scheduler = self.scheduler
 
     # ------------------------------------------------------------------ time

@@ -18,10 +18,43 @@ from repro.kernel.task import Task, TaskState
 from repro.kernel.waits import DeadlockError, WouldBlock
 
 
+class SchedulePolicy:
+    """Hook points a scheduling policy may implement (all optional).
+
+    The default scheduler behaviour — fixed quantum, kernel task order, no
+    forced preemption — is what you get from this base class.  The fault
+    harness (:mod:`repro.faults.explorer`) subclasses it to perturb quanta,
+    reorder runnable tasks and force preemption or signal delivery at
+    chosen instruction boundaries, all derived from a single seed.
+    """
+
+    def quantum_for(self, task: Task, default: int) -> int:
+        """Instruction budget for the next slice of ``task``."""
+        return default
+
+    def schedule_order(self, tasks: list[Task]) -> list[Task]:
+        """Order in which the run loop offers slices this round."""
+        return tasks
+
+    def on_boundary(self, kernel, task: Task) -> bool:
+        """Called at every instruction boundary before the signal check.
+
+        May post signals (they are deliverable at this very boundary).
+        Returning True requests preemption; the scheduler honours it only
+        after at least one instruction ran in the slice, so a policy can
+        never livelock a task.
+        """
+        return False
+
+    def record_slice(self, task: Task, executed: int) -> None:
+        """One slice of ``task`` finished after ``executed`` instructions."""
+
+
 class Scheduler:
-    def __init__(self, kernel, quantum: int = 64):
+    def __init__(self, kernel, quantum: int = 64, policy: SchedulePolicy | None = None):
         self.kernel = kernel
         self.quantum = quantum
+        self.policy = policy
         self._active: set[int] = set()  # tids currently on the Python stack
         self.total_instructions = 0
 
@@ -52,8 +85,14 @@ class Scheduler:
     def run_task_slice(self, task: Task, quantum: int | None = None) -> int:
         """Run up to ``quantum`` instructions of ``task``; returns how many."""
         kernel = self.kernel
+        policy = self.policy
         executed = 0
-        budget = quantum if quantum is not None else self.quantum
+        if quantum is not None:
+            budget = quantum
+        elif policy is not None:
+            budget = policy.quantum_for(task, self.quantum)
+        else:
+            budget = self.quantum
         if task.tid in self._active:
             return 0
         self._active.add(task.tid)
@@ -64,6 +103,9 @@ class Scheduler:
                 self._maybe_unblock(task)
                 if task.state is not TaskState.RUNNABLE:
                     break
+                if policy is not None and policy.on_boundary(kernel, task):
+                    if executed:
+                        break
                 if task.pending and task.has_deliverable_signal():
                     kernel.signals.deliver_pending(task)
                     if not task.alive:
@@ -80,6 +122,8 @@ class Scheduler:
         finally:
             self._active.discard(task.tid)
         self.total_instructions += executed
+        if policy is not None:
+            policy.record_slice(task, executed)
         return executed
 
     # ------------------------------------------------------------- main loop
@@ -105,7 +149,10 @@ class Scheduler:
             ):
                 return
             progress = 0
-            for task in list(kernel.tasks.values()):
+            round_tasks = list(kernel.tasks.values())
+            if self.policy is not None:
+                round_tasks = self.policy.schedule_order(round_tasks)
+            for task in round_tasks:
                 if not task.alive or task.tid in self._active:
                     continue
                 progress += self.run_task_slice(task)
@@ -133,7 +180,10 @@ class Scheduler:
         host-side interposer code.  Returns True if any instruction ran.
         """
         progress = 0
-        for task in list(self.kernel.tasks.values()):
+        others = list(self.kernel.tasks.values())
+        if self.policy is not None:
+            others = self.policy.schedule_order(others)
+        for task in others:
             if task is current or not task.alive or task.tid in self._active:
                 continue
             progress += self.run_task_slice(task)

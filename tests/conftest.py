@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.arch.encode import Assembler
@@ -9,6 +12,33 @@ from repro.kernel.machine import Machine
 from repro.kernel.syscalls.table import NR
 from repro.loader.image import image_from_assembler
 from repro.mem import layout
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fault-seeds",
+        type=int,
+        default=32,
+        help="seed sweep breadth for @pytest.mark.faults tests (default 32: "
+             "the smoke tier, which already covers every instruction "
+             "boundary of the lazypoline windows; raise for deeper fuzzing)",
+    )
+
+
+@pytest.fixture(scope="session")
+def fault_seed_count(request) -> int:
+    return request.config.getoption("--fault-seeds")
+
+
+@pytest.fixture(scope="session")
+def fault_seed_corpus() -> dict:
+    """Recorded regression seeds (tests/data/fault_seeds.json).
+
+    Every seed in this file once exposed a bug or pins a boundary worth
+    keeping hot; the corpus-replay test runs them before the sweeps do.
+    """
+    path = Path(__file__).parent / "data" / "fault_seeds.json"
+    return json.loads(path.read_text())
 
 
 @pytest.fixture

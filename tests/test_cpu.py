@@ -210,6 +210,29 @@ def test_invalid_opcode_raises():
         cpu.step(task)
 
 
+def test_out_of_range_register_field_is_invalid_opcode():
+    """INVARIANT: only 16 registers exist; a register-field byte >= 16 is
+    an undefined encoding and must raise #UD at decode time, never produce
+    an Instruction whose operands index past the register file.  (Found by
+    fuzzing: ``48 3C 10`` once decoded to RDPKRU with operand 16.)
+    """
+    from repro.arch.decode import decode_one
+
+    with pytest.raises(InvalidOpcode):
+        decode_one(b"\x48\x3c\x10")  # rdpkru r16
+    with pytest.raises(InvalidOpcode):
+        decode_one(b"\x48\x01\x10\x03")  # mov r16, rbx
+    # a shift count >= 16 is NOT a register field and stays valid
+    from repro.arch.encode import Assembler
+    from repro.arch.isa import Mnemonic
+
+    a = Assembler()
+    a.shl("rax", 32)
+    insn = decode_one(a.assemble())
+    assert insn.mnemonic is Mnemonic.SHL
+    assert insn.operands == (0, 32)
+
+
 def test_int3_raises_breakpoint():
     def build(a):
         a.int3()

@@ -71,3 +71,46 @@ def test_exhaustive_mechanisms_agree_on_traces(util):
         for tool in ("lazypoline", "sud", "seccomp_user")
     }
     assert traces["lazypoline"] == traces["sud"] == traces["seccomp_user"]
+
+
+# --------------------------------------------------- differential fault oracle
+#
+# The tests above compare tools on the one cooperative happy-path schedule.
+# The differential oracle re-runs the comparison under seeded adversarial
+# schedules (perturbed quanta, shuffled run order) over a corpus that
+# exercises fork/clone/execve/sigaction — the operations whose interaction
+# with each interposition mechanism is schedule-sensitive.  Equivalence is
+# still total: exit status, stdout, filesystem effects and the per-thread
+# syscall trace must agree for every full-expressiveness tool pair.
+
+from repro.faults import CORPUS, ExplorerPolicy, differences, run_guest
+
+DIFFERENTIAL_SEEDS = range(8)
+
+
+@pytest.mark.faults
+@pytest.mark.parametrize("seed", DIFFERENTIAL_SEEDS)
+@pytest.mark.parametrize("program_name", sorted(CORPUS))
+def test_tools_equivalent_under_adversarial_schedules(program_name, seed):
+    """Full-expressiveness tool pairs stay equivalent on explored schedules."""
+    program = CORPUS[program_name]
+    reports = {}
+    for tool in program.tools:
+        reports[tool] = run_guest(
+            program.build,
+            tool,
+            policy=ExplorerPolicy(seed),
+            setup=program.setup,
+            max_instructions=program.max_instructions,
+        )
+        assert not reports[tool].crashed, f"{tool}: guest did not terminate"
+    tools = list(program.tools)
+    for i, ta in enumerate(tools):
+        for tb in tools[i + 1:]:
+            diffs = differences(reports[ta], reports[tb])
+            assert not diffs, (
+                f"{program_name} seed {seed}, {ta} vs {tb}: {diffs}\n"
+                f"  reproduce: pytest 'tests/test_cross_tool_matrix.py::"
+                f"test_tools_equivalent_under_adversarial_schedules"
+                f"[{program_name}-{seed}]'"
+            )
