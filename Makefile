@@ -5,7 +5,7 @@ export PYTHONPATH
 FUZZ_MINUTES ?= 5
 FAULT_SEEDS ?= 0:64
 
-.PHONY: test test-fast faults fuzz bench
+.PHONY: test test-fast faults fuzz bench perf
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,3 +21,10 @@ fuzz:
 
 bench:
 	$(PYTHON) -m repro.bench
+
+# Interpreter perf baseline: snapshot the previous BENCH_interp.json, remeasure,
+# then fail on a >15% guest-MIPS regression on any workload.
+perf:
+	@if [ -f BENCH_interp.json ]; then cp BENCH_interp.json BENCH_interp.prev.json; fi
+	$(PYTHON) -m pytest benchmarks/test_perf_interpreter.py -m perf -q
+	$(PYTHON) benchmarks/check_regression.py

@@ -1,0 +1,86 @@
+"""Guard against interpreter performance regressions.
+
+Compares two ``BENCH_interp.json`` files (previous run vs current run) and
+fails — exit status 1 — if any workload's guest-MIPS number regressed by
+more than the tolerance band (15% by default, generous because these are
+wall-clock numbers on shared hardware).
+
+Usage::
+
+    python benchmarks/check_regression.py [OLD] [NEW] [--tolerance FRAC]
+
+Defaults: OLD = BENCH_interp.prev.json, NEW = BENCH_interp.json (repo
+root).  A missing OLD is not an error — the first measured run simply
+becomes the baseline (``make perf`` snapshots NEW to OLD before each run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OLD = ROOT / "BENCH_interp.prev.json"
+DEFAULT_NEW = ROOT / "BENCH_interp.json"
+TOLERANCE = 0.15
+
+
+def compare(old: dict, new: dict, tolerance: float) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures = []
+    old_workloads = old.get("workloads", {})
+    new_workloads = new.get("workloads", {})
+    for name, prev in sorted(old_workloads.items()):
+        cur = new_workloads.get(name)
+        if cur is None:
+            failures.append(f"{name}: workload disappeared from the new run")
+            continue
+        prev_mips, cur_mips = prev["mips"], cur["mips"]
+        if prev_mips <= 0:
+            continue
+        change = (cur_mips - prev_mips) / prev_mips
+        marker = "REGRESSION" if change < -tolerance else "ok"
+        print(
+            f"{name:22s} {prev_mips:8.3f} -> {cur_mips:8.3f} MIPS "
+            f"({change:+.1%})  {marker}"
+        )
+        if change < -tolerance:
+            failures.append(
+                f"{name}: {prev_mips:.3f} -> {cur_mips:.3f} MIPS "
+                f"({change:+.1%}, tolerance -{tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", nargs="?", default=str(DEFAULT_OLD))
+    parser.add_argument("new", nargs="?", default=str(DEFAULT_NEW))
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE)
+    args = parser.parse_args(argv)
+
+    old_path = pathlib.Path(args.old)
+    new_path = pathlib.Path(args.new)
+    if not new_path.exists():
+        print(f"no current run at {new_path}; run `make perf` first")
+        return 1
+    if not old_path.exists():
+        print(f"no previous run at {old_path}; current run becomes the baseline")
+        return 0
+
+    old = json.loads(old_path.read_text())
+    new = json.loads(new_path.read_text())
+    failures = compare(old, new, args.tolerance)
+    if failures:
+        print("\nperformance regressions beyond tolerance:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,7 +43,7 @@ syscall, five-byte arbitrary jump, byte-searchable code) are preserved.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 class Mnemonic(str, enum.Enum):
@@ -121,6 +121,17 @@ class Mnemonic(str, enum.Enum):
     HCALL = "hcall"
 
 
+# Dense per-mnemonic index for list-based dispatch and cost tables.  Named
+# ``op_index`` (not ``index``) because Mnemonic is a str enum and a plain
+# ``index`` attribute would shadow ``str.index``.
+for _i, _m in enumerate(Mnemonic):
+    _m.op_index = _i
+del _i, _m
+
+#: Number of mnemonics — the length of every op_index-keyed table.
+N_MNEMONICS = len(Mnemonic)
+
+
 @dataclass(frozen=True)
 class Instruction:
     """One decoded instruction.
@@ -129,11 +140,22 @@ class Instruction:
     decoder for the exact layout per mnemonic.  ``length`` is the encoded
     size in bytes, which the CPU uses to advance ``rip`` and the rewriters
     use to check in-place-patchability.
+
+    ``handler`` and ``cost`` memoise the per-mnemonic execution handler and
+    cycle cost.  They are bound by the CPU when the instruction enters a
+    translation cache (see ``repro.cpu.core``), so the steady-state step is
+    fetch-check-generation -> charge -> call with no per-step table lookups.
+    A ``cost`` of None marks instructions (xsave/xrstor) whose cost depends
+    on per-task state and must be computed at execution time.  Both fields
+    are excluded from equality/repr: two decodes of the same bytes compare
+    equal whether or not they have been bound.
     """
 
     mnemonic: Mnemonic
     operands: tuple
     length: int
+    handler: object = field(default=None, compare=False, repr=False)
+    cost: object = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         ops = ", ".join(str(o) for o in self.operands)

@@ -9,6 +9,31 @@ that needs an OS (syscalls, host calls, halts) is delegated to the
 Architectural faults (:class:`~repro.errors.PageFault`,
 :class:`~repro.errors.InvalidOpcode`) propagate out of :meth:`CPU.step`; the
 scheduler converts them into signals.
+
+Translation cache
+=================
+
+With ``translation_cache=True`` (the default) the CPU memoises decoded
+instructions per address space: ``AddressSpace.insn_cache`` maps instruction
+address -> ``(insn, handler, cost, page, gen, page2, gen2)``.  An entry is
+valid only while the per-page generation counters in
+``AddressSpace.exec_gen`` still match the generations recorded at decode
+time; the address space bumps a page's counter on any ``write``, ``protect``
+or ``unmap`` touching an executable page.  That is exactly the set of
+operations lazypoline's SIGSYS slow path performs when it rewrites
+``syscall`` -> ``call rax`` in place (mprotect RW, write, mprotect back), so
+self-modifying code invalidates precisely the stale entries.  A cached entry
+records generations only for the page(s) the instruction's own bytes occupy
+(one or two, since MAX_INSN_LEN < PAGE_SIZE): a decode depends on nothing
+else.  Removing execute permission or unmapping also bumps, which forces the
+next step through a real ``fetch`` and re-raises the page fault the uncached
+interpreter would have raised.  Failed decodes are never cached.
+
+Execution itself dispatches through :data:`DISPATCH`, a dense list of
+per-mnemonic handler functions indexed by ``Mnemonic.op_index``; each cache
+entry carries its ``(handler, cost)`` pair so the steady-state step is
+fetch-check-generation -> charge -> call.  ``cost`` is ``None`` for
+xsave/xrstor, whose cost depends on the task's xstate component count.
 """
 
 from __future__ import annotations
@@ -17,7 +42,7 @@ import struct
 from typing import Protocol
 
 from repro.arch.decode import decode_one
-from repro.arch.isa import MAX_INSN_LEN, Instruction, Mnemonic
+from repro.arch.isa import MAX_INSN_LEN, N_MNEMONICS, Instruction, Mnemonic
 from repro.arch.registers import (
     MASK64,
     MASK128,
@@ -27,6 +52,7 @@ from repro.arch.registers import (
 )
 from repro.cpu.costs import CostModel
 from repro.errors import BreakpointTrap, InvalidOpcode
+from repro.mem.pages import PAGE_SHIFT
 
 _F64 = struct.Struct("<d")
 _U64 = struct.Struct("<Q")
@@ -40,6 +66,11 @@ XSAVE_TOP_OFF = XSAVE_X87_OFF + 8 * 8
 XSAVE_AREA_SIZE = 1024
 
 _COMPONENT_BITS = ((XComponent.X87, 1), (XComponent.SSE, 2), (XComponent.AVX, 4))
+
+#: Entries per address-space insn cache before a wholesale clear.  Generous:
+#: guest images are a few pages of code, so this only trips on pathological
+#: self-modifying loops, where clearing is the honest answer anyway.
+_CACHE_CAPACITY = 65536
 
 
 class Environment(Protocol):
@@ -94,14 +125,571 @@ class BareTask:
         self.regs = regs or RegisterFile()
         self.xsave_mask = XComponent.all() if xsave_mask is None else xsave_mask
 
+    @property
+    def xsave_mask(self) -> XComponent:
+        return self._xsave_mask
+
+    @xsave_mask.setter
+    def xsave_mask(self, mask: XComponent) -> None:
+        self._xsave_mask = mask
+        self.xsave_components = bin(mask.value).count("1")
+
+
+# ------------------------------------------------------------------ handlers
+# One module-level function per mnemonic, uniform signature
+# ``handler(cpu, task, insn, next_rip)``.  ``regs.rip`` is already
+# ``next_rip`` when the handler runs; control-flow handlers overwrite it.
+
+
+def _op_nop(cpu, task, insn, next_rip):
+    pass
+
+
+def _op_syscall(cpu, task, insn, next_rip):
+    cpu.env.on_syscall(task)
+
+
+def _op_hlt(cpu, task, insn, next_rip):
+    cpu.env.on_hlt(task)
+
+
+def _op_hcall(cpu, task, insn, next_rip):
+    cpu.env.on_hcall(task, insn.operands[0])
+
+
+def _op_int3(cpu, task, insn, next_rip):
+    raise BreakpointTrap(next_rip - insn.length)
+
+
+def _op_ud2(cpu, task, insn, next_rip):
+    raise InvalidOpcode(next_rip - insn.length, 0x0F)
+
+
+# control flow ----------------------------------------------------------------
+def _op_ret(cpu, task, insn, next_rip):
+    task.regs.rip = cpu._pop(task)
+
+
+def _op_push(cpu, task, insn, next_rip):
+    cpu._push(task, task.regs.read(insn.operands[0]))
+
+
+def _op_pop(cpu, task, insn, next_rip):
+    task.regs.write(insn.operands[0], cpu._pop(task))
+
+
+def _op_call_reg(cpu, task, insn, next_rip):
+    cpu._push(task, next_rip)
+    task.regs.rip = task.regs.read(insn.operands[0])
+
+
+def _op_jmp_reg(cpu, task, insn, next_rip):
+    task.regs.rip = task.regs.read(insn.operands[0])
+
+
+def _op_call_rel(cpu, task, insn, next_rip):
+    cpu._push(task, next_rip)
+    task.regs.rip = (next_rip + insn.operands[0]) & MASK64
+
+
+def _op_jmp_rel(cpu, task, insn, next_rip):
+    task.regs.rip = (next_rip + insn.operands[0]) & MASK64
+
+
+def _op_jz(cpu, task, insn, next_rip):
+    regs = task.regs
+    if regs.zf:
+        regs.rip = (next_rip + insn.operands[0]) & MASK64
+
+
+def _op_jnz(cpu, task, insn, next_rip):
+    regs = task.regs
+    if not regs.zf:
+        regs.rip = (next_rip + insn.operands[0]) & MASK64
+
+
+def _op_jl(cpu, task, insn, next_rip):
+    regs = task.regs
+    if regs.lt:
+        regs.rip = (next_rip + insn.operands[0]) & MASK64
+
+
+def _op_jg(cpu, task, insn, next_rip):
+    regs = task.regs
+    if not regs.lt and not regs.zf:
+        regs.rip = (next_rip + insn.operands[0]) & MASK64
+
+
+def _op_jge(cpu, task, insn, next_rip):
+    regs = task.regs
+    if not regs.lt:
+        regs.rip = (next_rip + insn.operands[0]) & MASK64
+
+
+def _op_jle(cpu, task, insn, next_rip):
+    regs = task.regs
+    if regs.lt or regs.zf:
+        regs.rip = (next_rip + insn.operands[0]) & MASK64
+
+
+# data movement ---------------------------------------------------------------
+def _op_mov_imm64(cpu, task, insn, next_rip):
+    ops = insn.operands
+    task.regs.write(ops[0], ops[1])
+
+
+def _op_mov(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    regs.write(ops[0], regs.read(ops[1]))
+
+
+def _op_load(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    regs.write(ops[0], task.mem.read_u64((regs.read(ops[1]) + ops[2]) & MASK64))
+
+
+def _op_store(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    task.mem.write_u64((regs.read(ops[0]) + ops[1]) & MASK64, regs.read(ops[2]))
+
+
+def _op_load8(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    regs.write(ops[0], task.mem.read_u8((regs.read(ops[1]) + ops[2]) & MASK64))
+
+
+def _op_store8(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    task.mem.write_u8((regs.read(ops[0]) + ops[1]) & MASK64, regs.read(ops[2]) & 0xFF)
+
+
+def _op_lea(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    regs.write(ops[0], (regs.read(ops[1]) + ops[2]) & MASK64)
+
+
+# ALU -------------------------------------------------------------------------
+def _set_flags(regs, result: int) -> None:
+    regs.zf = result == 0
+    regs.lt = bool(result >> 63)
+
+
+def _op_add(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = (regs.read(ops[0]) + regs.read(ops[1])) & MASK64
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_sub(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = (regs.read(ops[0]) - regs.read(ops[1])) & MASK64
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_and(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = regs.read(ops[0]) & regs.read(ops[1])
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_or(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = regs.read(ops[0]) | regs.read(ops[1])
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_xor(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = regs.read(ops[0]) ^ regs.read(ops[1])
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_imul(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = (to_signed(regs.read(ops[0])) * to_signed(regs.read(ops[1]))) & MASK64
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_cmp(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    a = to_signed(regs.read(ops[0]))
+    b = to_signed(regs.read(ops[1]))
+    regs.zf = a == b
+    regs.lt = a < b
+
+
+def _op_addi(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = (regs.read(ops[0]) + (ops[1] & MASK64)) & MASK64
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_subi(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = (regs.read(ops[0]) - (ops[1] & MASK64)) & MASK64
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_andi(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = regs.read(ops[0]) & (ops[1] & MASK64)
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_ori(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = regs.read(ops[0]) | (ops[1] & MASK64)
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_xori(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = regs.read(ops[0]) ^ (ops[1] & MASK64)
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_cmpi(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    a = to_signed(regs.read(ops[0]))
+    regs.zf = a == ops[1]
+    regs.lt = a < ops[1]
+
+
+def _op_shl(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = (regs.read(ops[0]) << (ops[1] & 63)) & MASK64
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_shr(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = regs.read(ops[0]) >> (ops[1] & 63)
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_inc(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = (regs.read(ops[0]) + 1) & MASK64
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+def _op_dec(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    result = (regs.read(ops[0]) - 1) & MASK64
+    regs.write(ops[0], result)
+    _set_flags(regs, result)
+
+
+# vector ----------------------------------------------------------------------
+def _op_movq_xg(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    regs.write_xmm(ops[0], regs.read(ops[1]))
+
+
+def _op_movq_gx(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    regs.write(ops[0], regs.read_xmm(ops[1]) & MASK64)
+
+
+def _op_movups_load(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    addr = (regs.read(ops[1]) + ops[2]) & MASK64
+    regs.write_xmm(ops[0], int.from_bytes(task.mem.read(addr, 16), "little"))
+
+
+def _op_movups_store(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    addr = (regs.read(ops[0]) + ops[1]) & MASK64
+    task.mem.write(addr, regs.read_xmm(ops[2]).to_bytes(16, "little"))
+
+
+def _op_movaps(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    regs.write_xmm(ops[0], regs.read_xmm(ops[1]))
+
+
+def _op_punpcklqdq(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    low = regs.read_xmm(ops[0]) & MASK64
+    src_low = regs.read_xmm(ops[1]) & MASK64
+    regs.write_xmm(ops[0], low | (src_low << 64))
+
+
+def _op_xorps(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    regs.write_xmm(ops[0], regs.read_xmm(ops[0]) ^ regs.read_xmm(ops[1]))
+
+
+def _op_vaddpd(cpu, task, insn, next_rip):
+    # Lane-wise 64-bit add; also touches the AVX high halves.
+    ops = insn.operands
+    regs = task.regs
+    d = regs.read_xmm(ops[0])
+    s = regs.read_xmm(ops[1])
+    low = ((d & MASK64) + (s & MASK64)) & MASK64
+    high = (((d >> 64) & MASK64) + ((s >> 64) & MASK64)) & MASK64
+    regs.write_xmm(ops[0], low | (high << 64))
+    regs.ymm_high[ops[0]] = (regs.ymm_high[ops[0]] + regs.ymm_high[ops[1]]) & MASK128
+
+
+# x87 -------------------------------------------------------------------------
+def _op_fld1(cpu, task, insn, next_rip):
+    task.regs.x87_push(_U64.unpack(_F64.pack(1.0))[0])
+
+
+def _op_faddp(cpu, task, insn, next_rip):
+    regs = task.regs
+    a = _F64.unpack(_U64.pack(regs.x87_pop()))[0]
+    b = _F64.unpack(_U64.pack(regs.x87_pop()))[0]
+    regs.x87_push(_U64.unpack(_F64.pack(a + b))[0])
+
+
+def _op_fld_mem(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    addr = (regs.read(ops[0]) + ops[1]) & MASK64
+    regs.x87_push(task.mem.read_u64(addr))
+
+
+def _op_fstp_mem(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    addr = (regs.read(ops[0]) + ops[1]) & MASK64
+    task.mem.write_u64(addr, regs.x87_pop())
+
+
+# xstate ----------------------------------------------------------------------
+def _op_xsave(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    addr = (regs.read(ops[0]) + ops[1]) & MASK64
+    task.mem.write(addr, xsave_serialize(regs, task.xsave_mask))
+
+
+def _op_xrstor(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    addr = (regs.read(ops[0]) + ops[1]) & MASK64
+    xrstor_apply(regs, task.mem.read(addr, XSAVE_AREA_SIZE))
+
+
+# gs-relative -----------------------------------------------------------------
+def _op_rdgsbase(cpu, task, insn, next_rip):
+    regs = task.regs
+    regs.write(insn.operands[0], regs.gs_base)
+
+
+def _op_wrgsbase(cpu, task, insn, next_rip):
+    regs = task.regs
+    regs.gs_base = regs.read(insn.operands[0])
+
+
+def _op_gsload(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    regs.write(ops[0], task.mem.read_u64((regs.gs_base + ops[1]) & MASK64))
+
+
+def _op_gsstore(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    task.mem.write_u64((regs.gs_base + ops[0]) & MASK64, regs.read(ops[1]))
+
+
+def _op_gsload8(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    regs.write(ops[0], task.mem.read_u8((regs.gs_base + ops[1]) & MASK64))
+
+
+def _op_gsstore8(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    task.mem.write_u8((regs.gs_base + ops[0]) & MASK64, regs.read(ops[1]) & 0xFF)
+
+
+def _op_rdpkru(cpu, task, insn, next_rip):
+    regs = task.regs
+    regs.write(insn.operands[0], regs.pkru)
+
+
+def _op_wrpkru(cpu, task, insn, next_rip):
+    regs = task.regs
+    regs.pkru = regs.read(insn.operands[0]) & 0xFFFFFFFF
+    task.mem.active_pkru = regs.pkru
+
+
+def _op_gswrpkru(cpu, task, insn, next_rip):
+    regs = task.regs
+    regs.pkru = task.mem.read_u32((regs.gs_base + insn.operands[0]) & MASK64)
+    task.mem.active_pkru = regs.pkru
+
+
+def _op_gsjmp(cpu, task, insn, next_rip):
+    regs = task.regs
+    regs.rip = task.mem.read_u64((regs.gs_base + insn.operands[0]) & MASK64)
+
+
+def _op_gscopy8(cpu, task, insn, next_rip):
+    ops = insn.operands
+    regs = task.regs
+    value = task.mem.read_u8((regs.gs_base + ops[1]) & MASK64)
+    task.mem.write_u8((regs.gs_base + ops[0]) & MASK64, value)
+
+
+#: Dense dispatch table: ``DISPATCH[mnemonic.op_index] -> handler``.
+DISPATCH: list = [None] * N_MNEMONICS
+for _m, _fn in {
+    Mnemonic.NOP: _op_nop,
+    Mnemonic.RET: _op_ret,
+    Mnemonic.HLT: _op_hlt,
+    Mnemonic.INT3: _op_int3,
+    Mnemonic.SYSCALL: _op_syscall,
+    Mnemonic.SYSENTER: _op_syscall,
+    Mnemonic.UD2: _op_ud2,
+    Mnemonic.PUSH: _op_push,
+    Mnemonic.POP: _op_pop,
+    Mnemonic.CALL_REG: _op_call_reg,
+    Mnemonic.JMP_REG: _op_jmp_reg,
+    Mnemonic.CALL_REL: _op_call_rel,
+    Mnemonic.JMP_REL: _op_jmp_rel,
+    Mnemonic.JZ: _op_jz,
+    Mnemonic.JNZ: _op_jnz,
+    Mnemonic.JL: _op_jl,
+    Mnemonic.JG: _op_jg,
+    Mnemonic.JGE: _op_jge,
+    Mnemonic.JLE: _op_jle,
+    Mnemonic.MOV_IMM64: _op_mov_imm64,
+    Mnemonic.MOV: _op_mov,
+    Mnemonic.LOAD: _op_load,
+    Mnemonic.STORE: _op_store,
+    Mnemonic.LOAD8: _op_load8,
+    Mnemonic.STORE8: _op_store8,
+    Mnemonic.ADD: _op_add,
+    Mnemonic.SUB: _op_sub,
+    Mnemonic.CMP: _op_cmp,
+    Mnemonic.AND: _op_and,
+    Mnemonic.OR: _op_or,
+    Mnemonic.XOR: _op_xor,
+    Mnemonic.IMUL: _op_imul,
+    Mnemonic.SHL: _op_shl,
+    Mnemonic.SHR: _op_shr,
+    Mnemonic.ADDI: _op_addi,
+    Mnemonic.SUBI: _op_subi,
+    Mnemonic.CMPI: _op_cmpi,
+    Mnemonic.ANDI: _op_andi,
+    Mnemonic.ORI: _op_ori,
+    Mnemonic.XORI: _op_xori,
+    Mnemonic.INC: _op_inc,
+    Mnemonic.DEC: _op_dec,
+    Mnemonic.LEA: _op_lea,
+    Mnemonic.MOVQ_XG: _op_movq_xg,
+    Mnemonic.MOVQ_GX: _op_movq_gx,
+    Mnemonic.MOVUPS_LOAD: _op_movups_load,
+    Mnemonic.MOVUPS_STORE: _op_movups_store,
+    Mnemonic.MOVAPS: _op_movaps,
+    Mnemonic.PUNPCKLQDQ: _op_punpcklqdq,
+    Mnemonic.XORPS: _op_xorps,
+    Mnemonic.VADDPD: _op_vaddpd,
+    Mnemonic.FLD1: _op_fld1,
+    Mnemonic.FADDP: _op_faddp,
+    Mnemonic.FLD_MEM: _op_fld_mem,
+    Mnemonic.FSTP_MEM: _op_fstp_mem,
+    Mnemonic.XSAVE: _op_xsave,
+    Mnemonic.XRSTOR: _op_xrstor,
+    Mnemonic.RDGSBASE: _op_rdgsbase,
+    Mnemonic.WRGSBASE: _op_wrgsbase,
+    Mnemonic.GSLOAD: _op_gsload,
+    Mnemonic.GSSTORE: _op_gsstore,
+    Mnemonic.GSLOAD8: _op_gsload8,
+    Mnemonic.GSSTORE8: _op_gsstore8,
+    Mnemonic.GSJMP: _op_gsjmp,
+    Mnemonic.GSCOPY8: _op_gscopy8,
+    Mnemonic.RDPKRU: _op_rdpkru,
+    Mnemonic.WRPKRU: _op_wrpkru,
+    Mnemonic.GSWRPKRU: _op_gswrpkru,
+    Mnemonic.HCALL: _op_hcall,
+}.items():
+    DISPATCH[_m.op_index] = _fn
+del _m, _fn
+assert all(fn is not None for fn in DISPATCH), "mnemonic without handler"
+
 
 class CPU:
     """Interprets simulated machine code, one task at a time."""
 
-    def __init__(self, env: Environment, cost_model: CostModel | None = None):
+    def __init__(
+        self,
+        env: Environment,
+        cost_model: CostModel | None = None,
+        translation_cache: bool = True,
+    ):
         self.env = env
         self.costs = cost_model or CostModel()
         self.hooks: list = []
+        self.translation_cache = translation_cache
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.refresh_cost_table()
+
+    def refresh_cost_table(self) -> None:
+        """(Re)build the dense op_index -> cost table from ``self.costs``.
+
+        ``None`` marks xsave/xrstor, whose cost depends on the task's xstate
+        component count and is computed at charge time.  Call again after
+        swapping or recalibrating ``self.costs``.
+        """
+        table: list = []
+        for m in Mnemonic:
+            if m is Mnemonic.XSAVE or m is Mnemonic.XRSTOR:
+                table.append(None)
+            else:
+                table.append(self.costs.insn_cost(m))
+        self._cost_table = table
 
     def add_hook(self, hook) -> None:
         self.hooks.append(hook)
@@ -113,24 +701,69 @@ class CPU:
     def step(self, task) -> Instruction:
         """Execute one instruction of ``task`` and return it."""
         regs = task.regs
+        mem = task.mem
         addr = regs.rip
-        window = task.mem.fetch(addr, MAX_INSN_LEN)
-        insn = decode_one(window, 0, addr)
 
+        if self.translation_cache:
+            entry = mem.insn_cache.get(addr)
+            if entry is not None:
+                gens = mem.exec_gen
+                if gens.get(entry[3], 0) == entry[4] and gens.get(entry[5], 0) == entry[6]:
+                    self.cache_hits += 1
+                else:
+                    entry = self._translate(mem, addr)
+            else:
+                entry = self._translate(mem, addr)
+            insn = entry[0]
+            if self.hooks:
+                for hook in self.hooks:
+                    hook.on_insn(task, insn, addr)
+            cost = entry[2]
+            if cost is None:
+                cost = self.costs.xsave_cost(task.xsave_components)
+            self.env.charge(task, cost)
+            next_rip = addr + insn.length
+            regs.rip = next_rip
+            entry[1](self, task, insn, next_rip)
+            return insn
+
+        # Uncached reference path: fetch + decode every step.
+        window = mem.fetch(addr, MAX_INSN_LEN)
+        insn = decode_one(window, 0, addr)
         for hook in self.hooks:
             hook.on_insn(task, insn, addr)
-
-        m = insn.mnemonic
-        if m in (Mnemonic.XSAVE, Mnemonic.XRSTOR):
-            count = bin(task.xsave_mask.value).count("1")
-            self.env.charge(task, self.costs.xsave_cost(count))
-        else:
-            self.env.charge(task, self.costs.insn_cost(m))
-
+        cost = self._cost_table[insn.mnemonic.op_index]
+        if cost is None:
+            cost = self.costs.xsave_cost(task.xsave_components)
+        self.env.charge(task, cost)
         next_rip = addr + insn.length
         regs.rip = next_rip
-        self._execute(task, insn, next_rip)
+        DISPATCH[insn.mnemonic.op_index](self, task, insn, next_rip)
         return insn
+
+    def _translate(self, mem, addr: int):
+        """Fetch + decode at ``addr`` and install a cache entry for it.
+
+        Raises the same PageFault/InvalidOpcode the uncached path would;
+        failed decodes are never cached.
+        """
+        self.cache_misses += 1
+        window = mem.fetch(addr, MAX_INSN_LEN)
+        insn = decode_one(window, 0, addr)
+        op = insn.mnemonic.op_index
+        handler = DISPATCH[op]
+        cost = self._cost_table[op]
+        object.__setattr__(insn, "handler", handler)
+        object.__setattr__(insn, "cost", cost)
+        gens = mem.exec_gen
+        first = addr >> PAGE_SHIFT
+        last = (addr + insn.length - 1) >> PAGE_SHIFT
+        entry = (insn, handler, cost, first, gens.get(first, 0), last, gens.get(last, 0))
+        cache = mem.insn_cache
+        if len(cache) >= _CACHE_CAPACITY:
+            cache.clear()
+        cache[addr] = entry
+        return entry
 
     # ----------------------------------------------------------- stack utils
     def _push(self, task, value: int) -> None:
@@ -149,252 +782,11 @@ class CPU:
     @staticmethod
     def _set_flags(regs, result: int) -> None:
         result &= MASK64
-        regs.zf = result == 0
-        regs.lt = bool(result >> 63)
+        _set_flags(regs, result)
 
     # --------------------------------------------------------------- execute
     def _execute(self, task, insn: Instruction, next_rip: int) -> None:
-        regs = task.regs
-        mem = task.mem
-        m = insn.mnemonic
-        ops = insn.operands
-        M = Mnemonic
-
-        if m is M.NOP:
-            return
-        if m is M.SYSCALL or m is M.SYSENTER:
-            self.env.on_syscall(task)
-            return
-        if m is M.HLT:
-            self.env.on_hlt(task)
-            return
-        if m is M.HCALL:
-            self.env.on_hcall(task, ops[0])
-            return
-        if m is M.INT3:
-            raise BreakpointTrap(next_rip - insn.length)
-        if m is M.UD2:
-            raise InvalidOpcode(next_rip - insn.length, 0x0F)
-
-        # control flow ------------------------------------------------------
-        if m is M.RET:
-            regs.rip = self._pop(task)
-            return
-        if m is M.PUSH:
-            self._push(task, regs.read(ops[0]))
-            return
-        if m is M.POP:
-            regs.write(ops[0], self._pop(task))
-            return
-        if m is M.CALL_REG:
-            self._push(task, next_rip)
-            regs.rip = regs.read(ops[0])
-            return
-        if m is M.JMP_REG:
-            regs.rip = regs.read(ops[0])
-            return
-        if m is M.CALL_REL:
-            self._push(task, next_rip)
-            regs.rip = (next_rip + ops[0]) & MASK64
-            return
-        if m is M.JMP_REL:
-            regs.rip = (next_rip + ops[0]) & MASK64
-            return
-        if m in (M.JZ, M.JNZ, M.JL, M.JG, M.JGE, M.JLE):
-            taken = {
-                M.JZ: regs.zf,
-                M.JNZ: not regs.zf,
-                M.JL: regs.lt,
-                M.JG: not regs.lt and not regs.zf,
-                M.JGE: not regs.lt,
-                M.JLE: regs.lt or regs.zf,
-            }[m]
-            if taken:
-                regs.rip = (next_rip + ops[0]) & MASK64
-            return
-
-        # data movement ------------------------------------------------------
-        if m is M.MOV_IMM64:
-            regs.write(ops[0], ops[1])
-            return
-        if m is M.MOV:
-            regs.write(ops[0], regs.read(ops[1]))
-            return
-        if m is M.LOAD:
-            regs.write(ops[0], mem.read_u64((regs.read(ops[1]) + ops[2]) & MASK64))
-            return
-        if m is M.STORE:
-            mem.write_u64((regs.read(ops[0]) + ops[1]) & MASK64, regs.read(ops[2]))
-            return
-        if m is M.LOAD8:
-            regs.write(ops[0], mem.read_u8((regs.read(ops[1]) + ops[2]) & MASK64))
-            return
-        if m is M.STORE8:
-            mem.write_u8((regs.read(ops[0]) + ops[1]) & MASK64, regs.read(ops[2]) & 0xFF)
-            return
-        if m is M.LEA:
-            regs.write(ops[0], (regs.read(ops[1]) + ops[2]) & MASK64)
-            return
-
-        # ALU -----------------------------------------------------------------
-        if m in (M.ADD, M.SUB, M.AND, M.OR, M.XOR, M.IMUL):
-            a = regs.read(ops[0])
-            b = regs.read(ops[1])
-            result = {
-                M.ADD: a + b,
-                M.SUB: a - b,
-                M.AND: a & b,
-                M.OR: a | b,
-                M.XOR: a ^ b,
-                M.IMUL: to_signed(a) * to_signed(b),
-            }[m] & MASK64
-            regs.write(ops[0], result)
-            self._set_flags(regs, result)
-            return
-        if m is M.CMP:
-            a = to_signed(regs.read(ops[0]))
-            b = to_signed(regs.read(ops[1]))
-            regs.zf = a == b
-            regs.lt = a < b
-            return
-        if m in (M.ADDI, M.SUBI, M.ANDI, M.ORI, M.XORI):
-            a = regs.read(ops[0])
-            imm = ops[1] & MASK64  # sign-extended by decode
-            result = {
-                M.ADDI: a + imm,
-                M.SUBI: a - imm,
-                M.ANDI: a & imm,
-                M.ORI: a | imm,
-                M.XORI: a ^ imm,
-            }[m] & MASK64
-            regs.write(ops[0], result)
-            self._set_flags(regs, result)
-            return
-        if m is M.CMPI:
-            a = to_signed(regs.read(ops[0]))
-            regs.zf = a == ops[1]
-            regs.lt = a < ops[1]
-            return
-        if m in (M.SHL, M.SHR):
-            a = regs.read(ops[0])
-            count = ops[1] & 63
-            result = (a << count) & MASK64 if m is M.SHL else a >> count
-            regs.write(ops[0], result)
-            self._set_flags(regs, result)
-            return
-        if m in (M.INC, M.DEC):
-            delta = 1 if m is M.INC else -1
-            result = (regs.read(ops[0]) + delta) & MASK64
-            regs.write(ops[0], result)
-            self._set_flags(regs, result)
-            return
-
-        # vector ---------------------------------------------------------------
-        if m is M.MOVQ_XG:
-            regs.write_xmm(ops[0], regs.read(ops[1]))
-            return
-        if m is M.MOVQ_GX:
-            regs.write(ops[0], regs.read_xmm(ops[1]) & MASK64)
-            return
-        if m is M.MOVUPS_LOAD:
-            addr = (regs.read(ops[1]) + ops[2]) & MASK64
-            value = int.from_bytes(mem.read(addr, 16), "little")
-            regs.write_xmm(ops[0], value)
-            return
-        if m is M.MOVUPS_STORE:
-            addr = (regs.read(ops[0]) + ops[1]) & MASK64
-            mem.write(addr, regs.read_xmm(ops[2]).to_bytes(16, "little"))
-            return
-        if m is M.MOVAPS:
-            regs.write_xmm(ops[0], regs.read_xmm(ops[1]))
-            return
-        if m is M.PUNPCKLQDQ:
-            low = regs.read_xmm(ops[0]) & MASK64
-            src_low = regs.read_xmm(ops[1]) & MASK64
-            regs.write_xmm(ops[0], low | (src_low << 64))
-            return
-        if m is M.XORPS:
-            regs.write_xmm(ops[0], regs.read_xmm(ops[0]) ^ regs.read_xmm(ops[1]))
-            return
-        if m is M.VADDPD:
-            # Lane-wise 64-bit add; also touches the AVX high halves.
-            d = regs.read_xmm(ops[0])
-            s = regs.read_xmm(ops[1])
-            low = ((d & MASK64) + (s & MASK64)) & MASK64
-            high = (((d >> 64) & MASK64) + ((s >> 64) & MASK64)) & MASK64
-            regs.write_xmm(ops[0], low | (high << 64))
-            regs.ymm_high[ops[0]] = (
-                regs.ymm_high[ops[0]] + regs.ymm_high[ops[1]]
-            ) & MASK128
-            return
-
-        # x87 -------------------------------------------------------------------
-        if m is M.FLD1:
-            regs.x87_push(_U64.unpack(_F64.pack(1.0))[0])
-            return
-        if m is M.FADDP:
-            a = _F64.unpack(_U64.pack(regs.x87_pop()))[0]
-            b = _F64.unpack(_U64.pack(regs.x87_pop()))[0]
-            regs.x87_push(_U64.unpack(_F64.pack(a + b))[0])
-            return
-        if m is M.FLD_MEM:
-            addr = (regs.read(ops[0]) + ops[1]) & MASK64
-            regs.x87_push(mem.read_u64(addr))
-            return
-        if m is M.FSTP_MEM:
-            addr = (regs.read(ops[0]) + ops[1]) & MASK64
-            mem.write_u64(addr, regs.x87_pop())
-            return
-
-        # xstate ---------------------------------------------------------------
-        if m is M.XSAVE:
-            addr = (regs.read(ops[0]) + ops[1]) & MASK64
-            mem.write(addr, xsave_serialize(regs, task.xsave_mask))
-            return
-        if m is M.XRSTOR:
-            addr = (regs.read(ops[0]) + ops[1]) & MASK64
-            xrstor_apply(regs, mem.read(addr, XSAVE_AREA_SIZE))
-            return
-
-        # gs-relative -------------------------------------------------------------
-        if m is M.RDGSBASE:
-            regs.write(ops[0], regs.gs_base)
-            return
-        if m is M.WRGSBASE:
-            regs.gs_base = regs.read(ops[0])
-            return
-        if m is M.GSLOAD:
-            regs.write(ops[0], mem.read_u64((regs.gs_base + ops[1]) & MASK64))
-            return
-        if m is M.GSSTORE:
-            mem.write_u64((regs.gs_base + ops[0]) & MASK64, regs.read(ops[1]))
-            return
-        if m is M.GSLOAD8:
-            regs.write(ops[0], mem.read_u8((regs.gs_base + ops[1]) & MASK64))
-            return
-        if m is M.GSSTORE8:
-            mem.write_u8((regs.gs_base + ops[0]) & MASK64, regs.read(ops[1]) & 0xFF)
-            return
-        if m is M.RDPKRU:
-            regs.write(ops[0], regs.pkru)
-            return
-        if m is M.WRPKRU:
-            regs.pkru = regs.read(ops[0]) & 0xFFFFFFFF
-            mem.active_pkru = regs.pkru
-            return
-        if m is M.GSWRPKRU:
-            regs.pkru = mem.read_u32((regs.gs_base + ops[0]) & MASK64)
-            mem.active_pkru = regs.pkru
-            return
-        if m is M.GSJMP:
-            regs.rip = mem.read_u64((regs.gs_base + ops[0]) & MASK64)
-            return
-        if m is M.GSCOPY8:
-            value = mem.read_u8((regs.gs_base + ops[1]) & MASK64)
-            mem.write_u8((regs.gs_base + ops[0]) & MASK64, value)
-            return
-
-        raise AssertionError(f"unhandled mnemonic {m}")  # pragma: no cover
+        DISPATCH[insn.mnemonic.op_index](self, task, insn, next_rip)
 
 
 # ----------------------------------------------------------------- xsave glue

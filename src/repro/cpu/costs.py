@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.arch.isa import Mnemonic
+from repro.arch.isa import N_MNEMONICS, Mnemonic
 
 _M = Mnemonic
 
@@ -165,15 +165,43 @@ class CostModel:
     #: Additional cost per extended-state component saved/restored.
     xsave_per_component: int = 15
 
+    def __post_init__(self) -> None:
+        self.refresh_tables()
+
+    def refresh_tables(self) -> None:
+        """Rebuild the precomputed lookup tables.
+
+        Call after mutating ``insn_costs`` / ``xsave_base`` /
+        ``xsave_per_component`` in place (tests do this to recalibrate).
+        """
+        # Dense per-mnemonic cost list indexed by op_index; None marks
+        # mnemonics absent from insn_costs so lookups still raise KeyError.
+        table: list[float | None] = [None] * N_MNEMONICS
+        for m, cost in self.insn_costs.items():
+            table[m.op_index] = cost
+        self._insn_cost_table = table
+        # xsave/xrstor cost for the common component counts (0..3).
+        self._xsave_cost_table = tuple(
+            self._xsave_cost_uncached(n) for n in range(4)
+        )
+
     # ------------------------------------------------------------------ helpers
     def insn_cost(self, mnemonic: Mnemonic) -> float:
-        return self.insn_costs[mnemonic]
+        cost = self._insn_cost_table[mnemonic.op_index]
+        if cost is None:
+            raise KeyError(mnemonic)
+        return cost
 
-    def xsave_cost(self, component_count: int) -> int:
-        """Cost of xsave or xrstor covering ``component_count`` components."""
+    def _xsave_cost_uncached(self, component_count: int) -> int:
         if component_count == 0:
             return 2  # mask read, nothing to move
         return self.xsave_base + self.xsave_per_component * component_count
+
+    def xsave_cost(self, component_count: int) -> int:
+        """Cost of xsave or xrstor covering ``component_count`` components."""
+        if component_count < 4:
+            return self._xsave_cost_table[component_count]
+        return self._xsave_cost_uncached(component_count)
 
     def copy_cost(self, nbytes: int) -> int:
         """Kernel copy cost for an n-byte user/kernel data transfer."""

@@ -120,11 +120,15 @@ class HcallContext:
 class Kernel:
     """The simulated OS kernel."""
 
-    def __init__(self, costs: CostModel | None = None):
+    def __init__(self, costs: CostModel | None = None, *, translation_cache: bool = True):
         self.costs = costs or CostModel()
         self.clock = 0
-        self.cpu = CPU(self, self.costs)
+        self.cpu = CPU(self, self.costs, translation_cache=translation_cache)
         self.tasks: dict[int, Task] = {}
+        #: Tasks currently alive (RUNNABLE/BLOCKED), maintained on the only
+        #: alive -> not-alive transition (:meth:`terminate_task`) so the
+        #: scheduler never rescans the full task table per round.
+        self._live: dict[int, Task] = {}
         self._next_tid = 1000
         self.fs = SimFS()
         self.net = Network(self)
@@ -214,10 +218,15 @@ class Kernel:
         task.fdtable.fds[1] = StdStream("stdout")
         task.fdtable.fds[2] = StdStream("stderr")
         self.tasks[tid] = task
+        self._live[tid] = task
         return task
 
     def live_tasks(self) -> list[Task]:
-        return [t for t in self.tasks.values() if t.alive]
+        live = self._live
+        stale = [tid for tid, t in live.items() if not t.alive]
+        for tid in stale:  # self-heal if a task died outside terminate_task
+            del live[tid]
+        return list(live.values())
 
     def terminate_task(self, task: Task, *, code: int = 0, signal: int | None = None) -> None:
         if not task.alive:
@@ -225,6 +234,7 @@ class Kernel:
         task.exit_code = code
         task.term_signal = signal
         task.state = TaskState.ZOMBIE
+        self._live.pop(task.tid, None)
         if task.clear_child_tid:
             try:
                 task.mem.write_u32(task.clear_child_tid, 0, check=None)
@@ -445,6 +455,10 @@ class Kernel:
                 raise DeadlockError(
                     f"task {task.tid} waits forever: no runnable tasks or events"
                 )
+            # Nested slices may have run a sibling thread sharing this
+            # address space; restore this task's protection-key rights
+            # before its host-side caller touches user memory again.
+            task.mem.active_pkru = task.regs.pkru
 
     # ----------------------------------------------------------------- faults
     def force_signal(self, task: Task, sig: int, info: dict | None = None) -> None:

@@ -65,9 +65,10 @@ class Machine:
         *,
         quantum: int = 64,
         policy=None,
+        translation_cache: bool = True,
     ):
         self.costs = costs or CostModel()
-        self.kernel = Kernel(self.costs)
+        self.kernel = Kernel(self.costs, translation_cache=translation_cache)
         self.scheduler = Scheduler(self.kernel, quantum=quantum, policy=policy)
         self.kernel.scheduler = self.scheduler
 

@@ -56,6 +56,11 @@ class Scheduler:
         self.quantum = quantum
         self.policy = policy
         self._active: set[int] = set()  # tids currently on the Python stack
+        #: Bumped whenever any slice starts.  A slice snapshots the value and
+        #: re-stores its task's PKRU if it changed mid-step — i.e. a nested
+        #: scheduler invocation (Kernel.wait_until from inside an hcall) ran
+        #: another task, which may share this address space.
+        self._nest_epoch = 0
         self.total_instructions = 0
 
     # --------------------------------------------------------------- slices
@@ -96,13 +101,28 @@ class Scheduler:
         if task.tid in self._active:
             return 0
         self._active.add(task.tid)
+        self._nest_epoch += 1
+        # Invariants hoisted out of the per-instruction body: the CPU step
+        # and fault handler bindings, and the protection-key rights load
+        # (per-thread PKRU) — a slice is the task-switch point, so PKRU is
+        # stored once here and re-stored only when a nested scheduler run
+        # (_nest_epoch changed) or an execve (task.mem rebound) may have
+        # clobbered it.  ``until()`` predicates are only consulted between
+        # slices, so insn_count is batched to slice exit as well.
+        step = kernel.cpu.step
+        handle_fault = kernel.handle_fault
+        runnable = TaskState.RUNNABLE
         try:
+            mem = task.mem
+            mem.active_pkru = task.regs.pkru
+            epoch = self._nest_epoch
             for _ in range(budget):
                 if not task.alive:
                     break
-                self._maybe_unblock(task)
-                if task.state is not TaskState.RUNNABLE:
-                    break
+                if task.state is not runnable:
+                    self._maybe_unblock(task)
+                    if task.state is not runnable:
+                        break
                 if policy is not None and policy.on_boundary(kernel, task):
                     if executed:
                         break
@@ -110,17 +130,23 @@ class Scheduler:
                     kernel.signals.deliver_pending(task)
                     if not task.alive:
                         break
-                # Load this task's protection-key rights (per-thread PKRU).
-                task.mem.active_pkru = task.regs.pkru
+                if task.mem is not mem or self._nest_epoch != epoch:
+                    mem = task.mem
+                    epoch = self._nest_epoch
+                    mem.active_pkru = task.regs.pkru
                 addr = task.regs.rip
                 try:
-                    kernel.cpu.step(task)
+                    step(task)
                 except (PageFault, InvalidOpcode, BreakpointTrap) as exc:
-                    kernel.handle_fault(task, exc, addr)
+                    handle_fault(task, exc, addr)
                 executed += 1
-                task.insn_count += 1
+                if self._nest_epoch != epoch:
+                    epoch = self._nest_epoch
+                    if task.mem is mem:
+                        mem.active_pkru = task.regs.pkru
         finally:
             self._active.discard(task.tid)
+        task.insn_count += executed
         self.total_instructions += executed
         if policy is not None:
             policy.record_slice(task, executed)
@@ -140,8 +166,10 @@ class Scheduler:
         while True:
             if until is not None and until():
                 return
-            live = [t for t in kernel.tasks.values() if t.alive]
-            if not live:
+            # live_tasks() is maintained on state transitions — no rescan of
+            # the full task table (which keeps zombies for wait4) per round.
+            round_tasks = kernel.live_tasks()
+            if not round_tasks:
                 return
             if (
                 max_instructions is not None
@@ -149,7 +177,6 @@ class Scheduler:
             ):
                 return
             progress = 0
-            round_tasks = list(kernel.tasks.values())
             if self.policy is not None:
                 round_tasks = self.policy.schedule_order(round_tasks)
             for task in round_tasks:
@@ -163,7 +190,7 @@ class Scheduler:
                 if kernel.advance_time():
                     continue
                 # No instruction ran and no event is pending.
-                still_live = [t for t in kernel.tasks.values() if t.alive]
+                still_live = kernel.live_tasks()
                 if not still_live:
                     return
                 if raise_on_deadlock:
@@ -180,7 +207,7 @@ class Scheduler:
         host-side interposer code.  Returns True if any instruction ran.
         """
         progress = 0
-        others = list(self.kernel.tasks.values())
+        others = self.kernel.live_tasks()
         if self.policy is not None:
             others = self.policy.schedule_order(others)
         for task in others:

@@ -142,6 +142,16 @@ class Task:
 
     # ------------------------------------------------------------------ info
     @property
+    def xsave_mask(self) -> XComponent:
+        return self._xsave_mask
+
+    @xsave_mask.setter
+    def xsave_mask(self, mask: XComponent) -> None:
+        self._xsave_mask = mask
+        #: Component count cached for the CPU's xsave/xrstor cost charge.
+        self.xsave_components = bin(mask.value).count("1")
+
+    @property
     def alive(self) -> bool:
         return self.state in (TaskState.RUNNABLE, TaskState.BLOCKED)
 

@@ -16,7 +16,15 @@ import struct
 from dataclasses import dataclass
 
 from repro.errors import MapError, PageFault
-from repro.mem.pages import PAGE_SIZE, PAGE_SHIFT, Page, Perm, page_align_down, page_align_up
+from repro.mem.pages import (
+    PAGE_SIZE,
+    PAGE_SHIFT,
+    PERM_X,
+    Page,
+    Perm,
+    page_align_down,
+    page_align_up,
+)
 
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
@@ -58,6 +66,28 @@ class AddressSpace:
         self._pages: dict[int, Page] = {}
         self.active_pkru = 0
         self.allocated_pkeys: set[int] = set()
+        #: Translation cache: insn address -> (insn, handler, cost, page,
+        #: gen, page2, gen2).  Populated and validated by the CPU (see
+        #: ``repro.cpu.core``); this class only invalidates.
+        self.insn_cache: dict = {}
+        #: Per-page generation counters backing the translation cache.
+        #: Bumped on any write/protect/unmap touching an executable page.
+        #: Kept here (not on Page) so a counter survives unmap -> remap of
+        #: the same page number — a fresh Page restarting at generation 0
+        #: could otherwise revalidate entries decoded from the old mapping.
+        self.exec_gen: dict[int, int] = {}
+
+    def _bump_exec_gen(self, pn: int) -> None:
+        """Invalidate cached decodes for page ``pn``.
+
+        Soundness: a cache entry exists only for pages that were executable
+        at fetch time, so bumping on mutations of *currently executable*
+        pages (plus any X-permission removal, which goes through
+        :meth:`protect` or :meth:`unmap`) covers every way an entry can go
+        stale.
+        """
+        gens = self.exec_gen
+        gens[pn] = gens.get(pn, 0) + 1
 
     # ------------------------------------------------------------- mapping
     def map(self, addr: int, length: int, perm: Perm, *, fixed: bool = True) -> int:
@@ -95,7 +125,9 @@ class AddressSpace:
         first = addr >> PAGE_SHIFT
         count = page_align_up(length) >> PAGE_SHIFT
         for pn in range(first, first + count):
-            self._pages.pop(pn, None)
+            page = self._pages.pop(pn, None)
+            if page is not None and page.perm & PERM_X:
+                self._bump_exec_gen(pn)
 
     def protect(self, addr: int, length: int, perm: Perm) -> None:
         """Change permissions (mprotect).  All pages must be mapped."""
@@ -109,7 +141,9 @@ class AddressSpace:
             if page is None:
                 raise MapError(f"protect of unmapped page {pn << PAGE_SHIFT:#x}")
             pages.append(page)
-        for page in pages:
+        for pn, page in zip(range(first, first + count), pages):
+            if page.perm & PERM_X:
+                self._bump_exec_gen(pn)
             page.perm = perm
 
     def is_mapped(self, addr: int, length: int = 1) -> bool:
@@ -190,7 +224,13 @@ class AddressSpace:
             pn = pos >> PAGE_SHIFT
             off = pos & (PAGE_SIZE - 1)
             chunk = min(len(data) - idx, PAGE_SIZE - off)
-            self._pages[pn].data[off : off + chunk] = data[idx : idx + chunk]
+            page = self._pages[pn]
+            page.data[off : off + chunk] = data[idx : idx + chunk]
+            # Any store into a currently executable page (kernel-side
+            # check=None writes included — ptrace POKEDATA patches code this
+            # way) invalidates its cached decodes.
+            if page.perm & PERM_X:
+                self._bump_exec_gen(pn)
             pos += chunk
             idx += chunk
 

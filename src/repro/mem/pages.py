@@ -27,6 +27,12 @@ class Perm(enum.IntFlag):
         )
 
 
+#: Raw execute bit as a plain int — hot paths (translation-cache generation
+#: bumps on every guest store) test ``page.perm & PERM_X`` without paying
+#: IntFlag construction overhead.
+PERM_X = int(Perm.X)
+
+
 def page_align_down(addr: int) -> int:
     return addr & ~(PAGE_SIZE - 1)
 

@@ -1,0 +1,353 @@
+"""Translation cache: SMC invalidation, generation counters, equivalence.
+
+The decoded-instruction cache (``AddressSpace.insn_cache`` + ``exec_gen``,
+populated by ``CPU._translate``) must be invisible: every test here pins a
+way self-modifying code or mapping changes could make a cached decode stale,
+and asserts execution matches what a from-scratch decode would do.  The
+paper's own mechanism is the adversary — lazypoline rewrites ``syscall`` ->
+``call rax`` in place through mprotect+write+mprotect, and that exact dance
+must invalidate exactly the rewritten site.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.encode import Assembler
+from repro.arch.isa import CALL_RAX_BYTES, Mnemonic
+from repro.cpu.core import BareTask, CPU, NullEnvironment
+from repro.errors import InvalidOpcode
+from repro.interpose.api import TraceInterposer
+from repro.interpose.lazypoline import Lazypoline
+from repro.kernel.machine import Machine
+from repro.kernel.syscalls.table import NR
+from repro.mem import layout
+from repro.mem.address_space import AddressSpace
+from repro.mem.pages import PAGE_SIZE, Perm
+
+from tests.conftest import asm, emit_exit, emit_syscall, finish, hello_image
+
+CODE = 0x1000
+STACK = 0x8000
+
+
+def bare(code: bytes, *, perm: Perm = Perm.RX, stack: bool = True):
+    """Map ``code`` at CODE and return (cpu, task, env) with caching on."""
+    mem = AddressSpace()
+    size = (len(code) + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+    mem.map(CODE, size, perm)
+    mem.write(CODE, code, check=None)
+    if stack:
+        mem.map(STACK, PAGE_SIZE, Perm.RW)
+    env = NullEnvironment()
+    cpu = CPU(env)
+    task = BareTask(mem)
+    task.regs.rip = CODE
+    task.regs.write_name("rsp", STACK + PAGE_SIZE)
+    return cpu, task, env
+
+
+def run_until_hlt(cpu, task, env, max_steps=10_000):
+    for _ in range(max_steps):
+        if env.halted:
+            return
+        cpu.step(task)
+    raise AssertionError("program did not halt")
+
+
+# ----------------------------------------------------------------- mechanics
+def test_cache_hits_after_first_decode():
+    a = Assembler(base=CODE)
+    a.mov_imm("rbx", 0)
+    a.label("loop")
+    a.inc("rbx")
+    a.cmpi("rbx", 100)
+    a.jnz("loop")
+    a.hlt()
+    cpu, task, env = bare(a.assemble())
+    run_until_hlt(cpu, task, env)
+    assert task.regs.read_name("rbx") == 100
+    # one miss per distinct site, everything else served from the cache
+    assert cpu.cache_misses == 5
+    assert cpu.cache_hits > 250
+    assert len(task.mem.insn_cache) == 5
+
+
+def test_cached_and_uncached_agree_per_step():
+    a = Assembler(base=CODE)
+    a.mov_imm("rax", 7)
+    a.mov_imm("rbx", 5)
+    a.imul("rax", "rbx")
+    a.push("rax")
+    a.pop("rcx")
+    a.hlt()
+    code = a.assemble()
+    cpu_c, task_c, env_c = bare(code)
+    mem_u = task_c.mem.fork_copy()
+    env_u = NullEnvironment()
+    cpu_u = CPU(env_u, translation_cache=False)
+    task_u = BareTask(mem_u)
+    task_u.regs.rip = CODE
+    task_u.regs.write_name("rsp", STACK + PAGE_SIZE)
+    while not env_c.halted:
+        insn_c = cpu_c.step(task_c)
+        insn_u = cpu_u.step(task_u)
+        assert insn_c == insn_u
+        assert task_c.regs.rip == task_u.regs.rip
+    assert env_u.halted
+    assert env_c.cycles == env_u.cycles
+    assert task_c.regs.read_name("rcx") == task_u.regs.read_name("rcx") == 35
+
+
+# ------------------------------------------------------- SMC by guest stores
+def test_guest_store_invalidates_executed_site():
+    """A plain store into an RWX page retires the old decode immediately."""
+    a = Assembler(base=CODE)
+    a.label("_start")
+    a.mov_imm("r8", "target")
+    a.mov_imm("r9", 0x90)  # nop byte
+    a.mov_imm("rcx", 0)
+    a.label("target")
+    a.inc("rbx")  # 3 bytes, patched to 3 nops below
+    a.cmpi("rcx", 1)
+    a.jz("done")
+    a.inc("rcx")
+    a.store8("r8", 0, "r9")
+    a.store8("r8", 1, "r9")
+    a.store8("r8", 2, "r9")
+    a.jmp("target")
+    a.label("done")
+    a.hlt()
+    cpu, task, env = bare(a.assemble(), perm=Perm.RWX)
+    run_until_hlt(cpu, task, env)
+    # target executed twice; the second pass must see the nops, not the
+    # cached inc
+    assert task.regs.read_name("rbx") == 1
+    # invalidation is page-granular and all code shares one page, so the
+    # second pass re-translated: more misses than live cache entries
+    assert cpu.cache_misses > len(task.mem.insn_cache)
+
+
+def test_kernel_side_write_invalidates():
+    """check=None writes (ptrace POKEDATA-style patches) also invalidate."""
+    a = Assembler(base=CODE)
+    a.inc("rbx")
+    a.hlt()
+    cpu, task, env = bare(a.assemble())
+    cpu.step(task)
+    assert task.regs.read_name("rbx") == 1
+    task.regs.rip = CODE
+    task.mem.write(CODE, b"\x90\x90\x90", check=None)
+    insn = cpu.step(task)
+    assert insn.mnemonic is Mnemonic.NOP
+    assert task.regs.read_name("rbx") == 1
+
+
+def test_mprotect_write_mprotect_rewrite_is_seen():
+    """The lazypoline dance at the unit level: syscall -> call rax in place."""
+    target = CODE + 0x100
+    code = bytearray(b"\x90" * 0x200)
+    code[0:2] = b"\x0f\x05"  # syscall at CODE
+    code[0x100] = 0xF4  # hlt at target
+    cpu, task, env = bare(bytes(code))
+    cpu.step(task)
+    assert len(env.syscalls) == 1
+
+    mem = task.mem
+    mem.protect(CODE, PAGE_SIZE, Perm.RW)
+    mem.write(CODE, CALL_RAX_BYTES, check="write")
+    mem.protect(CODE, PAGE_SIZE, Perm.RX)
+
+    task.regs.write_name("rax", target)
+    task.regs.rip = CODE
+    insn = cpu.step(task)
+    assert insn.mnemonic is Mnemonic.CALL_REG
+    assert task.regs.rip == target
+    # the pushed return address is the site + len(call rax)
+    rsp = task.regs.read_name("rsp")
+    assert task.mem.read_u64(rsp) == CODE + 2
+    assert len(env.syscalls) == 1  # no second syscall from a stale decode
+
+
+def test_protect_losing_x_faults_next_fetch():
+    a = Assembler(base=CODE)
+    a.nop()
+    a.nop()
+    a.hlt()
+    cpu, task, env = bare(a.assemble())
+    cpu.step(task)
+    task.mem.protect(CODE, PAGE_SIZE, Perm.RW)
+    from repro.errors import PageFault
+
+    with pytest.raises(PageFault):
+        cpu.step(task)
+
+
+def test_unmap_remap_does_not_revalidate_stale_entries():
+    """Generation counters survive unmap: a fresh page at the same address
+    must not resurrect decodes from the old mapping."""
+    a = Assembler(base=CODE)
+    a.inc("rbx")
+    a.hlt()
+    cpu, task, env = bare(a.assemble())
+    cpu.step(task)
+    assert task.regs.read_name("rbx") == 1
+
+    mem = task.mem
+    mem.unmap(CODE, PAGE_SIZE)
+    mem.map(CODE, PAGE_SIZE, Perm.RX)
+    mem.write(CODE, b"\x90\x90\x90\xf4", check=None)
+    task.regs.rip = CODE
+    insn = cpu.step(task)
+    assert insn.mnemonic is Mnemonic.NOP
+    assert task.regs.read_name("rbx") == 1
+
+
+# ---------------------------------------------------- region-boundary fetches
+def test_fetch_truncation_at_region_boundary():
+    """An insn ending exactly at the last executable byte decodes and caches;
+    one spilling past it raises InvalidOpcode every time and is never cached."""
+    mem = AddressSpace()
+    mem.map(CODE, PAGE_SIZE, Perm.RX)  # next page unmapped
+    env = NullEnvironment()
+    cpu = CPU(env)
+    task = BareTask(mem)
+
+    end = CODE + PAGE_SIZE
+    # 5-byte mov eax, imm32 occupying the final 5 bytes of the page
+    mem.write(end - 5, b"\xb8\x2a\x00\x00\x00", check=None)
+    task.regs.rip = end - 5
+    insn = cpu.step(task)
+    assert insn.mnemonic is Mnemonic.MOV_IMM64
+    assert task.regs.read_name("rax") == 0x2A
+    assert (end - 5) in mem.insn_cache
+
+    # the same opcode 3 bytes from the end truncates mid-immediate
+    mem.write(end - 3, b"\xb8\x2a\x00", check=None)
+    task.regs.rip = end - 3
+    with pytest.raises(InvalidOpcode):
+        cpu.step(task)
+    with pytest.raises(InvalidOpcode):  # re-raised, not cached
+        cpu.step(task)
+    assert (end - 3) not in mem.insn_cache
+
+
+def test_write_to_second_page_invalidates_spanning_insn():
+    """A 10-byte insn crossing a page boundary records both pages' gens."""
+    mem = AddressSpace()
+    mem.map(CODE, 2 * PAGE_SIZE, Perm.RX)
+    env = NullEnvironment()
+    cpu = CPU(env)
+    task = BareTask(mem)
+
+    site = CODE + PAGE_SIZE - 3  # 48 B8 + imm64: imm bytes live in page 2
+    imm1 = 0x1111_2222_3333_4444
+    mem.write(site, b"\x48\xb8" + imm1.to_bytes(8, "little"), check=None)
+    task.regs.rip = site
+    cpu.step(task)
+    assert task.regs.read_name("rax") == imm1
+
+    imm2 = 0x5555_6666_7777_8888
+    # touch only the second page (the immediate's tail)
+    mem.write(CODE + PAGE_SIZE, imm2.to_bytes(8, "little")[1:], check=None)
+    task.regs.rip = site
+    cpu.step(task)
+    expected = int.from_bytes(
+        imm1.to_bytes(8, "little")[:1] + imm2.to_bytes(8, "little")[1:], "little"
+    )
+    assert task.regs.read_name("rax") == expected
+
+
+# ------------------------------------------------------------ whole machine
+def test_lazypoline_rewrite_reexecutes_through_cache():
+    """Full stack: the SIGSYS slow-path rewrite must be picked up by the
+    cached interpreter on every later loop iteration."""
+    results = {}
+    for cached in (True, False):
+        machine = Machine(translation_cache=cached)
+        a = asm()
+        a.label("_start")
+        a.mov_imm("rbx", 6)
+        a.label("loop")
+        emit_syscall(a, "getpid")
+        a.dec("rbx")
+        a.jnz("loop")
+        emit_exit(a, 0)
+        proc = machine.load(finish(a))
+        tool = Lazypoline.install(machine, proc, TraceInterposer())
+        code = machine.run_process(proc)
+        sites = sorted(tool.rewritten)
+        for site in sites:
+            assert proc.task.mem.read(site, 2, check=None) == CALL_RAX_BYTES
+        results[cached] = (
+            code,
+            tool.slowpath_hits,
+            tool.fastpath_hits,
+            sites,
+            machine.clock,
+            machine.scheduler.total_instructions,
+        )
+    cpu = None  # noqa: F841 - clarity: compare cached against uncached run
+    assert results[True] == results[False]
+    # rewrite hit the slow path once per site, then ran hot through the cache
+    _code, slow, fast, sites, _clock, _insns = results[True]
+    assert slow == 2 and fast == 7 and len(sites) == 2
+
+
+def test_fork_then_rewrite_in_child_diverges():
+    """The child's self-patch must not leak into the parent's cache (and the
+    parent's pre-fork cached decode must not leak into the child)."""
+    a = asm()
+    a.label("_start")
+    a.call("fn")  # populate the parent's cache for fn before forking
+    emit_syscall(a, "fork")
+    a.cmpi("rax", 0)
+    a.jz("child")
+    # parent: wait for the child, then run the (unpatched) fn again
+    a.mov_imm("rdi", (1 << 64) - 1)
+    a.mov_imm("rsi", 0)
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 0)
+    a.mov_imm("rax", NR["wait4"])
+    a.syscall()
+    a.call("fn")
+    a.mov("rdi", "rax")
+    a.mov_imm("rax", NR["exit_group"])
+    a.syscall()
+    a.label("child")
+    # mprotect the code page RWX and patch fn's imm32 from 11 to 22
+    emit_syscall(a, "mprotect", layout.CODE_BASE, 4096, 7)
+    a.mov_imm("r8", "fn")
+    a.mov_imm("r9", 22)
+    a.store8("r8", 1, "r9")  # fn+1: low byte of the mov imm32
+    a.call("fn")
+    a.mov("rdi", "rax")
+    a.mov_imm("rax", NR["exit_group"])
+    a.syscall()
+    a.label("fn")
+    a.mov_imm("rax", 11)
+    a.ret()
+
+    machine = Machine()
+    proc = machine.load(finish(a))
+    code = machine.run_process(proc)
+    assert code == 11  # parent still sees the original fn
+    children = [t for t in machine.kernel.tasks.values() if t.parent is proc.task]
+    assert len(children) == 1
+    assert children[0].exit_code == 22  # child sees its own patch
+    assert machine.kernel.cpu.cache_hits > 0
+
+
+def test_machine_equivalence_cached_vs_uncached():
+    out = {}
+    for cached in (True, False):
+        machine = Machine(translation_cache=cached)
+        proc = machine.load(hello_image(b"cache\n", exit_code=3))
+        code = machine.run_process(proc)
+        out[cached] = (
+            code,
+            proc.stdout,
+            machine.clock,
+            machine.scheduler.total_instructions,
+        )
+    assert out[True] == out[False]
