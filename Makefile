@@ -5,7 +5,7 @@ export PYTHONPATH
 FUZZ_MINUTES ?= 5
 FAULT_SEEDS ?= 0:64
 
-.PHONY: test test-fast faults fuzz bench perf
+.PHONY: test test-fast faults fuzz bench perf trace
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,12 @@ fuzz:
 
 bench:
 	$(PYTHON) -m repro.bench
+
+# Observability smoke: run a small workload matrix (microbench, ls, webserver
+# x lazypoline, zpoline) under the machine-wide tracer and sanity-check the
+# event streams.
+trace:
+	$(PYTHON) -m repro.obs smoke
 
 # Interpreter perf baseline: snapshot the previous BENCH_interp.json, remeasure,
 # then fail on a >15% guest-MIPS regression on any workload.

@@ -12,7 +12,7 @@ Run:  python examples/profile_server.py
 
 from repro import Machine
 from repro.apps.profiler import SyscallProfiler
-from repro.interpose.lazypoline import Lazypoline
+from repro.interpose import attach
 from repro.workloads.webserver import NGINX, ServerWorkload
 from repro.workloads.wrk import WrkClient
 
@@ -21,7 +21,7 @@ def profile(file_size: int, requests: int = 100) -> None:
     machine = Machine()
     workload = ServerWorkload(machine, NGINX, file_size=file_size)
     profiler = SyscallProfiler()
-    Lazypoline.install(machine, workload.process, profiler)
+    attach(machine, workload.process, "lazypoline", interposer=profiler)
     workload.run_until_listening()
     client = WrkClient(
         machine.kernel, 8080, connections=4, response_size=file_size

@@ -11,8 +11,8 @@ Run:  python examples/quickstart.py
 
 from repro import Machine
 from repro.arch import Assembler
+from repro.interpose import attach
 from repro.interpose.api import SyscallContext
-from repro.interpose.lazypoline import Lazypoline
 from repro.kernel.syscalls.table import NR
 from repro.loader import image_from_assembler
 
@@ -51,7 +51,7 @@ def main() -> None:
         log.append(f"  {ctx.name}({args}) = {ret}")
         return ret
 
-    tool = Lazypoline.install(machine, process, my_interposer)
+    tool = attach(machine, process, "lazypoline", interposer=my_interposer)
     exit_code = machine.run_process(process)
 
     print("intercepted syscalls:")

@@ -12,7 +12,7 @@ Run:  python examples/record_replay.py
 from repro import Machine
 from repro.apps.replay import Recorder, Replayer
 from repro.arch import assemble_text
-from repro.interpose.lazypoline import Lazypoline
+from repro.interpose import attach
 from repro.loader import image_from_assembler
 
 PROGRAM = """
@@ -54,7 +54,7 @@ def main() -> None:
     machine = Machine()
     process = machine.load(build())
     recorder = Recorder()
-    Lazypoline.install(machine, process, recorder)
+    attach(machine, process, "lazypoline", interposer=recorder)
     original_exit = machine.run_process(process)
     print(f"recorded run: exit code {original_exit} "
           f"({len(recorder.recording)} syscalls captured)")
@@ -72,7 +72,7 @@ def main() -> None:
     machine = Machine()
     process = machine.load(build())
     replayer = Replayer(recorder.recording)
-    Lazypoline.install(machine, process, replayer)
+    attach(machine, process, "lazypoline", interposer=replayer)
     replay_exit = machine.run_process(process)
     print(f"\nreplayed run: exit code {replay_exit} "
           f"({replayer.replayed} syscalls served from the log, "

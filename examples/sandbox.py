@@ -13,9 +13,8 @@ Run:  python examples/sandbox.py
 
 from repro import Machine
 from repro.arch import Assembler
+from repro.interpose import attach
 from repro.interpose.api import SyscallContext
-from repro.interpose.lazypoline import Lazypoline
-from repro.interpose.zpoline import Zpoline
 from repro.kernel import errno
 from repro.kernel.fs import O_CREAT, O_WRONLY
 from repro.kernel.syscalls.table import NR
@@ -99,31 +98,31 @@ def build_jit_escape():
     return image_from_assembler("evil", a, entry="_start")
 
 
-def run(image, tool_cls):
+def run(image, tool_name):
     machine = Machine()
     machine.fs.create(SECRET, b"root:x:0:0\n")
     machine.fs.makedirs("/tmp")
     sandbox = FsSandbox()
     process = machine.load(image)
-    tool_cls.install(machine, process, sandbox)
+    attach(machine, process, tool_name, interposer=sandbox)
     machine.run_process(process)
     return machine, sandbox
 
 
 def main() -> None:
-    machine, sandbox = run(build_well_behaved(), Lazypoline)
+    machine, sandbox = run(build_well_behaved(), "lazypoline")
     print("well-behaved program under lazypoline:")
     print(f"  /tmp/out written: {machine.fs.lookup('/tmp/out').data!r}")
     print(f"  policy hits: {sandbox.blocked or 'none'}")
 
-    machine, sandbox = run(build_jit_escape(), Lazypoline)
+    machine, sandbox = run(build_jit_escape(), "lazypoline")
     survived = machine.fs.exists(SECRET)
     print("\nJIT-escape attempt under lazypoline:")
     print(f"  secret file survived: {survived}")
     print(f"  blocked: {sandbox.blocked}")
     assert survived, "lazypoline must catch the JIT-ed unlink"
 
-    machine, sandbox = run(build_jit_escape(), Zpoline)
+    machine, sandbox = run(build_jit_escape(), "zpoline")
     survived = machine.fs.exists(SECRET)
     print("\nJIT-escape attempt under pure zpoline (static rewriting):")
     print(f"  secret file survived: {survived}")

@@ -16,8 +16,9 @@ Run:  python examples/secure_interposition.py
 
 from repro import Machine
 from repro.arch import Assembler
+from repro.interpose import attach
 from repro.interpose.api import TraceInterposer
-from repro.interpose.lazypoline import Lazypoline, LazypolineConfig, gsrel
+from repro.interpose.lazypoline import LazypolineConfig, gsrel
 from repro.kernel.signals import SIGSEGV
 from repro.kernel.sud import SELECTOR_ALLOW
 from repro.kernel.syscalls.table import NR
@@ -53,7 +54,7 @@ def attempt(protected: bool):
     process = machine.load(build_attacker())
     tracer = TraceInterposer()
     config = LazypolineConfig(protect_gs_with_pkey=protected)
-    Lazypoline.install(machine, process, tracer, config)
+    attach(machine, process, "lazypoline", interposer=tracer, config=config)
     machine.run(until=lambda: not process.alive)
     return machine, process, tracer
 

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """An strace-like tool over any interposition mechanism.
 
-Runs one of the modelled coreutils under a chosen mechanism and prints a
-decoded syscall trace — string arguments are dereferenced, return values
-are errno-decoded.  Compare mechanisms (and their cycle cost!) from the
-command line.
+Runs one of the modelled coreutils under a chosen mechanism (attached
+through ``repro.interpose.attach``) and prints a decoded syscall trace —
+string arguments are dereferenced live via the observability layer's
+formatting helpers, return values are errno-decoded.  A machine-wide
+tracer rides along and prints the slow-path/rewrite summary for the
+rewriting mechanisms.  Compare mechanisms (and their cycle cost!) from
+the command line.
 
 Run:  python examples/strace.py [mechanism] [coreutil]
 e.g.: python examples/strace.py lazypoline ls
@@ -14,52 +17,35 @@ e.g.: python examples/strace.py lazypoline ls
 import sys
 
 from repro import Machine
-from repro.bench.runner import install_mechanism
+from repro.interpose import attach
 from repro.interpose.api import SyscallContext
-from repro.kernel.errno import errno_name, is_error
-from repro.workloads.coreutils import COREUTIL_NAMES, build_coreutil, setup_fs
-
-#: Which argument positions hold user-space path strings.
-PATH_ARGS = {
-    "open": (0,), "stat": (0,), "access": (0,), "unlink": (0,),
-    "mkdir": (0,), "rmdir": (0,), "chmod": (0,), "chdir": (0,),
-    "rename": (0, 1), "execve": (0,), "openat": (1,),
-}
+from repro.obs import Tracer, path_ratio
+from repro.obs.format import format_ret, render_live_args
 
 
 def make_tracer(lines: list[str]):
     def tracer(ctx: SyscallContext):
-        rendered = []
-        for i, arg in enumerate(ctx.args[:4]):
-            if i in PATH_ARGS.get(ctx.name, ()):
-                try:
-                    rendered.append(repr(ctx.read_cstr(arg).decode()))
-                except Exception:
-                    rendered.append(f"{arg:#x}")
-            else:
-                rendered.append(f"{arg:#x}")
+        rendered = render_live_args(ctx)
         ret = ctx.do_syscall()
-        if isinstance(ret, int) and is_error(ret):
-            shown = f"-1 {errno_name(-ret)}"
-        else:
-            shown = str(ret)
-        lines.append(f"{ctx.name}({', '.join(rendered)}) = {shown}")
+        lines.append(f"{ctx.name}({rendered}) = {format_ret(ret)}")
         return ret
 
     return tracer
 
 
 def main() -> None:
+    from repro.workloads.coreutils import COREUTIL_NAMES, build_coreutil, setup_fs
+
     mechanism = sys.argv[1] if len(sys.argv) > 1 else "lazypoline"
     util = sys.argv[2] if len(sys.argv) > 2 else "ls"
     if util not in COREUTIL_NAMES:
         raise SystemExit(f"unknown coreutil {util!r}; pick from {COREUTIL_NAMES}")
 
-    machine = Machine()
+    machine = Machine(tracer=Tracer())
     setup_fs(machine)
     process = machine.load(build_coreutil(util))
     lines: list[str] = []
-    install_mechanism(mechanism, machine, process, make_tracer(lines))
+    attach(machine, process, mechanism, interposer=make_tracer(lines))
     code = machine.run_process(process)
 
     print(f"$ strace -m {mechanism} {util}")
@@ -67,6 +53,10 @@ def main() -> None:
     print(f"+++ exited with {code} +++")
     print(f"[{machine.clock:.0f} simulated cycles, "
           f"{machine.seconds * 1e6:.1f} us at 2.1 GHz]")
+    slow, fast, fraction = path_ratio(machine.tracer)
+    if slow or fast:
+        print(f"[{slow} slow-path traps, {fast} fast-path entries "
+              f"({fraction:.1%} slow)]")
 
 
 if __name__ == "__main__":

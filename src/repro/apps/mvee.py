@@ -77,7 +77,7 @@ class MveeMonitor:
             process = machine.load(image, register_binary=variant == 0)
             self.processes.append(process)
             self.streams.append([])
-            tool = Lazypoline.install(
+            tool = Lazypoline._install(
                 machine,
                 process,
                 self._make_interposer(variant),

@@ -4,6 +4,11 @@ Counts per-syscall invocations, errors, and *simulated cycles spent inside
 the kernel* for each syscall — the accounting view performance engineers
 use to decide whether a workload is syscall-bound (and therefore how much
 interposition will cost it, per Fig. 5's file-size sweep).
+
+Built on the observability layer: each interposed call is recorded as a
+``syscall`` event in a :class:`repro.obs.Tracer` (pass ``tracer=`` to merge
+into a machine-wide stream), and :attr:`SyscallProfiler.report` renders the
+tracer's per-syscall aggregates.
 """
 
 from __future__ import annotations
@@ -11,8 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.interpose.api import SyscallContext
-from repro.kernel.errno import is_error
-from repro.kernel.syscalls.table import syscall_name
+from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -55,20 +59,24 @@ class ProfileReport:
 class SyscallProfiler:
     """The interposition function: attach to any tool's ``interposer=``."""
 
-    def __init__(self):
-        self.report = ProfileReport()
+    def __init__(self, tracer: Tracer | None = None):
+        self.tracer = tracer if tracer is not None else Tracer()
 
     def __call__(self, ctx: SyscallContext):
         before = ctx.kernel.clock
         ret = ctx.do_syscall()
-        spent = ctx.kernel.clock - before
-        stat = self.report.stats.get(ctx.sysno)
-        if stat is None:
-            stat = SyscallStats(syscall_name(ctx.sysno))
-            self.report.stats[ctx.sysno] = stat
-        stat.calls += 1
-        stat.cycles += spent
-        self.report.total_cycles += spent
-        if isinstance(ret, int) and is_error(ret):
-            stat.errors += 1
+        after = ctx.kernel.clock
+        self.tracer.syscall(
+            after, ctx.task.tid, ctx.sysno, ctx.args, ret, after - before
+        )
         return ret
+
+    @property
+    def report(self) -> ProfileReport:
+        report = ProfileReport()
+        for sysno, agg in self.tracer.syscalls.items():
+            report.stats[sysno] = SyscallStats(
+                agg.name, agg.calls, agg.errors, float(agg.cycles)
+            )
+            report.total_cycles += agg.cycles
+        return report

@@ -6,41 +6,34 @@ from typing import Callable
 
 from repro.arch.registers import XComponent
 from repro.interpose.api import Interposer, passthrough_interposer
-from repro.interpose.lazypoline import Lazypoline, LazypolineConfig
-from repro.interpose.ptrace_tool import PtraceTool
-from repro.interpose.seccomp_bpf_tool import SeccompBpfTool
-from repro.interpose.seccomp_user_tool import SeccompUserTool
-from repro.interpose.sud_tool import SudTool
-from repro.interpose.zpoline import Zpoline
+from repro.interpose.registry import attach
 
 
 def install_mechanism(
     name: str, machine, process, interposer: Interposer | None = None
 ):
-    """Install one named interposition mechanism on a loaded process."""
+    """Install one named interposition mechanism on a loaded process.
+
+    A thin veneer over :func:`repro.interpose.attach` that also knows the
+    benchmark-only names ``baseline`` (no tool) and ``lazypoline_noxstate``
+    (the §V-B xstate ablation).
+    """
     interposer = interposer or passthrough_interposer
     if name == "baseline":
         return None
-    if name == "zpoline":
-        return Zpoline.install(machine, process, interposer)
-    if name == "lazypoline":
-        return Lazypoline.install(machine, process, interposer)
     if name == "lazypoline_noxstate":
-        return Lazypoline.install(
+        from repro.interpose.lazypoline import LazypolineConfig
+
+        return attach(
             machine,
             process,
-            interposer,
-            LazypolineConfig(preserve_xstate=XComponent.none()),
+            "lazypoline",
+            interposer=interposer,
+            config=LazypolineConfig(preserve_xstate=XComponent.none()),
         )
-    if name == "sud":
-        return SudTool.install(machine, process, interposer)
-    if name == "seccomp_user":
-        return SeccompUserTool.install(machine, process, interposer)
     if name == "seccomp_bpf":
-        return SeccompBpfTool.install(machine, process)
-    if name == "ptrace":
-        return PtraceTool.install(machine, process, interposer)
-    raise ValueError(f"unknown mechanism {name!r}")
+        return attach(machine, process, "seccomp_bpf")
+    return attach(machine, process, name, interposer=interposer)
 
 
 def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:

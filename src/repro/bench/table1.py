@@ -105,7 +105,7 @@ def probe_exhaustiveness(mechanism: str) -> bool:
         from repro.kernel.seccomp.core import SECCOMP_RET_ERRNO
         from repro.kernel.seccomp.filter import FilterBuilder
 
-        SeccompBpfTool.install(
+        SeccompBpfTool._install(
             machine,
             process,
             FilterBuilder.deny_syscalls([NR["getpid"]], SECCOMP_RET_ERRNO | 38),

@@ -674,6 +674,9 @@ class CPU:
         self.translation_cache = translation_cache
         self.cache_hits = 0
         self.cache_misses = 0
+        #: observability tracer; only consulted on the (rare) generation-
+        #: mismatch branch, never on the per-instruction hit path.
+        self.tracer = None
         self.refresh_cost_table()
 
     def refresh_cost_table(self) -> None:
@@ -711,6 +714,11 @@ class CPU:
                 if gens.get(entry[3], 0) == entry[4] and gens.get(entry[5], 0) == entry[6]:
                     self.cache_hits += 1
                 else:
+                    if self.tracer is not None:
+                        self.tracer.cache_invalidate(
+                            getattr(self.env, "clock", 0),
+                            getattr(task, "tid", -1), addr,
+                        )
                     entry = self._translate(mem, addr)
             else:
                 entry = self._translate(mem, addr)

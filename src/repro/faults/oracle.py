@@ -119,7 +119,7 @@ def run_guest(
     tracer = interposer if interposer is not None else TidTracer()
     tool_instance = None
     if tool is not None:
-        tool_instance = TOOLS[tool].install(machine, process, tracer)
+        tool_instance = TOOLS[tool]._install(machine, process, tracer)
     if configure is not None:
         configure(machine, process, tool_instance)
     crashed = False

@@ -192,7 +192,7 @@ def rewrite_window(
     machine = Machine()
     image = build_two_signal_guest()
     process = machine.load(image)
-    tool = Lazypoline.install(machine, process, TraceInterposer())
+    tool = Lazypoline._install(machine, process, TraceInterposer())
 
     windows = lazypoline_windows(tool)
     boundaries: list[int] = []
@@ -379,7 +379,7 @@ def mprotect_fault(
     )
     machine.kernel.fault_injector = injector
     process = machine.load(build_two_signal_guest())
-    tool = Lazypoline.install(machine, process, TraceInterposer())
+    tool = Lazypoline._install(machine, process, TraceInterposer())
     machine.run(until=lambda: not process.alive, max_instructions=400_000)
     problems = []
     if process.alive:

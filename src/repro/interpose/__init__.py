@@ -1,9 +1,10 @@
 """Syscall interposition tools.
 
-Every tool exposes the same ``install(machine, process, interposer=...)``
-entry point and drives the same user-facing interposer callable (see
-:mod:`repro.interpose.api`), so the paper's comparisons run the *identical*
-"dummy interposition function" under every mechanism:
+Every tool attaches through the same entry point —
+``attach(machine, process, tool="lazypoline", interposer=...)`` — and drives
+the same user-facing interposer callable (see :mod:`repro.interpose.api`),
+so the paper's comparisons run the *identical* "dummy interposition
+function" under every mechanism:
 
 * :mod:`repro.interpose.ptrace_tool` — tracer-process syscall stops,
 * :mod:`repro.interpose.seccomp_bpf_tool` — in-kernel cBPF filtering,
@@ -19,10 +20,14 @@ from repro.interpose.api import (
     TraceInterposer,
     passthrough_interposer,
 )
+from repro.interpose.registry import attach, available_tools, register_tool
 
 __all__ = [
     "Interposer",
     "SyscallContext",
     "TraceInterposer",
+    "attach",
+    "available_tools",
     "passthrough_interposer",
+    "register_tool",
 ]

@@ -13,9 +13,24 @@ original arguments and return the result — is :func:`passthrough_interposer`.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional, Protocol
 
 from repro.kernel.syscalls.table import syscall_name
+from repro.obs import events as _K
+from repro.obs.format import format_call
+from repro.obs.tracer import Tracer
+
+
+def warn_deprecated_install(cls, method: str = "install") -> None:
+    """Shared ``DeprecationWarning`` for the old ``*Tool.install`` shims."""
+    warnings.warn(
+        f"{cls.__name__}.{method}() is deprecated; use "
+        f"repro.interpose.attach(machine, process, "
+        f"tool={getattr(cls, 'tool_name', cls.__name__)!r}, ...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class SyscallContext:
@@ -48,8 +63,7 @@ class SyscallContext:
         return syscall_name(self.sysno)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        args = ", ".join(f"{a:#x}" for a in self.args)
-        return f"<syscall {self.name}({args}) via {self.mechanism}>"
+        return f"<syscall {format_call(self.name, self.args)} via {self.mechanism}>"
 
     # ------------------------------------------------------------------ memory
     def read_mem(self, addr: int, length: int) -> bytes:
@@ -104,28 +118,48 @@ def passthrough_interposer(ctx: SyscallContext) -> int | None:
 class TraceInterposer:
     """Records every intercepted syscall, then passes it through.
 
-    ``events`` holds ``(name, sysno, args)`` tuples — the strace-style
-    output the exhaustiveness experiment (§V-A) compares across tools.
+    Backed by an observability tracer (:class:`repro.obs.Tracer`) instead of
+    a private list: each interception becomes an ``interposition`` event and
+    ``names``/``count`` delegate to the tracer's counters.  Pass a shared
+    ``tracer`` to merge the tool-level view into a machine-wide stream.
+
+    ``events`` still yields the legacy ``(name, sysno, args)`` tuples — the
+    strace-style output the exhaustiveness experiment (§V-A) compares across
+    tools.
     """
 
-    def __init__(self, *, capture_results: bool = False):
-        self.events: list[tuple[str, int, tuple[int, ...]]] = []
+    def __init__(self, *, capture_results: bool = False, tracer: Tracer | None = None):
+        self.tracer = tracer if tracer is not None else Tracer()
         self.results: list[int | None] = []
         self.capture_results = capture_results
 
     def __call__(self, ctx: SyscallContext) -> int | None:
-        self.events.append((ctx.name, ctx.sysno, ctx.args))
+        self.tracer.interposition(
+            ctx.kernel.clock, ctx.task.tid, ctx.sysno, ctx.args, ctx.mechanism
+        )
         ret = ctx.do_syscall()
         if self.capture_results:
             self.results.append(ret)
         return ret
 
     @property
+    def events(self) -> list[tuple[str, int, tuple[int, ...]]]:
+        return [
+            (e.data["name"], e.data["sysno"], tuple(e.data["args"]))
+            for e in self.tracer.events
+            if e.kind == _K.INTERPOSITION
+        ]
+
+    @property
     def names(self) -> list[str]:
-        return [name for name, _nr, _args in self.events]
+        return [
+            e.data["name"]
+            for e in self.tracer.events
+            if e.kind == _K.INTERPOSITION
+        ]
 
     def count(self, name: str) -> int:
-        return sum(1 for n in self.names if n == name)
+        return self.tracer.interposition_counts.get(name, 0)
 
 
 class DenyListInterposer:

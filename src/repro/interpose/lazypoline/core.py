@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from repro.arch.isa import CALL_RAX_BYTES, SYSCALL_BYTES, SYSENTER_BYTES
 from repro.arch.registers import MASK64, RAX, RDI, RDX, RSI, RSP, SYSCALL_ARG_REGS
-from repro.interpose.api import Interposer, SyscallContext, passthrough_interposer
+from repro.interpose.api import (
+    Interposer,
+    SyscallContext,
+    passthrough_interposer,
+    warn_deprecated_install,
+)
 from repro.interpose.lazypoline import gsrel
 from repro.interpose.lazypoline.asmblobs import LazypolineBlobs, build_blobs
 from repro.interpose.lazypoline.config import LazypolineConfig
@@ -47,6 +52,8 @@ _PERM_TO_PROT = {
 class Lazypoline:
     """Exhaustive, expressive, efficient syscall interposition (§III)."""
 
+    tool_name = "lazypoline"
+
     def __init__(self, machine, process, interposer: Interposer,
                  config: LazypolineConfig):
         self.machine = machine
@@ -69,6 +76,17 @@ class Lazypoline:
     # ------------------------------------------------------------------ install
     @classmethod
     def install(
+        cls,
+        machine,
+        process,
+        interposer: Interposer | None = None,
+        config: LazypolineConfig | None = None,
+    ) -> "Lazypoline":
+        warn_deprecated_install(cls)
+        return cls._install(machine, process, interposer, config)
+
+    @classmethod
+    def _install(
         cls,
         machine,
         process,
@@ -157,6 +175,9 @@ class Lazypoline:
         regs = task.regs
         self.fastpath_hits += 1
         sysno = regs.read(RAX)
+        tracer = hctx.kernel.tracer
+        if tracer is not None:
+            tracer.sled_enter(hctx.kernel.clock, task.tid, sysno, "lazypoline")
         args = tuple(regs.read(r) for r in SYSCALL_ARG_REGS)
         ctx = SyscallContext(
             hctx.kernel,
@@ -200,6 +221,9 @@ class Lazypoline:
         mem = task.mem
         regs = task.regs
         gs = regs.gs_base
+        tracer = hctx.kernel.tracer
+        if tracer is not None:
+            tracer.sigreturn_tramp(hctx.kernel.clock, task.tid)
 
         frame_base = regs.read(RSP) + _STUB_STACK_BYTES - 8
         uc = frame_base + 48  # FRAME_UCONTEXT
@@ -411,6 +435,9 @@ class Lazypoline:
         frame_base = siginfo - FRAME_SIGINFO
         call_addr = mem.read_u64(frame_base + SI_ADDR, check=None)
         site = call_addr - 2  # si_call_addr points past the syscall insn
+        tracer = hctx.kernel.tracer
+        if tracer is not None:
+            tracer.sigsys_trap(hctx.kernel.clock, task.tid, site, "lazypoline")
 
         if self.config.rewrite:
             self._rewrite_site(hctx, site)
@@ -464,6 +491,11 @@ class Lazypoline:
                     _NR_MPROTECT, (start + i * PAGE_SIZE, PAGE_SIZE, prot)
                 )
             self.rewritten.add(site)
+            tracer = hctx.kernel.tracer
+            if tracer is not None:
+                tracer.rewrite(
+                    hctx.kernel.clock, task.tid, site, "lazypoline", origin="trap"
+                )
         finally:
             self._rewrite_locked = False
 
@@ -479,3 +511,9 @@ class Lazypoline:
 
         patch_site(task, site)
         self.rewritten.add(site)
+        tracer = self.machine.kernel.tracer
+        if tracer is not None:
+            tracer.rewrite(
+                self.machine.kernel.clock, task.tid, site, "lazypoline",
+                origin="manual",
+            )

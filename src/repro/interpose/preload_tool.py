@@ -15,7 +15,12 @@ inline syscall instructions sail straight past this tool.
 from __future__ import annotations
 
 from repro.arch.registers import MASK64, RAX, SYSCALL_ARG_REGS
-from repro.interpose.api import Interposer, SyscallContext, passthrough_interposer
+from repro.interpose.api import (
+    Interposer,
+    SyscallContext,
+    passthrough_interposer,
+    warn_deprecated_install,
+)
 from repro.kernel.syscalls.table import NR
 from repro.libc.wrappers import wrapper_symbol
 from repro.mem.pages import PAGE_SIZE, Perm, page_align_down, page_align_up
@@ -23,6 +28,8 @@ from repro.mem.pages import PAGE_SIZE, Perm, page_align_down, page_align_up
 
 class PreloadTool:
     """LD_PRELOAD-style wrapper-function interposition."""
+
+    tool_name = "preload"
 
     def __init__(self, machine, process, interposer: Interposer):
         self.machine = machine
@@ -32,6 +39,18 @@ class PreloadTool:
 
     @classmethod
     def install(
+        cls,
+        machine,
+        process,
+        interposer: Interposer | None = None,
+        *,
+        wrappers: list[str] | None = None,
+    ) -> "PreloadTool":
+        warn_deprecated_install(cls)
+        return cls._install(machine, process, interposer, wrappers=wrappers)
+
+    @classmethod
+    def _install(
         cls,
         machine,
         process,

@@ -16,7 +16,12 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.arch.registers import RAX, SYSCALL_ARG_REGS, to_signed
-from repro.interpose.api import Interposer, SyscallContext, passthrough_interposer
+from repro.interpose.api import (
+    Interposer,
+    SyscallContext,
+    passthrough_interposer,
+    warn_deprecated_install,
+)
 from repro.kernel.ptrace import PtraceTracer, TraceeControl, attach, detach
 
 
@@ -42,6 +47,8 @@ class PtraceSyscallContext(SyscallContext):
 class PtraceTool(PtraceTracer):
     """Syscall interposition through a (host-modelled) tracer process."""
 
+    tool_name = "ptrace"
+
     def __init__(self, machine, interposer: Interposer,
                  on_enter: Callable[[TraceeControl], None] | None = None):
         self.machine = machine
@@ -51,6 +58,18 @@ class PtraceTool(PtraceTracer):
 
     @classmethod
     def install(
+        cls,
+        machine,
+        process,
+        interposer: Interposer | None = None,
+        *,
+        on_enter: Callable[[TraceeControl], None] | None = None,
+    ) -> "PtraceTool":
+        warn_deprecated_install(cls)
+        return cls._install(machine, process, interposer, on_enter=on_enter)
+
+    @classmethod
+    def _install(
         cls,
         machine,
         process,

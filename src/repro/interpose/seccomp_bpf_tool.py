@@ -9,12 +9,15 @@ interposer callback here; that's the point of Table I's seccomp-bpf row.
 
 from __future__ import annotations
 
+from repro.interpose.api import warn_deprecated_install
 from repro.kernel.seccomp.bpf import BpfProgram
 from repro.kernel.seccomp.filter import FilterBuilder
 
 
 class SeccompBpfTool:
     """Installs cBPF filters on a process (inherited by its children)."""
+
+    tool_name = "seccomp_bpf"
 
     def __init__(self, process, programs: list[BpfProgram]):
         self.process = process
@@ -24,6 +27,13 @@ class SeccompBpfTool:
     def install(
         cls, machine, process, program: BpfProgram | None = None
     ) -> "SeccompBpfTool":
+        warn_deprecated_install(cls)
+        return cls._install(machine, process, program)
+
+    @classmethod
+    def _install(
+        cls, machine, process, program: BpfProgram | None = None
+    ) -> "SeccompBpfTool":
         """Install ``program`` (default: allow-all, the pure-overhead probe)."""
         prog = program or FilterBuilder.allow_all()
         process.task.seccomp_filters.append(prog)
@@ -31,6 +41,14 @@ class SeccompBpfTool:
 
     @classmethod
     def install_denylist(
+        cls, machine, process, sysnos: list[int], *, errno_value: int = 1
+    ) -> "SeccompBpfTool":
+        warn_deprecated_install(cls, "install_denylist")
+        return cls._install_denylist(machine, process, sysnos,
+                                     errno_value=errno_value)
+
+    @classmethod
+    def _install_denylist(
         cls, machine, process, sysnos: list[int], *, errno_value: int = 1
     ) -> "SeccompBpfTool":
         from repro.kernel.seccomp.core import SECCOMP_RET_ERRNO

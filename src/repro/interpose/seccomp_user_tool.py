@@ -20,6 +20,7 @@ from repro.mem.pages import PAGE_SIZE
 
 class SeccompUserTool(SignalPathTool):
     mechanism = "seccomp-user"
+    tool_name = "seccomp_user"
 
     def _arm(self, task) -> None:
         self.filter = FilterBuilder.trap_all_except_ip_range(

@@ -20,12 +20,18 @@ from __future__ import annotations
 
 from repro.arch.encode import Assembler
 from repro.arch.registers import R8, R9, R10, RAX, RDI, RDX, RSI, RSP
-from repro.interpose.api import Interposer, SyscallContext, passthrough_interposer
+from repro.interpose.api import (
+    Interposer,
+    SyscallContext,
+    passthrough_interposer,
+    warn_deprecated_install,
+)
 from repro.kernel.signals import (
     FRAME_SIGINFO,
     FRAME_UCONTEXT,
     SA_RESTORER,
     SA_SIGINFO,
+    SI_ADDR,
     SI_SYSCALL,
     SIGSYS,
     UC_GPRS,
@@ -49,6 +55,7 @@ class SignalPathTool:
     """Base class: SIGSYS handler + restorer page, handler-side interposition."""
 
     mechanism = "signal-path"
+    tool_name = "signal-path"
 
     def __init__(self, machine, process, interposer: Interposer):
         self.machine = machine
@@ -64,6 +71,11 @@ class SignalPathTool:
     # ------------------------------------------------------------------ install
     @classmethod
     def install(cls, machine, process, interposer: Interposer | None = None, **kw):
+        warn_deprecated_install(cls)
+        return cls._install(machine, process, interposer, **kw)
+
+    @classmethod
+    def _install(cls, machine, process, interposer: Interposer | None = None, **kw):
         tool = cls(machine, process, interposer or passthrough_interposer, **kw)
         tool._setup_pages(process.task)
         tool._arm(process.task)
@@ -122,6 +134,12 @@ class SignalPathTool:
         siginfo = regs.read(RSI)
         uc = regs.read(RDX)
         frame_base = siginfo - FRAME_SIGINFO
+        tracer = hctx.kernel.tracer
+        if tracer is not None:
+            call_addr = task.mem.read_u64(frame_base + SI_ADDR, check=None)
+            tracer.sigsys_trap(
+                hctx.kernel.clock, task.tid, call_addr - 2, self.mechanism
+            )
         sysno = task.mem.read_u32(frame_base + SI_SYSCALL, check=None)
         args = tuple(
             task.mem.read_u64(uc + off, check=None) for off in _ARG_REG_OFFSETS

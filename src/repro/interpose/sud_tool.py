@@ -22,6 +22,7 @@ _SELECTOR_TOGGLE_COST = 3
 
 class SudTool(SignalPathTool):
     mechanism = "sud"
+    tool_name = "sud"
 
     @property
     def selector_addr(self) -> int:

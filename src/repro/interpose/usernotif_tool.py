@@ -20,7 +20,12 @@ API:
 
 from __future__ import annotations
 
-from repro.interpose.api import Interposer, SyscallContext, passthrough_interposer
+from repro.interpose.api import (
+    Interposer,
+    SyscallContext,
+    passthrough_interposer,
+    warn_deprecated_install,
+)
 from repro.kernel.seccomp.bpf import BpfProgram
 from repro.kernel.seccomp.core import SECCOMP_RET_USER_NOTIF
 from repro.kernel.seccomp.filter import FilterBuilder
@@ -34,6 +39,8 @@ def _notify_all_filter() -> BpfProgram:
 class UserNotifTool:
     """Interposition through a user-notification supervisor."""
 
+    tool_name = "seccomp_unotify"
+
     def __init__(self, machine, interposer: Interposer):
         self.machine = machine
         self.interposer = interposer
@@ -41,6 +48,19 @@ class UserNotifTool:
 
     @classmethod
     def install(
+        cls,
+        machine,
+        process,
+        interposer: Interposer | None = None,
+        *,
+        filter_program: BpfProgram | None = None,
+    ) -> "UserNotifTool":
+        warn_deprecated_install(cls)
+        return cls._install(machine, process, interposer,
+                            filter_program=filter_program)
+
+    @classmethod
+    def _install(
         cls,
         machine,
         process,
@@ -61,10 +81,18 @@ class UserNotifTool:
         cls, machine, process, sysnos: list[int],
         interposer: Interposer | None = None,
     ) -> "UserNotifTool":
+        warn_deprecated_install(cls, "install_for_syscalls")
+        return cls._install_for_syscalls(machine, process, sysnos, interposer)
+
+    @classmethod
+    def _install_for_syscalls(
+        cls, machine, process, sysnos: list[int],
+        interposer: Interposer | None = None,
+    ) -> "UserNotifTool":
         """Notify only for ``sysnos``; everything else runs natively."""
         program = FilterBuilder.deny_syscalls(sysnos, SECCOMP_RET_USER_NOTIF)
-        return cls.install(machine, process, interposer,
-                           filter_program=program)
+        return cls._install(machine, process, interposer,
+                            filter_program=program)
 
     # ------------------------------------------------------------- supervisor
     def _on_notification(self, kernel, task, sysno, args) -> int | None:

@@ -3,7 +3,12 @@
 from __future__ import annotations
 
 from repro.arch.registers import MASK64, RAX, RSP, SYSCALL_ARG_REGS
-from repro.interpose.api import Interposer, SyscallContext, passthrough_interposer
+from repro.interpose.api import (
+    Interposer,
+    SyscallContext,
+    passthrough_interposer,
+    warn_deprecated_install,
+)
 from repro.interpose.zpoline.rewriter import discover_sites, rewrite_sites
 from repro.interpose.zpoline.trampoline import build_trampoline_code, map_trampoline
 from repro.kernel.syscalls.table import NR
@@ -24,6 +29,8 @@ class Zpoline:
     :mod:`repro.interpose.zpoline.rewriter` for the trade-off.
     """
 
+    tool_name = "zpoline"
+
     def __init__(self, machine, process, interposer: Interposer, mode: str):
         self.machine = machine
         self.process = process
@@ -36,6 +43,19 @@ class Zpoline:
     # ------------------------------------------------------------------ install
     @classmethod
     def install(
+        cls,
+        machine,
+        process,
+        interposer: Interposer | None = None,
+        *,
+        mode: str = "sweep",
+        rewrite: bool = True,
+    ) -> "Zpoline":
+        warn_deprecated_install(cls)
+        return cls._install(machine, process, interposer, mode=mode, rewrite=rewrite)
+
+    @classmethod
+    def _install(
         cls,
         machine,
         process,
@@ -58,7 +78,17 @@ class Zpoline:
             skip = {0}  # never rewrite the trampoline page itself
             sites = discover_sites(task, mode, skip_pages=skip)
             tool.rewritten_sites = rewrite_sites(task, sites)
+            tool._trace_rewrites(tool.rewritten_sites)
         return tool
+
+    def _trace_rewrites(self, sites) -> None:
+        tracer = self.machine.kernel.tracer
+        if tracer is None:
+            return
+        kernel = self.machine.kernel
+        tid = self.process.task.tid
+        for site in sites:
+            tracer.rewrite(kernel.clock, tid, site, "zpoline", origin="static")
 
     def rewrite_now(self) -> list[int]:
         """Re-scan and rewrite (e.g. after loading more code)."""
@@ -68,7 +98,9 @@ class Zpoline:
             for s in discover_sites(self.process.task, self.mode, skip_pages=skip)
             if s not in self.rewritten_sites
         ]
-        self.rewritten_sites.extend(rewrite_sites(self.process.task, sites))
+        new_sites = rewrite_sites(self.process.task, sites)
+        self.rewritten_sites.extend(new_sites)
+        self._trace_rewrites(new_sites)
         return sites
 
     # ---------------------------------------------------------------- handler
@@ -76,6 +108,9 @@ class Zpoline:
         task = hctx.task
         regs = task.regs
         sysno = regs.read(RAX)
+        tracer = hctx.kernel.tracer
+        if tracer is not None:
+            tracer.sled_enter(hctx.kernel.clock, task.tid, sysno, "zpoline")
         args = tuple(regs.read(r) for r in SYSCALL_ARG_REGS)
 
         ctx = SyscallContext(

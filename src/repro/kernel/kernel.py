@@ -157,6 +157,10 @@ class Kernel:
         self.trace_syscalls = False
         self.syscall_log: list[tuple[int, int, tuple[int, ...], int | None]] = []
 
+        #: observability tracer (:class:`repro.obs.Tracer`), attached via
+        #: ``Machine.attach_tracer``; every emit site is ``if tracer``-guarded.
+        self.tracer = None
+
         from repro.kernel.syscalls import build_registry
 
         self.syscall_registry = build_registry()
@@ -396,12 +400,23 @@ class Kernel:
 
     # ------------------------------------------------------------- dispatching
     def dispatch(self, task: Task, sysno: int, args: tuple[int, ...]) -> int | None:
-        """Run the syscall implementation (no interception)."""
+        """Run the syscall implementation (no interception).
+
+        A blocking syscall raises WouldBlock out of here and is re-dispatched
+        later, so the tracer sees exactly one ``syscall`` event per
+        *completed* dispatch, stamped at completion with the dispatch's
+        cycle cost.
+        """
+        tracer = self.tracer
+        start = self.clock if tracer is not None else 0
         if self.fault_injector is not None:
             injected = self.fault_injector.intercept(self, task, sysno, args)
             if injected is not None:
                 if self.trace_syscalls:
                     self.syscall_log.append((task.tid, sysno, args, injected))
+                if tracer is not None:
+                    tracer.syscall(self.clock, task.tid, sysno, args, injected,
+                                   self.clock - start, injected=True)
                 return injected
         entry = self.syscall_registry.get(sysno)
         if entry is None:
@@ -412,6 +427,9 @@ class Kernel:
             ret = entry.fn(self, task, args)
         if self.trace_syscalls:
             self.syscall_log.append((task.tid, sysno, args, ret))
+        if tracer is not None:
+            tracer.syscall(self.clock, task.tid, sysno, args, ret,
+                           self.clock - start)
         return ret
 
     def do_syscall(

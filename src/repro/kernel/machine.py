@@ -66,11 +66,31 @@ class Machine:
         quantum: int = 64,
         policy=None,
         translation_cache: bool = True,
+        tracer=None,
     ):
         self.costs = costs or CostModel()
         self.kernel = Kernel(self.costs, translation_cache=translation_cache)
         self.scheduler = Scheduler(self.kernel, quantum=quantum, policy=policy)
         self.kernel.scheduler = self.scheduler
+        self.tracer = None
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    # ------------------------------------------------------------ observability
+    def attach_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) an observability tracer.
+
+        Wires the :class:`repro.obs.Tracer` into every instrumented layer:
+        kernel dispatch, scheduler, signal delivery and the CPU translation
+        cache.  Interposition tools read ``machine.kernel.tracer`` at their
+        own emit sites, so tools installed before or after this call both
+        report.  Simulated cycle accounting is identical either way.
+        """
+        self.tracer = tracer
+        self.kernel.tracer = tracer
+        self.kernel.cpu.tracer = tracer
+        if tracer is not None:
+            tracer.bind(self)
 
     # ------------------------------------------------------------------ time
     @property

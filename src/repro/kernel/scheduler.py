@@ -62,6 +62,7 @@ class Scheduler:
         #: another task, which may share this address space.
         self._nest_epoch = 0
         self.total_instructions = 0
+        self._last_tid: int | None = None  # for ctx_switch trace events
 
     # --------------------------------------------------------------- slices
     def _maybe_unblock(self, task: Task) -> None:
@@ -102,6 +103,12 @@ class Scheduler:
             return 0
         self._active.add(task.tid)
         self._nest_epoch += 1
+        tracer = kernel.tracer
+        if tracer is not None:
+            if self._last_tid != task.tid:
+                tracer.ctx_switch(kernel.clock, self._last_tid, task.tid)
+                self._last_tid = task.tid
+            tracer.slice_start(kernel.clock, task.tid)
         # Invariants hoisted out of the per-instruction body: the CPU step
         # and fault handler bindings, and the protection-key rights load
         # (per-thread PKRU) — a slice is the task-switch point, so PKRU is
@@ -148,6 +155,8 @@ class Scheduler:
             self._active.discard(task.tid)
         task.insn_count += executed
         self.total_instructions += executed
+        if tracer is not None:
+            tracer.slice_end(kernel.clock, task.tid, executed)
         if policy is not None:
             policy.record_slice(task, executed)
         return executed

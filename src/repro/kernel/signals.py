@@ -159,13 +159,18 @@ class SignalDelivery:
         """
         info = info or {}
         action = task.sighand.get(sig)
+        tracer = self.kernel.tracer
         if sig in UNCATCHABLE or action.handler == SIG_DFL:
             if default_action_ignores(sig):
                 return False
+            if tracer is not None:
+                tracer.signal(self.kernel.clock, task.tid, sig, "kill")
             self.kernel.terminate_group(task, signal=sig)
             return True
         if action.handler == SIG_IGN:
             return False
+        if tracer is not None:
+            tracer.signal(self.kernel.clock, task.tid, sig, "handler")
         self._push_frame(task, sig, action, info)
         return True
 

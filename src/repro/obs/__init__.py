@@ -1,0 +1,44 @@
+"""Machine-wide observability: structured tracing, metrics, exporters.
+
+Attach a :class:`Tracer` to a machine and every layer reports in::
+
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    machine = Machine(tracer=tracer)
+    ...
+    print(render_strace(tracer))
+
+With no tracer attached (the default) every emit site is a single
+``is None`` attribute check on a non-per-instruction path, so tier-1
+performance is unaffected — see ``tests/test_obs_overhead.py``.
+
+``python -m repro.obs run --workload webserver --tool lazypoline
+--format chrome`` runs any packaged workload under any registered tool
+with tracing on; see :mod:`repro.obs.cli`.
+"""
+
+from repro.obs import events
+from repro.obs.events import ALL_KINDS, Event
+from repro.obs.export import export_chrome, export_jsonl, render_strace
+from repro.obs.metrics import (
+    CycleHistogram,
+    SyscallAggregate,
+    convergence_curve,
+    path_ratio,
+)
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "ALL_KINDS",
+    "CycleHistogram",
+    "Event",
+    "SyscallAggregate",
+    "Tracer",
+    "convergence_curve",
+    "events",
+    "export_chrome",
+    "export_jsonl",
+    "path_ratio",
+    "render_strace",
+]

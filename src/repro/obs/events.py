@@ -1,0 +1,74 @@
+"""Typed events of the machine-wide tracing layer.
+
+Every instrumented layer emits events of a small fixed vocabulary:
+
+========================  =====================================================
+kind                      emitted by
+========================  =====================================================
+``syscall``               kernel dispatch path — one event per *completed*
+                          syscall dispatch, with return value and cycle cost
+``interposition``         a user interposer (``TraceInterposer``) — the
+                          tool-level view of an intercepted syscall
+``sigsys_trap``           lazypoline / SUD / seccomp-user slow path — a SIGSYS
+                          arrived at the tool's handler
+``rewrite``               lazypoline / zpoline — one syscall site patched to
+                          ``call rax`` (``origin``: trap, static, or manual)
+``sled_enter``            lazypoline fast path / zpoline trampoline — the
+                          generic syscall handler was entered through VA 0
+``sigreturn_tramp``       lazypoline — a signal return detoured through the
+                          sigreturn trampoline (Fig. 3 ④)
+``slice_start``/``end``   scheduler — one time slice of a task
+``ctx_switch``            scheduler — a different task was put on the CPU
+``signal``                signal delivery — a handler frame was pushed or the
+                          task was killed
+``cache_invalidate``      CPU core — a cached translation was discarded
+                          because its page generation changed (self-modifying
+                          code, e.g. lazypoline's in-place rewrite)
+========================  =====================================================
+
+``ts`` is the simulated clock (cycles) at *emission* time; the kernel clock
+never decreases, so events are monotone in ``(seq, ts)``.  ``syscall``
+events are emitted at completion and carry ``cycles`` — the dispatch
+duration — so the start time is ``ts - cycles``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SYSCALL = "syscall"
+INTERPOSITION = "interposition"
+SIGSYS_TRAP = "sigsys_trap"
+REWRITE = "rewrite"
+SLED_ENTER = "sled_enter"
+SIGRETURN_TRAMP = "sigreturn_tramp"
+SLICE_START = "slice_start"
+SLICE_END = "slice_end"
+CTX_SWITCH = "ctx_switch"
+SIGNAL = "signal"
+CACHE_INVALIDATE = "cache_invalidate"
+
+ALL_KINDS = (
+    SYSCALL,
+    INTERPOSITION,
+    SIGSYS_TRAP,
+    REWRITE,
+    SLED_ENTER,
+    SIGRETURN_TRAMP,
+    SLICE_START,
+    SLICE_END,
+    CTX_SWITCH,
+    SIGNAL,
+    CACHE_INVALIDATE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One structured trace event."""
+
+    seq: int  #: global emission order (dense, starts at 0)
+    ts: int  #: simulated clock (cycles) at emission
+    kind: str  #: one of :data:`ALL_KINDS`
+    tid: int  #: task the event is attributed to (-1 when machine-global)
+    data: dict  #: kind-specific payload (JSON-serialisable)

@@ -1,0 +1,139 @@
+"""Exporters for the recorded event stream.
+
+Three formats:
+
+* :func:`export_jsonl` — one JSON object per line, the machine-readable
+  ground truth (differential testing, ad-hoc jq analysis),
+* :func:`export_chrome` — the chrome-tracing / Perfetto ``traceEvents``
+  format (open in ``ui.perfetto.dev``): syscalls as complete ("X") spans,
+  scheduler slices as "B"/"E" pairs, everything else as instants,
+* :func:`render_strace` — a human ``strace``-style text log.
+
+Timestamps: events carry the simulated cycle clock; chrome output converts
+to microseconds through the bound machine's cost model (falling back to
+1 cycle = 1 µs for an unbound tracer, which only rescales the axis).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.kernel.signals import signal_name
+from repro.obs import events as K
+from repro.obs.format import format_args, format_ret
+
+
+# ---------------------------------------------------------------- JSON lines
+def export_jsonl(tracer) -> str:
+    """One JSON object per event, in emission order."""
+    lines = []
+    for e in tracer.events:
+        obj = {"seq": e.seq, "ts": e.ts, "kind": e.kind, "tid": e.tid}
+        obj.update(e.data)
+        lines.append(json.dumps(obj))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ------------------------------------------------------------- chrome tracing
+def _us_per_cycle(tracer) -> float:
+    machine = tracer.machine
+    if machine is not None:
+        return 1e6 / machine.costs.frequency_hz
+    return 1.0
+
+
+def export_chrome(tracer) -> dict:
+    """The ``{"traceEvents": [...]}`` document chrome://tracing loads."""
+    scale = _us_per_cycle(tracer)
+    out = [
+        {"ph": "M", "pid": 1, "name": "process_name",
+         "args": {"name": "repro machine"}},
+    ]
+    named: set[int] = set()
+    machine = tracer.machine
+    for e in tracer.events:
+        tid = e.tid
+        if tid >= 0 and tid not in named:
+            named.add(tid)
+            comm = ""
+            if machine is not None:
+                task = machine.kernel.tasks.get(tid)
+                comm = task.comm if task is not None else ""
+            out.append({"ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+                        "args": {"name": f"{comm or 'task'} [{tid}]"}})
+        if e.kind == K.SYSCALL:
+            cycles = e.data["cycles"]
+            out.append({
+                "ph": "X", "pid": 1, "tid": tid, "cat": "syscall",
+                "name": e.data["name"],
+                "ts": (e.ts - cycles) * scale,
+                "dur": max(cycles * scale, 0.001),
+                "args": {k: v for k, v in e.data.items() if k != "name"},
+            })
+        elif e.kind == K.SLICE_START:
+            out.append({"ph": "B", "pid": 1, "tid": tid, "cat": "sched",
+                        "name": "slice", "ts": e.ts * scale})
+        elif e.kind == K.SLICE_END:
+            out.append({"ph": "E", "pid": 1, "tid": tid, "cat": "sched",
+                        "ts": e.ts * scale, "args": dict(e.data)})
+        else:
+            out.append({
+                "ph": "i", "pid": 1, "tid": max(tid, 0), "cat": e.kind,
+                "name": e.kind, "ts": e.ts * scale, "s": "t",
+                "args": dict(e.data),
+            })
+    return {"traceEvents": out, "displayTimeUnit": "ns"}
+
+
+# ------------------------------------------------------------- strace render
+#: Kinds shown by default (scheduler noise off).
+_STRACE_KINDS = frozenset({
+    K.SYSCALL, K.SIGSYS_TRAP, K.REWRITE, K.SIGNAL,
+    K.SIGRETURN_TRAMP, K.CACHE_INVALIDATE,
+})
+
+
+def render_strace(tracer, *, show_scheduler: bool = False,
+                  kinds: frozenset | None = None) -> str:
+    """Human-readable ``strace``-style rendering of the event stream."""
+    wanted = kinds if kinds is not None else _STRACE_KINDS
+    if show_scheduler:
+        wanted = wanted | {K.SLICE_START, K.SLICE_END, K.CTX_SWITCH}
+    lines = []
+    for e in tracer.events:
+        if e.kind not in wanted:
+            continue
+        head = f"[{e.tid}]"
+        d = e.data
+        if e.kind == K.SYSCALL:
+            lines.append(
+                f"{head} {d['name']}({format_args(d['args'], 4)})"
+                f" = {format_ret(d['ret'])}  <{d['cycles']} cyc>"
+            )
+        elif e.kind == K.SIGSYS_TRAP:
+            lines.append(
+                f"{head} --- SIGSYS slow path: site {d['site']:#x}"
+                f" ({d['mechanism']}) ---"
+            )
+        elif e.kind == K.REWRITE:
+            lines.append(
+                f"{head} --- rewrote site {d['site']:#x} -> call rax"
+                f" ({d['mechanism']}, {d['origin']}) ---"
+            )
+        elif e.kind == K.SIGNAL:
+            lines.append(
+                f"{head} --- {signal_name(d['sig'])} -> {d['action']} ---"
+            )
+        elif e.kind == K.SIGRETURN_TRAMP:
+            lines.append(f"{head} --- sigreturn trampoline transit ---")
+        elif e.kind == K.CACHE_INVALIDATE:
+            lines.append(
+                f"{head} ~~~ translation cache invalidated at {d['addr']:#x} ~~~"
+            )
+        elif e.kind == K.CTX_SWITCH:
+            lines.append(f"{head} <<< context switch from {d['prev']} >>>")
+        elif e.kind == K.SLICE_START:
+            lines.append(f"{head} >>> slice @{e.ts}")
+        elif e.kind == K.SLICE_END:
+            lines.append(f"{head} <<< slice end ({d['executed']} insns)")
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""The machine-wide tracer.
+
+A :class:`Tracer` is attached with ``Machine(tracer=...)`` or
+``machine.attach_tracer(tracer)``; every instrumented layer (kernel
+dispatch, scheduler, signal delivery, CPU translation cache, the
+lazypoline/zpoline stack) then emits typed events into it.  Every emit site
+is guarded by an ``if tracer is not None`` check on an attribute that
+defaults to ``None``, so a machine without a tracer pays one attribute load
+per *slice/syscall/rare event* — never per instruction — and simulated
+cycle accounting is identical with tracing on or off (observability is free
+in simulated time; only host wall-clock pays).
+
+The tracer maintains cheap aggregate counters alongside the event list, so
+summary views (per-syscall tables, slow/fast ratios, per-site
+rewrite-coverage counters) never need an event walk.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.errno import is_error
+from repro.kernel.syscalls.table import syscall_name
+from repro.obs import events as K
+from repro.obs.events import Event
+from repro.obs.metrics import SyscallAggregate
+
+
+class Tracer:
+    """Receives typed events from every instrumented layer of a Machine."""
+
+    def __init__(self, *, max_events: int | None = None):
+        #: recorded events, in emission order (monotone ``ts``)
+        self.events: list[Event] = []
+        #: events per kind (counted even when ``max_events`` drops the event)
+        self.counts: dict[str, int] = {}
+        #: per-syscall aggregates: sysno -> SyscallAggregate
+        self.syscalls: dict[int, SyscallAggregate] = {}
+        #: tool-level interposition counts by syscall name
+        self.interposition_counts: dict[str, int] = {}
+        #: per-site rewrite-coverage counters: slow-path traps per site ...
+        self.site_traps: dict[int, int] = {}
+        #: ... and the sites actually rewritten: site -> origin
+        self.rewritten_sites: dict[int, str] = {}
+        self.slowpath_total = 0
+        self.cache_invalidations = 0
+        self.max_events = max_events
+        self.dropped = 0
+        self.machine = None  # bound by Machine.attach_tracer
+        self._seq = 0
+
+    # ------------------------------------------------------------------ core
+    def bind(self, machine) -> None:
+        """Associate with a machine (cycle->time conversion, task names)."""
+        self.machine = machine
+
+    def _emit(self, ts: int, kind: str, tid: int, data: dict) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(Event(seq, ts, kind, tid, data))
+
+    # ------------------------------------------------------- kernel dispatch
+    def syscall(
+        self,
+        ts: int,
+        tid: int,
+        sysno: int,
+        args: tuple[int, ...],
+        ret: int | None,
+        cycles: int,
+        *,
+        injected: bool = False,
+    ) -> None:
+        """One completed syscall dispatch (``ts`` is the completion clock)."""
+        name = syscall_name(sysno)
+        agg = self.syscalls.get(sysno)
+        if agg is None:
+            agg = self.syscalls[sysno] = SyscallAggregate(sysno, name)
+        agg.calls += 1
+        agg.cycles += cycles
+        agg.histogram.add(cycles)
+        error = isinstance(ret, int) and is_error(ret)
+        if error:
+            agg.errors += 1
+        data = {
+            "name": name,
+            "sysno": sysno,
+            "args": list(args),
+            "ret": ret,
+            "cycles": cycles,
+        }
+        if error:
+            data["errno"] = -ret
+        if injected:
+            data["injected"] = True
+        self._emit(ts, K.SYSCALL, tid, data)
+
+    # ------------------------------------------------------------ tool level
+    def interposition(
+        self, ts: int, tid: int, sysno: int, args: tuple[int, ...], mechanism: str
+    ) -> None:
+        """A user interposer saw a syscall (the tool-level view)."""
+        name = syscall_name(sysno)
+        self.interposition_counts[name] = self.interposition_counts.get(name, 0) + 1
+        self._emit(
+            ts,
+            K.INTERPOSITION,
+            tid,
+            {"name": name, "sysno": sysno, "args": list(args),
+             "mechanism": mechanism},
+        )
+
+    def sigsys_trap(self, ts: int, tid: int, site: int, mechanism: str) -> None:
+        self.slowpath_total += 1
+        self.site_traps[site] = self.site_traps.get(site, 0) + 1
+        self._emit(ts, K.SIGSYS_TRAP, tid,
+                   {"site": site, "mechanism": mechanism})
+
+    def rewrite(self, ts: int, tid: int, site: int, mechanism: str,
+                origin: str = "trap") -> None:
+        self.rewritten_sites[site] = origin
+        self._emit(ts, K.REWRITE, tid,
+                   {"site": site, "mechanism": mechanism, "origin": origin})
+
+    def sled_enter(self, ts: int, tid: int, sysno: int, mechanism: str) -> None:
+        self._emit(ts, K.SLED_ENTER, tid,
+                   {"sysno": sysno, "mechanism": mechanism})
+
+    def sigreturn_tramp(self, ts: int, tid: int) -> None:
+        self._emit(ts, K.SIGRETURN_TRAMP, tid, {})
+
+    # -------------------------------------------------------------- scheduler
+    def slice_start(self, ts: int, tid: int) -> None:
+        self._emit(ts, K.SLICE_START, tid, {})
+
+    def slice_end(self, ts: int, tid: int, executed: int) -> None:
+        self._emit(ts, K.SLICE_END, tid, {"executed": executed})
+
+    def ctx_switch(self, ts: int, prev_tid: int | None, tid: int) -> None:
+        self._emit(ts, K.CTX_SWITCH, tid, {"prev": prev_tid})
+
+    def signal(self, ts: int, tid: int, sig: int, action: str) -> None:
+        self._emit(ts, K.SIGNAL, tid, {"sig": sig, "action": action})
+
+    # --------------------------------------------------------------- CPU core
+    def cache_invalidate(self, ts: int, tid: int, addr: int) -> None:
+        self.cache_invalidations += 1
+        self._emit(ts, K.CACHE_INVALIDATE, tid, {"addr": addr})
+
+    # ------------------------------------------------------------- summaries
+    def syscall_table(self) -> list[SyscallAggregate]:
+        """Aggregates sorted by total cycles, descending."""
+        return sorted(self.syscalls.values(), key=lambda a: -a.cycles)
+
+    def coverage(self) -> dict[int, dict]:
+        """Per-site rewrite coverage: traps taken and whether it went fast."""
+        sites = set(self.site_traps) | set(self.rewritten_sites)
+        return {
+            site: {
+                "traps": self.site_traps.get(site, 0),
+                "rewritten": site in self.rewritten_sites,
+                "origin": self.rewritten_sites.get(site),
+            }
+            for site in sorted(sites)
+        }

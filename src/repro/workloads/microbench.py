@@ -20,12 +20,8 @@ from repro.arch.encode import Assembler
 from repro.arch.registers import XComponent
 from repro.cpu.costs import CostModel
 from repro.interpose.api import Interposer, passthrough_interposer
-from repro.interpose.lazypoline import Lazypoline, LazypolineConfig
-from repro.interpose.ptrace_tool import PtraceTool
-from repro.interpose.seccomp_bpf_tool import SeccompBpfTool
-from repro.interpose.seccomp_user_tool import SeccompUserTool
-from repro.interpose.sud_tool import SudTool
-from repro.interpose.zpoline import Zpoline
+from repro.interpose.lazypoline import LazypolineConfig
+from repro.interpose.registry import attach
 from repro.kernel.machine import Machine
 from repro.kernel.sud import SELECTOR_ALLOW, SudState
 from repro.kernel.syscalls.table import NR
@@ -107,7 +103,7 @@ def _install(mechanism: str, machine: Machine, process,
         task.sud = SudState(selector_addr=addr, allow_start=0, allow_len=0)
         return None
     if mechanism == "zpoline":
-        return Zpoline.install(machine, process, interposer)
+        return attach(machine, process, "zpoline", interposer=interposer)
     if mechanism.startswith("lazypoline"):
         if mechanism in _XSTATE_PRESETS:
             xstate = _XSTATE_PRESETS[mechanism]
@@ -120,19 +116,17 @@ def _install(mechanism: str, machine: Machine, process,
             enable_sud="nosud" not in mechanism,
             protect_gs_with_pkey="pkey" in mechanism,
         )
-        tool = Lazypoline.install(machine, process, interposer, config)
+        tool = attach(
+            machine, process, "lazypoline", interposer=interposer, config=config
+        )
         # Steady state: rewrite the loop's syscall site up front, so the
         # measurement contains no slow-path executions (§V-B a).
         tool.rewrite_site_now(_loop_syscall_site(machine, process))
         return tool
-    if mechanism == "sud":
-        return SudTool.install(machine, process, interposer)
     if mechanism == "seccomp_bpf":
-        return SeccompBpfTool.install(machine, process)
-    if mechanism == "seccomp_user":
-        return SeccompUserTool.install(machine, process, interposer)
-    if mechanism == "ptrace":
-        return PtraceTool.install(machine, process, interposer)
+        return attach(machine, process, "seccomp_bpf")
+    if mechanism in ("sud", "seccomp_user", "ptrace"):
+        return attach(machine, process, mechanism, interposer=interposer)
     raise ValueError(f"unknown mechanism {mechanism!r}")
 
 

@@ -19,7 +19,7 @@ from tests.conftest import asm, emit_exit, emit_syscall, finish, hello_image
 def test_profiler_counts_and_cycles(Tool, machine):
     proc = machine.load(hello_image())
     profiler = SyscallProfiler()
-    Tool.install(machine, proc, profiler)
+    Tool._install(machine, proc, profiler)
     machine.run_process(proc)
     report = profiler.report
     names = {s.name for s in report.stats.values()}
@@ -40,7 +40,7 @@ def test_profiler_counts_errors(machine):
     a.db(b"/missing\x00")
     proc = machine.load(finish(a))
     profiler = SyscallProfiler()
-    Lazypoline.install(machine, proc, profiler)
+    Lazypoline._install(machine, proc, profiler)
     machine.run_process(proc)
     open_stat = next(
         s for s in profiler.report.stats.values() if s.name == "open"
@@ -52,7 +52,7 @@ def test_profiler_counts_errors(machine):
 def test_profiler_report_formatting(machine):
     proc = machine.load(hello_image())
     profiler = SyscallProfiler()
-    Lazypoline.install(machine, proc, profiler)
+    Lazypoline._install(machine, proc, profiler)
     machine.run_process(proc)
     text = profiler.report.format()
     assert "write" in text
@@ -79,7 +79,7 @@ def test_defer_reexecutes_interposition(machine):
     emit_syscall(a, "getpid")
     emit_exit(a, 0)
     proc = machine.load(finish(a))
-    Lazypoline.install(machine, proc, gate)
+    Lazypoline._install(machine, proc, gate)
     machine.kernel.post_event(10_000, lambda: state.update(release=True))
     code = machine.run_process(proc)
     assert code == 0
@@ -98,7 +98,7 @@ def test_defer_supported_flags(machine):
     for Tool in (Lazypoline, Zpoline):
         m_proc = machine if not seen else machine  # same machine fine
         proc = machine.load(hello_image())
-        Tool.install(machine, proc, probe)
+        Tool._install(machine, proc, probe)
         machine.run_process(proc)
     assert seen == {"lazypoline": True, "zpoline": True}
     del TraceInterposer
@@ -120,7 +120,7 @@ def test_defer_unavailable_raises(machine):
     emit_syscall(a, "getpid")
     emit_exit(a, 0)
     proc = machine.load(finish(a))
-    SudTool.install(machine, proc, try_defer)
+    SudTool._install(machine, proc, try_defer)
     machine.run_process(proc)
     assert failures == ["sud"]
 
@@ -149,7 +149,7 @@ def test_defer_many_tasks_simultaneously(machine):
     image = finish(a)
     procs = [machine.load(image) for _ in range(TOTAL)]
     for proc in procs:
-        Lazypoline.install(machine, proc, barrier)
+        Lazypoline._install(machine, proc, barrier)
     machine.run()
     assert all(p.exit_code == 0 for p in procs)
     assert arrivals["count"] == TOTAL

@@ -214,6 +214,6 @@ def test_text_program_under_lazypoline(machine: Machine):
     image = image_from_assembler("t", asm, entry="_start")
     process = machine.load(image)
     tracer = TraceInterposer()
-    Lazypoline.install(machine, process, tracer)
+    Lazypoline._install(machine, process, tracer)
     machine.run_process(process)
     assert tracer.names == ["getpid", "exit_group"]

@@ -35,7 +35,7 @@ def _run(name: str, tool_name: str | None):
     process = machine.load(build_coreutil(name))
     tracer = TraceInterposer()
     if tool_name is not None:
-        TOOLS[tool_name].install(machine, process, tracer)
+        TOOLS[tool_name]._install(machine, process, tracer)
     machine.run(until=lambda: not process.alive, max_instructions=3_000_000)
     fs_snapshot = sorted(
         (inode.path, bytes(inode.data))

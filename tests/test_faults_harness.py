@@ -98,7 +98,7 @@ def test_scenario_smoke_sweep(fault_seed_count):
     if fault_seed_count >= 32:
         machine = Machine()
         process = machine.load(build_two_signal_guest())
-        tool = Lazypoline.install(machine, process, TraceInterposer())
+        tool = Lazypoline._install(machine, process, TraceInterposer())
         windows = lazypoline_windows(tool)
         all_boundaries = set()
         for name in PROBE_WINDOWS:
@@ -132,7 +132,7 @@ def test_explorer_schedule_digest_is_stable():
     for _ in range(2):
         machine = Machine(policy=ExplorerPolicy(1234))
         process = machine.load(build_two_signal_guest())
-        Lazypoline.install(machine, process, TraceInterposer())
+        Lazypoline._install(machine, process, TraceInterposer())
         machine.run(until=lambda: not process.alive, max_instructions=400_000)
         assert process.exit_code == 0x1
         digests.append(machine.scheduler.policy.trace.digest())
@@ -145,7 +145,7 @@ def test_different_seeds_usually_differ():
     for seed in (0, 1):
         machine = Machine(policy=ExplorerPolicy(seed))
         process = machine.load(build_two_signal_guest())
-        Lazypoline.install(machine, process, TraceInterposer())
+        Lazypoline._install(machine, process, TraceInterposer())
         machine.run(until=lambda: not process.alive, max_instructions=400_000)
         traces.append(machine.scheduler.policy.trace)
     assert traces[0].digest() != traces[1].digest()
@@ -339,7 +339,7 @@ def _trampoline_seed_offsets() -> list[int]:
     """Seed values that map onto the sigreturn-trampoline boundaries."""
     machine = Machine()
     process = machine.load(build_two_signal_guest())
-    tool = Lazypoline.install(machine, process, TraceInterposer())
+    tool = Lazypoline._install(machine, process, TraceInterposer())
     windows = lazypoline_windows(tool)
     offset = 0
     for name in PROBE_WINDOWS:
@@ -419,7 +419,7 @@ def test_regression_failed_opening_mprotect_keeps_slow_path():
     machine = Machine(policy=ExplorerPolicy(0))
     machine.kernel.fault_injector = injector
     process = machine.load(build_two_signal_guest())
-    tool = Lazypoline.install(machine, process, TraceInterposer())
+    tool = Lazypoline._install(machine, process, TraceInterposer())
     machine.run(until=lambda: not process.alive, max_instructions=400_000)
     assert not process.alive
     assert process.term_signal is None

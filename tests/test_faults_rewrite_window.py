@@ -223,7 +223,7 @@ def _run_with_trigger(target: int, seed: int):
     machine = Machine()
     image = build_two_thread_guest()
     process = machine.load(image)
-    tool = Lazypoline.install(machine, process, TraceInterposer())
+    tool = Lazypoline._install(machine, process, TraceInterposer())
     windows = lazypoline_windows(tool)
     watch = WindowWatch(
         [(windows[n].start, windows[n].end) for n in PROBE_WINDOWS]
@@ -252,7 +252,7 @@ def test_signal_at_every_boundary_two_threads():
     """Sweep all probed boundaries; assert full coverage + all invariants."""
     # a throwaway install just to learn the (VA-0, layout-stable) blob map
     probe_machine = Machine()
-    probe = Lazypoline.install(
+    probe = Lazypoline._install(
         probe_machine,
         probe_machine.load(build_two_thread_guest()),
         TraceInterposer(),
@@ -295,7 +295,7 @@ def test_window_watch_sees_stub_execution():
     machine = Machine()
     image = build_two_thread_guest()
     process = machine.load(image)
-    tool = Lazypoline.install(machine, process, TraceInterposer())
+    tool = Lazypoline._install(machine, process, TraceInterposer())
     windows = lazypoline_windows(tool)
     watch = WindowWatch([(windows["stub"].start, windows["stub"].end)])
     machine.kernel.cpu.add_hook(watch)
@@ -321,7 +321,7 @@ def test_rewritten_and_pristine_sites_consistent():
     machine = Machine()
     image = build_two_thread_guest()
     process = machine.load(image)
-    tool = Lazypoline.install(machine, process, TraceInterposer())
+    tool = Lazypoline._install(machine, process, TraceInterposer())
     text = image.text_segments()[0]
     original_sites = {
         text.addr + off

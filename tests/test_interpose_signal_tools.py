@@ -24,7 +24,7 @@ ALL_TOOLS = [SudTool, SeccompUserTool, PtraceTool]
 def test_trace_and_program_correctness(Tool, machine):
     proc = machine.load(hello_image(b"sig\n", exit_code=8))
     tr = TraceInterposer()
-    Tool.install(machine, proc, tr)
+    Tool._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 8
     assert proc.stdout == b"sig\n"
@@ -46,7 +46,7 @@ def test_result_patched_into_context(Tool, machine):
     a.mov_imm("rax", NR["exit_group"])
     a.syscall()
     proc = machine.load(finish(a))
-    Tool.install(machine, proc, fake)
+    Tool._install(machine, proc, fake)
     assert machine.run_process(proc) == 77
 
 
@@ -63,7 +63,7 @@ def test_deny_interposer(Tool, machine):
     a.label("p")
     a.db(b"/deny\x00")
     proc = machine.load(finish(a))
-    Tool.install(machine, proc, DenyListInterposer({NR["mkdir"]: errno.EPERM}))
+    Tool._install(machine, proc, DenyListInterposer({NR["mkdir"]: errno.EPERM}))
     assert machine.run_process(proc) == errno.EPERM
     assert not machine.fs.exists("/deny")
 
@@ -105,7 +105,7 @@ def test_nested_app_sigreturn_emulated(Tool, machine):
     a.db(b"M\n")
     proc = machine.load(finish(a))
     tr = TraceInterposer()
-    tool = Tool.install(machine, proc, tr)
+    tool = Tool._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     assert proc.stdout == b"M\n"
@@ -116,7 +116,7 @@ def test_nested_app_sigreturn_emulated(Tool, machine):
 
 def test_sud_tool_selector_is_block_outside_handler(machine):
     proc = machine.load(hello_image())
-    tool = SudTool.install(machine, proc)
+    tool = SudTool._install(machine, proc)
     machine.run_process(proc)
     assert proc.task.mem.read_u8(tool.selector_addr, check=None) == SELECTOR_BLOCK
 
@@ -138,7 +138,7 @@ def test_sud_tool_rearms_fork_child(machine):
     emit_exit(a, 1)
     proc = machine.load(finish(a))
     tr = TraceInterposer()
-    SudTool.install(machine, proc, tr)
+    SudTool._install(machine, proc, tr)
     assert machine.run_process(proc) == 0
     child = [t for t in machine.kernel.tasks.values() if t.parent is proc.task][0]
     assert child.sud is not None  # re-armed despite the kernel clearing it
@@ -162,7 +162,7 @@ def test_seccomp_user_filters_survive_in_child_automatically(machine):
     emit_exit(a, 1)
     proc = machine.load(finish(a))
     tr = TraceInterposer()
-    SeccompUserTool.install(machine, proc, tr)
+    SeccompUserTool._install(machine, proc, tr)
     assert machine.run_process(proc) == 0
     child = [t for t in machine.kernel.tasks.values() if t.parent is proc.task][0]
     assert child.seccomp_filters  # inherited (Linux semantics)
@@ -183,7 +183,7 @@ def test_ptrace_retval_modification(machine):
     a.mov_imm("rax", NR["exit_group"])
     a.syscall()
     proc = machine.load(finish(a))
-    PtraceTool.install(machine, proc, fake)
+    PtraceTool._install(machine, proc, fake)
     assert machine.run_process(proc) == 123
 
 
@@ -197,7 +197,7 @@ def test_ptrace_memory_access_charged(machine):
 
     proc = machine.load(hello_image(b"pk\n"))
     before_costs = machine.clock
-    PtraceTool.install(machine, proc, peek)
+    PtraceTool._install(machine, proc, peek)
     machine.run_process(proc)
     assert seen and seen[0].startswith(b"pk")
     assert machine.clock > before_costs
@@ -210,7 +210,7 @@ def test_ptrace_is_dramatically_slower(machine):
         m = Machine()
         p = m.load(hello_image())
         if tool:
-            PtraceTool.install(m, p, TraceInterposer())
+            PtraceTool._install(m, p, TraceInterposer())
         m.run_process(p)
         return m.clock
 

@@ -21,7 +21,7 @@ def test_trampoline_layout():
 
 def test_sites_rewritten_to_call_rax(machine):
     proc = machine.load(hello_image())
-    tool = Zpoline.install(machine, proc, TraceInterposer())
+    tool = Zpoline._install(machine, proc, TraceInterposer())
     assert tool.rewritten_sites
     for site in tool.rewritten_sites:
         assert proc.task.mem.read(site, 2, check=None) == CALL_RAX_BYTES
@@ -33,14 +33,14 @@ def test_text_stays_nonwritable_after_rewrite(machine):
     proc = machine.load(hello_image())
     image_base = 0x40_0000
     before = proc.task.mem.perm_at(image_base)
-    Zpoline.install(machine, proc, TraceInterposer())
+    Zpoline._install(machine, proc, TraceInterposer())
     assert proc.task.mem.perm_at(image_base) == before == Perm.RX
 
 
 def test_interposition_and_correct_results(machine):
     tr = TraceInterposer()
     proc = machine.load(hello_image(b"zp!\n", exit_code=9))
-    Zpoline.install(machine, proc, tr)
+    Zpoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 9
     assert proc.stdout == b"zp!\n"
@@ -60,7 +60,7 @@ def test_deny_interposer_blocks_syscall(machine):
     a.db(b"/blocked\x00")
     proc = machine.load(finish(a))
     deny = DenyListInterposer({NR["mkdir"]: errno.EACCES})
-    Zpoline.install(machine, proc, deny)
+    Zpoline._install(machine, proc, deny)
     code = machine.run_process(proc)
     assert code == errno.EACCES
     assert not machine.fs.exists("/blocked")
@@ -76,7 +76,7 @@ def test_argument_rewriting(machine):
         return ctx.do_syscall()
 
     proc = machine.load(hello_image(b"moved\n"))
-    Zpoline.install(machine, proc, redirect)
+    Zpoline._install(machine, proc, redirect)
     machine.run_process(proc)
     assert proc.stdout == b""
     assert proc.stderr == b"moved\n"
@@ -87,7 +87,7 @@ def test_misses_jit_generated_syscall(machine):
     tcc.setup_fs(machine)
     proc = machine.load(tcc.build_tcc_image())
     tr = TraceInterposer()
-    Zpoline.install(machine, proc, tr)
+    Zpoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     assert proc.stdout == b"ok\n"  # program ran fine...
@@ -98,7 +98,7 @@ def test_rewrite_now_catches_new_code(machine):
     """Re-scanning after the fact (what zpoline cannot do online)."""
     tcc.setup_fs(machine)
     proc = machine.load(tcc.build_tcc_image())
-    tool = Zpoline.install(machine, proc, TraceInterposer())
+    tool = Zpoline._install(machine, proc, TraceInterposer())
     before = len(tool.rewritten_sites)
     # run to completion: JIT page now exists
     machine.run_process(proc)
@@ -116,7 +116,7 @@ def test_bytescan_mode_corrupts_immediates(machine):
     a.mov_imm("rdi", 0)
     a.syscall()
     proc = machine.load(finish(a))
-    tool = Zpoline.install(machine, proc, TraceInterposer(), mode="bytescan")
+    tool = Zpoline._install(machine, proc, TraceInterposer(), mode="bytescan")
     # The scanner found (at least) the false positive and the real site.
     assert len(tool.rewritten_sites) >= 2
     blob = proc.task.mem.read(0x40_0000, 32, check=None)
@@ -130,7 +130,7 @@ def test_sweep_mode_does_not_touch_immediates(machine):
     a.mov_imm("rbx", 0x1122_050F_3344_5566)
     emit_exit(a, 4)
     proc = machine.load(finish(a))
-    Zpoline.install(machine, proc, TraceInterposer(), mode="sweep")
+    Zpoline._install(machine, proc, TraceInterposer(), mode="sweep")
     code = machine.run_process(proc)
     assert code == 4
     assert proc.task.regs.read_name("rbx") == 0x1122_050F_3344_5566
@@ -168,7 +168,7 @@ def test_sigreturn_through_zpoline(machine):
     a.db(b"M\n")
     proc = machine.load(finish(a))
     tr = TraceInterposer()
-    Zpoline.install(machine, proc, tr)
+    Zpoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     assert proc.stdout == b"M\n"
@@ -192,7 +192,7 @@ def test_fork_child_inherits_rewrites(machine):
     emit_exit(a, 3)
     proc = machine.load(finish(a))
     tr = TraceInterposer()
-    Zpoline.install(machine, proc, tr)
+    Zpoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     # The child's getpid went through the (inherited) trampoline.

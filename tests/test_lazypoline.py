@@ -23,7 +23,7 @@ from tests.conftest import asm, emit_exit, emit_syscall, finish, hello_image
 def test_basic_interposition(machine):
     tr = TraceInterposer()
     proc = machine.load(hello_image(b"lp\n", exit_code=6))
-    Lazypoline.install(machine, proc, tr)
+    Lazypoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 6
     assert proc.stdout == b"lp\n"
@@ -41,7 +41,7 @@ def test_lazy_rewriting_happens_on_first_use(machine):
     emit_exit(a, 0)
     img = finish(a)
     proc = machine.load(img)
-    tool = Lazypoline.install(machine, proc, TraceInterposer())
+    tool = Lazypoline._install(machine, proc, TraceInterposer())
     # nothing rewritten up front: lazypoline does not scan
     assert not tool.rewritten
     machine.run_process(proc)
@@ -58,7 +58,7 @@ def test_lazy_rewriting_happens_on_first_use(machine):
 
 def test_selector_is_block_during_app_code(machine):
     proc = machine.load(hello_image())
-    tool = Lazypoline.install(machine, proc, TraceInterposer())
+    tool = Lazypoline._install(machine, proc, TraceInterposer())
     task = proc.task
     assert gsrel.read_selector(task.mem, task.regs.gs_base) == SELECTOR_BLOCK
     machine.run_process(proc)
@@ -68,7 +68,7 @@ def test_selector_is_block_during_app_code(machine):
 def test_no_allowlisted_range(machine):
     """Selector-only SUD: the armed dispatch range excludes nothing."""
     proc = machine.load(hello_image())
-    Lazypoline.install(machine, proc)
+    Lazypoline._install(machine, proc)
     assert proc.task.sud is not None
     assert proc.task.sud.allow_len == 0
 
@@ -83,7 +83,7 @@ def test_deep_argument_inspection(machine):
         return ctx.do_syscall()
 
     proc = machine.load(hello_image(b"secret\n"))
-    Lazypoline.install(machine, proc, peek)
+    Lazypoline._install(machine, proc, peek)
     machine.run_process(proc)
     assert seen == [b"secret\n"]
 
@@ -100,7 +100,7 @@ def test_denylist_sandbox(machine):
     a.label("p")
     a.db(b"/forbidden\x00")
     proc = machine.load(finish(a))
-    Lazypoline.install(machine, proc, DenyListInterposer({NR["mkdir"]: errno.EPERM}))
+    Lazypoline._install(machine, proc, DenyListInterposer({NR["mkdir"]: errno.EPERM}))
     code = machine.run_process(proc)
     assert code == errno.EPERM
     assert not machine.fs.exists("/forbidden")
@@ -127,7 +127,7 @@ def test_xstate_preserved_across_interposed_syscall(machine):
     a.label("bad")
     emit_exit(a, 1)
     proc = machine.load(finish(a))
-    Lazypoline.install(machine, proc, clobber)
+    Lazypoline._install(machine, proc, clobber)
     assert machine.run_process(proc) == 0
 
 
@@ -149,7 +149,7 @@ def test_xstate_not_preserved_when_disabled(machine):
     emit_exit(a, 0)
     proc = machine.load(finish(a))
     config = LazypolineConfig(preserve_xstate=XComponent.none())
-    Lazypoline.install(machine, proc, clobber, config)
+    Lazypoline._install(machine, proc, clobber, config)
     assert machine.run_process(proc) == 0  # clobber leaked: xstate off
 
 
@@ -168,7 +168,7 @@ def test_gprs_always_preserved(machine):
     a.label("bad")
     emit_exit(a, 1)
     proc = machine.load(finish(a))
-    Lazypoline.install(machine, proc)
+    Lazypoline._install(machine, proc)
     assert machine.run_process(proc) == 0
 
 
@@ -207,7 +207,7 @@ def _signal_program():
 def test_signal_wrapping_end_to_end(machine):
     proc = machine.load(_signal_program())
     tr = TraceInterposer()
-    tool = Lazypoline.install(machine, proc, tr)
+    tool = Lazypoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     assert proc.stdout == b"hand\nmain\n"
@@ -222,7 +222,7 @@ def test_signal_wrapping_end_to_end(machine):
 
 def test_sigreturn_stack_balanced_after_signal(machine):
     proc = machine.load(_signal_program())
-    Lazypoline.install(machine, proc)
+    Lazypoline._install(machine, proc)
     machine.run_process(proc)
     task = proc.task
     gs = task.regs.gs_base
@@ -232,7 +232,7 @@ def test_sigreturn_stack_balanced_after_signal(machine):
 
 def test_xstate_stack_balanced_after_run(machine):
     proc = machine.load(_signal_program())
-    Lazypoline.install(machine, proc)
+    Lazypoline._install(machine, proc)
     machine.run_process(proc)
     task = proc.task
     # Exactly one entry remains: the in-flight exit_group invocation never
@@ -276,7 +276,7 @@ def test_sigaction_oldact_virtualised(machine):
     a.dq(0)
     a.dq(0)
     proc = machine.load(finish(a))
-    Lazypoline.install(machine, proc)
+    Lazypoline._install(machine, proc)
     assert machine.run_process(proc) == 0
 
 
@@ -298,7 +298,7 @@ def test_fork_child_rearms_sud(machine):
     emit_exit(a, 2)
     proc = machine.load(finish(a))
     tr = TraceInterposer()
-    tool = Lazypoline.install(machine, proc, tr)
+    tool = Lazypoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     child = [t for t in machine.kernel.tasks.values() if t.parent is proc.task][0]
@@ -340,7 +340,7 @@ def test_thread_gets_private_gs_region(machine):
     a.syscall()
     proc = machine.load(finish(a))
     tr = TraceInterposer()
-    Lazypoline.install(machine, proc, tr)
+    Lazypoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     threads = proc.threads()
@@ -368,7 +368,7 @@ def test_execve_reinstall(machine):
     proc = machine.load(finish(a))
     tr = TraceInterposer()
     config = LazypolineConfig(reinstall_on_exec=True)
-    Lazypoline.install(machine, proc, tr, config)
+    Lazypoline._install(machine, proc, tr, config)
     code = machine.run_process(proc)
     assert code == 44
     # the post-exec getpid was interposed by the re-installed lazypoline
@@ -391,7 +391,7 @@ def test_execve_without_reinstall_stops_interposing(machine):
     a.db(b"/bin/next\x00")
     proc = machine.load(finish(a))
     tr = TraceInterposer()
-    Lazypoline.install(machine, proc, tr)
+    Lazypoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 44
     assert "getpid" not in tr.names
@@ -403,9 +403,9 @@ def test_jit_exhaustiveness_vs_sud_and_zpoline(machine):
     the JIT-ed getpid; zpoline's misses it."""
     traces = {}
     for name, installer in [
-        ("sud", SudTool.install),
-        ("zpoline", Zpoline.install),
-        ("lazypoline", Lazypoline.install),
+        ("sud", SudTool._install),
+        ("zpoline", Zpoline._install),
+        ("lazypoline", Lazypoline._install),
     ]:
         m = Machine()
         tcc.setup_fs(m)
@@ -431,7 +431,7 @@ def test_rewrite_disabled_degrades_to_sud_mode(machine):
     emit_exit(a, 0)
     proc = machine.load(finish(a))
     tr = TraceInterposer()
-    tool = Lazypoline.install(
+    tool = Lazypoline._install(
         machine, proc, tr, LazypolineConfig(rewrite=False)
     )
     machine.run_process(proc)
@@ -449,7 +449,7 @@ def test_manual_rewrite_site_now(machine):
     emit_exit(a, 0)
     img = finish(a)
     proc = machine.load(img)
-    tool = Lazypoline.install(machine, proc, TraceInterposer())
+    tool = Lazypoline._install(machine, proc, TraceInterposer())
     with pytest.raises(ValueError):
         tool.rewrite_site_now(img.symbols["_start"])  # not a syscall insn
     tool.rewrite_site_now(img.symbols["site"])
@@ -473,5 +473,5 @@ def test_interposer_return_value_reaches_app(machine):
     a.mov_imm("rax", NR["exit_group"])
     a.syscall()
     proc = machine.load(finish(a))
-    Lazypoline.install(machine, proc, fake_pid)
+    Lazypoline._install(machine, proc, fake_pid)
     assert machine.run_process(proc) == 4242 & 0xFF

@@ -32,7 +32,7 @@ def test_rewrite_of_page_straddling_syscall(machine):
 
     proc = machine.load(image)
     tr = TraceInterposer()
-    tool = Lazypoline.install(machine, proc, tr)
+    tool = Lazypoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     assert "getpid" in tr.names
@@ -67,7 +67,7 @@ def test_rewrite_preserves_rwx_on_jit_pages(machine):
     emit_exit(a, 0)
     proc = machine.load(finish(a))
     tr = TraceInterposer()
-    Lazypoline.install(machine, proc, tr)
+    Lazypoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     assert tr.count("getpid") == 2
@@ -95,7 +95,7 @@ def test_interposer_syscalls_not_recursively_interposed(machine):
     a.jnz("loop")
     emit_exit(a, 0)
     proc = machine.load(finish(a))
-    Lazypoline.install(machine, proc, tracking)
+    Lazypoline._install(machine, proc, tracking)
     machine.run_process(proc)
     assert depth["max"] == 1
 
@@ -113,8 +113,8 @@ def test_two_processes_one_lazypoline_each(machine):
 
     p1 = machine.load(prog("a", 1))
     p2 = machine.load(prog("b", 2))
-    Lazypoline.install(machine, p1, tr1)
-    Lazypoline.install(machine, p2, tr2)
+    Lazypoline._install(machine, p1, tr1)
+    Lazypoline._install(machine, p2, tr2)
     machine.run()
     assert p1.exit_code == 1 and p2.exit_code == 2
     assert tr1.names == ["getpid", "exit_group"]
@@ -131,7 +131,7 @@ def test_sysenter_also_rewritten(machine):
     img = finish(a)
     proc = machine.load(img)
     tr = TraceInterposer()
-    tool = Lazypoline.install(machine, proc, tr)
+    tool = Lazypoline._install(machine, proc, tr)
     machine.run_process(proc)
     assert "getpid" in tr.names
     assert img.symbols["site"] in tool.rewritten
@@ -172,7 +172,7 @@ def test_syscall_from_signal_handler_rewritten_lazily(machine):
     img = finish(a)
     proc = machine.load(img)
     tr = TraceInterposer()
-    tool = Lazypoline.install(machine, proc, tr)
+    tool = Lazypoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     assert tr.count("gettid") == 2  # both deliveries interposed

@@ -146,7 +146,7 @@ def _attack_program():
 def test_selector_overwrite_bypasses_unprotected_lazypoline(machine):
     proc = machine.load(_attack_program())
     tr = TraceInterposer()
-    Lazypoline.install(machine, proc, tr)
+    Lazypoline._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     # The attack worked: getpid ran natively, invisible to the interposer.
@@ -156,7 +156,7 @@ def test_selector_overwrite_bypasses_unprotected_lazypoline(machine):
 def test_pkey_mode_stops_selector_overwrite(machine):
     proc = machine.load(_attack_program())
     tr = TraceInterposer()
-    Lazypoline.install(
+    Lazypoline._install(
         machine, proc, tr, LazypolineConfig(protect_gs_with_pkey=True)
     )
     machine.run(until=lambda: not proc.alive)
@@ -169,7 +169,7 @@ def test_pkey_mode_stops_selector_overwrite(machine):
 def test_pkey_mode_preserves_normal_operation(machine):
     proc = machine.load(hello_image(b"sec\n", exit_code=4))
     tr = TraceInterposer()
-    tool = Lazypoline.install(
+    tool = Lazypoline._install(
         machine, proc, tr, LazypolineConfig(protect_gs_with_pkey=True)
     )
     code = machine.run_process(proc)
@@ -210,7 +210,7 @@ def test_pkey_mode_signals_still_work(machine):
     a.db(b"H\n")
     proc = machine.load(finish(a))
     tr = TraceInterposer()
-    Lazypoline.install(
+    Lazypoline._install(
         machine, proc, tr, LazypolineConfig(protect_gs_with_pkey=True)
     )
     code = machine.run_process(proc)
@@ -249,7 +249,7 @@ def test_pkey_domain_closed_again_after_signal_roundtrip(machine):
     a.dq(0)
     a.dq(0)
     proc = machine.load(finish(a))
-    Lazypoline.install(
+    Lazypoline._install(
         machine, proc, TraceInterposer(),
         LazypolineConfig(protect_gs_with_pkey=True),
     )
@@ -274,7 +274,7 @@ def test_pkey_mode_xstate_still_preserved(machine):
     a.label("bad")
     emit_exit(a, 1)
     proc = machine.load(finish(a))
-    Lazypoline.install(
+    Lazypoline._install(
         machine, proc, clobber, LazypolineConfig(protect_gs_with_pkey=True)
     )
     assert machine.run_process(proc) == 0

@@ -1,0 +1,109 @@
+"""Differential check: the obs event stream is complete and exact.
+
+Runs one guest under lazypoline with both views on: the trace-oracle
+interposer (:class:`repro.faults.oracle.TidTracer`, the tool-level ground
+truth) and the machine-wide obs tracer.  Every syscall the oracle saw must
+appear exactly once as an obs ``syscall`` event — after filtering the
+tool-internal dispatches (``mprotect`` for rewriting, ``rt_sigreturn`` for
+the slow path's frame teardown) that the kernel-level view legitimately
+sees and the tool-level view does not.  Rewrite events must cover exactly
+the executed syscall sites.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.oracle import TidTracer
+from repro.interpose import attach
+from repro.kernel.machine import Machine
+from repro.obs import Tracer
+from repro.obs import events as K
+
+from tests.conftest import asm, emit_exit, emit_syscall, finish
+
+pytestmark = pytest.mark.obs
+
+#: Dispatches lazypoline issues for itself, invisible at tool level.
+TOOL_INTERNAL = {"mprotect", "rt_sigreturn"}
+
+
+def build_guest():
+    """Five syscalls from four sites: loop (3x getpid), write, open, exit."""
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rbx", 3)
+    a.label("loop")
+    emit_syscall(a, "getpid")
+    a.dec("rbx")
+    a.jnz("loop")
+    emit_syscall(a, "write", 1, "msg", 3)
+    emit_syscall(a, "open", "missing", 0, 0)  # ENOENT: errors count too
+    emit_exit(a, 0)
+    a.label("msg")
+    a.db(b"hi\n")
+    a.label("missing")
+    a.db(b"/nope\x00")
+    return finish(a, "diff")
+
+
+@pytest.fixture
+def run():
+    obs = Tracer()
+    oracle = TidTracer()
+    machine = Machine(tracer=obs)
+    process = machine.load(build_guest())
+    tool = attach(machine, process, "lazypoline", interposer=oracle)
+    machine.run_process(process)
+    return obs, oracle, tool, machine
+
+
+def test_every_oracle_syscall_appears_exactly_once(run):
+    obs, oracle, tool, machine = run
+    observed = [
+        (e.tid, e.data["name"])
+        for e in obs.events
+        if e.kind == K.SYSCALL and e.data["name"] not in TOOL_INTERNAL
+    ]
+    assert observed == oracle.events
+    # And the guest's actual syscalls are what we expect, in order.
+    assert [name for _, name in observed] == (
+        ["getpid"] * 3 + ["write", "open", "exit_group"]
+    )
+
+
+def test_interposition_events_mirror_oracle(run):
+    obs, oracle, tool, machine = run
+    interposed = [
+        (e.tid, e.data["name"])
+        for e in obs.events
+        if e.kind == K.INTERPOSITION
+    ]
+    # TidTracer doesn't emit interposition events itself; the sled-entry
+    # count is the comparable machine-side signal.
+    assert obs.counts[K.SLED_ENTER] == len(oracle.events)
+    assert interposed == []  # oracle interposer, not TraceInterposer
+
+
+def test_rewrite_events_match_executed_sites(run):
+    obs, oracle, tool, machine = run
+    rewrite_sites = {
+        e.data["site"] for e in obs.events if e.kind == K.REWRITE
+    }
+    assert rewrite_sites == tool.rewritten
+    assert set(obs.rewritten_sites) == tool.rewritten
+    # One rewrite event per site: each site traps exactly once (§IV-A).
+    assert obs.counts[K.REWRITE] == len(rewrite_sites)
+    # Four distinct syscall sites in the guest.
+    assert len(rewrite_sites) == 4
+
+
+def test_error_returns_carry_errno(run):
+    obs, oracle, tool, machine = run
+    open_events = [
+        e for e in obs.events
+        if e.kind == K.SYSCALL and e.data["name"] == "open"
+    ]
+    assert len(open_events) == 1
+    assert open_events[0].data["ret"] < 0
+    assert open_events[0].data["errno"] > 0

@@ -1,0 +1,130 @@
+"""Tracer overhead when disabled: tier-1 perf must be untouched.
+
+Two guarantees:
+
+* **simulated** — cycle accounting is bit-identical with tracing on or off
+  (covered per-workload here and in test_obs_tracer.py),
+* **wall-clock** — with ``tracer=None`` the cached-interpreter guest MIPS
+  stays within a (generous) band of the committed ``BENCH_interp.json``
+  baseline, reusing ``benchmarks/check_regression.py``'s comparison
+  machinery.  The band is wide (50%) because pytest runs on shared, noisy
+  hardware; ``make perf`` enforces the tight 15% band on dedicated runs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.kernel.machine import Machine
+from repro.obs import Tracer
+
+from tests.conftest import hello_image
+
+pytestmark = pytest.mark.obs
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "BENCH_interp.json"
+
+#: Generous tolerance: this is a smoke guard, not the perf gate.
+TOLERANCE = 0.50
+
+
+def _load_check_regression():
+    path = ROOT / "benchmarks" / "check_regression.py"
+    spec = importlib.util.spec_from_file_location("check_regression", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _compute_loop_image(iters: int):
+    from repro.arch.encode import Assembler
+    from repro.kernel.syscalls.table import NR
+    from repro.loader.image import image_from_assembler
+    from repro.mem import layout
+
+    a = Assembler(base=layout.CODE_BASE)
+    a.label("_start")
+    a.mov_imm("rbx", iters)
+    a.mov_imm("rax", 0)
+    a.label("loop")
+    a.addi("rax", 3)
+    a.xori("rax", 0x55)
+    a.inc("rcx")
+    a.dec("rbx")
+    a.jnz("loop")
+    a.mov_imm("rax", NR["exit_group"])
+    a.mov_imm("rdi", 0)
+    a.syscall()
+    return image_from_assembler("microbench-steady", a, entry="_start")
+
+
+def _measure_mips(tracer, iters: int = 100_000, repeats: int = 3) -> float:
+    best = 0.0
+    for _ in range(repeats):
+        machine = Machine(tracer=tracer)
+        proc = machine.load(_compute_loop_image(iters))
+        t0 = time.perf_counter()
+        machine.run_process(proc, max_instructions=20_000_000)
+        seconds = time.perf_counter() - t0
+        mips = machine.scheduler.total_instructions / seconds / 1e6
+        best = max(best, mips)
+    return best
+
+
+def test_disabled_tracer_keeps_baseline_mips():
+    if not BASELINE.exists():
+        pytest.skip("no BENCH_interp.json baseline committed")
+    baseline = json.loads(BASELINE.read_text())
+    if "microbench" not in baseline.get("workloads", {}):
+        pytest.skip("baseline lacks the microbench workload")
+
+    mips = _measure_mips(tracer=None)
+    current = {"workloads": {"microbench": {"mips": mips}}}
+    reference = {
+        "workloads": {"microbench": baseline["workloads"]["microbench"]}
+    }
+    check = _load_check_regression()
+    failures = check.compare(reference, current, TOLERANCE)
+    assert not failures, f"tracer=None regressed guest MIPS: {failures}"
+
+
+def test_disabled_tracer_identical_simulated_cycles_compute_loop():
+    def clock_of(tracer):
+        machine = Machine(tracer=tracer)
+        proc = machine.load(_compute_loop_image(2_000))
+        machine.run_process(proc)
+        return machine.clock
+
+    assert clock_of(None) == clock_of(Tracer())
+
+
+def test_machine_without_tracer_has_no_tracer_attribute_cost():
+    # The emit-site contract: every instrumented layer holds a ``tracer``
+    # attribute that is None by default, so the guards are attribute loads,
+    # never hasattr probes.
+    machine = Machine()
+    assert machine.tracer is None
+    assert machine.kernel.tracer is None
+    assert machine.kernel.cpu.tracer is None
+    process = machine.load(hello_image())
+    assert machine.run_process(process) == 0
+
+
+def test_attach_tracer_mid_flight_and_detach():
+    machine = Machine()
+    tracer = Tracer()
+    machine.attach_tracer(tracer)
+    assert machine.kernel.tracer is tracer
+    assert tracer.machine is machine
+    process = machine.load(hello_image())
+    machine.run_process(process)
+    assert tracer.events
+    machine.attach_tracer(None)
+    assert machine.kernel.tracer is None
+    assert machine.kernel.cpu.tracer is None

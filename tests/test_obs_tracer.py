@@ -1,0 +1,188 @@
+"""The observability layer: event stream, aggregates, exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.interpose import attach
+from repro.kernel.machine import Machine
+from repro.obs import events as K
+from repro.obs import (
+    Tracer,
+    convergence_curve,
+    export_chrome,
+    export_jsonl,
+    path_ratio,
+    render_strace,
+)
+
+from tests.conftest import asm, emit_exit, emit_syscall, finish, hello_image
+
+pytestmark = pytest.mark.obs
+
+
+def _traced_run(tool: str = "lazypoline", image=None):
+    tracer = Tracer()
+    machine = Machine(tracer=tracer)
+    process = machine.load(image if image is not None else hello_image())
+    attach(machine, process, tool)
+    machine.run_process(process)
+    return machine, tracer
+
+
+# ------------------------------------------------------------------ the stream
+def test_event_kinds_present_under_lazypoline():
+    machine, tracer = _traced_run("lazypoline")
+    kinds = set(tracer.counts)
+    assert {
+        K.SYSCALL, K.SIGSYS_TRAP, K.REWRITE, K.SLED_ENTER,
+        K.SLICE_START, K.SLICE_END, K.CTX_SWITCH,
+    } <= kinds
+    # Every event kind recorded is a known kind.
+    assert kinds <= set(K.ALL_KINDS)
+
+
+def test_timestamps_monotonic_and_seq_dense():
+    machine, tracer = _traced_run("lazypoline")
+    assert len(tracer.events) > 10
+    last_ts = -1
+    for i, event in enumerate(tracer.events):
+        assert event.seq == i
+        assert event.ts >= last_ts
+        last_ts = event.ts
+
+
+def test_syscall_aggregates_and_histogram():
+    machine, tracer = _traced_run("lazypoline")
+    table = tracer.syscall_table()
+    names = {agg.name for agg in table}
+    assert {"write", "exit_group"} <= names
+    write = next(agg for agg in table if agg.name == "write")
+    assert write.calls == 1
+    assert write.cycles > 0
+    assert write.histogram.n == write.calls
+    assert write.histogram.total == write.cycles
+    assert write.cycles_per_call == write.cycles
+
+
+def test_path_ratio_and_coverage():
+    machine, tracer = _traced_run("lazypoline")
+    slow, fast, fraction = path_ratio(tracer)
+    # hello_image: two syscall sites, each traps exactly once then goes fast.
+    assert slow == tracer.slowpath_total > 0
+    assert 0.0 < fraction <= 1.0
+    coverage = tracer.coverage()
+    for site, row in coverage.items():
+        assert row["traps"] >= 1
+        assert row["rewritten"] is True
+        assert row["origin"] == "trap"
+
+
+def test_convergence_curve_collapses():
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rbx", 40)
+    a.label("loop")
+    emit_syscall(a, "getpid")
+    a.dec("rbx")
+    a.jnz("loop")
+    emit_exit(a, 0)
+    machine, tracer = _traced_run("lazypoline", finish(a, "loopy"))
+    points = convergence_curve(tracer.events, bucket=8)
+    assert len(points) >= 2
+    # First bucket contains the getpid site's (single) slow-path trap; the
+    # loop's steady state is pure fast path.  (The final partial bucket is
+    # exit_group's own first-and-only trap, so it reads 1.0 — each *site*
+    # traps exactly once.)
+    assert points[0][1] > 0
+    assert points[1][1] == 0.0
+
+
+def test_max_events_drops_but_keeps_counting():
+    tracer = Tracer(max_events=5)
+    machine = Machine(tracer=tracer)
+    process = machine.load(hello_image())
+    attach(machine, process, "lazypoline")
+    machine.run_process(process)
+    assert len(tracer.events) == 5
+    assert tracer.dropped > 0
+    assert sum(tracer.counts.values()) == 5 + tracer.dropped
+
+
+# ------------------------------------------------------------------- exporters
+def test_jsonl_export_is_valid_and_complete():
+    machine, tracer = _traced_run("lazypoline")
+    text = export_jsonl(tracer)
+    assert text.endswith("\n")
+    objs = [json.loads(line) for line in text.splitlines()]
+    assert len(objs) == len(tracer.events)
+    kinds = {o["kind"] for o in objs}
+    assert {"syscall", "rewrite", "ctx_switch"} <= kinds
+    ts = [o["ts"] for o in objs]
+    assert ts == sorted(ts)
+    sys_lines = [o for o in objs if o["kind"] == "syscall"]
+    assert all(
+        {"name", "sysno", "args", "ret", "cycles"} <= set(o) for o in sys_lines
+    )
+
+
+def test_chrome_export_shape():
+    machine, tracer = _traced_run("lazypoline")
+    doc = export_chrome(tracer)
+    events = doc["traceEvents"]
+    assert json.loads(json.dumps(doc)) == doc  # round-trips as JSON
+    phases = {e["ph"] for e in events}
+    assert {"M", "X", "B", "E", "i"} <= phases
+    for e in events:
+        if e["ph"] == "X":
+            assert e["dur"] > 0
+            assert e["ts"] >= 0
+    # Balanced scheduler slices.
+    assert sum(e["ph"] == "B" for e in events) == sum(
+        e["ph"] == "E" for e in events
+    )
+
+
+def test_strace_render():
+    machine, tracer = _traced_run("lazypoline")
+    text = render_strace(tracer)
+    assert "write(" in text
+    assert "exit_group(" in text
+    assert "SIGSYS slow path" in text
+    assert "rewrote site" in text
+    assert "slice" not in text
+    with_sched = render_strace(tracer, show_scheduler=True)
+    assert ">>> slice" in with_sched
+
+
+# ------------------------------------------------------- determinism guarantee
+def test_simulated_clock_identical_with_and_without_tracer():
+    def run(tracer):
+        machine = Machine(tracer=tracer)
+        process = machine.load(hello_image())
+        attach(machine, process, "lazypoline")
+        machine.run_process(process)
+        return machine.clock, process.stdout
+
+    clock_off, out_off = run(None)
+    clock_on, out_on = run(Tracer())
+    assert clock_on == clock_off
+    assert out_on == out_off
+
+
+def test_cache_invalidation_events_on_rewrite():
+    # Lazypoline's in-place rewrite bumps the exec generation; re-executing
+    # the patched page must surface as cache_invalidate events.
+    a = asm()
+    a.label("_start")
+    a.mov_imm("rbx", 3)
+    a.label("loop")
+    emit_syscall(a, "getpid")
+    a.dec("rbx")
+    a.jnz("loop")
+    emit_exit(a, 0)
+    machine, tracer = _traced_run("lazypoline", finish(a, "inval"))
+    assert tracer.cache_invalidations > 0
+    assert tracer.counts.get(K.CACHE_INVALIDATE, 0) == tracer.cache_invalidations

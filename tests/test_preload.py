@@ -36,7 +36,7 @@ def _wrapper_program(*, with_raw_syscall: bool):
 def test_wrapper_calls_interposed(machine):
     proc = machine.load(_wrapper_program(with_raw_syscall=False))
     tr = TraceInterposer()
-    tool = PreloadTool.install(machine, proc, tr)
+    tool = PreloadTool._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     assert proc.stdout == b"hello\n"
@@ -58,7 +58,7 @@ def test_return_value_flows_through(machine):
     emit_call(a, "exit_group")
     emit_wrappers(a)
     proc = machine.load(finish(a, name="w2"))
-    PreloadTool.install(machine, proc, fake)
+    PreloadTool._install(machine, proc, fake)
     assert machine.run_process(proc) == 99
 
 
@@ -66,7 +66,7 @@ def test_raw_syscall_escapes_function_interposition(machine):
     """§VII: syscall instructions outside wrapper functions are invisible."""
     proc = machine.load(_wrapper_program(with_raw_syscall=True))
     tr = TraceInterposer()
-    PreloadTool.install(machine, proc, tr)
+    PreloadTool._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 0
     assert "gettid" not in tr.names  # escaped
@@ -76,14 +76,14 @@ def test_raw_syscall_escapes_function_interposition(machine):
 def test_lazypoline_catches_what_preload_misses(machine):
     proc = machine.load(_wrapper_program(with_raw_syscall=True))
     tr = TraceInterposer()
-    Lazypoline.install(machine, proc, tr)
+    Lazypoline._install(machine, proc, tr)
     machine.run_process(proc)
     assert "gettid" in tr.names  # syscall-level interposition is exhaustive
 
 
 def test_unknown_wrappers_not_patched(machine):
     proc = machine.load(_wrapper_program(with_raw_syscall=False))
-    tool = PreloadTool.install(machine, proc, wrappers=["write"])
+    tool = PreloadTool._install(machine, proc, wrappers=["write"])
     tr = tool.interposer  # passthrough; just check the patch set
     assert set(tool.patched) == {"write"}
     del tr
@@ -97,7 +97,7 @@ def test_preload_is_cheap(machine):
         m = Machine()
         p = m.load(_wrapper_program(with_raw_syscall=False))
         if tool:
-            PreloadTool.install(m, p, TraceInterposer())
+            PreloadTool._install(m, p, TraceInterposer())
         m.run_process(p)
         return m.clock
 

@@ -36,7 +36,7 @@ def _record(image):
     machine = Machine()
     proc = machine.load(image)
     recorder = Recorder()
-    Lazypoline.install(machine, proc, recorder)
+    Lazypoline._install(machine, proc, recorder)
     machine.run_process(proc)
     return recorder.recording, proc.stdout
 
@@ -45,7 +45,7 @@ def _replay(image, recording):
     machine = Machine()
     proc = machine.load(image)
     replayer = Replayer(recording)
-    Lazypoline.install(machine, proc, replayer)
+    Lazypoline._install(machine, proc, replayer)
     machine.run_process(proc)
     return replayer, proc.stdout
 
@@ -61,7 +61,7 @@ def test_replay_reproduces_nondeterministic_input():
     machine = Machine()
     proc = machine.load(image)
     replayer = Replayer(recording)
-    Lazypoline.install(machine, proc, replayer)
+    Lazypoline._install(machine, proc, replayer)
     machine.run_process(proc)
     buf = proc.task.regs.read_name("r12")
     assert proc.task.mem.read(buf, 8, check=None) == original
@@ -82,7 +82,7 @@ def test_replay_does_not_touch_the_world():
     recording, _ = _record(image)
     machine = Machine()
     proc = machine.load(image)
-    Lazypoline.install(machine, proc, Replayer(recording))
+    Lazypoline._install(machine, proc, Replayer(recording))
     machine.run_process(proc)
     assert not machine.fs.exists("/made")  # replay skipped the real mkdir
 
@@ -98,7 +98,7 @@ def test_replay_detects_divergent_program():
     other = finish(a, name="other")
     machine = Machine()
     proc = machine.load(other)
-    Lazypoline.install(machine, proc, Replayer(recording))
+    Lazypoline._install(machine, proc, Replayer(recording))
     with pytest.raises(ReplayDivergence):
         machine.run_process(proc)
 
@@ -120,7 +120,7 @@ def test_replay_exhausted_recording():
     recording, _ = _record(short_image)
     machine = Machine()
     proc = machine.load(long_image)
-    Lazypoline.install(machine, proc, Replayer(recording))
+    Lazypoline._install(machine, proc, Replayer(recording))
     with pytest.raises(ReplayDivergence):
         machine.run_process(proc)
 

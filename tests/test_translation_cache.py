@@ -274,7 +274,7 @@ def test_lazypoline_rewrite_reexecutes_through_cache():
         a.jnz("loop")
         emit_exit(a, 0)
         proc = machine.load(finish(a))
-        tool = Lazypoline.install(machine, proc, TraceInterposer())
+        tool = Lazypoline._install(machine, proc, TraceInterposer())
         code = machine.run_process(proc)
         sites = sorted(tool.rewritten)
         for site in sites:

@@ -13,7 +13,7 @@ from tests.conftest import asm, emit_exit, emit_syscall, finish, hello_image
 def test_notify_all_traces_everything(machine):
     proc = machine.load(hello_image(b"un\n", exit_code=3))
     tr = TraceInterposer()
-    tool = UserNotifTool.install(machine, proc, tr)
+    tool = UserNotifTool._install(machine, proc, tr)
     code = machine.run_process(proc)
     assert code == 3
     assert proc.stdout == b"un\n"
@@ -38,7 +38,7 @@ def test_supervisor_denies_syscall(machine):
     a.label("p")
     a.db(b"/nope\x00")
     proc = machine.load(finish(a))
-    UserNotifTool.install(machine, proc, deny_mkdir)
+    UserNotifTool._install(machine, proc, deny_mkdir)
     assert machine.run_process(proc) == errno.EPERM
     assert not machine.fs.exists("/nope")
 
@@ -52,7 +52,7 @@ def test_supervisor_continue_lets_kernel_execute(machine):
         return None  # continue: the kernel executes it natively
 
     proc = machine.load(hello_image(b"ok\n"))
-    UserNotifTool.install(machine, proc, observe)
+    UserNotifTool._install(machine, proc, observe)
     code = machine.run_process(proc)
     assert code == 0
     assert proc.stdout == b"ok\n"
@@ -69,7 +69,7 @@ def test_selective_notification(machine):
     a.label("p")
     a.db(b"/sel\x00")
     proc = machine.load(finish(a))
-    tool = UserNotifTool.install_for_syscalls(machine, proc, [NR["mkdir"]], tr)
+    tool = UserNotifTool._install_for_syscalls(machine, proc, [NR["mkdir"]], tr)
     machine.run_process(proc)
     # Only mkdir notified; getpid and exit ran natively.
     assert tr.names == ["mkdir"]
@@ -84,7 +84,7 @@ def test_user_notif_is_slower_than_native(machine):
         m = Machine()
         p = m.load(hello_image())
         if with_tool:
-            UserNotifTool.install(m, p)
+            UserNotifTool._install(m, p)
         m.run_process(p)
         return m.clock
 

@@ -53,7 +53,7 @@ def test_workers_interposed_after_fork(Tool):
     machine = Machine()
     workload = ServerWorkload(machine, NGINX, file_size=1024, workers=2)
     tracer = TraceInterposer()
-    Tool.install(machine, workload.process, tracer)
+    Tool._install(machine, workload.process, tracer)
     client = _drive(machine, workload, requests=30)
     assert client.stats.completed >= 30
     assert client.stats.errors == 0
