@@ -151,6 +151,18 @@ class CostModel:
     #: Cost of one ptrace() request made by the tracer (PTRACE_GETREGS, ...).
     ptrace_request: int = 400
 
+    # ---- SMP ----------------------------------------------------------------
+    #: One PAUSE-loop iteration while spinning on a contended spinlock
+    #: (the §IV-A(b) rewrite lock under SMP).
+    smp_spin_retry: int = 40
+    #: IPI + remote decoded-insn flush when a code patch on one core
+    #: invalidates a page another core has cached (charged to the writer,
+    #: once per victim core).
+    smp_shootdown_ipi: int = 800
+    #: Migrating a task to an idle core (runqueue locking + the cold-cache
+    #: penalty of the first slice on the new core), charged to the thief.
+    smp_steal_cost: int = 2000
+
     # ---- memory management -------------------------------------------------
     #: mmap/mprotect/munmap fixed kernel cost per call.
     page_op: int = 600

@@ -98,6 +98,8 @@ def run_guest(
     max_instructions: int = 3_000_000,
     setup=None,
     configure=None,
+    cores: int = 1,
+    smp_seed: int = 0,
 ) -> GuestReport:
     """Run ``image`` under ``tool`` with optional schedule/fault harnessing.
 
@@ -106,9 +108,11 @@ def run_guest(
     against the bare machine (seed the fs, register execve binaries);
     ``configure(machine, process, tool_instance)`` runs after the tool is
     installed but before execution — the hook where explorer windows are
-    derived from the installed tool's blob addresses.
+    derived from the installed tool's blob addresses.  ``cores``/``smp_seed``
+    run the guest on a deterministic SMP machine: guest-visible behaviour
+    must not depend on them — that is exactly what the oracle checks.
     """
-    machine = Machine(policy=policy)
+    machine = Machine(policy=policy, cores=cores, smp_seed=smp_seed)
     if injector is not None:
         machine.kernel.fault_injector = injector
     if setup is not None:

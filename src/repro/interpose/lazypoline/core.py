@@ -30,6 +30,10 @@ from repro.kernel.task import SIG_DFL, SIG_IGN, SigAction
 from repro.mem.pages import PAGE_SIZE, Perm, page_align_down, page_align_up
 
 _NR_MPROTECT = NR["mprotect"]
+
+#: CAS attempts before a contended rewrite-lock loser stops spinning and
+#: backs off for the remainder of the owner's hold window.
+SPIN_RETRY_BOUND = 64
 _NR_RT_SIGACTION = NR["rt_sigaction"]
 _NR_RT_SIGRETURN = NR["rt_sigreturn"]
 _NR_CLONE = NR["clone"]
@@ -65,13 +69,41 @@ class Lazypoline:
         #: application signal handlers we shadow: sig -> SigAction
         self.app_handlers: dict[int, SigAction] = {}
 
-        #: rewritten syscall sites (addresses)
-        self.rewritten: set[int] = set()
-        self._rewrite_locked = False  # the spinlock of §IV-A(b)
+        #: rewritten syscall sites (addresses), per address space: patches
+        #: live in the pages of one address space, so a site rewritten in
+        #: the parent after a fork is *not* rewritten in the child's copy
+        #: (and vice versa) — tracking them in one shared set would make
+        #: the other process skip the patch and slow-path that site forever.
+        self._rewritten_by_space: dict[int, set[int]] = {}
+        #: The spinlock of §IV-A(b), modelled as the *hold window* of the
+        #: most recent critical section: (owner core, acquire clock,
+        #: release clock), keyed by address space — the lock is process
+        #: state, so forked processes contend only among their own threads.
+        #: Slices are serialised in host order, so two cores contend
+        #: exactly when the later (host-order) rewriter's core-local clock
+        #: still falls inside the earlier one's window — it must then spin
+        #: until the owner's release time.  On one core time only moves
+        #: forward between syscalls, so the lock is always free: the
+        #: uncontended acquire cost is all that is charged.
+        self._lock_windows: dict[int, tuple[int, int, int]] = {}
 
         # statistics
         self.slowpath_hits = 0
         self.fastpath_hits = 0
+        #: contended rewrite-lock acquisitions / cycles burnt spinning
+        self.lock_contentions = 0
+        self.lock_spin_cycles = 0
+
+    @property
+    def rewritten(self) -> set[int]:
+        """Rewritten sites in the main process's current address space."""
+        return self._rewritten_for(self.process.task.mem)
+
+    def _rewritten_for(self, mem) -> set[int]:
+        sites = self._rewritten_by_space.get(mem.asid)
+        if sites is None:
+            sites = self._rewritten_by_space[mem.asid] = set()
+        return sites
 
     # ------------------------------------------------------------------ install
     @classmethod
@@ -450,19 +482,49 @@ class Lazypoline:
         mem.write_u64(uc + UC_RIP, self.blobs.fastpath_entry, check=None)
         hctx.charge(10)
 
+    def _spin_for_lock(self, hctx, release: int) -> None:
+        """Spin (bounded retries, then yield) until the owner releases.
+
+        Models a PAUSE-loop CAS retry: each iteration burns
+        ``smp_spin_retry`` cycles; after ``SPIN_RETRY_BOUND`` failed
+        attempts the loser stops hammering the line and sleeps out the
+        remainder of the hold window (sched_yield-style backoff).
+        """
+        self.lock_contentions += 1
+        kernel = hctx.kernel
+        retry = kernel.costs.smp_spin_retry
+        start = kernel.clock
+        spins = 0
+        while kernel.clock < release and spins < SPIN_RETRY_BOUND:
+            hctx.charge(retry)
+            spins += 1
+        if kernel.clock < release:
+            hctx.charge(release - kernel.clock)
+        self.lock_spin_cycles += kernel.clock - start
+
     def _rewrite_site(self, hctx, site: int) -> None:
         """Patch one verified syscall instruction to ``call rax``."""
         task = hctx.task
         mem = task.mem
+        kernel = hctx.kernel
+        core_id = kernel.current_core_id
         # The spinlock of §IV-A(b): prevents one thread from revoking write
-        # permission while another is mid-rewrite.  Cooperative scheduling
-        # makes this uncontended here, but the cost is charged.
+        # permission while another is mid-rewrite.  The uncontended acquire
+        # (CAS + fences) always costs; under SMP a second core trapping on
+        # the same window must additionally spin until the owner releases.
         hctx.charge(20)
-        if self._rewrite_locked:  # pragma: no cover - cooperative scheduler
-            return
-        self._rewrite_locked = True
+        rewritten = self._rewritten_for(mem)
+        owner, _acquired_at, release = self._lock_windows.get(
+            mem.asid, (-1, 0, 0)
+        )
+        if owner not in (-1, core_id) and kernel.clock < release:
+            self._spin_for_lock(hctx, release)
+        acquired = kernel.clock
         try:
-            if site in self.rewritten:
+            if site in rewritten:
+                # The lock holder beat us to this site: nothing to patch —
+                # the sigreturn re-enters through the already-patched fast
+                # path, which is exactly the loser's correct retry.
                 return
             insn = mem.read(site, 2, check=None)
             if insn not in (SYSCALL_BYTES, SYSENTER_BYTES):
@@ -490,14 +552,14 @@ class Lazypoline:
                 hctx.do_syscall(
                     _NR_MPROTECT, (start + i * PAGE_SIZE, PAGE_SIZE, prot)
                 )
-            self.rewritten.add(site)
+            rewritten.add(site)
             tracer = hctx.kernel.tracer
             if tracer is not None:
                 tracer.rewrite(
                     hctx.kernel.clock, task.tid, site, "lazypoline", origin="trap"
                 )
         finally:
-            self._rewrite_locked = False
+            self._lock_windows[mem.asid] = (core_id, acquired, kernel.clock)
 
     # ------------------------------------------------------- manual rewriting
     def rewrite_site_now(self, site: int) -> None:
@@ -510,7 +572,7 @@ class Lazypoline:
         from repro.interpose.zpoline.rewriter import patch_site
 
         patch_site(task, site)
-        self.rewritten.add(site)
+        self._rewritten_for(task.mem).add(site)
         tracer = self.machine.kernel.tracer
         if tracer is not None:
             tracer.rewrite(

@@ -171,6 +171,12 @@ class Kernel:
     def now(self) -> int:
         return self.clock
 
+    @property
+    def current_core_id(self) -> int:
+        """Id of the core whose slice is currently executing (0 if 1-core)."""
+        sched = self.scheduler
+        return sched._current_core.id if sched is not None else 0
+
     def charge(self, task: Task | None, cycles: int) -> None:
         self.clock += cycles
         if task is not None:
@@ -223,6 +229,8 @@ class Kernel:
         task.fdtable.fds[2] = StdStream("stderr")
         self.tasks[tid] = task
         self._live[tid] = task
+        if self.scheduler is not None:
+            self.scheduler.on_task_created(task)
         return task
 
     def live_tasks(self) -> list[Task]:
@@ -518,6 +526,10 @@ class Kernel:
             # Interruptible sleep: wake; the interrupted syscall returns EINTR.
             task.state = TaskState.RUNNABLE
             task.blocked_reason = None
+            # SMP: the wake happens at the *sender's* clock; the sleeper's
+            # (possibly idle, hence lagging) core must not run it earlier.
+            if task.wake_clock < self.clock:
+                task.wake_clock = self.clock
             if task.in_syscall_restart is not None:
                 task.in_syscall_restart = None
                 task.regs.write(RAX, (-errno.EINTR) & MASK64)

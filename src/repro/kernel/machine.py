@@ -67,10 +67,15 @@ class Machine:
         policy=None,
         translation_cache: bool = True,
         tracer=None,
+        cores: int = 1,
+        smp_seed: int = 0,
     ):
         self.costs = costs or CostModel()
         self.kernel = Kernel(self.costs, translation_cache=translation_cache)
-        self.scheduler = Scheduler(self.kernel, quantum=quantum, policy=policy)
+        self.scheduler = Scheduler(
+            self.kernel, quantum=quantum, policy=policy,
+            cores=cores, smp_seed=smp_seed,
+        )
         self.kernel.scheduler = self.scheduler
         self.tracer = None
         if tracer is not None:
@@ -95,12 +100,50 @@ class Machine:
     # ------------------------------------------------------------------ time
     @property
     def clock(self) -> int:
-        """Simulated time in CPU cycles."""
-        return self.kernel.clock
+        """Simulated elapsed time in CPU cycles.
+
+        On a multi-core machine this is the *frontier* — the maximum over
+        all per-core clocks — since cores retire cycles in parallel.  On a
+        single-core machine it is exactly the kernel clock, as it always
+        was.
+        """
+        sched = self.scheduler
+        if not sched.smp:
+            return self.kernel.clock
+        return sched.frontier()
 
     @property
     def seconds(self) -> float:
-        return self.costs.cycles_to_seconds(self.kernel.clock)
+        return self.costs.cycles_to_seconds(self.clock)
+
+    # ------------------------------------------------------------------- SMP
+    @property
+    def cores(self) -> list:
+        """The per-core execution contexts (one :class:`Core` per core)."""
+        return self.scheduler.cores
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.scheduler.cores)
+
+    def core_stats(self) -> list[dict]:
+        """Per-core utilization and coherence counters.
+
+        ``utilization`` is busy cycles over the machine frontier;
+        ``shootdowns`` counts cross-core translation-cache invalidations
+        this core *received* from rewrites on other cores.
+        """
+        sched = self.scheduler
+        frontier = self.clock
+        stats = []
+        for core in sched.cores:
+            snap = core.snapshot(frontier)
+            if not sched.smp:
+                # Legacy loop: core 0's clock is the kernel clock.
+                snap["clock"] = self.kernel.clock
+                snap["tasks"] = len(self.kernel.live_tasks())
+            stats.append(snap)
+        return stats
 
     # ----------------------------------------------------------------- loading
     def load(

@@ -1,6 +1,7 @@
-"""Cooperative round-robin scheduler.
+"""Cooperative round-robin scheduler, single- or multi-core.
 
-One simulated CPU runs all tasks in time slices.  Blocking works two ways:
+With one core (the default) a single simulated CPU runs all tasks in time
+slices.  Blocking works two ways:
 
 * a *guest* blocking syscall raises WouldBlock out of the entry path; the
   task is parked with a restart record and retried when its predicate holds,
@@ -8,12 +9,28 @@ One simulated CPU runs all tasks in time slices.  Blocking works two ways:
   ``Kernel.wait_until``, which calls back into :meth:`run_others_once` —
   re-entrancy is guarded so a task is never stepped while it is already
   live on the (Python) stack.
+
+With ``cores > 1`` the scheduler becomes a deterministic SMP simulator:
+each :class:`repro.kernel.smp.Core` keeps its own clock, runqueue and
+private decoded-insn caches, and rounds interleave the cores in an order
+drawn from a seeded RNG.  Slices still execute one at a time in host order
+(so every existing kernel invariant holds), but each slice runs on its
+core's *local* timeline: the kernel's global ``clock`` attribute is swapped
+to the core's clock for the duration of the slice and harvested back at the
+end.  Elapsed machine time is the *frontier* — the maximum core clock — so
+work spread over N cores genuinely takes ~1/N the simulated time.  The
+single-core code path is bit-for-bit the one that ran before SMP existed:
+``Machine(cores=1)`` is cycle-identical by construction.
 """
 
 from __future__ import annotations
 
+import heapq
+import random
+
 from repro.arch.registers import MASK64, RAX
 from repro.errors import BreakpointTrap, GuestCrash, InvalidOpcode, PageFault
+from repro.kernel.smp import Core
 from repro.kernel.task import Task, TaskState
 from repro.kernel.waits import DeadlockError, WouldBlock
 
@@ -51,7 +68,17 @@ class SchedulePolicy:
 
 
 class Scheduler:
-    def __init__(self, kernel, quantum: int = 64, policy: SchedulePolicy | None = None):
+    def __init__(
+        self,
+        kernel,
+        quantum: int = 64,
+        policy: SchedulePolicy | None = None,
+        *,
+        cores: int = 1,
+        smp_seed: int = 0,
+    ):
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
         self.kernel = kernel
         self.quantum = quantum
         self.policy = policy
@@ -63,6 +90,15 @@ class Scheduler:
         self._nest_epoch = 0
         self.total_instructions = 0
         self._last_tid: int | None = None  # for ctx_switch trace events
+        #: SMP state.  ``cores == 1`` keeps the legacy single-core run loop
+        #: (``self.smp`` False); core 0 then only collects busy-cycle stats.
+        self.cores = [Core(i) for i in range(cores)]
+        self.smp = cores > 1
+        self.smp_seed = smp_seed
+        self._rng = random.Random(smp_seed)
+        self._current_core = self.cores[0]
+        #: Total cross-core shootdown IPIs sent (see :meth:`_shootdown`).
+        self.shootdowns = 0
 
     # --------------------------------------------------------------- slices
     def _maybe_unblock(self, task: Task) -> None:
@@ -119,6 +155,9 @@ class Scheduler:
         step = kernel.cpu.step
         handle_fault = kernel.handle_fault
         runnable = TaskState.RUNNABLE
+        core = self._current_core
+        core._depth += 1
+        slice_t0 = kernel.clock
         try:
             mem = task.mem
             mem.active_pkru = task.regs.pkru
@@ -141,6 +180,11 @@ class Scheduler:
                     mem = task.mem
                     epoch = self._nest_epoch
                     mem.active_pkru = task.regs.pkru
+                    if self.smp:
+                        # A nested slice (or an execve) may have pointed
+                        # this address space's live decode cache at another
+                        # core's private copy; re-bind ours.
+                        self._bind_core(core, mem)
                 addr = task.regs.rip
                 try:
                     step(task)
@@ -151,8 +195,16 @@ class Scheduler:
                     epoch = self._nest_epoch
                     if task.mem is mem:
                         mem.active_pkru = task.regs.pkru
+                    if self.smp:
+                        self._bind_core(core, task.mem)
         finally:
             self._active.discard(task.tid)
+            core._depth -= 1
+            if core._depth == 0:
+                # Outermost frame on this core: everything charged during
+                # the slice (including nested same-core work, which lands
+                # on the same timeline) counts as busy time.
+                core.busy_cycles += kernel.clock - slice_t0
         task.insn_count += executed
         self.total_instructions += executed
         if tracer is not None:
@@ -170,6 +222,12 @@ class Scheduler:
         raise_on_deadlock: bool = True,
     ) -> None:
         """Run until all tasks exit, ``until()`` is true, or the budget ends."""
+        if self.smp:
+            return self._run_smp(
+                max_instructions=max_instructions,
+                until=until,
+                raise_on_deadlock=raise_on_deadlock,
+            )
         kernel = self.kernel
         start = self.total_instructions
         while True:
@@ -215,6 +273,9 @@ class Scheduler:
         Used by Kernel.wait_until while ``current`` is blocked inside
         host-side interposer code.  Returns True if any instruction ran.
         """
+        if self.smp:
+            progress, _ = self._smp_round(exclude=current)
+            return progress > 0
         progress = 0
         others = self.kernel.live_tasks()
         if self.policy is not None:
@@ -224,6 +285,242 @@ class Scheduler:
                 continue
             progress += self.run_task_slice(task)
         return progress > 0
+
+    # ---------------------------------------------------------------- SMP
+    def frontier(self) -> int:
+        """Machine-wide elapsed cycles: the maximum over all core clocks."""
+        f = self.kernel.clock
+        for core in self.cores:
+            if core.clock > f:
+                f = core.clock
+        return f
+
+    def on_task_created(self, task: Task) -> None:
+        """Home a new task: least-loaded core, never before 'now'."""
+        task.wake_clock = self.kernel.clock
+        if not self.smp:
+            return
+        core = min(self.cores, key=lambda c: (len(c.runqueue), c.id))
+        task.core_id = core.id
+        core.runqueue.append(task)
+
+    def _bind_core(self, core: Core, mem) -> None:
+        """Point ``mem``'s live decode cache at ``core``'s private copy.
+
+        The CPU hot path reads ``mem.insn_cache`` per instruction; swapping
+        the dict at slice granularity gives each core a private translation
+        cache with zero per-instruction overhead.  The first bind also arms
+        the cross-core shootdown hook on this address space.
+        """
+        cache = core.caches.get(mem.asid)
+        if cache is None:
+            cache = core.caches[mem.asid] = {}
+        mem.insn_cache = cache
+        if mem.smp_shootdown is None:
+            mem.smp_shootdown = self._shootdown
+
+    def _shootdown(self, mem, pn: int) -> None:
+        """A code patch invalidated page ``pn``: flush remote caches.
+
+        Every *other* core holding decodes of ``pn`` drops them and costs
+        the writer one IPI round-trip — the cross-core analogue of the
+        icache/TLB flush that makes lazypoline's in-place rewrite (§IV-A b)
+        expensive but safe on real SMP hardware.
+        """
+        cur = self._current_core
+        asid = mem.asid
+        kernel = self.kernel
+        ipi = kernel.costs.smp_shootdown_ipi
+        for core in self.cores:
+            if core is cur:
+                continue
+            cache = core.caches.get(asid)
+            if not cache:
+                continue
+            stale = [
+                addr for addr, entry in cache.items()
+                if entry[3] == pn or entry[5] == pn
+            ]
+            if stale:
+                for addr in stale:
+                    del cache[addr]
+                core.shootdowns += 1
+                self.shootdowns += 1
+                kernel.charge(None, ipi)
+
+    def _slice_on(self, core: Core, task: Task) -> int:
+        """Run one slice of ``task`` on ``core``'s local timeline.
+
+        The global ``kernel.clock`` is the *running* clock: it is swapped
+        to the core's clock for the slice and harvested back afterwards, so
+        every charge inside (instructions, hcalls, re-issued syscalls)
+        lands on this core without any hot-path indirection.  When slices
+        nest on the *same* core (``Kernel.wait_until`` timesharing), the
+        checkpoint and the harvest alias the same ``Core`` object, which
+        serialises the nested work into the waiter's timeline — exactly
+        what one physical core would do.
+        """
+        kernel = self.kernel
+        prev = self._current_core
+        if prev._depth:
+            prev.clock = kernel.clock  # checkpoint the interrupted slice
+        self._current_core = core
+        if core.clock < task.wake_clock:
+            core.clock = task.wake_clock
+        kernel.clock = core.clock
+        self._bind_core(core, task.mem)
+        tracer = kernel.tracer
+        if tracer is not None:
+            tracer.current_core = core.id
+        try:
+            return self.run_task_slice(task)
+        finally:
+            core.clock = kernel.clock
+            core.slices += 1
+            self._current_core = prev
+            kernel.clock = prev.clock
+            if tracer is not None:
+                tracer.current_core = prev.id
+
+    @staticmethod
+    def _has_runnable(tasks: list[Task], exclude: Task | None) -> bool:
+        return any(
+            t.state is TaskState.RUNNABLE and t is not exclude for t in tasks
+        )
+
+    def _steal_for(self, core: Core, exclude: Task | None) -> Task | None:
+        """Idle-steal: migrate one runnable task from the busiest core.
+
+        Only donors that would keep at least one runnable task are eligible
+        (stealing a busy core's only work just moves the imbalance).  The
+        thief pays the migration cost; the task's registers, SUD selector
+        and ``%gs`` region travel with it — they are per-task state.
+        """
+        best_donor = None
+        best_tasks: list[Task] = []
+        for donor in self.cores:
+            if donor is core:
+                continue
+            runnable = [
+                t for t in donor.runqueue
+                if t.alive and t.state is TaskState.RUNNABLE
+                and t.tid not in self._active and t is not exclude
+            ]
+            if len(runnable) > max(len(best_tasks), 1):
+                best_donor, best_tasks = donor, runnable
+        if best_donor is None:
+            return None
+        task = best_tasks[0]  # FIFO steal: the longest-waiting runnable
+        best_donor.runqueue.remove(task)
+        core.runqueue.append(task)
+        task.core_id = core.id
+        core.steals += 1
+        core.clock += self.kernel.costs.smp_steal_cost
+        return task
+
+    def _smp_round(
+        self, *, until=None, exclude: Task | None = None
+    ) -> tuple[int, bool]:
+        """One SMP scheduling round; returns (instructions run, stop?).
+
+        Cores are visited in a seeded random order; each offers one slice
+        to every task in its runqueue (blocked tasks get their unblock
+        check, as in the single-core loop).  A core with no runnable task
+        first tries to steal one.  At the end, cores that did no work are
+        pulled forward to the slowest busy core's clock — bounded by the
+        next timer event so sleepers still wake exactly on time — because
+        an idle core's time passes even though it retires nothing.
+        """
+        progress = 0
+        cores = self.cores
+        order = self._rng.sample(cores, len(cores))
+        ran: list[Core] = []
+        for core in order:
+            tasks = core.alive_tasks()
+            if not self._has_runnable(tasks, exclude):
+                stolen = self._steal_for(core, exclude)
+                if stolen is not None:
+                    tasks.append(stolen)
+            if self.policy is not None and len(tasks) > 1:
+                tasks = self.policy.schedule_order(tasks)
+            core_ran = 0
+            for task in tasks:
+                if (
+                    task is exclude
+                    or not task.alive
+                    or task.tid in self._active
+                ):
+                    continue
+                core_ran += self._slice_on(core, task)
+                if until is not None and until():
+                    return progress + core_ran, True
+            if core_ran:
+                progress += core_ran
+                ran.append(core)
+        if ran and len(ran) < len(cores):
+            target = min(core.clock for core in ran)
+            next_event = self.kernel.next_event_time()
+            if next_event is not None and next_event < target:
+                target = next_event
+            for core in cores:
+                if core not in ran and core._depth == 0 and core.clock < target:
+                    core.clock = target
+        return progress, False
+
+    def _advance_time_smp(self) -> bool:
+        """All cores idle: jump every clock to the next event and fire it."""
+        kernel = self.kernel
+        if not kernel._events:
+            return False
+        at, _seq, callback = heapq.heappop(kernel._events)
+        for core in self.cores:
+            if core.clock < at:
+                core.clock = at
+        if kernel.clock < at:
+            kernel.clock = at
+        callback()
+        return True
+
+    def _run_smp(
+        self,
+        *,
+        max_instructions: int | None = None,
+        until=None,
+        raise_on_deadlock: bool = True,
+    ) -> None:
+        """The SMP analogue of :meth:`run`, round-by-round over all cores."""
+        kernel = self.kernel
+        start = self.total_instructions
+        while True:
+            if until is not None and until():
+                return
+            if not kernel.live_tasks():
+                return
+            if (
+                max_instructions is not None
+                and self.total_instructions - start >= max_instructions
+            ):
+                return
+            progress, stopped = self._smp_round(until=until)
+            if stopped:
+                return
+            # Events are machine-global; fire them against the frontier.
+            # (kernel.clock is scratch between slices — the next slice
+            # re-swaps it to its core's local clock.)
+            kernel.clock = self.frontier()
+            kernel.fire_due_events()
+            if progress == 0:
+                if self._advance_time_smp():
+                    continue
+                still_live = kernel.live_tasks()
+                if not still_live:
+                    return
+                if raise_on_deadlock:
+                    raise DeadlockError(
+                        "all tasks blocked with no pending events: "
+                        + ", ".join(repr(t) for t in still_live)
+                    )
+                return
 
 
 def run_to_exit(machine, process, max_instructions: int = 10_000_000) -> int:

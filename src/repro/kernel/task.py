@@ -127,6 +127,16 @@ class Task:
         self.robust_list = 0
         self.brk = 0
 
+        #: Home core (SMP): index of the core whose runqueue holds this
+        #: task; updated on idle-steal migration.  Always 0 on 1-core
+        #: machines.
+        self.core_id = 0
+        #: Earliest core-local cycle this task may run at — stamped when it
+        #: is created (a forked child cannot start before its parent's
+        #: clone returned) and when a cross-core signal wakes it, so an
+        #: idle core fast-forwards instead of running the task in the past.
+        self.wake_clock = 0
+
         self.cpu_cycles = 0
         self.insn_count = 0
         self.blocked_reason: Callable[[], bool] | None = None

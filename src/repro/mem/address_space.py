@@ -62,10 +62,23 @@ class AddressSpace:
     kernel does.
     """
 
+    #: Monotonic address-space id allocator.  Per-core translation caches
+    #: are keyed by ``asid`` rather than ``id(self)`` so a recycled Python
+    #: object id can never alias a dead space's cached decodes.
+    _next_asid = 0
+
     def __init__(self):
         self._pages: dict[int, Page] = {}
         self.active_pkru = 0
         self.allocated_pkeys: set[int] = set()
+        self.asid = AddressSpace._next_asid
+        AddressSpace._next_asid += 1
+        #: SMP cross-core shootdown hook, bound by the scheduler the first
+        #: time this space runs on a multi-core machine: called as
+        #: ``hook(self, pn)`` whenever an executable page is invalidated,
+        #: so other cores drop their privately cached decodes of it.
+        #: ``None`` on single-core machines — zero extra work there.
+        self.smp_shootdown = None
         #: Translation cache: insn address -> (insn, handler, cost, page,
         #: gen, page2, gen2).  Populated and validated by the CPU (see
         #: ``repro.cpu.core``); this class only invalidates.
@@ -88,6 +101,9 @@ class AddressSpace:
         """
         gens = self.exec_gen
         gens[pn] = gens.get(pn, 0) + 1
+        hook = self.smp_shootdown
+        if hook is not None:
+            hook(self, pn)
 
     # ------------------------------------------------------------- mapping
     def map(self, addr: int, length: int, perm: Perm, *, fixed: bool = True) -> int:

@@ -26,10 +26,12 @@ kind                      emitted by
                           code, e.g. lazypoline's in-place rewrite)
 ========================  =====================================================
 
-``ts`` is the simulated clock (cycles) at *emission* time; the kernel clock
-never decreases, so events are monotone in ``(seq, ts)``.  ``syscall``
-events are emitted at completion and carry ``cycles`` — the dispatch
-duration — so the start time is ``ts - cycles``.
+``ts`` is the simulated clock (cycles) at *emission* time.  On a 1-core
+machine the kernel clock never decreases, so events are monotone in
+``(seq, ts)``.  On an SMP machine ``ts`` is the emitting *core's* local
+clock and ``core`` identifies it: events are monotone per core, not
+globally.  ``syscall`` events are emitted at completion and carry
+``cycles`` — the dispatch duration — so the start time is ``ts - cycles``.
 """
 
 from __future__ import annotations
@@ -72,3 +74,4 @@ class Event:
     kind: str  #: one of :data:`ALL_KINDS`
     tid: int  #: task the event is attributed to (-1 when machine-global)
     data: dict  #: kind-specific payload (JSON-serialisable)
+    core: int = 0  #: core the event was emitted from (always 0 on 1-core)

@@ -28,7 +28,10 @@ def export_jsonl(tracer) -> str:
     """One JSON object per event, in emission order."""
     lines = []
     for e in tracer.events:
-        obj = {"seq": e.seq, "ts": e.ts, "kind": e.kind, "tid": e.tid}
+        obj = {
+            "seq": e.seq, "ts": e.ts, "kind": e.kind, "tid": e.tid,
+            "core": e.core,
+        }
         obj.update(e.data)
         lines.append(json.dumps(obj))
     return "\n".join(lines) + ("\n" if lines else "")

@@ -46,6 +46,11 @@ class Tracer:
         self.dropped = 0
         self.machine = None  # bound by Machine.attach_tracer
         self._seq = 0
+        #: Core whose slice is currently executing; stamped onto every
+        #: event.  Maintained by the SMP scheduler (stays 0 on 1-core).
+        self.current_core = 0
+        #: Events emitted per core (cheap aggregate, no event walk).
+        self.core_counts: dict[int, int] = {}
 
     # ------------------------------------------------------------------ core
     def bind(self, machine) -> None:
@@ -56,10 +61,12 @@ class Tracer:
         seq = self._seq
         self._seq = seq + 1
         self.counts[kind] = self.counts.get(kind, 0) + 1
+        core = self.current_core
+        self.core_counts[core] = self.core_counts.get(core, 0) + 1
         if self.max_events is not None and len(self.events) >= self.max_events:
             self.dropped += 1
             return
-        self.events.append(Event(seq, ts, kind, tid, data))
+        self.events.append(Event(seq, ts, kind, tid, data, core))
 
     # ------------------------------------------------------- kernel dispatch
     def syscall(
@@ -150,6 +157,15 @@ class Tracer:
         self._emit(ts, K.CACHE_INVALIDATE, tid, {"addr": addr})
 
     # ------------------------------------------------------------- summaries
+    def core_utilization(self) -> dict[int, float]:
+        """Per-core busy fraction (busy cycles / machine frontier)."""
+        if self.machine is None:
+            return {}
+        return {
+            row["core"]: row["utilization"]
+            for row in self.machine.core_stats()
+        }
+
     def syscall_table(self) -> list[SyscallAggregate]:
         """Aggregates sorted by total cycles, descending."""
         return sorted(self.syscalls.values(), key=lambda a: -a.cycles)

@@ -81,9 +81,14 @@ def build_server_image(
     sys("mmap")
     a.mov("r15", "rax")
 
-    # listen socket
+    # listen socket.  SOCK_NONBLOCK matters once there are multiple
+    # workers: level-triggered epoll wakes every worker for one pending
+    # connection, and a loser whose accept4 finds the backlog already
+    # drained must get EAGAIN and return to its event loop — a blocking
+    # accept would wedge it forever (real nginx marks the listen socket
+    # non-blocking for exactly this reason).
     a.mov_imm("rdi", 2)  # AF_INET
-    a.mov_imm("rsi", 1)  # SOCK_STREAM
+    a.mov_imm("rsi", 1 | 0o4000)  # SOCK_STREAM | SOCK_NONBLOCK
     a.mov_imm("rdx", 0)
     sys("socket")
     a.mov("rbx", "rax")
@@ -301,3 +306,65 @@ class ServerWorkload:
                 f"server stalled: {client.stats.completed}/{total} responses"
             )
         return client.throughput(self.machine.costs.frequency_hz)
+
+
+def run_scaled(
+    spec: ServerSpec,
+    *,
+    cores: int,
+    tool: str | None = None,
+    requests: int = 200,
+    warmup: int = 20,
+    file_size: int = 8192,
+    connections: int | None = None,
+    smp_seed: int = 0,
+) -> dict:
+    """One point of the SMP scaling curve: serve on ``cores`` cores.
+
+    Builds a ``Machine(cores=cores)``, loads the server preforked to one
+    worker per core (the scheduler homes each forked worker on the
+    least-loaded core), optionally attaches an interposition ``tool``, and
+    drives it with ``2 * cores`` keep-alive connections by default.
+    Returns the measured point: requests/sec, guest MIPS, per-core
+    utilization and cross-core shootdown counts.
+    """
+    from repro.kernel.machine import Machine
+
+    machine = Machine(cores=cores, smp_seed=smp_seed)
+    workload = ServerWorkload(
+        machine, spec, file_size=file_size, workers=cores,
+    )
+    if tool is not None:
+        from repro.interpose import attach
+
+        attach(machine, workload.process, tool=tool)
+    rps = workload.benchmark(
+        requests=requests,
+        warmup=warmup,
+        connections=connections if connections is not None else 2 * cores,
+    )
+    insns = machine.scheduler.total_instructions
+    seconds = machine.seconds
+    return {
+        "server": spec.name,
+        "cores": cores,
+        "tool": tool,
+        "requests_per_sec": rps,
+        "guest_mips": insns / seconds / 1e6 if seconds else 0.0,
+        "instructions": insns,
+        "cycles": machine.clock,
+        "shootdowns": machine.scheduler.shootdowns,
+        "steals": sum(c.steals for c in machine.cores),
+        "utilization": [
+            round(row["utilization"], 3) for row in machine.core_stats()
+        ],
+    }
+
+
+def scaling_curve(
+    spec: ServerSpec,
+    core_counts=(1, 2, 4),
+    **kwargs,
+) -> list[dict]:
+    """The webserver SMP scaling curve (one :func:`run_scaled` row each)."""
+    return [run_scaled(spec, cores=n, **kwargs) for n in core_counts]

@@ -1,0 +1,103 @@
+"""The deprecated ``*Tool.install`` shims: warn, then behave identically.
+
+Every registry tool keeps its old per-class ``install`` constructor as a
+shim over :func:`repro.interpose.attach`.  Each shim must (a) emit a
+``DeprecationWarning`` naming the replacement and (b) produce machine
+state identical to attaching through the unified API — same exit status,
+stdout, final clock and instruction count.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.faults.corpus import CORPUS
+from repro.interpose import attach
+from repro.interpose.lazypoline import Lazypoline
+from repro.interpose.preload_tool import PreloadTool
+from repro.interpose.ptrace_tool import PtraceTool
+from repro.interpose.seccomp_bpf_tool import SeccompBpfTool
+from repro.interpose.seccomp_user_tool import SeccompUserTool
+from repro.interpose.sud_tool import SudTool
+from repro.interpose.usernotif_tool import UserNotifTool
+from repro.interpose.zpoline import Zpoline
+from repro.kernel.machine import Machine
+from repro.kernel.syscalls.table import NR
+
+#: registry name -> shim invocation, mirroring attach(tool=name) defaults.
+SHIMS = {
+    "lazypoline": lambda m, p: Lazypoline.install(m, p),
+    "zpoline": lambda m, p: Zpoline.install(m, p),
+    "sud": lambda m, p: SudTool.install(m, p),
+    "seccomp_user": lambda m, p: SeccompUserTool.install(m, p),
+    "seccomp_bpf": lambda m, p: SeccompBpfTool.install(m, p),
+    "seccomp_unotify": lambda m, p: UserNotifTool.install(m, p),
+    "ptrace": lambda m, p: PtraceTool.install(m, p),
+    "preload": lambda m, p: PreloadTool.install(m, p),
+}
+
+
+def _final_state(machine, process):
+    return {
+        "exit": process.exit_code,
+        "signal": process.term_signal,
+        "stdout": process.stdout,
+        "clock": machine.kernel.clock,
+        "instructions": machine.scheduler.total_instructions,
+    }
+
+
+def _run(installer):
+    machine = Machine()
+    process = machine.load(CORPUS["syscall_loop"].build())
+    tool = installer(machine, process)
+    machine.run(
+        until=lambda: not any(t.alive for t in machine.kernel.tasks.values()),
+        max_instructions=3_000_000,
+    )
+    return tool, _final_state(machine, process)
+
+
+@pytest.mark.parametrize("name", sorted(SHIMS))
+def test_shim_warns_and_matches_attach(name):
+    with pytest.warns(DeprecationWarning, match="use\\s+repro.interpose.attach"):
+        shim_tool, shim_state = _run(SHIMS[name])
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # attach itself must never warn
+        attach_tool, attach_state = _run(
+            lambda m, p: attach(m, p, tool=name)
+        )
+    assert type(shim_tool) is type(attach_tool)
+    assert shim_state == attach_state
+    assert shim_state["exit"] == 0
+
+
+def test_seccomp_bpf_denylist_shim():
+    """The convenience denylist constructor warns and matches
+    ``attach(..., denylist=[...])``."""
+    sysnos = [NR["open"]]
+    with pytest.warns(DeprecationWarning, match="install_denylist"):
+        _, shim_state = _run(
+            lambda m, p: SeccompBpfTool.install_denylist(m, p, sysnos)
+        )
+    _, attach_state = _run(
+        lambda m, p: attach(m, p, tool="seccomp_bpf", denylist=sysnos)
+    )
+    assert shim_state == attach_state
+    # the denylist really bit: open failed, so the file write was skipped
+    assert shim_state["exit"] == 0
+
+
+def test_seccomp_unotify_sysnos_shim():
+    sysnos = [NR["getpid"]]
+    with pytest.warns(DeprecationWarning, match="install_for_syscalls"):
+        _, shim_state = _run(
+            lambda m, p: UserNotifTool.install_for_syscalls(m, p, sysnos)
+        )
+    _, attach_state = _run(
+        lambda m, p: attach(m, p, tool="seccomp_unotify", sysnos=sysnos)
+    )
+    assert shim_state == attach_state
+    assert shim_state["exit"] == 0

@@ -1,0 +1,74 @@
+"""Property: SMP execution is guest-invisible for every interleaving.
+
+For random core counts, scheduling quanta and seeds, the differential
+oracle must find zero divergences between a multi-core run and the 1-core
+run of the same guest: exit status, stdout, filesystem effects and the
+per-thread syscall name sequence are all part of program semantics and
+must not depend on how the simulator spreads work over cores.
+
+Schedule perturbation (random per-slice quanta and runqueue order) rides
+on :class:`ExplorerPolicy`, so each example also varies *when* preemptions
+land — multi-core wrongness that only shows under odd slice boundaries
+(stale per-core translation caches, selector state lost in migration)
+gets hunted, not just the happy path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.faults.corpus import CORPUS  # noqa: E402
+from repro.faults.explorer import ExplorerPolicy  # noqa: E402
+from repro.faults.oracle import differences, run_guest  # noqa: E402
+
+PROGRAMS = ("syscall_loop", "fork_wait", "clone_shared", "sig_pingpong")
+
+
+@pytest.mark.smp
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    name=st.sampled_from(PROGRAMS),
+    cores=st.integers(min_value=2, max_value=4),
+    smp_seed=st.integers(min_value=0, max_value=2**31),
+    schedule_seed=st.integers(min_value=0, max_value=2**31),
+    quantum=st.integers(min_value=8, max_value=96),
+)
+def test_smp_runs_match_single_core(name, cores, smp_seed, schedule_seed,
+                                    quantum):
+    prog = CORPUS[name]
+
+    def policy():
+        return ExplorerPolicy(schedule_seed, quantum=quantum, min_quantum=4)
+
+    base = run_guest(
+        prog.build, "lazypoline", setup=prog.setup, policy=policy(),
+        max_instructions=prog.max_instructions,
+    )
+    smp = run_guest(
+        prog.build, "lazypoline", setup=prog.setup, policy=policy(),
+        cores=cores, smp_seed=smp_seed,
+        max_instructions=prog.max_instructions,
+    )
+    assert not differences(base, smp), (name, cores, smp_seed)
+
+
+@pytest.mark.smp
+@settings(max_examples=10, deadline=None)
+@given(
+    cores=st.integers(min_value=2, max_value=4),
+    smp_seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_plain_runs_match_single_core(cores, smp_seed):
+    """No tool attached: the bare kernel is SMP-invariant too."""
+    prog = CORPUS["clone_shared"]
+    base = run_guest(prog.build)
+    smp = run_guest(prog.build, cores=cores, smp_seed=smp_seed)
+    assert not differences(base, smp)
