@@ -5,13 +5,18 @@ export PYTHONPATH
 FUZZ_MINUTES ?= 5
 FAULT_SEEDS ?= 0:64
 
-.PHONY: test test-fast faults fuzz bench perf trace
+.PHONY: test test-fast test-degrade faults fuzz bench perf trace
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not faults"
+
+# Graceful-degradation tier: hostile mmap_min_addr, injected setup/rewrite
+# faults, %gs-stack exhaustion and EINTR-during-interposition coverage.
+test-degrade:
+	$(PYTHON) -m pytest -x -q -m degrade
 
 faults:
 	$(PYTHON) -m repro.faults --seeds $(FAULT_SEEDS)

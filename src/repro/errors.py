@@ -71,6 +71,12 @@ class LoaderError(ReproError):
     """Raised when a program image cannot be loaded."""
 
 
+class AttachError(ReproError):
+    """Raised when an interposition tool cannot attach in the current
+    environment (e.g. ``mmap_min_addr`` forbids the VA-0 trampoline, or
+    setup-time allocations fail) and no degradation mode is permitted."""
+
+
 class BpfError(ReproError):
     """Raised for malformed BPF programs (bad jump targets, etc.)."""
 

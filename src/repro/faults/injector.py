@@ -69,24 +69,35 @@ class FaultRule:
 
 @dataclass(frozen=True)
 class FaultRecord:
-    """One injected fault: dispatch sequence number + what was injected."""
+    """One injected fault: dispatch sequence number + what was injected.
+
+    ``args`` snapshots the syscall arguments at injection time so a
+    scenario can tell *which* call it hit (e.g. a window-opening mprotect
+    vs. a permission restore).  It is diagnostic only: replay keys on
+    ``seq`` and the plan digest ignores it.
+    """
 
     seq: int
     tid: int
     sysno: int
     errno: int
+    args: tuple = ()
 
     @property
     def name(self) -> str:
         return syscall_name(self.sysno)
 
     def to_json(self) -> dict:
-        return {"seq": self.seq, "tid": self.tid, "sysno": self.sysno,
+        data = {"seq": self.seq, "tid": self.tid, "sysno": self.sysno,
                 "errno": self.errno}
+        if self.args:
+            data["args"] = list(self.args)
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "FaultRecord":
-        return cls(data["seq"], data["tid"], data["sysno"], data["errno"])
+        return cls(data["seq"], data["tid"], data["sysno"], data["errno"],
+                   tuple(data.get("args", ())))
 
 
 class FaultInjector:
@@ -136,7 +147,9 @@ class FaultInjector:
 
         for rule in self.rules:
             if rule.matches(task, sysno, args):
-                self.plan.append(FaultRecord(seq, task.tid, sysno, rule.errno))
+                self.plan.append(
+                    FaultRecord(seq, task.tid, sysno, rule.errno, tuple(args))
+                )
                 return -rule.errno
 
         if (
@@ -145,7 +158,9 @@ class FaultInjector:
             and self.rng.chance(*self.rate)
         ):
             injected = self.errnos[self.rng.below(len(self.errnos))]
-            self.plan.append(FaultRecord(seq, task.tid, sysno, injected))
+            self.plan.append(
+                FaultRecord(seq, task.tid, sysno, injected, tuple(args))
+            )
             return -injected
         return None
 

@@ -100,6 +100,8 @@ def run_guest(
     configure=None,
     cores: int = 1,
     smp_seed: int = 0,
+    mmap_min_addr: int = 0,
+    tool_opts: dict | None = None,
 ) -> GuestReport:
     """Run ``image`` under ``tool`` with optional schedule/fault harnessing.
 
@@ -111,8 +113,15 @@ def run_guest(
     derived from the installed tool's blob addresses.  ``cores``/``smp_seed``
     run the guest on a deterministic SMP machine: guest-visible behaviour
     must not depend on them — that is exactly what the oracle checks.
+    ``mmap_min_addr`` makes the machine hostile to VA-0 tools, and
+    ``tool_opts`` passes extra keywords (e.g. ``degrade_policy=...``) to the
+    tool's ``_install`` — together they drive the graceful-degradation
+    scenarios.
     """
-    machine = Machine(policy=policy, cores=cores, smp_seed=smp_seed)
+    machine = Machine(
+        policy=policy, cores=cores, smp_seed=smp_seed,
+        mmap_min_addr=mmap_min_addr,
+    )
     if injector is not None:
         machine.kernel.fault_injector = injector
     if setup is not None:
@@ -123,7 +132,9 @@ def run_guest(
     tracer = interposer if interposer is not None else TidTracer()
     tool_instance = None
     if tool is not None:
-        tool_instance = TOOLS[tool]._install(machine, process, tracer)
+        tool_instance = TOOLS[tool]._install(
+            machine, process, tracer, **(tool_opts or {})
+        )
     if configure is not None:
         configure(machine, process, tool_instance)
     crashed = False

@@ -138,6 +138,76 @@ def build_two_signal_guest():
     return image_from_assembler("two_signal_guest", a, entry="_start")
 
 
+def build_nested_signal_guest(nest: int = 5):
+    """An SA_NODEFER handler re-raises its own signal ``nest`` times.
+
+    Each re-raise is delivered *inside* the still-running handler (the
+    signal is not auto-masked), so the wrapped-signal nesting depth grows
+    by one per level — the guest that exercises lazypoline's per-task
+    sigreturn-selector stack to any chosen depth.  Exit code is the total
+    handler activation count: ``nest + 1`` when nothing kills the guest.
+    """
+    from repro.kernel.signals import SA_NODEFER
+
+    a = Assembler(base=layout.CODE_BASE)
+    a.label("_start")
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rsi", 4096)
+    a.mov_imm("rdx", 3)
+    a.mov_imm("r10", 0x22)
+    a.mov_imm("r8", (1 << 64) - 1)
+    a.mov_imm("r9", 0)
+    a.mov_imm("rax", NR["mmap"])
+    a.syscall()
+    a.mov("r14", "rax")
+    a.mov_imm("rdx", nest)  # [r14+0] = remaining re-raises
+    a.store("r14", 0, "rdx")
+    a.mov_imm("rdi", SIGUSR1)
+    a.mov_imm("rsi", "act1")
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 8)
+    a.mov_imm("rax", NR["rt_sigaction"])
+    a.syscall()
+    a.mov_imm("rax", NR["getpid"])
+    a.syscall()
+    a.store("r14", 16, "rax")
+    a.mov_imm("rax", NR["gettid"])
+    a.syscall()
+    a.store("r14", 24, "rax")
+    a.load("rdi", "r14", 16)
+    a.load("rsi", "r14", 24)
+    a.mov_imm("rdx", SIGUSR1)
+    a.mov_imm("rax", NR["tgkill"])
+    a.syscall()
+    a.load("rdi", "r14", 8)  # activation count -> exit code
+    a.mov_imm("rax", NR["exit_group"])
+    a.syscall()
+    a.label("h1")
+    a.load("rdx", "r14", 8)
+    a.inc("rdx")
+    a.store("r14", 8, "rdx")
+    a.load("rdx", "r14", 0)
+    a.cmpi("rdx", 0)
+    a.jz("h1_done")
+    a.dec("rdx")
+    a.store("r14", 0, "rdx")
+    a.load("rdi", "r14", 16)
+    a.load("rsi", "r14", 24)
+    a.mov_imm("rdx", SIGUSR1)
+    a.mov_imm("rax", NR["tgkill"])
+    a.syscall()
+    # the re-raised signal is delivered here, nested inside this frame
+    a.label("h1_done")
+    a.ret()
+    a.align(8, fill=0)
+    a.label("act1")
+    a.dq("h1")
+    a.dq(SA_NODEFER)
+    a.dq(0)
+    a.dq(0)
+    return image_from_assembler("nested_signal_guest", a, entry="_start")
+
+
 def build_eintr_retry_guest():
     """write() in a retry-on-EINTR loop: the POSIX-correct consumer.
 
@@ -401,9 +471,311 @@ def mprotect_fault(
     )
 
 
+# ------------------------------------------------- degradation scenarios
+def sled_denied(
+    seed: int,
+    *,
+    perturb_order: bool = True,
+    perturb_quantum: bool = True,
+) -> ScenarioResult:
+    """Hostile ``mmap_min_addr``: the VA-0 sled is denied at attach time.
+
+    lazypoline must come up in SUD_ONLY — interposition fully live, zero
+    rewrites — and the guest must be indistinguishable from bare (behaviour)
+    and from plain SUD (identical per-thread trace, since SUD_ONLY *is*
+    selector-only SUD).
+    """
+    from repro.interpose.lazypoline.degrade import Mode
+
+    min_addr = 4096 * (1 + seed % 4)
+    captured = {}
+
+    def grab(machine, process, tool):
+        captured["tool"] = tool
+
+    def policy():
+        return ExplorerPolicy(
+            seed, perturb_order=perturb_order, perturb_quantum=perturb_quantum
+        )
+
+    reports = {
+        name: run_guest(
+            build_two_signal_guest,
+            tool,
+            policy=policy(),
+            mmap_min_addr=min_addr,
+            configure=grab if tool == "lazypoline" else None,
+            max_instructions=400_000,
+        )
+        for name, tool in (
+            ("bare", None), ("lazypoline", "lazypoline"), ("sud", "sud"),
+        )
+    }
+    tool = captured["tool"]
+    problems = []
+    if tool.mode is not Mode.SUD_ONLY:
+        problems.append(f"attached in {tool.mode} instead of SUD_ONLY")
+    if tool.rewritten:
+        problems.append(f"{len(tool.rewritten)} sites rewritten without a sled")
+    if reports["bare"].exit != 0x1:
+        problems.append(f"bare guest exit={reports['bare'].exit}")
+    if not reports["lazypoline"].trace:
+        problems.append("no syscall was interposed in SUD_ONLY")
+    for diff in differences(
+        reports["lazypoline"], reports["bare"], compare_trace=False
+    ):
+        problems.append(f"lazypoline vs bare: {diff}")
+    for diff in differences(reports["lazypoline"], reports["sud"]):
+        problems.append(f"lazypoline vs sud: {diff}")
+    return ScenarioResult(
+        scenario="sled_denied",
+        seed=seed,
+        ok=not problems,
+        detail="; ".join(problems),
+        digests={name: r.digest() for name, r in reports.items()},
+        covered=(min_addr, tool.health()["mode"]),
+    )
+
+
+def setup_fault(
+    seed: int,
+    *,
+    perturb_order: bool = True,
+    perturb_quantum: bool = True,
+) -> ScenarioResult:
+    """ENOMEM injected into lazypoline's setup-time mmaps.
+
+    Even seeds fail only the VA-0 blob mapping (SUD_ONLY expected); odd
+    seeds fail *both* mappings under a ``floor="passthrough"`` policy
+    (PASSTHROUGH expected — nothing armed, guest runs bare but runs).
+    Either way the guest's observable behaviour matches the bare run.
+    """
+    from repro.interpose.lazypoline.degrade import Mode
+
+    floor_passthrough = seed % 2 == 1
+    injector = FaultInjector(
+        rules=(
+            FaultRule(
+                errno=errno.ENOMEM, name="mmap",
+                max_injections=2 if floor_passthrough else 1,
+            ),
+        )
+    )
+    captured = {}
+
+    def grab(machine, process, tool):
+        captured["tool"] = tool
+
+    def policy():
+        return ExplorerPolicy(
+            seed, perturb_order=perturb_order, perturb_quantum=perturb_quantum
+        )
+
+    bare = run_guest(
+        build_two_signal_guest, None, policy=policy(),
+        max_instructions=400_000,
+    )
+    lazy = run_guest(
+        build_two_signal_guest,
+        "lazypoline",
+        policy=policy(),
+        injector=injector,
+        configure=grab,
+        tool_opts=(
+            {"degrade_policy": "passthrough"} if floor_passthrough else None
+        ),
+        max_instructions=400_000,
+    )
+    tool = captured["tool"]
+    expected = Mode.PASSTHROUGH if floor_passthrough else Mode.SUD_ONLY
+    problems = []
+    if tool.mode is not expected:
+        problems.append(f"mode {tool.mode}, expected {expected}")
+    if bare.exit != 0x1:
+        problems.append(f"bare guest exit={bare.exit}")
+    if not floor_passthrough and not lazy.trace:
+        problems.append("no syscall was interposed in SUD_ONLY")
+    if floor_passthrough and lazy.trace:
+        problems.append("PASSTHROUGH mode still interposed syscalls")
+    injected = [r for r in injector.plan if r.name == "mmap"]
+    if len(injected) != len(injector.plan) or not injected:
+        problems.append(f"unexpected fault plan: {injector.plan_json()}")
+    # PASSTHROUGH armed nothing, so even the trace must match bare's
+    # (both empty); in SUD_ONLY the trace is tool-internal knowledge.
+    for diff in differences(
+        lazy, bare, compare_trace=floor_passthrough
+    ):
+        problems.append(f"lazypoline vs bare: {diff}")
+    return ScenarioResult(
+        scenario="setup_fault",
+        seed=seed,
+        ok=not problems,
+        detail="; ".join(problems),
+        digests={
+            "bare": bare.digest(), "lazypoline": lazy.digest(),
+            "plan": injector.plan_digest(),
+        },
+        covered=(tool.health()["mode"], len(injected)),
+    )
+
+
+def rewrite_fault(
+    seed: int,
+    *,
+    perturb_order: bool = True,
+    perturb_quantum: bool = True,
+) -> ScenarioResult:
+    """Fail seed-selected rewrite mprotects — opening *and* restore calls.
+
+    Unlike :func:`mprotect_fault` (which only probes the opening call),
+    the rule here matches any rewrite-window mprotect: transient errnos
+    exercise the bounded retry, the non-transient EACCES exercises
+    blacklisting, and a failed *restore* exercises the full rollback.
+    Whatever is hit, the invariant is absolute: the guest's behaviour is
+    unchanged and no attempted site is ever left torn
+    (:func:`repro.interpose.zpoline.rewriter.site_intact` on every one).
+    """
+    from repro.interpose.lazypoline import Lazypoline
+    from repro.interpose.zpoline.rewriter import site_intact
+    from repro.kernel.machine import Machine
+
+    errnos = (errno.ENOMEM, errno.EAGAIN, errno.EACCES)
+    injector = FaultInjector(
+        rules=(
+            FaultRule(
+                errno=errnos[seed % 3], name="mprotect",
+                skip=1 + seed % 6,  # skip >= 1: the attach-time blob
+                max_injections=1 + seed % 3,  # mprotect always passes
+            ),
+        )
+    )
+    machine = Machine(
+        policy=ExplorerPolicy(
+            seed, perturb_order=perturb_order, perturb_quantum=perturb_quantum
+        )
+    )
+    machine.kernel.fault_injector = injector
+    process = machine.load(build_two_signal_guest())
+    tool = Lazypoline._install(machine, process, TraceInterposer())
+    machine.run(until=lambda: not process.alive, max_instructions=400_000)
+
+    problems = []
+    if process.alive:
+        problems.append("guest did not terminate")
+    elif process.term_signal is not None:
+        problems.append(f"guest killed by signal {process.term_signal}")
+    elif process.exit_code != 0x1:
+        problems.append(f"exit={process.exit_code:#x}")
+    if not injector.plan:
+        problems.append("no mprotect fault was injected")
+    attempted = (
+        set(tool.rewritten)
+        | tool.degrade.blacklist
+        | set(tool.degrade.site_failures)
+    )
+    torn = [
+        hex(site)
+        for site in sorted(attempted)
+        if not site_intact(process.task, site)
+    ]
+    if torn:
+        problems.append(f"torn sites after injected faults: {torn}")
+    return ScenarioResult(
+        scenario="rewrite_fault",
+        seed=seed,
+        ok=not problems,
+        detail="; ".join(problems),
+        digests={"plan": injector.plan_digest()},
+        # (seq, prot) per injection: prot==0x3 is a window opening,
+        # anything with PROT_EXEC is a permission restore
+        covered=tuple((r.seq, r.args[2]) for r in injector.plan),
+    )
+
+
+def signal_depth(
+    seed: int,
+    *,
+    perturb_order: bool = True,
+    perturb_quantum: bool = True,
+) -> ScenarioResult:
+    """Exhaust the per-task sigreturn-selector stack via nested signals.
+
+    ``signal_depth_limit=3`` against a 6-deep nest: even seeds use the
+    ``spill`` policy — selectors past the limit chain onto overflow pages
+    and the guest result is identical to bare; odd seeds use the ``fault``
+    policy — the guest takes a clean SIGSEGV (the kernel force_sigsegv
+    analogue), never a host exception.
+    """
+    from repro.kernel.signals import SIGSEGV
+
+    fault_variant = seed % 2 == 1
+    captured = {}
+
+    def grab(machine, process, tool):
+        captured["tool"] = tool
+
+    def policy():
+        return ExplorerPolicy(
+            seed, perturb_order=perturb_order, perturb_quantum=perturb_quantum
+        )
+
+    bare = run_guest(
+        build_nested_signal_guest, None, policy=policy(),
+        max_instructions=400_000,
+    )
+    lazy = run_guest(
+        build_nested_signal_guest,
+        "lazypoline",
+        policy=policy(),
+        configure=grab,
+        tool_opts={
+            "degrade_policy": {
+                "signal_depth_limit": 3,
+                "depth_overflow": "fault" if fault_variant else "spill",
+            }
+        },
+        max_instructions=400_000,
+    )
+    tool = captured["tool"]
+    health = tool.health()
+    problems = []
+    if bare.exit != 6:
+        problems.append(f"bare guest exit={bare.exit}, expected 6 activations")
+    if fault_variant:
+        if lazy.signal != SIGSEGV:
+            problems.append(
+                f"expected clean SIGSEGV, got signal={lazy.signal} "
+                f"exit={lazy.exit} crashed={lazy.crashed}"
+            )
+        if not health["depth_overflows"]:
+            problems.append("no depth overflow was recorded")
+    else:
+        for diff in differences(lazy, bare, compare_trace=False):
+            problems.append(f"lazypoline vs bare: {diff}")
+        if not health["spills"]:
+            problems.append("nest never spilled past the inline limit")
+        if health["depth_overflows"]:
+            problems.append("spill policy still took a depth overflow")
+    return ScenarioResult(
+        scenario="signal_depth",
+        seed=seed,
+        ok=not problems,
+        detail="; ".join(problems),
+        digests={"bare": bare.digest(), "lazypoline": lazy.digest()},
+        covered=(
+            "fault" if fault_variant else "spill",
+            health["spills"], health["depth_overflows"],
+        ),
+    )
+
+
 SCENARIOS = {
     "rewrite_window": rewrite_window,
     "differential": differential,
     "transient_faults": transient_faults,
     "mprotect_fault": mprotect_fault,
+    "sled_denied": sled_denied,
+    "setup_fault": setup_fault,
+    "rewrite_fault": rewrite_fault,
+    "signal_depth": signal_depth,
 }

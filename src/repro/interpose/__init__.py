@@ -12,8 +12,15 @@ function" under every mechanism:
 * :mod:`repro.interpose.sud_tool` — the typical Syscall User Dispatch setup,
 * :mod:`repro.interpose.zpoline` — pure static binary rewriting,
 * :mod:`repro.interpose.lazypoline` — the paper's hybrid contribution.
+
+Graceful degradation (hostile environments, resource exhaustion) is
+configured per-attach with ``attach(..., degrade_policy=...)``; the policy
+types :class:`DegradePolicy` and :class:`Mode` are re-exported here lazily
+from :mod:`repro.interpose.lazypoline.degrade` so importing this package
+stays cheap.
 """
 
+from repro.errors import AttachError
 from repro.interpose.api import (
     Interposer,
     SyscallContext,
@@ -23,7 +30,10 @@ from repro.interpose.api import (
 from repro.interpose.registry import attach, available_tools, register_tool
 
 __all__ = [
+    "AttachError",
+    "DegradePolicy",
     "Interposer",
+    "Mode",
     "SyscallContext",
     "TraceInterposer",
     "attach",
@@ -31,3 +41,13 @@ __all__ = [
     "passthrough_interposer",
     "register_tool",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy re-export: pulling in the degrade types must not import the
+    # whole lazypoline tool at ``import repro.interpose`` time.
+    if name in ("DegradePolicy", "Mode"):
+        from repro.interpose.lazypoline import degrade
+
+        return getattr(degrade, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -9,6 +9,14 @@ untouched (required for context-replacing calls like ``rt_sigreturn``).
 
 The paper's "dummy interposition function" — execute the syscall with its
 original arguments and return the result — is :func:`passthrough_interposer`.
+
+Interposers are mechanism-agnostic; *how well the mechanism survives a
+hostile environment* is configured separately at attach time with
+``attach(..., degrade_policy=...)`` (see
+:mod:`repro.interpose.lazypoline.degrade` — a ``DegradePolicy``, a floor
+``Mode``/mode name, or a dict of policy fields).  The interposer callable
+itself never changes: under ``SUD_ONLY`` it simply sees every call arrive
+via the slow path, and under ``PASSTHROUGH`` it is not invoked at all.
 """
 
 from __future__ import annotations

@@ -57,8 +57,16 @@ def build_blobs(
     wrap_pre_hcall: int,
     preserve_xstate: bool,
     pkey_protected: bool = False,
+    base: int = 0,
 ) -> LazypolineBlobs:
-    asm = Assembler(base=0)
+    """Assemble the blob page at ``base`` (0 for the paper's VA-0 page).
+
+    A non-zero base is the SUD_ONLY degradation layout: every entry point
+    (SIGSYS handler, wrapper, restorers, trampoline) works anywhere, but
+    ``call rax`` can only land in the sled when it sits at address 0 — so
+    a relocated page means no rewriting, only the selector slow path.
+    """
+    asm = Assembler(base=base)
 
     # ---- the zpoline sled: `call rax` lands at offset <sysno> ------------
     for _ in range(SLED_SIZE):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.arch.isa import CALL_RAX_BYTES, SYSCALL_BYTES, SYSENTER_BYTES
 from repro.arch.registers import MASK64, RAX, RDI, RDX, RSI, RSP, SYSCALL_ARG_REGS
+from repro.errors import AttachError
 from repro.interpose.api import (
     Interposer,
     SyscallContext,
@@ -13,23 +14,43 @@ from repro.interpose.api import (
 from repro.interpose.lazypoline import gsrel
 from repro.interpose.lazypoline.asmblobs import LazypolineBlobs, build_blobs
 from repro.interpose.lazypoline.config import LazypolineConfig
+from repro.interpose.lazypoline.degrade import (
+    DegradeController,
+    DegradePolicy,
+    Mode,
+    as_degrade_policy,
+)
 from repro.kernel import errno
 from repro.kernel.signals import (
     FRAME_SIGINFO,
     SA_RESTORER,
     SA_SIGINFO,
     SI_ADDR,
+    SIGSEGV,
     SIGSYS,
     UC_GPRS,
     UC_RIP,
 )
 from repro.kernel.sud import SELECTOR_ALLOW, SudState
-from repro.kernel.syscalls.mm import PROT_EXEC, PROT_READ, PROT_WRITE
+from repro.kernel.syscalls.mm import (
+    MAP_ANONYMOUS,
+    MAP_FIXED,
+    MAP_PRIVATE,
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+)
 from repro.kernel.syscalls.table import NR
 from repro.kernel.task import SIG_DFL, SIG_IGN, SigAction
 from repro.mem.pages import PAGE_SIZE, Perm, page_align_down, page_align_up
 
+_NR_MMAP = NR["mmap"]
+_NR_MUNMAP = NR["munmap"]
 _NR_MPROTECT = NR["mprotect"]
+
+#: mprotect failures worth retrying during a rewrite (anything else —
+#: e.g. EPERM/EACCES from a W^X policy — is permanent for that attempt).
+_TRANSIENT_ERRNOS = frozenset({errno.EINTR, errno.EAGAIN, errno.ENOMEM})
 
 #: CAS attempts before a contended rewrite-lock loser stops spinning and
 #: backs off for the remainder of the owner's hold window.
@@ -59,12 +80,21 @@ class Lazypoline:
     tool_name = "lazypoline"
 
     def __init__(self, machine, process, interposer: Interposer,
-                 config: LazypolineConfig):
+                 config: LazypolineConfig,
+                 degrade_policy: DegradePolicy | None = None):
         self.machine = machine
         self.process = process
         self.interposer = interposer
         self.config = config
         self.blobs: LazypolineBlobs | None = None
+        #: graceful-degradation state machine (see lazypoline/degrade.py)
+        self.degrade = DegradeController(
+            machine.kernel, degrade_policy or DegradePolicy(),
+            mechanism=self.tool_name,
+        )
+        #: where the blob page actually landed (0 unless degraded)
+        self._blob_base = 0
+        self._hcall_ids: tuple[int, int, int] | None = None
 
         #: application signal handlers we shadow: sig -> SigAction
         self.app_handlers: dict[int, SigAction] = {}
@@ -124,33 +154,114 @@ class Lazypoline:
         process,
         interposer: Interposer | None = None,
         config: LazypolineConfig | None = None,
+        degrade_policy=None,
     ) -> "Lazypoline":
         config = config or LazypolineConfig()
-        tool = cls(machine, process, interposer or passthrough_interposer, config)
+        tool = cls(
+            machine, process, interposer or passthrough_interposer, config,
+            as_degrade_policy(degrade_policy),
+        )
         kernel = machine.kernel
         task = process.task
 
-        generic = kernel.register_hcall(tool._on_generic)
-        sigsys = kernel.register_hcall(tool._on_sigsys)
-        wrap_pre = kernel.register_hcall(tool._on_wrap_pre)
-        tool.blobs = build_blobs(
-            generic_hcall=generic,
-            sigsys_hcall=sigsys,
-            wrap_pre_hcall=wrap_pre,
-            preserve_xstate=config.preserves_any_xstate,
-            pkey_protected=config.protect_gs_with_pkey,
+        tool._hcall_ids = (
+            kernel.register_hcall(tool._on_generic),
+            kernel.register_hcall(tool._on_sigsys),
+            kernel.register_hcall(tool._on_wrap_pre),
         )
-
-        # The VA-0 page: sled + every lazypoline entry point.
-        size = page_align_up(len(tool.blobs.code))
-        task.mem.map(0, size, Perm.RW)
-        task.mem.write(0, tool.blobs.code, check=None)
-        task.mem.protect(0, size, Perm.RX)
-
+        tool._build_blobs(base=0)
+        # The blob page (sled + every entry point) is mapped through the
+        # real syscall path: setup-time mmap/mprotect failures (injected
+        # ENOMEM, mmap_min_addr's EPERM) become visible, degradable events
+        # instead of host exceptions.
+        tool._map_blobs(kernel, task)
+        if tool.degrade.mode is Mode.PASSTHROUGH:
+            return tool  # nothing armed: the guest runs bare but runs
         tool._setup_task(task, fresh_gs=True)
         if config.reinstall_on_exec:
             kernel.exec_hooks.append(tool._on_exec)
         return tool
+
+    def _build_blobs(self, *, base: int) -> None:
+        generic, sigsys, wrap_pre = self._hcall_ids
+        self.blobs = build_blobs(
+            generic_hcall=generic,
+            sigsys_hcall=sigsys,
+            wrap_pre_hcall=wrap_pre,
+            preserve_xstate=self.config.preserves_any_xstate,
+            pkey_protected=self.config.protect_gs_with_pkey,
+            base=base,
+        )
+
+    def _map_blobs(self, kernel, task) -> None:
+        """Map the blob page, walking the degradation ladder on failure.
+
+        FULL_HYBRID needs the page at VA 0: ``call rax`` on a rewritten
+        site lands at address == sysno, inside the sled.  If the fixed
+        VA-0 mapping is denied (``mmap_min_addr``, injected ENOMEM) the
+        blobs are rebuilt at whatever base the kernel grants — every entry
+        point still works, only the sled (and hence rewriting) is lost —
+        and the tool attaches in SUD_ONLY.  If even that allocation fails
+        and the policy floor allows, it attaches armed with nothing
+        (PASSTHROUGH).  A floor above the required mode raises
+        :class:`AttachError` instead.
+        """
+        degrade = self.degrade
+        size = page_align_up(len(self.blobs.code))
+        rw = PROT_READ | PROT_WRITE
+
+        ret = kernel.do_syscall(
+            task, _NR_MMAP,
+            (0, size, rw, MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, 0, 0),
+        )
+        err = self._finish_blob_page(kernel, task, 0, size) if ret == 0 else -ret
+        if err is None:
+            self._blob_base = 0
+            return
+        if not degrade.degrade_to(
+            Mode.SUD_ONLY,
+            f"VA-0 blob page unavailable ({errno.errno_name(err)})",
+            tid=task.tid,
+        ):
+            raise AttachError(
+                f"lazypoline: cannot map the VA-0 sled page "
+                f"({errno.errno_name(err)}) and the degrade floor is "
+                f"{degrade.policy.floor.value}"
+            )
+
+        ret = kernel.do_syscall(
+            task, _NR_MMAP, (0, size, rw, MAP_PRIVATE | MAP_ANONYMOUS, 0, 0)
+        )
+        if ret > 0:
+            self._build_blobs(base=ret)
+            err = self._finish_blob_page(kernel, task, ret, size)
+            if err is None:
+                self._blob_base = ret
+                return
+        else:
+            err = -ret
+        if not degrade.degrade_to(
+            Mode.PASSTHROUGH,
+            f"blob page unmappable anywhere ({errno.errno_name(err)})",
+            tid=task.tid,
+        ):
+            raise AttachError(
+                f"lazypoline: cannot map the blob page anywhere "
+                f"({errno.errno_name(err)}) and the degrade floor is "
+                f"{degrade.policy.floor.value}"
+            )
+
+    def _finish_blob_page(self, kernel, task, base: int, size: int) -> int | None:
+        """Write the code and flip the page executable.  Returns None on
+        success, the positive errno on failure (page unmapped again)."""
+        task.mem.write(base, self.blobs.code, check=None)
+        ret = kernel.do_syscall(
+            task, _NR_MPROTECT, (base, size, PROT_READ | PROT_EXEC)
+        )
+        if ret == 0:
+            return None
+        kernel.do_syscall(task, _NR_MUNMAP, (base, size))
+        return -ret
 
     def _setup_task(self, task, *, fresh_gs: bool) -> None:
         """Arm one task: gs region, xsave mask, SIGSYS handler, SUD."""
@@ -192,7 +303,9 @@ class Lazypoline:
         if not key:
             key = mem.pkey_alloc()
             if key < 0:
-                raise RuntimeError("no free protection keys")
+                raise AttachError(
+                    "no free protection keys (pkey_alloc would return ENOSPC)"
+                )
             self._pkey = key
         mem.assign_pkey(task.regs.gs_base, gsrel.GS_PROTECTED_SIZE, key)
         closed = 2 << (2 * key)  # write-disable for the gs key
@@ -348,15 +461,52 @@ class Lazypoline:
 
     def _on_wrap_pre(self, hctx) -> None:
         """Wrapper-handler prologue (Fig. 3 ①): save the selector on the
-        %gs sigreturn stack, set BLOCK, and resolve the app handler."""
+        %gs sigreturn stack, set BLOCK, and resolve the app handler.
+
+        This is the only place nested-signal state grows, so it is also
+        where resource exhaustion of the per-task %gs stacks is handled:
+        by policy, an over-deep nest either spills onto chained overflow
+        pages or takes a clean guest fault — never a host exception.
+        """
         task = hctx.task
         regs = task.regs
         mem = task.mem
         gs = regs.gs_base
         sig = regs.read(RDI)
+        policy = self.degrade.policy
+
+        spill = policy.depth_overflow == "spill"
+        depth = gsrel.sigret_depth(mem, gs)
+        over_limit = depth >= min(
+            policy.signal_depth_limit, gsrel.SIGRET_STACK_SLOTS
+        )
+        exhausted = over_limit and not spill
+        if not exhausted and self.config.preserves_any_xstate:
+            # The xstate stack cannot spill (the fast-path asm indexes it
+            # directly); one slot is kept in reserve for the handler's own
+            # syscalls.
+            if gsrel.xstack_depth(mem, gs) >= gsrel.XSTACK_DEPTH - 1:
+                exhausted = True
+                spill = False
+        if exhausted:
+            # The real kernel's analogue of an unpushable signal frame is
+            # force_sigsegv(): reset the disposition to SIG_DFL and kill.
+            self.degrade.note_depth_overflow(tid=task.tid, depth=depth)
+            task.sighand.set(SIGSEGV, SigAction())
+            self.app_handlers.pop(SIGSEGV, None)
+            regs.write(RAX, self.blobs.noop_ret)
+            hctx.kernel.force_signal(
+                task, SIGSEGV, {"addr": gs + gsrel.GS_SIGRET_SP}
+            )
+            return
 
         current = gsrel.read_selector(mem, gs)
-        gsrel.push_sigret_selector(mem, gs, current)
+        spilled = gsrel.push_sigret_selector(
+            mem, gs, current, spill=spill, force=over_limit
+        )
+        if spilled:
+            self.degrade.note_spill(tid=task.tid, depth=depth)
+            hctx.charge(hctx.kernel.costs.page_op)
         gsrel.write_selector(mem, gs, 1)  # SELECTOR_BLOCK
         hctx.charge(8)
 
@@ -435,11 +585,12 @@ class Lazypoline:
         """execve wipes every mapping and SUD itself; re-install from scratch."""
         if task.pid != self.process.task.pid:
             return
+        base = self._blob_base
         size = page_align_up(len(self.blobs.code))
-        if not task.mem.is_mapped(0, size):
-            task.mem.map(0, size, Perm.RW)
-            task.mem.write(0, self.blobs.code, check=None)
-            task.mem.protect(0, size, Perm.RX)
+        if not task.mem.is_mapped(base, size):
+            task.mem.map(base, size, Perm.RW)
+            task.mem.write(base, self.blobs.code, check=None)
+            task.mem.protect(base, size, Perm.RX)
         self.rewritten.clear()
         self.app_handlers.clear()
         self._setup_task(task, fresh_gs=True)
@@ -471,7 +622,11 @@ class Lazypoline:
         if tracer is not None:
             tracer.sigsys_trap(hctx.kernel.clock, task.tid, site, "lazypoline")
 
-        if self.config.rewrite:
+        if (
+            self.config.rewrite
+            and self.degrade.allows_rewrite
+            and site not in self.degrade.blacklist
+        ):
             self._rewrite_site(hctx, site)
 
         # REG_RIP redirection (§IV-A c), with an emulated call-rax push.
@@ -502,11 +657,38 @@ class Lazypoline:
             hctx.charge(release - kernel.clock)
         self.lock_spin_cycles += kernel.clock - start
 
+    def _mprotect_retry(self, hctx, addr: int, length: int, prot: int) -> int:
+        """mprotect with bounded, charged, exponential backoff on transient
+        failure.  The §IV-A(b) lock stays held the whole time, so the
+        backoff cycles are honestly burnt inside the critical section."""
+        policy = self.degrade.policy
+        ret = hctx.do_syscall(_NR_MPROTECT, (addr, length, prot))
+        attempt = 0
+        while (
+            isinstance(ret, int)
+            and ret < 0
+            and -ret in _TRANSIENT_ERRNOS
+            and attempt < policy.rewrite_retries
+        ):
+            hctx.charge(policy.retry_backoff << attempt)
+            attempt += 1
+            ret = hctx.do_syscall(_NR_MPROTECT, (addr, length, prot))
+        return 0 if ret is None else ret
+
     def _rewrite_site(self, hctx, site: int) -> None:
-        """Patch one verified syscall instruction to ``call rax``."""
+        """Patch one verified syscall instruction to ``call rax``.
+
+        Failure handling (all under the lock): a transient opening-mprotect
+        failure is retried with backoff; an exhausted attempt leaves the
+        site on the slow path and counts toward its blacklist budget; a
+        failed *restore* rolls the patch back completely — original bytes,
+        original protections — so no concurrent core can ever fetch a torn
+        site, and no page is left writable-but-not-executable.
+        """
         task = hctx.task
         mem = task.mem
         kernel = hctx.kernel
+        degrade = self.degrade
         core_id = kernel.current_core_id
         # The spinlock of §IV-A(b): prevents one thread from revoking write
         # permission while another is mid-rewrite.  The uncontended acquire
@@ -526,6 +708,8 @@ class Lazypoline:
                 # the sigreturn re-enters through the already-patched fast
                 # path, which is exactly the loser's correct retry.
                 return
+            if site in degrade.blacklist:
+                return
             insn = mem.read(site, 2, check=None)
             if insn not in (SYSCALL_BYTES, SYSENTER_BYTES):
                 # The kernel guarantees a real syscall trapped here, so this
@@ -533,38 +717,75 @@ class Lazypoline:
                 return
             start = page_align_down(site)
             end = page_align_up(site + 2)
+            pages = list(range(start, end, PAGE_SIZE))
+            saved_perms = [mem.perm_at(p) for p in pages]
             saved = [
-                _PERM_TO_PROT.get(mem.perm_at(p), PROT_READ)
-                for p in range(start, end, PAGE_SIZE)
+                _PERM_TO_PROT.get(perm, PROT_READ) for perm in saved_perms
             ]
-            ret = hctx.do_syscall(
-                _NR_MPROTECT, (start, end - start, PROT_READ | PROT_WRITE)
+            ret = self._mprotect_retry(
+                hctx, start, end - start, PROT_READ | PROT_WRITE
             )
-            if ret is not None and ret < 0:
-                # mprotect can transiently fail (ENOMEM: the kernel could
-                # not split the VMA).  The site stays on the slow path —
+            if ret < 0:
+                # Retries exhausted (or a permanent refusal, e.g. a W^X
+                # policy's EPERM).  The site stays on the slow path —
                 # correct, merely slower; writing anyway would fault on the
-                # still read-only page and SIGSEGV the guest.
+                # still read-only page and SIGSEGV the guest.  Repeated
+                # failure blacklists just this site; other sites are
+                # unaffected.
+                degrade.note_rewrite_failure(site, -ret, tid=task.tid)
                 return
             mem.write(site, CALL_RAX_BYTES, check="write")
-            hctx.charge(3 + hctx.kernel.costs.code_patch_flush)
-            for i, prot in enumerate(saved):
-                hctx.do_syscall(
-                    _NR_MPROTECT, (start + i * PAGE_SIZE, PAGE_SIZE, prot)
-                )
+            hctx.charge(3 + kernel.costs.code_patch_flush)
+            restore_err = 0
+            for page, prot in zip(pages, saved):
+                ret = self._mprotect_retry(hctx, page, PAGE_SIZE, prot)
+                if ret < 0:
+                    restore_err = -ret
+            if restore_err:
+                # Roll back under the lock.  Order matters: first drop X
+                # from every touched page (direct protect — restoring or
+                # narrowing an existing VMA's protections needs no split
+                # and cannot fail the way the syscall just did), so no
+                # other core can fetch from the window; then put the
+                # original bytes back; then force the saved protections.
+                # Net effect: the site is byte-identical to before the
+                # attempt and never observable in a torn state.
+                for page in pages:
+                    mem.protect(page, PAGE_SIZE, Perm.RW)
+                mem.write(site, insn, check="write")
+                hctx.charge(3 + kernel.costs.code_patch_flush)
+                for page, perm in zip(pages, saved_perms):
+                    mem.protect(page, PAGE_SIZE, perm)
+                degrade.note_rewrite_failure(site, restore_err, tid=task.tid)
+                return
             rewritten.add(site)
-            tracer = hctx.kernel.tracer
+            tracer = kernel.tracer
             if tracer is not None:
                 tracer.rewrite(
-                    hctx.kernel.clock, task.tid, site, "lazypoline", origin="trap"
+                    kernel.clock, task.tid, site, "lazypoline", origin="trap"
                 )
         finally:
             self._lock_windows[mem.asid] = (core_id, acquired, kernel.clock)
+
+    # ----------------------------------------------------------- degradation
+    @property
+    def mode(self) -> Mode:
+        """Current degradation mode (FULL_HYBRID unless something failed)."""
+        return self.degrade.mode
+
+    def health(self) -> dict:
+        """Degradation summary for this tool instance."""
+        return self.degrade.health()
 
     # ------------------------------------------------------- manual rewriting
     def rewrite_site_now(self, site: int) -> None:
         """Host-side up-front rewrite (the microbenchmark's steady-state
         setup: "we manually rewrote the syscall instruction up front")."""
+        if not self.degrade.allows_rewrite:
+            raise AttachError(
+                f"lazypoline: rewriting unavailable in "
+                f"{self.degrade.mode.value} mode (no VA-0 sled)"
+            )
         task = self.process.task
         insn = task.mem.read(site, 2, check=None)
         if insn not in (SYSCALL_BYTES, SYSENTER_BYTES):

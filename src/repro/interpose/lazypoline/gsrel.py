@@ -26,6 +26,8 @@ from repro.mem.pages import PAGE_SIZE, Perm, page_align_up
 GS_SELECTOR = 0
 GS_XSP = 24
 GS_SIGRET_SP = 32
+GS_SIGRET_DEPTH = 40  #: live entries on the sigreturn stack (u64 counter)
+GS_SIGRET_SPARE = 48  #: one cached overflow page for spill mode (0 = none)
 GS_SCRATCH = 64
 GS_SIGRET_STACK = 128
 SIGRET_STACK_SLOTS = 64
@@ -57,6 +59,8 @@ def init_gs_region(mem, base: int, *, selector: int = SELECTOR_BLOCK) -> None:
     mem.write_u8(base + GS_SELECTOR, selector, check=None)
     mem.write_u64(base + GS_XSP, base + GS_XSTACK, check=None)
     mem.write_u64(base + GS_SIGRET_SP, base + GS_SIGRET_STACK, check=None)
+    mem.write_u64(base + GS_SIGRET_DEPTH, 0, check=None)
+    mem.write_u64(base + GS_SIGRET_SPARE, 0, check=None)
 
 
 # ----------------------------------------------------------- host accessors
@@ -68,13 +72,54 @@ def write_selector(mem, gs_base: int, value: int) -> None:
     mem.write_u8(gs_base + GS_SELECTOR, value, check=None)
 
 
-def push_sigret_selector(mem, gs_base: int, value: int) -> None:
+def push_sigret_selector(mem, gs_base: int, value: int, *,
+                         spill: bool = False, force: bool = False) -> bool:
+    """Push one saved selector.  Returns True if an overflow page was
+    chained (only possible with ``spill=True``).
+
+    Spill layout: when the inline slots fill up, a fresh RW page is
+    chained; its slot 0 holds the previous stack pointer (the back link)
+    and slots 1.. hold values, so the first value on every overflow page
+    sits at page offset 8 — which the inline stack (page offset 128+,
+    since the gs base is page-aligned) can never alias.  One drained page
+    is cached in ``GS_SIGRET_SPARE`` so a signal depth oscillating around
+    the boundary does not leak a page per crossing.
+
+    ``force`` chains an overflow page even before the inline stack is
+    physically full — how ``DegradePolicy.signal_depth_limit`` caps inline
+    usage below the 64 physical slots (it only applies while the pointer
+    is still in the inline stack; pushes on an already-chained page keep
+    filling that page).
+
+    Without ``spill`` a full stack still raises (the historical guard);
+    lazypoline itself never lets that happen — it either spills or
+    delivers a clean guest fault first, per its ``DegradePolicy``.
+    """
     sp = mem.read_u64(gs_base + GS_SIGRET_SP, check=None)
-    limit = gs_base + GS_SIGRET_STACK + 8 * SIGRET_STACK_SLOTS
-    if sp >= limit:
-        raise OverflowError("lazypoline sigreturn stack overflow")
+    main_limit = gs_base + GS_SIGRET_STACK + 8 * SIGRET_STACK_SLOTS
+    in_main = gs_base + GS_SIGRET_STACK <= sp <= main_limit
+    full = (
+        (sp >= main_limit or (force and spill))
+        if in_main
+        else sp % PAGE_SIZE == 0
+    )
+    spilled = False
+    if full:
+        if not spill:
+            raise OverflowError("lazypoline sigreturn stack overflow")
+        page = mem.read_u64(gs_base + GS_SIGRET_SPARE, check=None)
+        if page:
+            mem.write_u64(gs_base + GS_SIGRET_SPARE, 0, check=None)
+        else:
+            page = mem.map_anywhere(PAGE_SIZE, Perm.RW, hint=0x3400_0000)
+        mem.write_u64(page, sp, check=None)  # back link
+        sp = page + 8
+        spilled = True
     mem.write_u64(sp, value, check=None)
     mem.write_u64(gs_base + GS_SIGRET_SP, sp + 8, check=None)
+    depth = mem.read_u64(gs_base + GS_SIGRET_DEPTH, check=None)
+    mem.write_u64(gs_base + GS_SIGRET_DEPTH, depth + 1, check=None)
+    return spilled
 
 
 def pop_sigret_selector(mem, gs_base: int) -> int:
@@ -82,8 +127,26 @@ def pop_sigret_selector(mem, gs_base: int) -> int:
     if sp <= gs_base + GS_SIGRET_STACK:
         return SELECTOR_BLOCK  # empty: conservative default
     sp -= 8
+    value = mem.read_u64(sp, check=None) & 0xFF
+    if sp % PAGE_SIZE == 8:
+        # First value slot of an overflow page (the inline stack lives at
+        # page offset >= 128): follow the back link and recycle the page.
+        page = sp - 8
+        sp = mem.read_u64(page, check=None)
+        if mem.read_u64(gs_base + GS_SIGRET_SPARE, check=None) == 0:
+            mem.write_u64(gs_base + GS_SIGRET_SPARE, page, check=None)
+        else:
+            mem.unmap(page, PAGE_SIZE)
     mem.write_u64(gs_base + GS_SIGRET_SP, sp, check=None)
-    return mem.read_u64(sp, check=None) & 0xFF
+    depth = mem.read_u64(gs_base + GS_SIGRET_DEPTH, check=None)
+    if depth:
+        mem.write_u64(gs_base + GS_SIGRET_DEPTH, depth - 1, check=None)
+    return value
+
+
+def sigret_depth(mem, gs_base: int) -> int:
+    """Live saved-selector count (== current wrapped-signal nesting depth)."""
+    return mem.read_u64(gs_base + GS_SIGRET_DEPTH, check=None)
 
 
 def unwind_xstate_entry(mem, gs_base: int) -> None:

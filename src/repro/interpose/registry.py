@@ -20,6 +20,7 @@ have adapter quirks mirroring their real-world APIs:
 
 from __future__ import annotations
 
+import warnings
 from importlib import import_module
 from typing import Any, Callable
 
@@ -37,6 +38,11 @@ _LAZY: dict[str, tuple[str, str]] = {
 
 #: tool name -> attach callable; populated lazily and by register_tool().
 _REGISTRY: dict[str, Callable[..., Any]] = {}
+
+#: tools whose ``_install`` understands ``degrade_policy=`` (see
+#: :mod:`repro.interpose.lazypoline.degrade`).  Extended via
+#: ``register_tool(..., degrade_aware=True)``.
+_DEGRADE_AWARE: set[str] = {"lazypoline"}
 
 
 def _attach_seccomp_bpf(machine, process, interposer=None, **opts):
@@ -76,13 +82,22 @@ _ADAPTERS: dict[str, Callable[..., Any]] = {
 }
 
 
-def register_tool(name: str, attach_fn: Callable[..., Any]) -> None:
+def register_tool(
+    name: str, attach_fn: Callable[..., Any], *, degrade_aware: bool = False
+) -> None:
     """Register (or replace) an attachable tool.
 
     ``attach_fn(machine, process, interposer=None, **opts)`` must return the
     tool object.  Third-party tool classes typically pass ``cls._install``.
+    ``degrade_aware`` declares that the tool accepts ``degrade_policy=``
+    (see :mod:`repro.interpose.lazypoline.degrade`); for other tools the
+    option warns and is dropped instead of breaking the attach.
     """
     _REGISTRY[name] = attach_fn
+    if degrade_aware:
+        _DEGRADE_AWARE.add(name)
+    else:
+        _DEGRADE_AWARE.discard(name)
 
 
 def available_tools() -> list[str]:
@@ -117,6 +132,7 @@ def attach(
     tool: str = "lazypoline",
     *,
     interposer=None,
+    degrade_policy=None,
     **opts,
 ):
     """Attach an interposition tool to ``process`` on ``machine``.
@@ -124,8 +140,25 @@ def attach(
     Returns the tool object (same as the old ``*Tool.install`` calls).
     ``interposer`` defaults to the passthrough interposer for tools that
     take one; mechanism-specific options go in ``**opts``.
+
+    ``degrade_policy`` configures graceful degradation for tools that
+    support it (currently lazypoline): a
+    :class:`~repro.interpose.lazypoline.degrade.DegradePolicy`, a mode
+    name/:class:`Mode` giving just the floor, or a dict of policy fields.
+    Tools without degradation support warn and ignore it — existing
+    callers keep working unchanged.
     """
     fn = _resolve(tool)
+    if degrade_policy is not None:
+        if tool in _DEGRADE_AWARE:
+            opts["degrade_policy"] = degrade_policy
+        else:
+            warnings.warn(
+                f"tool {tool!r} has no graceful-degradation support; "
+                f"degrade_policy is ignored",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     if interposer is None:
         return fn(machine, process, **opts)
     return fn(machine, process, interposer, **opts)

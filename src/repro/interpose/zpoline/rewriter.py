@@ -16,7 +16,7 @@ central criticism and the reason lazypoline exists.
 from __future__ import annotations
 
 from repro.arch.disasm import find_syscall_sites, sweep_syscall_addresses
-from repro.arch.isa import CALL_RAX_BYTES
+from repro.arch.isa import CALL_RAX_BYTES, SYSCALL_BYTES, SYSENTER_BYTES
 from repro.mem.pages import PAGE_SIZE, Perm, page_align_down, page_align_up
 
 
@@ -49,6 +49,27 @@ def patch_site(task, addr: int) -> None:
     task.mem.write(addr, CALL_RAX_BYTES, check="write")
     for i, perm in enumerate(saved):
         task.mem.protect(start + i * PAGE_SIZE, PAGE_SIZE, perm)
+
+
+def site_intact(task, addr: int) -> bool:
+    """True iff the site at ``addr`` is in a complete, executable state.
+
+    A site is *intact* when its two bytes are a whole ``syscall``/
+    ``sysenter`` or a whole ``call rax`` patch **and** every covering page
+    is executable again.  A rewriter interrupted mid-patch (first byte
+    written, or write permission still open) leaves the site non-intact —
+    exactly what the fault-injection scenarios assert can never be
+    observed, since lazypoline rolls partial rewrites back under its lock.
+    """
+    insn = bytes(task.mem.read(addr, 2, check=None))
+    if insn not in (SYSCALL_BYTES, SYSENTER_BYTES, CALL_RAX_BYTES):
+        return False
+    start = page_align_down(addr)
+    end = page_align_up(addr + 2)
+    return all(
+        task.mem.perm_at(page) & Perm.X
+        for page in range(start, end, PAGE_SIZE)
+    )
 
 
 def rewrite_sites(task, sites: list[int]) -> list[int]:

@@ -71,7 +71,7 @@ class Zpoline:
 
         tool._hcall_id = kernel.register_hcall(tool._on_trampoline_entry)
         code, entry = build_trampoline_code(tool._hcall_id)
-        map_trampoline(task, code)
+        map_trampoline(task, code, kernel=kernel)
         tool.entry_addr = entry
 
         if rewrite:

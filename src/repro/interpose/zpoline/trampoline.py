@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.arch.encode import Assembler
+from repro.errors import AttachError
 from repro.mem import layout
 from repro.mem.pages import PAGE_SIZE, Perm
 
@@ -36,12 +37,22 @@ def build_trampoline_code(hcall_id: int) -> tuple[bytes, int]:
     return code, asm.address_of("entry")
 
 
-def map_trampoline(task, code: bytes) -> None:
-    """Map the trampoline at VA 0 (mmap_min_addr = 0 assumed, like the paper).
+def map_trampoline(task, code: bytes, *, kernel=None) -> None:
+    """Map the trampoline at VA 0 (the paper assumes ``mmap_min_addr = 0``).
 
     Mirrors zpoline's real sequence: mmap RW at 0, write, mprotect to R-X so
-    the sled cannot be tampered with afterwards.
+    the sled cannot be tampered with afterwards.  When ``kernel`` is given,
+    its ``mmap_min_addr`` sysctl is honoured: a non-zero floor makes the
+    VA-0 mapping impossible, and — unlike lazypoline, whose SUD slow path
+    works from any base — zpoline has nothing to degrade to, so attach
+    fails with :class:`AttachError` (this is nexpoline's raison d'être).
     """
+    if kernel is not None and kernel.mmap_min_addr > layout.TRAMPOLINE_BASE:
+        raise AttachError(
+            f"zpoline: mmap_min_addr={kernel.mmap_min_addr:#x} forbids the "
+            f"VA-0 trampoline and zpoline has no fallback mechanism "
+            f"(use lazypoline, which degrades to SUD_ONLY)"
+        )
     size = (len(code) + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
     task.mem.map(layout.TRAMPOLINE_BASE, size, Perm.RW)
     task.mem.write(layout.TRAMPOLINE_BASE, code, check=None)

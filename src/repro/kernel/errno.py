@@ -17,6 +17,7 @@ EEXIST = 17
 ENOTDIR = 20
 EISDIR = 21
 EINVAL = 22
+ENOSPC = 28
 ENFILE = 23
 EMFILE = 24
 ENOTTY = 25

@@ -462,7 +462,20 @@ class Kernel:
             try:
                 return self.dispatch(task, sysno, args)
             except WouldBlock as block:
-                self.wait_until(task, block.ready)
+                if not block.interruptible:
+                    self.wait_until(task, block.ready)
+                    continue
+                # Same contract as the scheduler's parked-task path: a
+                # deliverable signal aborts the wait and the syscall
+                # returns -EINTR (the handler runs at the task's next
+                # instruction boundary).  Without this, an interposed
+                # blocking syscall could never be interrupted.
+                self.wait_until(
+                    task,
+                    lambda: block.ready() or task.has_deliverable_signal(),
+                )
+                if not block.ready():
+                    return -errno.EINTR
 
     # ------------------------------------------------------- cooperative waits
     def wait_until(self, task: Task, predicate: Callable[[], bool]) -> None:

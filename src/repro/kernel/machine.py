@@ -69,9 +69,11 @@ class Machine:
         tracer=None,
         cores: int = 1,
         smp_seed: int = 0,
+        mmap_min_addr: int = 0,
     ):
         self.costs = costs or CostModel()
         self.kernel = Kernel(self.costs, translation_cache=translation_cache)
+        self.kernel.mmap_min_addr = mmap_min_addr
         self.scheduler = Scheduler(
             self.kernel, quantum=quantum, policy=policy,
             cores=cores, smp_seed=smp_seed,

@@ -85,16 +85,23 @@ class FilterBuilder:
         which is sufficient for our < 4 GiB layouts; ranges that would wrap
         the low 32 bits are rejected.
         """
-        if (start & 0xFFFFFFFF) + length > 1 << 32:
+        end_lo = (start & 0xFFFFFFFF) + length
+        if end_lo > 1 << 32:
             raise ValueError("ip range wraps the low 32 bits")
-        end = start + length
         hi = (start >> 32) & 0xFFFFFFFF
+        # A range ending exactly at 2^32 has no representable upper bound
+        # in a 32-bit JGE; no IP can exceed it, so fall through to ALLOW.
+        upper = (
+            jump(_JGE_K, end_lo, 1, 0)
+            if end_lo < 1 << 32
+            else jump(_JGE_K, 0, 0, 0)
+        )
         insns = [
             stmt(_LD_W_ABS, SECCOMP_DATA_IP_HI),
             jump(_JEQ_K, hi, 0, 4),  # wrong high word -> trap
             stmt(_LD_W_ABS, SECCOMP_DATA_IP_LO),
             jump(_JGE_K, start & 0xFFFFFFFF, 0, 2),
-            jump(_JGE_K, end & 0xFFFFFFFF, 1, 0),
+            upper,
             stmt(_RET_K, SECCOMP_RET_ALLOW),
             stmt(_RET_K, SECCOMP_RET_TRAP),
         ]

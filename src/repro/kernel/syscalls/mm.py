@@ -43,15 +43,22 @@ def sys_mmap(kernel, task, args):
         return -errno.EINVAL
     _charge_pages(kernel, task, length)
     perm = prot_to_perm(prot)
+    min_addr = kernel.mmap_min_addr
     try:
         if flags & MAP_FIXED:
             if addr % PAGE_SIZE:
                 return -errno.EINVAL
+            if addr < min_addr:
+                # vm.mmap_min_addr: fixed mappings below the floor are denied
+                # outright (CAP_SYS_RAWIO is not modelled).  This is what makes
+                # zpoline/lazypoline's VA-0 sled genuinely deniable.
+                return -errno.EPERM
             if task.mem.is_mapped(addr, length):
                 task.mem.unmap(addr, page_align_up(length))
             result = task.mem.map(addr, length, perm)
         else:
-            result = task.mem.map_anywhere(length, perm, hint=addr or 0x1000_0000)
+            hint = max(addr or 0x1000_0000, min_addr)
+            result = task.mem.map_anywhere(length, perm, hint=hint)
     except MapError:
         return -errno.ENOMEM
     if not flags & MAP_ANONYMOUS:
@@ -92,7 +99,7 @@ def sys_munmap(kernel, task, args):
 def sys_pkey_alloc(kernel, task, args):
     key = task.mem.pkey_alloc()
     if key < 0:
-        return -errno.ENOMEM  # all 15 keys in use (ENOSPC on Linux)
+        return -errno.ENOSPC  # all 15 keys in use
     return key
 
 

@@ -24,6 +24,13 @@ kind                      emitted by
 ``cache_invalidate``      CPU core — a cached translation was discarded
                           because its page generation changed (self-modifying
                           code, e.g. lazypoline's in-place rewrite)
+``degrade``               degradation controller — the tool moved to a less
+                          capable mode (FULL_HYBRID → SUD_ONLY → PASSTHROUGH)
+``rewrite_blacklist``     degradation controller — a syscall site exhausted
+                          its rewrite attempts and is pinned to the slow path
+``fallback``              degradation controller — a recoverable fault was
+                          absorbed (rewrite retry, sigreturn-stack spill,
+                          setup-mmap fallback) without changing mode
 ========================  =====================================================
 
 ``ts`` is the simulated clock (cycles) at *emission* time.  On a 1-core
@@ -49,6 +56,9 @@ SLICE_END = "slice_end"
 CTX_SWITCH = "ctx_switch"
 SIGNAL = "signal"
 CACHE_INVALIDATE = "cache_invalidate"
+DEGRADE = "degrade"
+REWRITE_BLACKLIST = "rewrite_blacklist"
+FALLBACK = "fallback"
 
 ALL_KINDS = (
     SYSCALL,
@@ -62,6 +72,9 @@ ALL_KINDS = (
     CTX_SWITCH,
     SIGNAL,
     CACHE_INVALIDATE,
+    DEGRADE,
+    REWRITE_BLACKLIST,
+    FALLBACK,
 )
 
 

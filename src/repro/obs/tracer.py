@@ -42,6 +42,12 @@ class Tracer:
         self.rewritten_sites: dict[int, str] = {}
         self.slowpath_total = 0
         self.cache_invalidations = 0
+        #: degradation-mode transitions: (ts, tid, mechanism, old, new, reason)
+        self.degradations: list[tuple] = []
+        #: sites pinned to the slow path after repeated rewrite failures
+        self.blacklisted_sites: dict[int, str] = {}
+        #: recoverable faults absorbed without a mode change, by stage name
+        self.fallback_counts: dict[str, int] = {}
         self.max_events = max_events
         self.dropped = 0
         self.machine = None  # bound by Machine.attach_tracer
@@ -156,6 +162,29 @@ class Tracer:
         self.cache_invalidations += 1
         self._emit(ts, K.CACHE_INVALIDATE, tid, {"addr": addr})
 
+    # ----------------------------------------------------------- degradation
+    def degrade(
+        self, ts: int, tid: int, mechanism: str, old: str, new: str, reason: str
+    ) -> None:
+        """The degradation controller moved to a less capable mode."""
+        self.degradations.append((ts, tid, mechanism, old, new, reason))
+        self._emit(ts, K.DEGRADE, tid,
+                   {"mechanism": mechanism, "old": old, "new": new,
+                    "reason": reason})
+
+    def rewrite_blacklist(
+        self, ts: int, tid: int, site: int, mechanism: str, reason: str
+    ) -> None:
+        """A syscall site exhausted its rewrite budget; slow path forever."""
+        self.blacklisted_sites[site] = reason
+        self._emit(ts, K.REWRITE_BLACKLIST, tid,
+                   {"site": site, "mechanism": mechanism, "reason": reason})
+
+    def fallback(self, ts: int, tid: int, stage: str, detail: dict) -> None:
+        """A recoverable fault was absorbed (no mode change)."""
+        self.fallback_counts[stage] = self.fallback_counts.get(stage, 0) + 1
+        self._emit(ts, K.FALLBACK, tid, dict(detail, stage=stage))
+
     # ------------------------------------------------------------- summaries
     def core_utilization(self) -> dict[int, float]:
         """Per-core busy fraction (busy cycles / machine frontier)."""
@@ -169,6 +198,28 @@ class Tracer:
     def syscall_table(self) -> list[SyscallAggregate]:
         """Aggregates sorted by total cycles, descending."""
         return sorted(self.syscalls.values(), key=lambda a: -a.cycles)
+
+    def health(self) -> dict:
+        """One-look degradation summary for a run.
+
+        ``mode`` is the final mode of the last tool that reported a
+        transition (``"full_hybrid"`` if none ever degraded); the rest are
+        cheap aggregates maintained at emit time, so this never walks the
+        event list.
+        """
+        mode = self.degradations[-1][4] if self.degradations else "full_hybrid"
+        return {
+            "mode": mode,
+            "degradations": [
+                {"ts": ts, "tid": tid, "mechanism": mech,
+                 "old": old, "new": new, "reason": reason}
+                for ts, tid, mech, old, new, reason in self.degradations
+            ],
+            "blacklisted_sites": dict(self.blacklisted_sites),
+            "fallbacks": dict(self.fallback_counts),
+            "slowpath_total": self.slowpath_total,
+            "rewritten_sites": len(self.rewritten_sites),
+        }
 
     def coverage(self) -> dict[int, dict]:
         """Per-site rewrite coverage: traps taken and whether it went fast."""

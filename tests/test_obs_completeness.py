@@ -4,9 +4,10 @@ Runs one guest under lazypoline with both views on: the trace-oracle
 interposer (:class:`repro.faults.oracle.TidTracer`, the tool-level ground
 truth) and the machine-wide obs tracer.  Every syscall the oracle saw must
 appear exactly once as an obs ``syscall`` event — after filtering the
-tool-internal dispatches (``mprotect`` for rewriting, ``rt_sigreturn`` for
-the slow path's frame teardown) that the kernel-level view legitimately
-sees and the tool-level view does not.  Rewrite events must cover exactly
+tool-internal dispatches (``mmap``/``munmap`` for the attach-time blob
+mapping, ``mprotect`` for rewriting, ``rt_sigreturn`` for the slow path's
+frame teardown) that the kernel-level view legitimately sees and the
+tool-level view does not.  Rewrite events must cover exactly
 the executed syscall sites.
 """
 
@@ -25,7 +26,7 @@ from tests.conftest import asm, emit_exit, emit_syscall, finish
 pytestmark = pytest.mark.obs
 
 #: Dispatches lazypoline issues for itself, invisible at tool level.
-TOOL_INTERNAL = {"mprotect", "rt_sigreturn"}
+TOOL_INTERNAL = {"mmap", "munmap", "mprotect", "rt_sigreturn"}
 
 
 def build_guest():
