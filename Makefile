@@ -5,7 +5,7 @@ export PYTHONPATH
 FUZZ_MINUTES ?= 5
 FAULT_SEEDS ?= 0:64
 
-.PHONY: test test-fast test-degrade faults fuzz bench perf trace
+.PHONY: test test-fast test-degrade test-superblock faults fuzz bench perf trace
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,12 @@ test-fast:
 # faults, %gs-stack exhaustion and EINTR-during-interposition coverage.
 test-degrade:
 	$(PYTHON) -m pytest -x -q -m degrade
+
+# Superblock tier: Hypothesis lockstep equivalence (tiering on vs off must
+# be bit-identical in registers, memory, traces and simulated cycles) plus
+# the invalidation and cycle-identity matrices.
+test-superblock:
+	$(PYTHON) -m pytest -x -q -m superblock
 
 faults:
 	$(PYTHON) -m repro.faults --seeds $(FAULT_SEEDS)

@@ -27,6 +27,29 @@ DEFAULT_NEW = ROOT / "BENCH_interp.json"
 TOLERANCE = 0.15
 
 
+#: Same-run speedup ratios recorded in BENCH_interp.json and the floor each
+#: must clear.  Ratios are host-noise-resistant (both sides measured in the
+#: same process), so unlike the MIPS band these are hard floors.
+SPEEDUP_FLOORS = {
+    "speedup_microbench_vs_uncached": 3.0,
+    "speedup_superblocks_vs_tier1": 5.0,
+}
+
+
+def check_floors(new: dict) -> list[str]:
+    """Absolute floors on the current run, independent of any baseline."""
+    failures = []
+    for key, floor in SPEEDUP_FLOORS.items():
+        value = new.get(key)
+        if value is None:
+            continue  # older-schema result file
+        marker = "BELOW FLOOR" if value < floor else "ok"
+        print(f"{key:34s} {value:6.2f}x (floor {floor:.1f}x)  {marker}")
+        if value < floor:
+            failures.append(f"{key}: {value:.2f}x below the {floor:.1f}x floor")
+    return failures
+
+
 def compare(old: dict, new: dict, tolerance: float) -> list[str]:
     """Return a list of human-readable regression messages (empty = pass)."""
     failures = []
@@ -66,19 +89,19 @@ def main(argv: list[str] | None = None) -> int:
     if not new_path.exists():
         print(f"no current run at {new_path}; run `make perf` first")
         return 1
+    new = json.loads(new_path.read_text())
+    failures = check_floors(new)
     if not old_path.exists():
         print(f"no previous run at {old_path}; current run becomes the baseline")
-        return 0
-
-    old = json.loads(old_path.read_text())
-    new = json.loads(new_path.read_text())
-    failures = compare(old, new, args.tolerance)
+    else:
+        old = json.loads(old_path.read_text())
+        failures += compare(old, new, args.tolerance)
     if failures:
-        print("\nperformance regressions beyond tolerance:", file=sys.stderr)
+        print("\nperformance failures:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print("\nno regression beyond tolerance")
+    print("\nall floors cleared, no regression beyond tolerance")
     return 0
 
 

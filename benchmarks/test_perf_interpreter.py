@@ -8,12 +8,15 @@ at the repo root so every future PR is measured against this baseline
 (``benchmarks/check_regression.py`` enforces the tolerance band; see
 ``make perf``).
 
-The microbench is measured twice in the same run, with the translation
-cache on and off; the cached number must be >= 3x the uncached one — the
-tentpole claim of the translation-cached interpreter.  Simulated results
-(cycle counts, traces) are identical either way; only host wall-clock
-changes.  These are host-machine-dependent numbers: regenerate the baseline
-when moving hardware.
+The microbench is measured three times in the same run: full tiering
+(translation cache + superblocks, the default), tier 1 only (translation
+cache, superblocks off) and the uncached reference interpreter.  Two
+floors are enforced same-run: tier 1 must be >= 3x uncached (the PR-2
+translation-cache claim) and the superblock tier must be >= 5x tier 1
+(the tier-2 claim).  Simulated results (cycle counts, traces) are
+identical every way; only host wall-clock changes.  These are
+host-machine-dependent numbers: regenerate the baseline when moving
+hardware.
 
 Run via ``make perf`` or ``pytest benchmarks/test_perf_interpreter.py -m perf``.
 """
@@ -93,9 +96,11 @@ def _measure(setup, repeats: int = REPEATS) -> dict:
                key=lambda s: s["mips"])
 
 
-def _microbench(translation_cache: bool) -> dict:
+def _microbench(translation_cache: bool, superblocks: bool = True) -> dict:
     def setup():
-        machine = Machine(translation_cache=translation_cache)
+        machine = Machine(
+            translation_cache=translation_cache, superblocks=superblocks
+        )
         proc = machine.load(_compute_loop_image(MICRO_ITERS))
         run = lambda: machine.run_process(proc, max_instructions=20_000_000)
         return (lambda: machine.scheduler.total_instructions), run
@@ -145,17 +150,25 @@ def _webserver() -> dict:
 def test_perf_interpreter_baseline():
     workloads = {
         "microbench": _microbench(True),
+        "microbench_tier1": _microbench(True, superblocks=False),
         "microbench_uncached": _microbench(False),
         "microbench_syscall": _microbench_syscall(),
         "tcc": _tcc(),
         "webserver": _webserver(),
     }
-    speedup = workloads["microbench"]["mips"] / workloads["microbench_uncached"]["mips"]
+    speedup = (
+        workloads["microbench_tier1"]["mips"]
+        / workloads["microbench_uncached"]["mips"]
+    )
+    tier2_speedup = (
+        workloads["microbench"]["mips"] / workloads["microbench_tier1"]["mips"]
+    )
     result = {
         "schema": 1,
         "metric": "guest MIPS = executed guest instructions / host seconds / 1e6",
         "workloads": workloads,
         "speedup_microbench_vs_uncached": round(speedup, 3),
+        "speedup_superblocks_vs_tier1": round(tier2_speedup, 3),
     }
     RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
 
@@ -167,7 +180,12 @@ def test_perf_interpreter_baseline():
         )
     lines.append("")
     lines.append(f"translation-cache speedup on microbench: {speedup:.2f}x")
+    lines.append(f"superblock-tier speedup over tier 1:     {tier2_speedup:.2f}x")
     save_report("perf_interpreter", "\n".join(lines))
 
-    # The tentpole target: >= 3x steady-state MIPS, same-run comparison.
+    # The PR-2 target: >= 3x steady-state MIPS, same-run comparison.
     assert speedup >= 3.0, f"translation cache speedup only {speedup:.2f}x"
+    # The tier-2 target: superblocks >= 5x over the tier-1 interpreter.
+    assert tier2_speedup >= 5.0, (
+        f"superblock tier speedup only {tier2_speedup:.2f}x"
+    )

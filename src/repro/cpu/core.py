@@ -667,13 +667,27 @@ class CPU:
         env: Environment,
         cost_model: CostModel | None = None,
         translation_cache: bool = True,
+        superblocks: bool = True,
     ):
         self.env = env
         self.costs = cost_model or CostModel()
         self.hooks: list = []
         self.translation_cache = translation_cache
+        #: Tier 2: compile hot straight-line runs into superblocks (see
+        #: :mod:`repro.cpu.superblock`; the scheduler owns the dispatch).
+        #: Tied to the translation cache — the uncached configuration is
+        #: the pure reference interpreter and stays single-step.
+        self.superblocks = superblocks and translation_cache
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Superblock counters (compiles/invalidations are rare; per-run
+        #: counts live on the blocks themselves to keep the hot path lean).
+        self.blocks_compiled = 0
+        self.blocks_invalidated = 0
+        #: Bumped by :meth:`refresh_cost_table`.  Compiled blocks bake
+        #: their cycle costs in, so every BlockCache snapshots this and
+        #: the scheduler drops stale caches at slice granularity.
+        self.cost_epoch = 0
         #: observability tracer; only consulted on the (rare) generation-
         #: mismatch branch, never on the per-instruction hit path.
         self.tracer = None
@@ -693,6 +707,45 @@ class CPU:
             else:
                 table.append(self.costs.insn_cost(m))
         self._cost_table = table
+        self.cost_epoch += 1
+
+    # ------------------------------------------------------------ superblocks
+    def compile_superblock(self, mem, head: int, tid: int = -1,
+                           max_len: int | None = None):
+        """Compile the run at ``head`` into ``mem``'s bound block cache.
+
+        With ``max_len`` the block is truncated to the remaining slice
+        budget and cached under the ``(head, max_len)`` key — a *tail*
+        variant the scheduler reuses every time a quantum cuts the full
+        block at the same point.  Tail keys ride the same per-page index,
+        so generation bumps flush them with everything else.
+        """
+        from repro.cpu.superblock import compile_block
+
+        block = compile_block(mem, head, self._cost_table, max_len)
+        key = head if max_len is None else (head, max_len)
+        bc = mem.block_cache
+        bc.blocks[key] = block
+        index = bc.index
+        index.setdefault(block.p0, set()).add(key)
+        if block.p1 != block.p0:
+            index.setdefault(block.p1, set()).add(key)
+        if block.fn is not None:
+            self.blocks_compiled += 1
+            if self.tracer is not None:
+                self.tracer.block_compile(
+                    getattr(self.env, "clock", 0), tid, head, block.n
+                )
+        return block
+
+    def note_block_invalidate(self, head: int, tid: int = -1,
+                              reason: str = "stale") -> None:
+        """Account one compiled block discarded for stale generations."""
+        self.blocks_invalidated += 1
+        if self.tracer is not None:
+            self.tracer.block_invalidate(
+                getattr(self.env, "clock", 0), tid, head, reason
+            )
 
     def add_hook(self, hook) -> None:
         self.hooks.append(hook)

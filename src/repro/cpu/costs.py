@@ -221,3 +221,20 @@ class CostModel:
 
     def cycles_to_seconds(self, cycles: int | float) -> float:
         return cycles / self.frequency_hz
+
+
+def block_batchable(costs) -> bool:
+    """May a superblock fold these per-insn charges into one batched sum?
+
+    The tier-1 path charges each instruction separately, so the running
+    clock is the *sequential* float sum of the costs; a compiled block
+    charges one precomputed total per exit.  The two are bit-identical
+    when every cost is a non-negative multiple of 0.25 below 2**40: each
+    partial sum is then an exact dyadic rational K/4 with K < 2**52, every
+    float addition along the way is exact, and the batched total equals
+    the sequential sum exactly.  All DEFAULT_INSN_COSTS qualify (integers
+    plus the 0.25-cycle NOP).  Anything else — e.g. a calibrated model
+    with arbitrary float costs — fails the gate and the block compiler
+    falls back to per-instruction charges, trading speed for identity.
+    """
+    return all(0 <= c < 1 << 40 and (c * 4) % 1 == 0 for c in costs)

@@ -1,0 +1,597 @@
+"""Tier-2 of the interpreter: superblock compilation.
+
+The PR-2 translation cache (tier 1) made :meth:`repro.cpu.core.CPU.step`
+a dict hit plus one handler call, but the scheduler still pays the full
+per-instruction boundary protocol — liveness, signal, policy and rebind
+checks — around every step.  This module adds the second tier sketched in
+ROADMAP item 1, using the dispatch-generation idiom of PyPy's blackhole
+interpreter (SNIPPETS.md, Snippets 2-3): once a straight-line run of code
+turns hot, its instructions are compiled *together* into one generated
+Python function whose body is the fused, specialised sequence of the
+handlers that tier 1 would have dispatched one call at a time.
+
+A superblock is a maximal straight-line run starting at a hot *head*:
+
+* registers the block touches are hoisted into Python locals and spilled
+  back at every exit,
+* the per-instruction cycle charges are folded into one batched
+  ``charge`` call per exit (see :func:`repro.cpu.costs.block_batchable`
+  for why the batched float sum is bit-identical to per-step charging),
+* anything that can observe or change machine state mid-run — syscalls,
+  hcalls, hlt, gs/pkru traffic, vector/x87 state — terminates the block:
+  those instructions always execute on the tier-1 path, so every syscall,
+  signal-delivery point and scheduler boundary stays exactly where the
+  single-step interpreter put it,
+* a conditional or indirect branch may terminate the block *compiled-in*:
+  the generated code computes the successor rip and exits,
+* faults inside the block spill, rewind ``rip`` to the faulting
+  instruction, charge exactly the instructions retired so far (the
+  faulting one included, as ``CPU.step`` does) and re-raise for the
+  scheduler's normal ``handle_fault`` path,
+* a store that bumps :attr:`AddressSpace.code_epoch` (i.e. hit *any*
+  executable page) conservatively side-exits after retiring, so a block
+  that overwrites its own upcoming instructions never executes stale
+  bytes.
+
+Validity is keyed by the same per-page generation counters that guard the
+tier-1 cache: a block records ``(page, gen)`` for the one or two pages its
+bytes span, and ``AddressSpace._bump_exec_gen`` — the single choke point
+for SMC writes, mprotect, munmap and lazypoline's in-place rewrites —
+eagerly flushes every block spanning the bumped page.  Fork isolation is
+free (a forked space starts with a fresh :class:`BlockCache`); SMP uses
+one ``BlockCache`` per (core, asid) pair so cross-core rewrites shoot
+down exactly the remote blocks spanning the patched page.
+"""
+
+from __future__ import annotations
+
+from repro.arch.decode import decode_one
+from repro.arch.isa import MAX_INSN_LEN, Mnemonic
+from repro.errors import InvalidOpcode, PageFault
+from repro.mem.pages import PAGE_SHIFT
+
+#: Executions of a head address (observed at taken control transfers and
+#: block exits) before the run starting there is compiled.  High enough
+#: that short-lived code and most unit-test guests never tier up, so the
+#: legacy path keeps covering them byte-for-byte.
+HOT_THRESHOLD = 16
+
+#: Longest run compiled into one block.  Also bounded by the two-page
+#: span limit below, and by the scheduler to the remaining slice budget
+#: at entry (a block never straddles a quantum boundary).
+BLOCK_CAP = 32
+
+#: Shortest run worth compiling; a 1-instruction block would just be the
+#: tier-1 step with extra spill traffic.
+MIN_LEN = 2
+
+_M64 = (1 << 64) - 1
+_SBIT = 1 << 63
+_2_64 = 1 << 64
+
+
+class SuperBlock:
+    """One compiled straight-line run (or a "don't retry" sentinel).
+
+    ``fn(task, charge) -> int`` (``charge`` is the environment's charge
+    method, hoisted by the caller) executes the whole run: it returns the
+    number of instructions retired and leaves ``task.regs``/memory/cycle
+    state exactly as that many tier-1 steps would have.  On a guest fault it
+    sets ``task.sb_fault`` to the retired count (faulting instruction
+    included) and re-raises.  ``fn is None`` marks a sentinel: the head's
+    run is not compilable (too short, or starts with an excluded opcode);
+    keeping the sentinel in the cache stops the scheduler re-counting and
+    re-compiling it, and its ``(page, gen)`` keys let SMC retry later.
+    """
+
+    __slots__ = ("head", "n", "fn", "p0", "g0", "p1", "g1", "cost", "runs")
+
+    def __init__(self, head, n, fn, p0, g0, p1, g1, cost):
+        self.head = head
+        self.n = n
+        self.fn = fn
+        self.p0 = p0
+        self.g0 = g0
+        self.p1 = p1
+        self.g1 = g1
+        self.cost = cost
+        self.runs = 0
+
+
+class BlockCache:
+    """Superblock state for one address space (or one (core, asid) pair).
+
+    ``blocks`` maps head address -> :class:`SuperBlock`; ``index`` maps
+    page number -> set of head addresses whose blocks span that page, so
+    a generation bump flushes exactly the stale blocks without a scan;
+    ``heads`` holds the pre-compilation hotness counters.  ``cost_epoch``
+    snapshots :attr:`CPU.cost_epoch` — blocks bake their cycle costs in,
+    so a recalibrated cost model drops the whole cache (checked once per
+    slice, never per instruction).
+    """
+
+    __slots__ = ("blocks", "index", "heads", "cost_epoch")
+
+    def __init__(self):
+        self.blocks: dict[int, SuperBlock] = {}
+        self.index: dict[int, set] = {}
+        self.heads: dict[int, int] = {}
+        self.cost_epoch = -1
+
+    def reset(self, cost_epoch: int) -> None:
+        self.blocks.clear()
+        self.index.clear()
+        self.heads.clear()
+        self.cost_epoch = cost_epoch
+
+
+# --------------------------------------------------------------- classification
+# Straight-line instructions the compiler knows how to fuse.  Everything
+# else — syscalls, hcalls, hlt, traps, gs/pkru, vector, x87, xsave — ends
+# the block *before* it, so it executes on the tier-1 path with the full
+# scheduler boundary protocol around it.
+_STRAIGHT = frozenset(
+    (
+        Mnemonic.NOP,
+        Mnemonic.MOV_IMM64,
+        Mnemonic.MOV,
+        Mnemonic.LOAD,
+        Mnemonic.STORE,
+        Mnemonic.LOAD8,
+        Mnemonic.STORE8,
+        Mnemonic.LEA,
+        Mnemonic.ADD,
+        Mnemonic.SUB,
+        Mnemonic.CMP,
+        Mnemonic.AND,
+        Mnemonic.OR,
+        Mnemonic.XOR,
+        Mnemonic.IMUL,
+        Mnemonic.SHL,
+        Mnemonic.SHR,
+        Mnemonic.ADDI,
+        Mnemonic.SUBI,
+        Mnemonic.CMPI,
+        Mnemonic.ANDI,
+        Mnemonic.ORI,
+        Mnemonic.XORI,
+        Mnemonic.INC,
+        Mnemonic.DEC,
+        Mnemonic.PUSH,
+        Mnemonic.POP,
+    )
+)
+
+#: Control transfers compiled *into* the block as its final instruction.
+_TERMINATORS = frozenset(
+    (
+        Mnemonic.RET,
+        Mnemonic.CALL_REG,
+        Mnemonic.JMP_REG,
+        Mnemonic.CALL_REL,
+        Mnemonic.JMP_REL,
+        Mnemonic.JZ,
+        Mnemonic.JNZ,
+        Mnemonic.JL,
+        Mnemonic.JG,
+        Mnemonic.JGE,
+        Mnemonic.JLE,
+    )
+)
+
+_JCC_COND = {
+    Mnemonic.JZ: "zf",
+    Mnemonic.JNZ: "not zf",
+    Mnemonic.JL: "lt",
+    Mnemonic.JG: "not lt and not zf",
+    Mnemonic.JGE: "not lt",
+    Mnemonic.JLE: "lt or zf",
+}
+
+_RSP = 4
+
+
+def _decode_run(mem, head):
+    """Decode the straight-line run at ``head`` (no caches touched).
+
+    Deliberately bypasses ``mem.insn_cache`` — compilation must not
+    perturb tier-1 cache contents, or hit/miss counts and SMP shootdown
+    charges would differ between tiering on and off.  Stops at the first
+    non-straight-line opcode, at a compiled-in terminator, at the block
+    cap, or where decoding itself would fault (execution reaching that
+    point side-exits and faults identically on the tier-1 path).
+    """
+    insns = []
+    addr = head
+    p0 = head >> PAGE_SHIFT
+    while len(insns) < BLOCK_CAP:
+        try:
+            window = mem.fetch(addr, MAX_INSN_LEN)
+            insn = decode_one(window, 0, addr)
+        except (PageFault, InvalidOpcode):
+            break
+        if (addr + insn.length - 1) >> PAGE_SHIFT > p0 + 1:
+            break  # keep every block within a two-page span
+        m = insn.mnemonic
+        if m in _TERMINATORS:
+            insns.append((addr, insn))
+            break
+        if m not in _STRAIGHT:
+            break
+        insns.append((addr, insn))
+        addr += insn.length
+    return insns
+
+
+class _Emitter:
+    """Builds the generated function source for one block.
+
+    Flag assignments are *deferred*: an ALU instruction only records the
+    two pending ``zf``/``lt`` lines, and they are materialised at the
+    first point where the architectural flags are observable — a faulting
+    instruction (the fault path spills them), a side exit, a Jcc read, or
+    the final spill.  A later flag-setting instruction simply replaces
+    the pending pair, which is exactly dead-store elimination: in a run
+    of ALU ops only the last one's flags ever reach an observer.  Pending
+    lines reference register locals, so any instruction that overwrites a
+    referenced register without setting flags itself forces an early
+    materialisation first.
+    """
+
+    def __init__(self):
+        self.lines: list[str] = []
+        self.regs: set[int] = set()
+        self.written: set[int] = set()
+        self.flags_set = False
+        self.flags_read = False
+        self.load_flags = False
+        self.uses_mem = False
+        self.consts: dict[str, object] = {}
+        self.pending: tuple[list[str], set[int]] | None = None
+
+    def touch(self, *rs):
+        self.regs.update(rs)
+
+    def writes(self, *rs):
+        self.regs.update(rs)
+        self.written.update(rs)
+
+    def emit(self, line):
+        self.lines.append("        " + line)
+
+    def set_flags_from(self, lines, refs):
+        self.flags_set = True
+        self.pending = (lines, set(refs))
+
+    def materialize(self):
+        if self.pending is not None:
+            for line in self.pending[0]:
+                self.emit(line)
+            self.pending = None
+
+    def materialize_if_clobbers(self, *written):
+        if self.pending is not None and self.pending[1].intersection(written):
+            self.materialize()
+
+    def spill(self, indent="        "):
+        # Only *written* registers spill; flags spill only if some
+        # instruction set them (unwritten state is already architectural).
+        out = []
+        for r in sorted(self.written):
+            out.append(f"{indent}g[{r}] = r{r}")
+        if self.flags_set:
+            out.append(f"{indent}regs.zf = zf")
+            out.append(f"{indent}regs.lt = lt")
+        return out
+
+
+def _flags(e, val):
+    e.set_flags_from(
+        [f"zf = {val} == 0", f"lt = {val} >= {_SBIT}"],
+        [int(val[1:])],
+    )
+
+
+def _signed(expr):
+    return f"({expr} if {expr} < {_SBIT} else {expr} - {_2_64})"
+
+
+def _side_exit(e, charge_expr, next_addr, count):
+    """Conservative mid-block exit: state as if the run ended here."""
+    e.emit("if mem.code_epoch != _e:")
+    for line in e.spill("            "):
+        e.lines.append(line)
+    e.lines.append(f"            charge(task, {charge_expr})")
+    e.lines.append(f"            regs.rip = {next_addr}")
+    e.lines.append(f"            return {count}")
+
+
+def compile_block(mem, head, cost_table, max_len=None):
+    """Compile the run at ``head``; always returns a :class:`SuperBlock`.
+
+    A non-compilable head yields a sentinel block (``fn is None``) whose
+    generation keys still let SMC invalidate and later retry it.
+
+    ``max_len`` truncates the run to at most that many instructions: the
+    scheduler compiles such *tail* variants when a hot block is longer
+    than the remaining slice budget, so the quantum remainder runs as one
+    compiled call instead of single-stepping.  A truncated run simply
+    ends in a fallthrough exit at the cut point — exactly as a run cut by
+    :data:`BLOCK_CAP` would.
+    """
+    insns = _decode_run(mem, head)
+    if max_len is not None:
+        insns = insns[:max_len]
+    gens = mem.exec_gen
+    # A tail variant is worth compiling even at one instruction: the full
+    # block at this head is already hot, and the single-insn call still
+    # replaces a full boundary-protocol interpreter step.
+    if len(insns) < (MIN_LEN if max_len is None else 1):
+        p0 = head >> PAGE_SHIFT
+        return SuperBlock(head, 0, None, p0, gens.get(p0, 0), p0, gens.get(p0, 0), 0)
+
+    last_addr, last_insn = insns[-1]
+    p0 = head >> PAGE_SHIFT
+    p1 = (last_addr + last_insn.length - 1) >> PAGE_SHIFT
+    end_rip = last_addr + last_insn.length
+
+    costs = [cost_table[insn.mnemonic.op_index] for _, insn in insns]
+    from repro.cpu.costs import block_batchable
+
+    batch = block_batchable(costs)
+
+    e = _Emitter()
+    can_fault = False
+    has_store = False
+
+    # Pre-pass: register/flag footprint, so prologue and spills agree.
+    # ``written`` drives the spill set (read-only registers never spill);
+    # the first-setter / first-fault indices decide whether the entry
+    # flags are live anywhere the generated code could observe them —
+    # only then does the prologue load ``regs.zf``/``regs.lt``.
+    first_set = first_fault = None
+    for i, (_, insn) in enumerate(insns):
+        m = insn.mnemonic
+        ops = insn.operands
+        if m in (Mnemonic.MOV_IMM64,):
+            e.writes(ops[0])
+        elif m in (Mnemonic.MOV,):
+            e.writes(ops[0])
+            e.touch(ops[1])
+        elif m in (Mnemonic.LOAD, Mnemonic.LOAD8, Mnemonic.LEA):
+            e.writes(ops[0])
+            e.touch(ops[1])
+        elif m in (Mnemonic.STORE, Mnemonic.STORE8):
+            e.touch(ops[0], ops[2])
+        elif m in (Mnemonic.CMP,):
+            e.touch(ops[0], ops[1])
+            e.flags_set = True
+        elif m in (Mnemonic.ADD, Mnemonic.SUB, Mnemonic.AND, Mnemonic.OR,
+                   Mnemonic.XOR, Mnemonic.IMUL):
+            e.writes(ops[0])
+            e.touch(ops[1])
+            e.flags_set = True
+        elif m in (Mnemonic.CMPI,):
+            e.touch(ops[0])
+            e.flags_set = True
+        elif m in (Mnemonic.ADDI, Mnemonic.SUBI, Mnemonic.ANDI, Mnemonic.ORI,
+                   Mnemonic.XORI, Mnemonic.SHL, Mnemonic.SHR,
+                   Mnemonic.INC, Mnemonic.DEC):
+            e.writes(ops[0])
+            e.flags_set = True
+        elif m is Mnemonic.PUSH:
+            e.touch(ops[0])
+            e.writes(_RSP)
+        elif m is Mnemonic.POP:
+            e.writes(ops[0], _RSP)
+        elif m is Mnemonic.RET:
+            # The terminator updates g[4] directly after the spill, so
+            # rsp is read-only as a local.
+            e.touch(_RSP)
+        elif m in (Mnemonic.CALL_REG, Mnemonic.JMP_REG):
+            e.touch(ops[0])
+            if m is Mnemonic.CALL_REG:
+                e.touch(_RSP)
+        elif m is Mnemonic.CALL_REL:
+            e.touch(_RSP)
+        elif m in _JCC_COND:
+            e.flags_read = True
+        if e.flags_set and first_set is None:
+            first_set = i
+        if m in (Mnemonic.LOAD, Mnemonic.LOAD8, Mnemonic.STORE, Mnemonic.STORE8,
+                 Mnemonic.PUSH, Mnemonic.POP, Mnemonic.RET, Mnemonic.CALL_REG,
+                 Mnemonic.CALL_REL):
+            e.uses_mem = True
+            can_fault = True
+            if first_fault is None:
+                first_fault = i
+        if m in (Mnemonic.STORE, Mnemonic.STORE8, Mnemonic.PUSH):
+            has_store = True
+
+    # Entry flags must be in locals if a Jcc reads them un-set, or if a
+    # fault/side-exit spill can run before the first setter materialises
+    # (the shared except-handler spill references the flag locals).
+    e.load_flags = (e.flags_read and not e.flags_set) or (
+        e.flags_set and first_fault is not None and first_fault < first_set
+    )
+
+    # Body.  ``running`` replays the exact cumulative charge the tier-1
+    # path would have applied after each instruction (see block_batchable).
+    running = 0
+    n = len(insns)
+    for k, (addr, insn) in enumerate(insns):
+        m = insn.mnemonic
+        ops = insn.operands
+        running = running + costs[k]
+        is_term = k == n - 1 and m in _TERMINATORS
+        if not batch:
+            e.emit(f"charge(task, {costs[k]!r})")
+        if m in (Mnemonic.LOAD, Mnemonic.LOAD8, Mnemonic.STORE, Mnemonic.STORE8,
+                 Mnemonic.PUSH, Mnemonic.POP, Mnemonic.RET, Mnemonic.CALL_REG,
+                 Mnemonic.CALL_REL):
+            e.materialize()  # the fault path spills architectural flags
+            fk = f"_F{k}"
+            # A faulting terminator (ret/call) spills and charges its full
+            # batched total *before* touching memory, so its fault tuple
+            # must not charge again; a mid-block fault is the only charge.
+            e.consts[fk] = (addr, running if batch and not is_term else 0, k + 1)
+            e.emit(f"_f = {fk}")
+        charge_k = repr(running) if batch else "0"
+        exit_cyc = charge_k
+        next_addr = addr + insn.length
+
+        if m is Mnemonic.NOP:
+            pass
+        elif m is Mnemonic.MOV_IMM64:
+            e.materialize_if_clobbers(ops[0])
+            e.emit(f"r{ops[0]} = {ops[1] & _M64}")
+        elif m is Mnemonic.MOV:
+            e.materialize_if_clobbers(ops[0])
+            e.emit(f"r{ops[0]} = r{ops[1]}")
+        elif m is Mnemonic.LEA:
+            e.materialize_if_clobbers(ops[0])
+            e.emit(f"r{ops[0]} = (r{ops[1]} + {ops[2]}) & {_M64}")
+        elif m is Mnemonic.LOAD:
+            e.emit(f"r{ops[0]} = mem.read_u64((r{ops[1]} + {ops[2]}) & {_M64})")
+        elif m is Mnemonic.LOAD8:
+            e.emit(f"r{ops[0]} = mem.read_u8((r{ops[1]} + {ops[2]}) & {_M64})")
+        elif m is Mnemonic.STORE:
+            e.emit(f"mem.write_u64((r{ops[0]} + {ops[1]}) & {_M64}, r{ops[2]})")
+            if k != n - 1:
+                _side_exit(e, exit_cyc, next_addr, k + 1)
+        elif m is Mnemonic.STORE8:
+            e.emit(f"mem.write_u8((r{ops[0]} + {ops[1]}) & {_M64}, r{ops[2]} & 0xFF)")
+            if k != n - 1:
+                _side_exit(e, exit_cyc, next_addr, k + 1)
+        elif m is Mnemonic.PUSH:
+            e.emit(f"_v = r{ops[0]}")
+            e.emit(f"mem.write_u64((r4 - 8) & {_M64}, _v)")
+            e.emit(f"r4 = (r4 - 8) & {_M64}")
+            if k != n - 1:
+                _side_exit(e, exit_cyc, next_addr, k + 1)
+        elif m is Mnemonic.POP:
+            e.emit("_v = mem.read_u64(r4)")
+            e.emit(f"r4 = (r4 + 8) & {_M64}")
+            e.emit(f"r{ops[0]} = _v")
+        elif m in (Mnemonic.ADD, Mnemonic.SUB):
+            op = "+" if m is Mnemonic.ADD else "-"
+            e.emit(f"r{ops[0]} = (r{ops[0]} {op} r{ops[1]}) & {_M64}")
+            _flags(e, f"r{ops[0]}")
+        elif m in (Mnemonic.AND, Mnemonic.OR, Mnemonic.XOR):
+            op = {"AND": "&", "OR": "|", "XOR": "^"}[m.name]
+            e.emit(f"r{ops[0]} = r{ops[0]} {op} r{ops[1]}")
+            _flags(e, f"r{ops[0]}")
+        elif m is Mnemonic.IMUL:
+            e.emit(
+                f"r{ops[0]} = ({_signed(f'r{ops[0]}')} * "
+                f"{_signed(f'r{ops[1]}')}) & {_M64}"
+            )
+            _flags(e, f"r{ops[0]}")
+        elif m is Mnemonic.CMP:
+            # a <s b  <=>  (a ^ 2^63) <u (b ^ 2^63); equality is unaffected.
+            e.set_flags_from(
+                [f"zf = r{ops[0]} == r{ops[1]}",
+                 f"lt = (r{ops[0]} ^ {_SBIT}) < (r{ops[1]} ^ {_SBIT})"],
+                [ops[0], ops[1]],
+            )
+        elif m in (Mnemonic.ADDI, Mnemonic.SUBI):
+            op = "+" if m is Mnemonic.ADDI else "-"
+            e.emit(f"r{ops[0]} = (r{ops[0]} {op} {ops[1] & _M64}) & {_M64}")
+            _flags(e, f"r{ops[0]}")
+        elif m in (Mnemonic.ANDI, Mnemonic.ORI, Mnemonic.XORI):
+            op = {"ANDI": "&", "ORI": "|", "XORI": "^"}[m.name]
+            e.emit(f"r{ops[0]} = r{ops[0]} {op} {ops[1] & _M64}")
+            _flags(e, f"r{ops[0]}")
+        elif m is Mnemonic.CMPI:
+            e.set_flags_from(
+                [f"zf = r{ops[0]} == {ops[1] & _M64}",
+                 f"lt = (r{ops[0]} ^ {_SBIT}) < {(ops[1] & _M64) ^ _SBIT}"],
+                [ops[0]],
+            )
+        elif m is Mnemonic.SHL:
+            e.emit(f"r{ops[0]} = (r{ops[0]} << {ops[1] & 63}) & {_M64}")
+            _flags(e, f"r{ops[0]}")
+        elif m is Mnemonic.SHR:
+            e.emit(f"r{ops[0]} = r{ops[0]} >> {ops[1] & 63}")
+            _flags(e, f"r{ops[0]}")
+        elif m is Mnemonic.INC:
+            e.emit(f"r{ops[0]} = (r{ops[0]} + 1) & {_M64}")
+            _flags(e, f"r{ops[0]}")
+        elif m is Mnemonic.DEC:
+            e.emit(f"r{ops[0]} = (r{ops[0]} - 1) & {_M64}")
+            _flags(e, f"r{ops[0]}")
+        elif is_term:
+            e.materialize()
+            for line in e.spill():
+                e.lines.append(line)
+            if batch:
+                e.emit(f"charge(task, {running!r})")
+            if m is Mnemonic.RET:
+                e.emit("_v = mem.read_u64(r4)")
+                e.emit(f"g[4] = (r4 + 8) & {_M64}")
+                e.emit("regs.rip = _v")
+            elif m is Mnemonic.JMP_REG:
+                e.emit(f"regs.rip = r{ops[0]}")
+            elif m is Mnemonic.CALL_REG:
+                e.emit(f"mem.write_u64((r4 - 8) & {_M64}, {next_addr})")
+                e.emit(f"g[4] = (r4 - 8) & {_M64}")
+                e.emit(f"regs.rip = r{ops[0]}" if ops[0] != _RSP
+                       else f"regs.rip = g[4]")
+            elif m is Mnemonic.CALL_REL:
+                e.emit(f"mem.write_u64((r4 - 8) & {_M64}, {next_addr})")
+                e.emit(f"g[4] = (r4 - 8) & {_M64}")
+                e.emit(f"regs.rip = {(next_addr + ops[0]) & _M64}")
+            elif m is Mnemonic.JMP_REL:
+                e.emit(f"regs.rip = {(next_addr + ops[0]) & _M64}")
+            else:  # Jcc
+                target = (next_addr + ops[0]) & _M64
+                e.emit(f"regs.rip = {target} if {_JCC_COND[m]} else {next_addr}")
+            e.emit(f"return {n}")
+        else:  # pragma: no cover - classification and emitters must agree
+            raise AssertionError(f"no emitter for {m.name}")
+
+    if insns[-1][1].mnemonic not in _TERMINATORS:
+        # Fallthrough exit: the next instruction is not compilable (or the
+        # cap was hit); the tier-1 path picks up at ``end_rip``.
+        e.materialize()
+        for line in e.spill():
+            e.lines.append(line)
+        if batch:
+            e.emit(f"charge(task, {running!r})")
+        e.emit(f"regs.rip = {end_rip}")
+        e.emit(f"return {n}")
+
+    # Assemble: prologue, optionally fault-protected body, epilogue.
+    src = ["def _sb(task, charge):"]
+    src.append("    regs = task.regs")
+    if e.regs:
+        src.append("    g = regs.gpr")
+    if e.uses_mem or has_store:
+        src.append("    mem = task.mem")
+    for r in sorted(e.regs):
+        src.append(f"    r{r} = g[{r}]")
+    if e.load_flags:
+        src.append("    zf = regs.zf")
+        src.append("    lt = regs.lt")
+    if has_store:
+        src.append("    _e = mem.code_epoch")
+    if can_fault:
+        src.append("    try:")
+        src.extend(e.lines)
+        src.append("    except BaseException:")
+        for line in e.spill("        "):
+            src.append(line)
+        src.append("        regs.rip = _f[0]")
+        src.append("        charge(task, _f[1])")
+        src.append("        task.sb_fault = _f[2]")
+        src.append("        raise")
+    else:
+        src.extend(line[4:] for line in e.lines)
+
+    ns = dict(e.consts)
+    exec(compile("\n".join(src), f"<superblock:{head:#x}>", "exec"), ns)
+    fn = ns["_sb"]
+    total = running
+    return SuperBlock(
+        head, n, fn, p0, gens.get(p0, 0), p1, gens.get(p1, 0), total
+    )

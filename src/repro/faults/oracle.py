@@ -66,6 +66,10 @@ class GuestReport:
     schedule_digest: str | None = None
     fault_digest: str | None = None
     fault_plan: tuple = ()
+    #: Simulated machine clock (cycles) and retired-instruction total at
+    #: the end of the run — the superblock tier must keep both bit-exact.
+    cycles: int = 0
+    instructions: int = 0
 
     def trace_by_tid(self) -> dict[int, tuple[str, ...]]:
         out: dict[int, list[str]] = {}
@@ -102,6 +106,7 @@ def run_guest(
     smp_seed: int = 0,
     mmap_min_addr: int = 0,
     tool_opts: dict | None = None,
+    machine_opts: dict | None = None,
 ) -> GuestReport:
     """Run ``image`` under ``tool`` with optional schedule/fault harnessing.
 
@@ -116,11 +121,14 @@ def run_guest(
     ``mmap_min_addr`` makes the machine hostile to VA-0 tools, and
     ``tool_opts`` passes extra keywords (e.g. ``degrade_policy=...``) to the
     tool's ``_install`` — together they drive the graceful-degradation
-    scenarios.
+    scenarios.  ``machine_opts`` forwards extra keywords to
+    :class:`Machine` (e.g. ``superblocks=False`` to pin the interpreter to
+    one tier for a lockstep comparison).
     """
     machine = Machine(
         policy=policy, cores=cores, smp_seed=smp_seed,
         mmap_min_addr=mmap_min_addr,
+        **(machine_opts or {}),
     )
     if injector is not None:
         machine.kernel.fault_injector = injector
@@ -163,6 +171,8 @@ def run_guest(
         fs=fs_snapshot,
         trace=trace,
         crashed=crashed,
+        cycles=machine.clock,
+        instructions=machine.scheduler.total_instructions,
     )
     if policy is not None and hasattr(policy, "trace"):
         report.schedule_digest = policy.trace.digest()
@@ -177,9 +187,23 @@ def differences(
     b: GuestReport,
     *,
     compare_trace: bool = True,
+    compare_cycles: bool = False,
 ) -> list[str]:
-    """Human-readable list of observable divergences (empty = equivalent)."""
+    """Human-readable list of observable divergences (empty = equivalent).
+
+    ``compare_cycles`` additionally requires bit-identical simulated clock
+    and retired-instruction totals — the lockstep criterion for runs that
+    differ only in host-side execution strategy (e.g. superblock tiering),
+    never across different tools or schedules.
+    """
     diffs: list[str] = []
+    if compare_cycles:
+        if a.cycles != b.cycles:
+            diffs.append(f"simulated cycles: {a.cycles} vs {b.cycles}")
+        if a.instructions != b.instructions:
+            diffs.append(
+                f"instructions retired: {a.instructions} vs {b.instructions}"
+            )
     if a.crashed != b.crashed:
         diffs.append(f"crashed: {a.crashed} vs {b.crashed}")
     if a.exit != b.exit:

@@ -120,10 +120,20 @@ class HcallContext:
 class Kernel:
     """The simulated OS kernel."""
 
-    def __init__(self, costs: CostModel | None = None, *, translation_cache: bool = True):
+    def __init__(
+        self,
+        costs: CostModel | None = None,
+        *,
+        translation_cache: bool = True,
+        superblocks: bool = True,
+    ):
         self.costs = costs or CostModel()
         self.clock = 0
-        self.cpu = CPU(self, self.costs, translation_cache=translation_cache)
+        self.cpu = CPU(
+            self, self.costs,
+            translation_cache=translation_cache,
+            superblocks=superblocks,
+        )
         self.tasks: dict[int, Task] = {}
         #: Tasks currently alive (RUNNABLE/BLOCKED), maintained on the only
         #: alive -> not-alive transition (:meth:`terminate_task`) so the

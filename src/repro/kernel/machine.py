@@ -66,13 +66,18 @@ class Machine:
         quantum: int = 64,
         policy=None,
         translation_cache: bool = True,
+        superblocks: bool = True,
         tracer=None,
         cores: int = 1,
         smp_seed: int = 0,
         mmap_min_addr: int = 0,
     ):
         self.costs = costs or CostModel()
-        self.kernel = Kernel(self.costs, translation_cache=translation_cache)
+        self.kernel = Kernel(
+            self.costs,
+            translation_cache=translation_cache,
+            superblocks=superblocks,
+        )
         self.kernel.mmap_min_addr = mmap_min_addr
         self.scheduler = Scheduler(
             self.kernel, quantum=quantum, policy=policy,
@@ -127,6 +132,10 @@ class Machine:
     @property
     def n_cores(self) -> int:
         return len(self.scheduler.cores)
+
+    def superblock_stats(self) -> dict:
+        """Tier-2 interpreter counters (compiles, invalidations, runs)."""
+        return self.scheduler.superblock_stats()
 
     def core_stats(self) -> list[dict]:
         """Per-core utilization and coherence counters.

@@ -29,6 +29,8 @@ import heapq
 import random
 
 from repro.arch.registers import MASK64, RAX
+from repro.cpu.superblock import HOT_THRESHOLD as _HOT
+from repro.cpu.superblock import BlockCache
 from repro.errors import BreakpointTrap, GuestCrash, InvalidOpcode, PageFault
 from repro.kernel.smp import Core
 from repro.kernel.task import Task, TaskState
@@ -152,17 +154,33 @@ class Scheduler:
         # (_nest_epoch changed) or an execve (task.mem rebound) may have
         # clobbered it.  ``until()`` predicates are only consulted between
         # slices, so insn_count is batched to slice exit as well.
-        step = kernel.cpu.step
+        cpu = kernel.cpu
+        step = cpu.step
         handle_fault = kernel.handle_fault
         runnable = TaskState.RUNNABLE
         core = self._current_core
         core._depth += 1
         slice_t0 = kernel.clock
+        hooks = cpu.hooks
+        # Tier-2 dispatch is only sound when nothing can observe or change
+        # state at interior instruction boundaries: a schedule policy may
+        # preempt or post signals anywhere, and CPU hooks (ptrace) see
+        # every instruction — both force pure single-stepping.  Blocks
+        # contain no syscalls/hcalls, so with tier on, every signal
+        # delivery point, boundary check and quantum edge that the
+        # single-step loop would hit still lands on the same instruction.
+        tier = cpu.superblocks and policy is None and not hooks
+        blocks = heads = gens = None
         try:
             mem = task.mem
             mem.active_pkru = task.regs.pkru
             epoch = self._nest_epoch
-            for _ in range(budget):
+            if tier:
+                bcache = self._tier_state(cpu, mem)
+                blocks = bcache.blocks
+                heads = bcache.heads
+                gens = mem.exec_gen
+            while executed < budget:
                 if not task.alive:
                     break
                 if task.state is not runnable:
@@ -185,18 +203,150 @@ class Scheduler:
                         # this address space's live decode cache at another
                         # core's private copy; re-bind ours.
                         self._bind_core(core, mem)
+                    tier = cpu.superblocks and policy is None and not hooks
+                    if tier:
+                        bcache = self._tier_state(cpu, mem)
+                        blocks = bcache.blocks
+                        heads = bcache.heads
+                        gens = mem.exec_gen
                 addr = task.regs.rip
+                if tier:
+                    b = blocks.get(addr)
+                    if b is None:
+                        if executed == 0:
+                            # Quantum cuts land mid-run, so slice entry
+                            # points recur without ever being a taken
+                            # branch target; count them as head
+                            # candidates too (once per slice — cheap).
+                            c = heads.get(addr, 0) + 1
+                            if c >= _HOT:
+                                heads.pop(addr, None)
+                                cpu.compile_superblock(mem, addr, task.tid)
+                            else:
+                                heads[addr] = c
+                    else:
+                        fn = b.fn
+                        if (gens.get(b.p0, 0) != b.g0
+                                or gens.get(b.p1, 0) != b.g1):
+                            # Missed by the eager flush (e.g. invalidated
+                            # while bound to another core's cache).
+                            del blocks[addr]
+                            if fn is not None:
+                                cpu.note_block_invalidate(addr, task.tid)
+                        elif fn is not None and b.n <= budget - executed:
+                            # Chain compiled blocks back-to-back.  This
+                            # skips the boundary checks above *between*
+                            # blocks, which is sound because a block runs
+                            # no syscalls/hcalls: nothing inside a chain
+                            # can change liveness, pending signals or the
+                            # address-space binding — only a fault can,
+                            # and it breaks the chain.
+                            charge = kernel.charge
+                            while True:
+                                try:
+                                    n = fn(task, charge)
+                                except (PageFault, InvalidOpcode,
+                                        BreakpointTrap) as exc:
+                                    executed += task.sb_fault
+                                    b.runs += 1
+                                    handle_fault(task, exc, task.regs.rip)
+                                    break
+                                executed += n
+                                b.runs += 1
+                                # Hotness: block exits chain into heads.
+                                nrip = task.regs.rip
+                                nb = blocks.get(nrip)
+                                if nb is None:
+                                    c = heads.get(nrip, 0) + 1
+                                    if c >= _HOT:
+                                        heads.pop(nrip, None)
+                                        cpu.compile_superblock(
+                                            mem, nrip, task.tid)
+                                    else:
+                                        heads[nrip] = c
+                                    break
+                                fn = nb.fn
+                                if (fn is None
+                                        or nb.n > budget - executed):
+                                    break
+                                if (gens.get(nb.p0, 0) != nb.g0
+                                        or gens.get(nb.p1, 0) != nb.g1):
+                                    del blocks[nrip]
+                                    cpu.note_block_invalidate(
+                                        nrip, task.tid)
+                                    break
+                                b = nb
+                            # Blocks never nest a scheduler run (no
+                            # syscalls/hcalls inside), so the post-step
+                            # epoch recheck below cannot fire; skip it.
+                            continue
+                        elif fn is not None:
+                            # The block overruns the remaining budget.
+                            # Run a *tail* variant truncated to exactly
+                            # the leftover — same instructions, costs and
+                            # fault behaviour as that many single steps,
+                            # without the per-instruction boundary
+                            # protocol (sound for the same reason the
+                            # chain above is: no syscalls/hcalls inside).
+                            rem = budget - executed
+                            if rem >= 1:
+                                key = (addr, rem)
+                                tb = blocks.get(key)
+                                if tb is not None and (
+                                        gens.get(tb.p0, 0) != tb.g0
+                                        or gens.get(tb.p1, 0) != tb.g1):
+                                    del blocks[key]
+                                    if tb.fn is not None:
+                                        cpu.note_block_invalidate(
+                                            addr, task.tid)
+                                    tb = None
+                                if tb is None:
+                                    tb = cpu.compile_superblock(
+                                        mem, addr, task.tid, max_len=rem)
+                                tfn = tb.fn
+                                if tfn is not None:
+                                    try:
+                                        n = tfn(task, kernel.charge)
+                                    except (PageFault, InvalidOpcode,
+                                            BreakpointTrap) as exc:
+                                        executed += task.sb_fault
+                                        tb.runs += 1
+                                        handle_fault(
+                                            task, exc, task.regs.rip)
+                                    else:
+                                        executed += n
+                                        tb.runs += 1
+                                    continue
                 try:
-                    step(task)
+                    insn = step(task)
                 except (PageFault, InvalidOpcode, BreakpointTrap) as exc:
                     handle_fault(task, exc, addr)
+                    insn = None
                 executed += 1
+                if tier and insn is not None:
+                    # Count taken control transfers as candidate block
+                    # heads; straight-line fallthrough is covered by the
+                    # run that eventually compiles across it.
+                    nrip = task.regs.rip
+                    if nrip != addr + insn.length and nrip not in blocks:
+                        c = heads.get(nrip, 0) + 1
+                        if c >= _HOT:
+                            heads.pop(nrip, None)
+                            cpu.compile_superblock(mem, nrip, task.tid)
+                        else:
+                            heads[nrip] = c
                 if self._nest_epoch != epoch:
                     epoch = self._nest_epoch
                     if task.mem is mem:
                         mem.active_pkru = task.regs.pkru
                     if self.smp:
                         self._bind_core(core, task.mem)
+                    tier = cpu.superblocks and policy is None and not hooks
+                    if tier and task.mem is not None:
+                        bcache = self._tier_state(cpu, task.mem)
+                        blocks = bcache.blocks
+                        heads = bcache.heads
+                        gens = task.mem.exec_gen
         finally:
             self._active.discard(task.tid)
             core._depth -= 1
@@ -310,14 +460,78 @@ class Scheduler:
         The CPU hot path reads ``mem.insn_cache`` per instruction; swapping
         the dict at slice granularity gives each core a private translation
         cache with zero per-instruction overhead.  The first bind also arms
-        the cross-core shootdown hook on this address space.
+        the cross-core shootdown hook on this address space.  The tier-2
+        superblock cache swaps alongside, so compiled blocks are per-core
+        too and remote rewrites can shoot down exactly the stale ones.
         """
         cache = core.caches.get(mem.asid)
         if cache is None:
             cache = core.caches[mem.asid] = {}
         mem.insn_cache = cache
+        bc = core.block_caches.get(mem.asid)
+        if bc is None:
+            bc = core.block_caches[mem.asid] = BlockCache()
+        mem.block_cache = bc
         if mem.smp_shootdown is None:
             mem.smp_shootdown = self._shootdown
+
+    # ------------------------------------------------------------- tier 2
+    def _tier_state(self, cpu, mem):
+        """Per-slice superblock bookkeeping for ``mem``'s bound cache.
+
+        Drops the cache wholesale if the CPU's cost tables were rebuilt
+        since it was filled (blocks bake costs in), and arms the flush
+        hook so eager invalidations surface as ``block_invalidate``
+        events.  Runs at slice granularity — never per instruction.
+        """
+        bcache = mem.block_cache
+        if bcache.cost_epoch != cpu.cost_epoch:
+            bcache.reset(cpu.cost_epoch)
+        if mem.block_flush_hook is None:
+            mem.block_flush_hook = self._block_flush
+        return bcache
+
+    def _block_flush(self, mem, pn: int, dropped: list) -> None:
+        """Eager flush callback: blocks spanning page ``pn`` were dropped."""
+        cpu = self.kernel.cpu
+        for head in dropped:
+            if type(head) is tuple:  # tail-variant key -> report the head
+                head = head[0]
+            cpu.note_block_invalidate(head, -1, "smc")
+
+    def superblock_stats(self) -> dict:
+        """Aggregate tier-2 counters across every live block cache."""
+        cpu = self.kernel.cpu
+        caches = []
+        seen = set()
+        for task in self.kernel.tasks.values():
+            mem = task.mem
+            if mem is not None and id(mem.block_cache) not in seen:
+                seen.add(id(mem.block_cache))
+                caches.append(mem.block_cache)
+        for core in self.cores:
+            for bc in core.block_caches.values():
+                if id(bc) not in seen:
+                    seen.add(id(bc))
+                    caches.append(bc)
+        live_blocks = runs = insns = 0
+        for bc in caches:
+            for b in bc.blocks.values():
+                if b.fn is not None:
+                    live_blocks += 1
+                    runs += b.runs
+                    insns += b.runs * b.n
+        return {
+            "enabled": cpu.superblocks,
+            "compiled": cpu.blocks_compiled,
+            "invalidated": cpu.blocks_invalidated,
+            "live_blocks": live_blocks,
+            "block_runs": runs,
+            "block_insns": insns,
+            "block_shootdowns": sum(
+                c.block_shootdowns for c in self.cores
+            ),
+        }
 
     def _shootdown(self, mem, pn: int) -> None:
         """A code patch invalidated page ``pn``: flush remote caches.
@@ -330,10 +544,26 @@ class Scheduler:
         cur = self._current_core
         asid = mem.asid
         kernel = self.kernel
+        cpu = kernel.cpu
         ipi = kernel.costs.smp_shootdown_ipi
         for core in self.cores:
             if core is cur:
                 continue
+            # Remote superblocks spanning the page ride the same flush —
+            # never a separate IPI charge, so simulated cycles stay
+            # bit-identical to a machine with tiering off.
+            bc = core.block_caches.get(asid)
+            if bc is not None and bc.blocks:
+                victims = bc.index.pop(pn, None)
+                if victims:
+                    blocks = bc.blocks
+                    for head in victims:
+                        b = blocks.pop(head, None)
+                        if b is not None and b.fn is not None:
+                            core.block_shootdowns += 1
+                            if type(head) is tuple:
+                                head = head[0]
+                            cpu.note_block_invalidate(head, -1, "shootdown")
             cache = core.caches.get(asid)
             if not cache:
                 continue

@@ -37,10 +37,12 @@ class Core:
         "clock",
         "runqueue",
         "caches",
+        "block_caches",
         "busy_cycles",
         "slices",
         "steals",
         "shootdowns",
+        "block_shootdowns",
         "_depth",
     )
 
@@ -58,6 +60,10 @@ class Core:
         #: Bound to ``mem.insn_cache`` at slice start so the CPU hot path
         #: is unchanged; invalidated remotely by cross-core shootdowns.
         self.caches: dict[int, dict] = {}
+        #: Private tier-2 superblock caches: asid -> BlockCache, swapped
+        #: onto ``mem.block_cache`` alongside ``insn_cache`` at slice
+        #: start.  Created lazily by the scheduler's ``_bind_core``.
+        self.block_caches: dict[int, object] = {}
         #: Cycles this core spent executing slices (outermost frames only).
         self.busy_cycles = 0
         #: Slices run on this core.
@@ -68,6 +74,10 @@ class Core:
         #: translation-cache entries dropped because another core patched
         #: an executable page this core had decoded).
         self.shootdowns = 0
+        #: Compiled superblocks dropped from this core's private caches by
+        #: remote rewrites (rides the same IPI as ``shootdowns``; never
+        #: charged separately, so cycle accounting matches tiering off).
+        self.block_shootdowns = 0
         #: Slice nesting depth (Kernel.wait_until re-enters the scheduler);
         #: busy accounting only counts outermost frames.
         self._depth = 0
@@ -89,6 +99,7 @@ class Core:
             "slices": self.slices,
             "steals": self.steals,
             "shootdowns": self.shootdowns,
+            "block_shootdowns": self.block_shootdowns,
             "tasks": len(self.runqueue),
         }
 

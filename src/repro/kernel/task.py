@@ -138,6 +138,10 @@ class Task:
         self.wake_clock = 0
 
         self.cpu_cycles = 0
+        #: Instructions retired by a superblock that faulted mid-run
+        #: (faulting instruction included); written by generated block
+        #: code just before re-raising, read once by the scheduler.
+        self.sb_fault = 0
         self.insn_count = 0
         self.blocked_reason: Callable[[], bool] | None = None
         self.blocked_interruptible = True

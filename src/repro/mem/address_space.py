@@ -15,6 +15,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+from repro.cpu.superblock import BlockCache
 from repro.errors import MapError, PageFault
 from repro.mem.pages import (
     PAGE_SIZE,
@@ -89,6 +90,22 @@ class AddressSpace:
         #: the same page number — a fresh Page restarting at generation 0
         #: could otherwise revalidate entries decoded from the old mapping.
         self.exec_gen: dict[int, int] = {}
+        #: Tier-2 superblock cache (see :mod:`repro.cpu.superblock`).  On
+        #: SMP machines the scheduler swaps this for the running core's
+        #: private per-asid cache at slice start, exactly like
+        #: ``insn_cache``.  A forked space starts fresh, so child blocks
+        #: never alias the parent's pages (fork isolation for free).
+        self.block_cache = BlockCache()
+        #: Monotone counter bumped alongside *any* exec-page generation.
+        #: Compiled blocks snapshot it on entry and re-check after each
+        #: store, so a block whose own store hits executable memory
+        #: side-exits instead of running possibly-stale downstream bytes.
+        self.code_epoch = 0
+        #: Observability hook armed by the scheduler: called as
+        #: ``hook(self, pn, heads)`` when a generation bump flushes
+        #: compiled blocks, so block_invalidate events can be emitted
+        #: without this module knowing about tracers.
+        self.block_flush_hook = None
 
     def _bump_exec_gen(self, pn: int) -> None:
         """Invalidate cached decodes for page ``pn``.
@@ -101,6 +118,24 @@ class AddressSpace:
         """
         gens = self.exec_gen
         gens[pn] = gens.get(pn, 0) + 1
+        self.code_epoch += 1
+        bc = self.block_cache
+        if bc.blocks:
+            # Eagerly drop every compiled block spanning the bumped page;
+            # the per-page index makes this a set lookup, not a scan.  A
+            # head indexed under its *other* page may linger as a stale
+            # index entry — the ``pop(h, None)`` below tolerates that.
+            heads = bc.index.pop(pn, None)
+            if heads:
+                blocks = bc.blocks
+                dropped = []
+                for h in heads:
+                    b = blocks.pop(h, None)
+                    if b is not None and b.fn is not None:
+                        dropped.append(h)  # sentinels drop silently
+                hook2 = self.block_flush_hook
+                if dropped and hook2 is not None:
+                    hook2(self, pn, dropped)
         hook = self.smp_shootdown
         if hook is not None:
             hook(self, pn)

@@ -24,6 +24,10 @@ kind                      emitted by
 ``cache_invalidate``      CPU core — a cached translation was discarded
                           because its page generation changed (self-modifying
                           code, e.g. lazypoline's in-place rewrite)
+``block_compile``         tier-2 interpreter — a hot straight-line run was
+                          compiled into a superblock (``n`` instructions)
+``block_invalidate``      tier-2 interpreter — a compiled superblock was
+                          discarded (``reason``: smc, shootdown, or stale)
 ``degrade``               degradation controller — the tool moved to a less
                           capable mode (FULL_HYBRID → SUD_ONLY → PASSTHROUGH)
 ``rewrite_blacklist``     degradation controller — a syscall site exhausted
@@ -56,6 +60,8 @@ SLICE_END = "slice_end"
 CTX_SWITCH = "ctx_switch"
 SIGNAL = "signal"
 CACHE_INVALIDATE = "cache_invalidate"
+BLOCK_COMPILE = "block_compile"
+BLOCK_INVALIDATE = "block_invalidate"
 DEGRADE = "degrade"
 REWRITE_BLACKLIST = "rewrite_blacklist"
 FALLBACK = "fallback"
@@ -72,6 +78,8 @@ ALL_KINDS = (
     CTX_SWITCH,
     SIGNAL,
     CACHE_INVALIDATE,
+    BLOCK_COMPILE,
+    BLOCK_INVALIDATE,
     DEGRADE,
     REWRITE_BLACKLIST,
     FALLBACK,

@@ -42,6 +42,8 @@ class Tracer:
         self.rewritten_sites: dict[int, str] = {}
         self.slowpath_total = 0
         self.cache_invalidations = 0
+        self.block_compiles = 0
+        self.block_invalidations = 0
         #: degradation-mode transitions: (ts, tid, mechanism, old, new, reason)
         self.degradations: list[tuple] = []
         #: sites pinned to the slow path after repeated rewrite failures
@@ -161,6 +163,16 @@ class Tracer:
     def cache_invalidate(self, ts: int, tid: int, addr: int) -> None:
         self.cache_invalidations += 1
         self._emit(ts, K.CACHE_INVALIDATE, tid, {"addr": addr})
+
+    def block_compile(self, ts: int, tid: int, head: int, n: int) -> None:
+        """Tier 2 compiled the ``n``-instruction run starting at ``head``."""
+        self.block_compiles += 1
+        self._emit(ts, K.BLOCK_COMPILE, tid, {"head": head, "n": n})
+
+    def block_invalidate(self, ts: int, tid: int, head: int, reason: str) -> None:
+        """A compiled superblock was discarded (smc/shootdown/stale)."""
+        self.block_invalidations += 1
+        self._emit(ts, K.BLOCK_INVALIDATE, tid, {"head": head, "reason": reason})
 
     # ----------------------------------------------------------- degradation
     def degrade(

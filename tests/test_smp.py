@@ -312,3 +312,42 @@ def test_webserver_scales_across_cores():
     assert four["requests_per_sec"] >= 2.0 * one["requests_per_sec"]
     # the prefork workers really ran on all four cores
     assert all(u > 0.5 for u in four["utilization"])
+
+
+# ------------------------------------------------ superblock tier under SMP
+def test_cross_core_rewrite_shoots_down_superblocks():
+    """A lazypoline rewrite issued on one core must drop not just the
+    remote core's decoded-instruction entries but every tier-2 superblock
+    it has compiled over the patched page."""
+    machine = Machine(cores=2)
+    process = machine.load(CORPUS["clone_shared"].build())
+    attach(machine, process, tool="lazypoline")
+    _run_to_completion(machine)
+    assert process.exit_code == 7
+    stats = machine.superblock_stats()
+    assert stats["compiled"] >= 1
+    assert stats["block_shootdowns"] >= 1
+    assert sum(c.block_shootdowns for c in machine.cores) == stats[
+        "block_shootdowns"
+    ]
+    # shot-down blocks are also counted as invalidations
+    assert stats["invalidated"] >= stats["block_shootdowns"]
+
+
+@pytest.mark.parametrize("cores", [1, 2])
+def test_tiering_cycle_identity_under_smp(cores):
+    """Tiering on vs off is invisible cycle-for-cycle on SMP machines too:
+    the shootdown IPI charge is keyed to stale *insn-cache* entries only,
+    so block drops ride along for free."""
+    reports = {
+        sb: run_guest(
+            CORPUS["clone_shared"].build,
+            "lazypoline",
+            cores=cores,
+            machine_opts={"superblocks": sb},
+        )
+        for sb in (False, True)
+    }
+    diffs = differences(reports[False], reports[True], compare_cycles=True)
+    assert not diffs, diffs
+    assert reports[True].exit == 7

@@ -351,3 +351,115 @@ def test_machine_equivalence_cached_vs_uncached():
             machine.scheduler.total_instructions,
         )
     assert out[True] == out[False]
+
+
+# ------------------------------------------------- superblock (tier-2) blocks
+# Tier-2 blocks are keyed by the same per-page generation counters as the
+# decoded-instruction cache, and every invalidation path that retires a
+# stale decode must also retire every compiled block spanning the page.
+
+def _hot_loop_code():
+    a = Assembler(base=CODE)
+    a.label("_start")
+    a.mov_imm("rbx", 0)
+    a.label("loop")
+    a.inc("rbx")
+    a.addi("rbx", 0)
+    a.cmpi("rbx", 200)
+    a.jnz("loop")
+    a.hlt()
+    return a.assemble(), a.address_of("loop")
+
+
+def _compiled(perm: Perm = Perm.RX):
+    """(cpu, mem, head, block): a block compiled and installed at head."""
+    code, head = _hot_loop_code()
+    cpu, task, env = bare(code, perm=perm)
+    block = cpu.compile_superblock(task.mem, head)
+    assert block.fn is not None and block.n >= 2
+    assert head in task.mem.block_cache.blocks
+    return cpu, task.mem, head, block
+
+
+def test_superblock_write_mid_block_invalidates():
+    """A store landing in the middle of a compiled block's page drops it."""
+    cpu, mem, head, block = _compiled(perm=Perm.RWX)
+    mem.write(head + 3, b"\x90", check=None)
+    assert head not in mem.block_cache.blocks
+    assert not mem.block_cache.index.get(head >> 12)
+    # recompilation against the patched bytes works immediately
+    again = cpu.compile_superblock(mem, head)
+    assert again.fn is not None
+    assert again.g0 == block.g0 + 1
+
+
+def test_superblock_mprotect_invalidates():
+    cpu, mem, head, _ = _compiled()
+    mem.protect(CODE, PAGE_SIZE, Perm.RW)
+    assert head not in mem.block_cache.blocks
+
+
+def test_superblock_munmap_invalidates():
+    cpu, mem, head, _ = _compiled()
+    mem.unmap(CODE, PAGE_SIZE)
+    assert head not in mem.block_cache.blocks
+    # a fresh mapping at the same address must not resurrect the block
+    mem.map(CODE, PAGE_SIZE, Perm.RX)
+    code, _ = _hot_loop_code()
+    mem.write(CODE, code, check=None)
+    assert head not in mem.block_cache.blocks
+
+
+def test_superblock_unrelated_page_write_keeps_block():
+    """Negative control: stores to other pages must not invalidate."""
+    cpu, mem, head, block = _compiled()
+    mem.write(STACK + 8, b"\xff" * 8, check=None)  # RW data page
+    assert mem.block_cache.blocks.get(head) is block
+    assert cpu.blocks_invalidated == 0
+
+
+def test_superblock_fork_isolation():
+    """fork_copy starts the child with an empty block cache, and child-side
+    SMC never reaches back into the parent's blocks."""
+    cpu, mem, head, block = _compiled(perm=Perm.RWX)
+    child = mem.fork_copy()
+    assert child.block_cache.blocks == {}
+    assert child.block_cache is not mem.block_cache
+    child.write(head + 3, b"\x90", check=None)
+    assert mem.block_cache.blocks.get(head) is block
+
+
+def test_superblock_lazypoline_rewrite_forces_recompile():
+    """Full stack: a hot syscall loop tiers up, then lazypoline's SIGSYS
+    rewrite patches `syscall` -> `call rax` inside the loop body — every
+    block spanning the patched page must drop and recompile, and the run
+    must stay bit-identical to the untiered machine."""
+    results = {}
+    for tiered in (True, False):
+        machine = Machine(superblocks=tiered)
+        a = asm()
+        a.label("_start")
+        a.mov_imm("rbx", 40)
+        a.label("loop")
+        a.inc("r8")
+        a.addi("r8", 2)
+        emit_syscall(a, "getpid")
+        a.dec("rbx")
+        a.jnz("loop")
+        emit_exit(a, 0)
+        proc = machine.load(finish(a))
+        tool = Lazypoline._install(machine, proc, TraceInterposer())
+        code = machine.run_process(proc)
+        results[tiered] = (
+            code,
+            tool.slowpath_hits,
+            tool.fastpath_hits,
+            sorted(tool.rewritten),
+            machine.clock,
+            machine.scheduler.total_instructions,
+        )
+        if tiered:
+            stats = machine.superblock_stats()
+            assert stats["compiled"] >= 1
+            assert stats["invalidated"] >= 1  # the rewrite landed mid-loop
+    assert results[True] == results[False]
