@@ -5,7 +5,7 @@ export PYTHONPATH
 FUZZ_MINUTES ?= 5
 FAULT_SEEDS ?= 0:64
 
-.PHONY: test test-fast test-degrade test-superblock faults fuzz bench perf trace
+.PHONY: test test-fast test-degrade test-superblock test-uring faults fuzz bench perf trace
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,11 @@ test-degrade:
 test-superblock:
 	$(PYTHON) -m pytest -x -q -m superblock
 
+# Syscall-aggregation tier: ring drain semantics, signal-interrupted drains,
+# and the batched-vs-unbatched identity matrix across tools and cores.
+test-uring:
+	$(PYTHON) -m pytest -x -q -m uring
+
 faults:
 	$(PYTHON) -m repro.faults --seeds $(FAULT_SEEDS)
 
@@ -39,9 +44,13 @@ bench:
 trace:
 	$(PYTHON) -m repro.obs smoke
 
-# Interpreter perf baseline: snapshot the previous BENCH_interp.json, remeasure,
-# then fail on a >15% guest-MIPS regression on any workload.
+# Perf baselines: snapshot the previous BENCH_*.json files, remeasure, then
+# fail on a >15% regression on any workload (guest MIPS for the interpreter
+# trajectory, simulated cycles-per-syscall for the uring trajectory) or on
+# any same-run floor embedded in the result files.
 perf:
 	@if [ -f BENCH_interp.json ]; then cp BENCH_interp.json BENCH_interp.prev.json; fi
-	$(PYTHON) -m pytest benchmarks/test_perf_interpreter.py -m perf -q
+	@if [ -f BENCH_uring.json ]; then cp BENCH_uring.json BENCH_uring.prev.json; fi
+	$(PYTHON) -m pytest benchmarks/test_perf_interpreter.py benchmarks/test_perf_uring.py -m perf -q
 	$(PYTHON) benchmarks/check_regression.py
+	$(PYTHON) benchmarks/check_regression.py BENCH_uring.prev.json BENCH_uring.json

@@ -1,9 +1,18 @@
-"""Guard against interpreter performance regressions.
+"""Guard against performance regressions in a ``BENCH_*.json`` pair.
 
-Compares two ``BENCH_interp.json`` files (previous run vs current run) and
-fails — exit status 1 — if any workload's guest-MIPS number regressed by
-more than the tolerance band (15% by default, generous because these are
-wall-clock numbers on shared hardware).
+Compares two benchmark result files (previous run vs current run) and
+fails — exit status 1 — if any workload's metric regressed by more than
+the tolerance band (15% by default).
+
+The comparison is schema-driven by the *new* file:
+
+* ``regression_metric`` — the per-workload key to compare (default
+  ``"mips"``, the legacy BENCH_interp schema),
+* ``lower_is_better`` — direction (default ``false``: higher is better),
+* ``floors`` — ``{key: floor}`` absolute same-run floors on top-level
+  scalars of the new file (hard limits, not subject to tolerance; the
+  legacy BENCH_interp speedup floors apply when the file carries no
+  ``floors`` of its own).
 
 Usage::
 
@@ -12,6 +21,7 @@ Usage::
 Defaults: OLD = BENCH_interp.prev.json, NEW = BENCH_interp.json (repo
 root).  A missing OLD is not an error — the first measured run simply
 becomes the baseline (``make perf`` snapshots NEW to OLD before each run).
+``make perf`` runs this once per BENCH pair (interp, uring).
 """
 
 from __future__ import annotations
@@ -27,9 +37,10 @@ DEFAULT_NEW = ROOT / "BENCH_interp.json"
 TOLERANCE = 0.15
 
 
-#: Same-run speedup ratios recorded in BENCH_interp.json and the floor each
-#: must clear.  Ratios are host-noise-resistant (both sides measured in the
-#: same process), so unlike the MIPS band these are hard floors.
+#: Legacy same-run floors for result files that predate the embedded
+#: ``floors`` dict (BENCH_interp schema 1).  Ratios are host-noise-
+#: resistant (both sides measured in the same process), so unlike the
+#: tolerance band these are hard floors.
 SPEEDUP_FLOORS = {
     "speedup_microbench_vs_uncached": 3.0,
     "speedup_superblocks_vs_tier1": 5.0,
@@ -39,20 +50,23 @@ SPEEDUP_FLOORS = {
 def check_floors(new: dict) -> list[str]:
     """Absolute floors on the current run, independent of any baseline."""
     failures = []
-    for key, floor in SPEEDUP_FLOORS.items():
+    floors = new.get("floors") or SPEEDUP_FLOORS
+    for key, floor in floors.items():
         value = new.get(key)
         if value is None:
             continue  # older-schema result file
         marker = "BELOW FLOOR" if value < floor else "ok"
-        print(f"{key:34s} {value:6.2f}x (floor {floor:.1f}x)  {marker}")
+        print(f"{key:42s} {value:8.2f} (floor {floor:.1f})  {marker}")
         if value < floor:
-            failures.append(f"{key}: {value:.2f}x below the {floor:.1f}x floor")
+            failures.append(f"{key}: {value:.2f} below the {floor:.1f} floor")
     return failures
 
 
 def compare(old: dict, new: dict, tolerance: float) -> list[str]:
     """Return a list of human-readable regression messages (empty = pass)."""
     failures = []
+    metric = new.get("regression_metric", "mips")
+    lower_is_better = bool(new.get("lower_is_better", False))
     old_workloads = old.get("workloads", {})
     new_workloads = new.get("workloads", {})
     for name, prev in sorted(old_workloads.items()):
@@ -60,18 +74,21 @@ def compare(old: dict, new: dict, tolerance: float) -> list[str]:
         if cur is None:
             failures.append(f"{name}: workload disappeared from the new run")
             continue
-        prev_mips, cur_mips = prev["mips"], cur["mips"]
-        if prev_mips <= 0:
+        prev_val, cur_val = prev[metric], cur[metric]
+        if prev_val <= 0:
             continue
-        change = (cur_mips - prev_mips) / prev_mips
+        change = (cur_val - prev_val) / prev_val
+        # `change` is signed so that negative == worse.
+        if lower_is_better:
+            change = -change
         marker = "REGRESSION" if change < -tolerance else "ok"
         print(
-            f"{name:22s} {prev_mips:8.3f} -> {cur_mips:8.3f} MIPS "
+            f"{name:22s} {prev_val:10.3f} -> {cur_val:10.3f} {metric} "
             f"({change:+.1%})  {marker}"
         )
         if change < -tolerance:
             failures.append(
-                f"{name}: {prev_mips:.3f} -> {cur_mips:.3f} MIPS "
+                f"{name}: {prev_val:.3f} -> {cur_val:.3f} {metric} "
                 f"({change:+.1%}, tolerance -{tolerance:.0%})"
             )
     return failures
@@ -90,6 +107,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no current run at {new_path}; run `make perf` first")
         return 1
     new = json.loads(new_path.read_text())
+    print(f"== {new_path.name} ==")
     failures = check_floors(new)
     if not old_path.exists():
         print(f"no previous run at {old_path}; current run becomes the baseline")

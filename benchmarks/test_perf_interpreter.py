@@ -166,9 +166,15 @@ def test_perf_interpreter_baseline():
     result = {
         "schema": 1,
         "metric": "guest MIPS = executed guest instructions / host seconds / 1e6",
+        "regression_metric": "mips",
+        "lower_is_better": False,
         "workloads": workloads,
         "speedup_microbench_vs_uncached": round(speedup, 3),
         "speedup_superblocks_vs_tier1": round(tier2_speedup, 3),
+        "floors": {
+            "speedup_microbench_vs_uncached": 3.0,
+            "speedup_superblocks_vs_tier1": 5.0,
+        },
     }
     RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
 

@@ -138,6 +138,14 @@ class CostModel:
     #: Cost per executed classic-BPF instruction.
     seccomp_per_insn: int = 3
 
+    # ---- syscall aggregation (repro.kernel.uring) ----------------------------
+    #: Per-entry bookkeeping while draining a submission ring: SQE fetch,
+    #: CQE store, head/tail publication.  Ring entries deliberately do NOT
+    #: pay ``syscall_entry_exit`` or ``sud_selector_read`` — amortizing the
+    #: crossing is the whole point — but armed seccomp filters, fault
+    #: injection, and the entry's own service cost still apply per entry.
+    uring_per_entry: int = 30
+
     # ---- signals -------------------------------------------------------------
     #: Kernel cost of setting up a signal frame (includes xstate spill) and
     #: transferring to the handler.

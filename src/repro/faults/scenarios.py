@@ -240,6 +240,116 @@ def build_eintr_retry_guest():
     return image_from_assembler("eintr_retry", a, entry="_start")
 
 
+def build_uring_signal_guest():
+    """A syscall-aggregation ring whose drain a signal must interrupt.
+
+    Ring of [getpid, read(forever-empty pipe), getpid] + a SIGUSR1
+    handler.  The read can only complete with -EINTR (nothing ever writes
+    the pipe), so the drain is guaranteed to be split: partial CQ, handler
+    runs, the guest's re-enter loop finishes the remainder — never a lost
+    wakeup.  Exit code packs the invariants: bit0 = handler ran at least
+    once, bit1 = the read entry completed with -EINTR, bit2/bit3 = the
+    surrounding getpid entries completed with the pid.  Expected: 15.
+    """
+    from repro.libc.uring import GuestRing
+
+    a = Assembler(base=layout.CODE_BASE)
+    a.label("_start")
+    # scratch page: handler counter @0, pipe fds @8
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rsi", 4096)
+    a.mov_imm("rdx", 3)
+    a.mov_imm("r10", 0x22)
+    a.mov_imm("r8", (1 << 64) - 1)
+    a.mov_imm("r9", 0)
+    a.mov_imm("rax", NR["mmap"])
+    a.syscall()
+    a.mov("r14", "rax")
+    # rt_sigaction(SIGUSR1, act, 0, 8)
+    a.mov_imm("rdi", SIGUSR1)
+    a.mov_imm("rsi", "act")
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 8)
+    a.mov_imm("rax", NR["rt_sigaction"])
+    a.syscall()
+    # pipe(r14 + 8); the read end stays empty forever
+    a.lea("rdi", "r14", 8)
+    a.mov_imm("rax", NR["pipe"])
+    a.syscall()
+    a.load("r13", "r14", 8)
+    a.shl("r13", 32)  # fds are two packed u32s; keep the read end
+    a.shr("r13", 32)
+    ring = GuestRing(a, entries=4, base="r9")
+    ring.emit_mmap()
+    ring.push("getpid")
+    a.lea("rdx", "r14", 256)
+    ring.push_read("r13", "rdx", 8)
+    ring.push("getpid")
+    ring.submit()  # re-enters until all 3 complete (partial CQ + resume)
+    # pack the exit code
+    a.mov_imm("rdi", 0)
+    a.load("rdx", "r14", 0)
+    a.cmpi("rdx", 1)
+    a.jl("no_handler")
+    a.ori("rdi", 1)
+    a.label("no_handler")
+    ring.load_result("rdx", 1)
+    a.mov_imm("rcx", (1 << 64) - errno.EINTR)
+    a.cmp("rdx", "rcx")
+    a.jnz("no_eintr")
+    a.ori("rdi", 2)
+    a.label("no_eintr")
+    ring.load_result("rdx", 0)
+    a.cmpi("rdx", 1)
+    a.jl("no_pid0")
+    a.ori("rdi", 4)
+    a.label("no_pid0")
+    ring.load_result("rdx", 2)
+    a.cmpi("rdx", 1)
+    a.jl("no_pid2")
+    a.ori("rdi", 8)
+    a.label("no_pid2")
+    a.mov_imm("rax", NR["exit_group"])
+    a.syscall()
+    a.label("handler")
+    a.load("rax", "r14", 0)
+    a.inc("rax")
+    a.store("r14", 0, "rax")
+    a.ret()
+    a.align(8, fill=0)
+    a.label("act")
+    a.dq("handler")
+    a.dq(0)
+    a.dq(0)
+    a.dq(0)
+    return image_from_assembler("uring_signal", a, entry="_start")
+
+
+def arm_repeating_signal(machine, task, delay=20_000, interval=50_000):
+    """SIGUSR1 at ``delay`` cycles, re-armed until the task exits.
+
+    Firing is held until the guest has installed a SIGUSR1 handler —
+    interposition tools shift guest progress later in simulated time, and
+    a signal landing before ``rt_sigaction`` would take the default
+    (terminate) action, which is correct behaviour but not the race this
+    helper exists to provoke.
+    """
+    from repro.kernel.task import SIG_DFL, SIG_IGN
+
+    kernel = machine.kernel
+
+    def fire():
+        if not task.alive:
+            return
+        if task.sighand.get(SIGUSR1).handler in (SIG_DFL, SIG_IGN):
+            kernel.post_event_in(interval, fire)
+            return
+        kernel.post_signal(task, SIGUSR1)
+        kernel.post_event_in(interval, fire)
+
+    kernel.post_event_in(delay, fire)
+
+
 # ------------------------------------------------------------------ scenarios
 def rewrite_window(
     seed: int,
@@ -769,6 +879,61 @@ def signal_depth(
     )
 
 
+def uring_signal(
+    seed: int,
+    *,
+    perturb_order: bool = True,
+    perturb_quantum: bool = True,
+) -> ScenarioResult:
+    """Signals racing a ring drain: partial CQ + EINTR, never a lost wakeup.
+
+    A repeating SIGUSR1 is armed with seed-varied timing against
+    :func:`build_uring_signal_guest`, whose ring contains a read of a
+    forever-empty pipe — the drain *must* be interrupted.  The guest packs
+    its invariants into the exit code (expected 15: handler ran, the read
+    entry completed -EINTR, both surrounding entries completed), checked
+    bare and under a seed-selected interposition tool on a perturbed
+    schedule.  Any lost wakeup shows up as the guest spinning to the
+    instruction budget (crashed=True) or a missing bit in the exit code.
+    """
+    tool = ("lazypoline", "zpoline", "ptrace")[seed % 3]
+    delay = 10_000 + (seed * 7919) % 40_000
+    interval = 30_000 + (seed * 104729) % 50_000
+
+    def arm(machine, process, tool_instance):
+        arm_repeating_signal(
+            machine, process.task, delay=delay, interval=interval
+        )
+
+    def policy():
+        return ExplorerPolicy(
+            seed, perturb_order=perturb_order, perturb_quantum=perturb_quantum
+        )
+
+    bare = run_guest(
+        build_uring_signal_guest, None, policy=policy(), configure=arm,
+        max_instructions=2_000_000,
+    )
+    tooled = run_guest(
+        build_uring_signal_guest, tool, policy=policy(), configure=arm,
+        max_instructions=2_000_000,
+    )
+    problems = []
+    for label, report in (("bare", bare), (tool, tooled)):
+        if report.crashed:
+            problems.append(f"{label}: run did not terminate (lost wakeup?)")
+        elif report.exit != 15:
+            problems.append(f"{label}: exit={report.exit}, expected 15")
+    return ScenarioResult(
+        scenario="uring_signal",
+        seed=seed,
+        ok=not problems,
+        detail="; ".join(problems),
+        digests={"bare": bare.digest(), tool: tooled.digest()},
+        covered=(tool, delay, interval),
+    )
+
+
 SCENARIOS = {
     "rewrite_window": rewrite_window,
     "differential": differential,
@@ -778,4 +943,5 @@ SCENARIOS = {
     "setup_fault": setup_fault,
     "rewrite_fault": rewrite_fault,
     "signal_depth": signal_depth,
+    "uring_signal": uring_signal,
 }

@@ -32,6 +32,7 @@ EOPNOTSUPP = 95
 EADDRINUSE = 98
 ECONNREFUSED = 111
 EINPROGRESS = 115
+ECANCELED = 125
 
 _NAMES = {
     value: name

@@ -299,8 +299,11 @@ class Kernel:
 
         gate = self._interception_gate(task, sysno, args, insn_addr)
         if gate is not None:
+            if isinstance(gate, tuple):  # ("ret", value): errno / notif verdict
+                regs.write(RAX, gate[1] & MASK64)
+                return
             if gate != "allow":
-                return  # handled (signal delivered / errno set / killed)
+                return  # handled (signal delivered / killed)
 
         skip_exit_stop = False
         if task.tracer is not None:
@@ -332,21 +335,32 @@ class Kernel:
             task.tracer.on_syscall_exit(TraceeControl(self, task))
 
     def _interception_gate(
-        self, task: Task, sysno: int, args: tuple[int, ...], insn_addr: int
-    ) -> str | None:
+        self, task: Task, sysno: int, args: tuple[int, ...], insn_addr: int,
+        *, sud: bool = True,
+    ) -> str | tuple | None:
         """SUD + seccomp checks.  Returns:
 
         * ``None`` — nothing armed, proceed on the fast kernel entry,
         * ``"allow"`` — armed but permitted, proceed,
-        * ``"handled"`` — syscall aborted (signal delivered / rax set).
+        * ``"handled"`` — syscall aborted (signal delivered / task killed),
+        * ``("ret", value)`` — syscall aborted with a result the caller
+          must surface (seccomp RET_ERRNO, user-notif verdict).
+
+        ``sud=False`` skips the syscall-instruction-boundary mechanisms
+        (SUD selector, ptrace arming) — used for ring entries, which never
+        cross via a syscall instruction of their own but still pass every
+        seccomp filter per entry.
         """
         regs = task.regs
-        armed = task.sud is not None or task.seccomp_filters or task.tracer
+        if sud:
+            armed = task.sud is not None or task.seccomp_filters or task.tracer
+        else:
+            armed = bool(task.seccomp_filters)
         if not armed:
             return None
         self.charge(task, self.costs.interception_check)
 
-        if task.sud is not None and not task.sud.allows_address(insn_addr):
+        if sud and task.sud is not None and not task.sud.allows_address(insn_addr):
             self.charge(task, self.costs.sud_selector_read)
             try:
                 selector = task.mem.read_u8(task.sud.selector_addr, check="read")
@@ -376,8 +390,7 @@ class Kernel:
             if action in (SECCOMP_RET_ALLOW, SECCOMP_RET_LOG):
                 return "allow"
             if action == SECCOMP_RET_ERRNO:
-                regs.write(RAX, (-result.data) & MASK64)
-                return "handled"
+                return ("ret", -result.data)
             if action == SECCOMP_RET_TRAP:
                 info = {
                     "code": SYS_SECCOMP,
@@ -399,22 +412,22 @@ class Kernel:
                 return "handled"
         return "allow"
 
-    def _user_notif(self, task: Task, sysno: int, args: tuple[int, ...]) -> str:
+    def _user_notif(
+        self, task: Task, sysno: int, args: tuple[int, ...]
+    ) -> str | tuple:
         """SECCOMP_RET_USER_NOTIF: wake a host-level supervisor.
 
         Charged as two context switches each way, like the real notifier
         fd ping-pong.
         """
         if self.usernotif_supervisor is None:
-            task.regs.write(RAX, (-errno.ENOSYS) & MASK64)
-            return "handled"
+            return ("ret", -errno.ENOSYS)
         self.charge(task, 2 * self.costs.context_switch)
         verdict = self.usernotif_supervisor(self, task, sysno, args)
         self.charge(task, 2 * self.costs.context_switch)
         if verdict is None:
             return "allow"  # supervisor says: let the kernel execute it
-        task.regs.write(RAX, verdict & MASK64)
-        return "handled"
+        return ("ret", verdict)
 
     # ------------------------------------------------------------- dispatching
     def dispatch(self, task: Task, sysno: int, args: tuple[int, ...]) -> int | None:
@@ -463,11 +476,22 @@ class Kernel:
         args = tuple(args) + (0,) * (6 - len(args))
         self.charge(task, self.costs.syscall_entry_exit)
         gate = self._interception_gate(task, sysno, args, insn_addr=insn_addr)
-        if gate == "handled":
+        if gate == "handled" or isinstance(gate, tuple):
             raise KernelError(
                 "interposer-issued syscall was itself intercepted "
                 "(selector not ALLOW, or a seccomp filter fired)"
             )
+        return self.dispatch_blocking(task, sysno, args)
+
+    def dispatch_blocking(
+        self, task: Task, sysno: int, args: tuple[int, ...]
+    ) -> int | None:
+        """Dispatch ``sysno``, blocking *cooperatively* instead of raising.
+
+        Shared by interposer-issued syscalls (:meth:`do_syscall`) and the
+        ring drain (``repro.kernel.uring``), both of which run inside a
+        host-side frame that cannot be parked by the scheduler.
+        """
         while True:
             try:
                 return self.dispatch(task, sysno, args)

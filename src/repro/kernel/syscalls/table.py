@@ -88,6 +88,7 @@ NR = {
     "pkey_mprotect": 329,
     "pkey_alloc": 330,
     "pkey_free": 331,
+    "ring_enter": 426,  # io_uring_enter's number, repurposed for our ring
 }
 
 _NAME_BY_NR = {nr: name for name, nr in NR.items()}
@@ -137,6 +138,10 @@ SERVICE_COSTS = {
     "rt_sigaction": 300,
     "rt_sigprocmask": 150,
     "getrandom": 700,
+    # Fixed cost of a ring_enter crossing (header validation + ring setup);
+    # each drained entry additionally pays CostModel.uring_per_entry plus
+    # the entry's own service cost.
+    "ring_enter": 250,
 }
 
 DEFAULT_SERVICE_COST = 60
@@ -177,5 +182,6 @@ def build_registry() -> dict[int, SyscallEntry]:
         proc,
         signal_calls,
     )
+    from repro.kernel import uring  # noqa: F401
 
     return dict(_PENDING)

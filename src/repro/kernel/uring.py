@@ -1,0 +1,264 @@
+"""io_uring-style syscall aggregation: one crossing, many syscalls.
+
+The paper minimizes the *per-syscall* cost of interposition; *AnyCall*
+attacks the complementary axis — amortize many syscalls over a single
+kernel crossing.  This module implements that lever for the simulated
+kernel: a submission/completion ring living entirely in guest memory.
+A guest writes N syscall entries into the SQ ring, then issues **one**
+``ring_enter`` syscall; the kernel drains the SQ, executing each entry
+through the normal dispatch machinery, and posts results to the CQ ring.
+
+Ring memory layout (all fields u64, little-endian, in guest memory)::
+
+    header (64 bytes):
+      +0   sq_head   kernel-advanced: index of the next unconsumed SQE
+      +8   sq_tail   guest-advanced: one past the last submitted SQE
+      +16  cq_head   guest-advanced consumption cursor (kernel ignores it)
+      +24  cq_tail   kernel-advanced: one past the last posted CQE
+      +32  sq_capacity
+      +40  cq_capacity   (must equal sq_capacity)
+      +48.. reserved
+    sqes: sq_capacity x 64 bytes   {sysno, arg0..arg5, user_data}
+    cqes: sq_capacity x 16 bytes   {res, user_data}
+
+Indices advance monotonically; the slot for index ``i`` is
+``i % capacity``.  CQEs are *slot-correlated*: the completion for the SQE
+at slot ``j`` lands at CQ slot ``j``, which is what makes result links
+(below) resolvable without a search.
+
+Semantics, entry by entry:
+
+* each entry pays :attr:`CostModel.uring_per_entry` plus its own service
+  cost, runs every armed **seccomp filter** (the interception gate with
+  ``sud=False`` — ring entries never cross via a syscall instruction, so
+  the SUD selector read and ptrace stops are skipped: that is the
+  amortization), and passes through the **fault injector** and the obs
+  dispatch event like any other syscall;
+* only :data:`RINGABLE` syscalls may ride the ring (I/O and cheap
+  getters); anything else completes with ``-EINVAL``.  Process-control
+  syscalls (fork/execve/ring_enter itself) are structurally excluded;
+* an argument of the form :func:`ring_result`\\ ``(j)`` is substituted
+  with the result already posted at CQ slot ``j`` — io_uring's linked
+  SQEs, flattened.  If that result is negative the entry completes with
+  ``-ECANCELED``;
+* a **blocking** entry parks cooperatively exactly like an
+  interposer-issued syscall (:meth:`Kernel.dispatch_blocking`); if a
+  signal interrupts it, the entry completes with ``-EINTR``;
+* a deliverable **signal** stops the drain after the current entry: the
+  kernel publishes ``sq_head``/``cq_tail`` for everything completed (a
+  partial CQ), returns the completed count, and the remainder stays in
+  the SQ — re-entering after the handler resumes exactly where the drain
+  stopped, so no wakeup is ever lost.  The first entry of a drain always
+  executes, guaranteeing forward progress even under a signal storm;
+* a seccomp ``RET_TRAP`` on an entry delivers SIGSYS as usual but
+  completes the entry with ``-EINTR`` so the drain (and the guest's
+  re-enter loop) cannot spin on a trapping entry.
+
+``ring_enter(ring_addr, to_submit, 0, 0)`` returns the number of entries
+completed this call (0 if the SQ was empty), or ``-EINVAL``/``-EFAULT``
+for a malformed/unmapped ring.
+
+Interposition tools see a *single* ``ring_enter`` crossing — one SUD
+selector read, one sled transit, one rewrite, one ptrace stop pair — no
+matter how many entries it drains.  Per-entry attribution is preserved in
+the obs stream: the tracer gets one ``ring_enter`` event per crossing and
+one ``ring_entry`` event per drained entry (plus the usual ``syscall``
+dispatch events).
+"""
+
+from __future__ import annotations
+
+from repro.arch.registers import MASK64, to_signed
+from repro.errors import PageFault
+from repro.kernel import errno
+from repro.kernel.syscalls.table import NR, syscall, syscall_name
+
+# ------------------------------------------------------------------ layout
+HDR_SQ_HEAD = 0
+HDR_SQ_TAIL = 8
+HDR_CQ_HEAD = 16
+HDR_CQ_TAIL = 24
+HDR_SQ_CAP = 32
+HDR_CQ_CAP = 40
+HEADER_SIZE = 64
+SQE_SIZE = 64
+CQE_SIZE = 16
+SQE_SYSNO = 0
+SQE_ARGS = 8
+SQE_USER_DATA = 56
+CQE_RES = 0
+CQE_USER_DATA = 8
+
+#: Largest accepted ring capacity (entries).
+MAX_ENTRIES = 1024
+
+
+def ring_size(entries: int) -> int:
+    """Bytes of guest memory a ring with ``entries`` slots occupies."""
+    return HEADER_SIZE + entries * (SQE_SIZE + CQE_SIZE)
+
+
+def sqe_offset(slot: int) -> int:
+    return HEADER_SIZE + slot * SQE_SIZE
+
+
+def cqe_offset(capacity: int, slot: int) -> int:
+    return HEADER_SIZE + capacity * SQE_SIZE + slot * CQE_SIZE
+
+
+# ------------------------------------------------------------- result links
+#: Tag in the top 16 bits marking an SQE argument as "the result of CQ
+#: slot j".  Real pointers live in the canonical lower half of the address
+#: space, so the tag can never collide with a legitimate argument the
+#: RINGABLE syscalls accept.
+RESULT_TAG = 0xF1C0
+_RESULT_SHIFT = 48
+
+
+def ring_result(slot: int) -> int:
+    """SQE argument placeholder: substitute the result posted at CQ ``slot``."""
+    if not 0 <= slot < MAX_ENTRIES:
+        raise ValueError(f"ring_result slot {slot} out of range")
+    return (RESULT_TAG << _RESULT_SHIFT) | slot
+
+
+def is_result_link(value: int) -> bool:
+    return (value >> _RESULT_SHIFT) == RESULT_TAG and \
+        (value & ((1 << _RESULT_SHIFT) - 1)) < MAX_ENTRIES
+
+
+# ---------------------------------------------------------------- allowlist
+#: Syscalls allowed to ride the ring: file/socket I/O plus cheap getters.
+#: Process control (fork/clone/execve/exit), signal-frame machinery
+#: (rt_sigreturn), address-space surgery, blocking multiplexers with
+#: their own wait semantics (epoll_wait/wait4/futex), and ``ring_enter``
+#: itself are excluded — entries completing with -EINVAL.
+RINGABLE_NAMES = (
+    "read", "write", "pread64", "pwrite64", "readv", "writev",
+    "open", "openat", "close", "stat", "fstat", "lseek", "access",
+    "getdents64", "dup", "rename", "mkdir", "rmdir", "unlink", "chmod",
+    "sendfile", "socket", "connect", "accept", "accept4", "bind",
+    "listen", "setsockopt", "shutdown", "epoll_create1", "epoll_ctl",
+    "getpid", "gettid", "getppid", "getuid", "getcwd", "uname",
+    "sched_yield", "nanosleep", "time", "clock_gettime", "getrandom",
+)
+RINGABLE = frozenset(NR[name] for name in RINGABLE_NAMES)
+
+
+# ------------------------------------------------------------------- drain
+def _resolve_args(mem, cq_base: int, capacity: int, raw_args) -> tuple | int:
+    """Substitute result links; -ECANCELED if a linked result is negative."""
+    resolved = []
+    for value in raw_args:
+        if is_result_link(value):
+            slot = value & ((1 << _RESULT_SHIFT) - 1)
+            if slot >= capacity:
+                return -errno.EINVAL
+            prev = to_signed(mem.read_u64(cq_base + slot * CQE_SIZE,
+                                          check="read"))
+            if prev < 0:
+                return -errno.ECANCELED
+            resolved.append(prev & MASK64)
+        else:
+            resolved.append(value)
+    return tuple(resolved)
+
+
+def _execute_entry(kernel, task, sysno: int, raw_args, cq_base: int,
+                   capacity: int) -> int:
+    """Run one SQE through gate + dispatch; always returns a result."""
+    if sysno not in RINGABLE:
+        return -errno.EINVAL
+    args = _resolve_args(task.mem, cq_base, capacity, raw_args)
+    if isinstance(args, int):
+        return args
+    gate = kernel._interception_gate(task, sysno, args, insn_addr=0,
+                                     sud=False)
+    if isinstance(gate, tuple):  # seccomp RET_ERRNO / user-notif verdict
+        return gate[1]
+    if gate == "handled":
+        # RET_TRAP delivered SIGSYS (or the task was killed).  Complete
+        # the entry with -EINTR so the drain makes forward progress; the
+        # pending signal stops the drain at the top of the loop.
+        return -errno.EINTR
+    ret = kernel.dispatch_blocking(task, sysno, args)
+    return 0 if ret is None else ret
+
+
+@syscall("ring_enter")
+def sys_ring_enter(kernel, task, args):
+    ring, to_submit = args[0], args[1]
+    mem = task.mem
+    try:
+        sq_head = mem.read_u64(ring + HDR_SQ_HEAD, check="read")
+        sq_tail = mem.read_u64(ring + HDR_SQ_TAIL, check="read")
+        cq_tail = mem.read_u64(ring + HDR_CQ_TAIL, check="read")
+        sq_cap = mem.read_u64(ring + HDR_SQ_CAP, check="read")
+        cq_cap = mem.read_u64(ring + HDR_CQ_CAP, check="read")
+    except PageFault:
+        return -errno.EFAULT
+    if not 0 < sq_cap <= MAX_ENTRIES or cq_cap != sq_cap:
+        return -errno.EINVAL
+    if sq_tail < sq_head or sq_tail - sq_head > sq_cap:
+        return -errno.EINVAL
+    pending = sq_tail - sq_head
+    if to_submit:
+        pending = min(pending, to_submit)
+    if pending == 0:
+        return 0
+
+    tracer = kernel.tracer
+    drain_start = kernel.clock if tracer is not None else 0
+    costs = kernel.costs
+    sq_base = ring + HEADER_SIZE
+    cq_base = ring + HEADER_SIZE + sq_cap * SQE_SIZE
+    completed = 0
+    while completed < pending and task.alive:
+        # A deliverable signal stops the drain between entries — the same
+        # way it interrupts a blocking syscall — but never before the
+        # first entry, so a re-entered ring always makes progress.
+        if completed and task.has_deliverable_signal():
+            break
+        slot = sq_head % sq_cap
+        entry_start = kernel.clock
+        kernel.charge(task, costs.uring_per_entry)
+        try:
+            sqe = sq_base + slot * SQE_SIZE
+            sysno = to_signed(mem.read_u64(sqe + SQE_SYSNO, check="read"))
+            raw_args = tuple(
+                mem.read_u64(sqe + SQE_ARGS + 8 * k, check="read")
+                for k in range(6)
+            )
+            user_data = mem.read_u64(sqe + SQE_USER_DATA, check="read")
+        except PageFault:
+            return -errno.EFAULT if completed == 0 else completed
+        res = _execute_entry(kernel, task, sysno, raw_args, cq_base, sq_cap)
+        if not task.alive:
+            return None
+        try:
+            cqe = cq_base + slot * CQE_SIZE
+            mem.write_u64(cqe + CQE_RES, res & MASK64, check="write")
+            mem.write_u64(cqe + CQE_USER_DATA, user_data, check="write")
+            sq_head += 1
+            cq_tail += 1
+            # Publish per entry so a partially drained ring is always
+            # observable and resumable by the guest.
+            mem.write_u64(ring + HDR_SQ_HEAD, sq_head, check="write")
+            mem.write_u64(ring + HDR_CQ_TAIL, cq_tail, check="write")
+        except PageFault:
+            return -errno.EFAULT if completed == 0 else completed
+        completed += 1
+        if tracer is not None:
+            tracer.ring_entry(
+                kernel.clock, task.tid, index=sq_head - 1, sysno=sysno,
+                name=syscall_name(sysno), ret=res, user_data=user_data,
+                cycles=kernel.clock - entry_start,
+            )
+        if res == -errno.EINTR and task.has_deliverable_signal():
+            break  # the interrupted entry's CQE is posted; handler runs next
+    if tracer is not None:
+        tracer.ring_enter(
+            kernel.clock, task.tid, submitted=pending, completed=completed,
+            cycles=kernel.clock - drain_start,
+        )
+    return completed

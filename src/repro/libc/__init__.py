@@ -1,4 +1,5 @@
-"""Minimal libc models: CRT startup variants reproducing Table III."""
+"""Minimal libc models: CRT startup variants reproducing Table III,
+plus guest-side syscall-aggregation helpers (:class:`GuestRing`)."""
 
 from repro.libc.variants import (
     LIBC_VARIANTS,
@@ -6,10 +7,14 @@ from repro.libc.variants import (
     GLIBC_231_UBUNTU,
     GLIBC_239_CLEARLINUX,
 )
+from repro.libc.uring import GuestRing, ring_result, ring_size
 
 __all__ = [
     "LibcVariant",
     "LIBC_VARIANTS",
     "GLIBC_231_UBUNTU",
     "GLIBC_239_CLEARLINUX",
+    "GuestRing",
+    "ring_result",
+    "ring_size",
 ]

@@ -28,6 +28,10 @@ kind                      emitted by
                           compiled into a superblock (``n`` instructions)
 ``block_invalidate``      tier-2 interpreter — a compiled superblock was
                           discarded (``reason``: smc, shootdown, or stale)
+``ring_enter``            kernel uring drain — one ``ring_enter`` crossing
+                          finished draining (``submitted``/``completed``)
+``ring_entry``            kernel uring drain — one SQE completed, with its
+                          result and per-entry cycle cost
 ``degrade``               degradation controller — the tool moved to a less
                           capable mode (FULL_HYBRID → SUD_ONLY → PASSTHROUGH)
 ``rewrite_blacklist``     degradation controller — a syscall site exhausted
@@ -62,6 +66,8 @@ SIGNAL = "signal"
 CACHE_INVALIDATE = "cache_invalidate"
 BLOCK_COMPILE = "block_compile"
 BLOCK_INVALIDATE = "block_invalidate"
+RING_ENTER = "ring_enter"
+RING_ENTRY = "ring_entry"
 DEGRADE = "degrade"
 REWRITE_BLACKLIST = "rewrite_blacklist"
 FALLBACK = "fallback"
@@ -80,6 +86,8 @@ ALL_KINDS = (
     CACHE_INVALIDATE,
     BLOCK_COMPILE,
     BLOCK_INVALIDATE,
+    RING_ENTER,
+    RING_ENTRY,
     DEGRADE,
     REWRITE_BLACKLIST,
     FALLBACK,

@@ -92,7 +92,7 @@ def export_chrome(tracer) -> dict:
 #: Kinds shown by default (scheduler noise off).
 _STRACE_KINDS = frozenset({
     K.SYSCALL, K.SIGSYS_TRAP, K.REWRITE, K.SIGNAL,
-    K.SIGRETURN_TRAMP, K.CACHE_INVALIDATE,
+    K.SIGRETURN_TRAMP, K.CACHE_INVALIDATE, K.RING_ENTER, K.RING_ENTRY,
 })
 
 
@@ -126,6 +126,16 @@ def render_strace(tracer, *, show_scheduler: bool = False,
         elif e.kind == K.SIGNAL:
             lines.append(
                 f"{head} --- {signal_name(d['sig'])} -> {d['action']} ---"
+            )
+        elif e.kind == K.RING_ENTRY:
+            lines.append(
+                f"{head}   ring[{d['index']}] {d['name']}"
+                f" = {format_ret(d['ret'])}  <{d['cycles']} cyc>"
+            )
+        elif e.kind == K.RING_ENTER:
+            lines.append(
+                f"{head} ring_enter drained {d['completed']}/{d['submitted']}"
+                f" entries  <{d['cycles']} cyc>"
             )
         elif e.kind == K.SIGRETURN_TRAMP:
             lines.append(f"{head} --- sigreturn trampoline transit ---")

@@ -44,6 +44,9 @@ class Tracer:
         self.cache_invalidations = 0
         self.block_compiles = 0
         self.block_invalidations = 0
+        #: ring_enter crossings and total SQEs drained through them
+        self.ring_enters = 0
+        self.ring_entries = 0
         #: degradation-mode transitions: (ts, tid, mechanism, old, new, reason)
         self.degradations: list[tuple] = []
         #: sites pinned to the slow path after repeated rewrite failures
@@ -173,6 +176,28 @@ class Tracer:
         """A compiled superblock was discarded (smc/shootdown/stale)."""
         self.block_invalidations += 1
         self._emit(ts, K.BLOCK_INVALIDATE, tid, {"head": head, "reason": reason})
+
+    # ------------------------------------------------------------- ring drain
+    def ring_enter(
+        self, ts: int, tid: int, *, submitted: int, completed: int, cycles: int
+    ) -> None:
+        """One ``ring_enter`` crossing finished draining."""
+        self.ring_enters += 1
+        self._emit(ts, K.RING_ENTER, tid,
+                   {"submitted": submitted, "completed": completed,
+                    "cycles": cycles})
+
+    def ring_entry(
+        self, ts: int, tid: int, *, index: int, sysno: int, name: str,
+        ret: int, user_data: int, cycles: int
+    ) -> None:
+        """One SQE completed during a ring drain (per-entry attribution)."""
+        self.ring_entries += 1
+        data = {"index": index, "name": name, "sysno": sysno, "ret": ret,
+                "user_data": user_data, "cycles": cycles}
+        if is_error(ret):
+            data["errno"] = -ret
+        self._emit(ts, K.RING_ENTRY, tid, data)
 
     # ----------------------------------------------------------- degradation
     def degrade(

@@ -1,0 +1,124 @@
+"""Syscall-aggregation microbenchmark: overhead-per-syscall vs batch size.
+
+The paper's Table II measures what one interposed *crossing* costs; this
+workload measures how that cost amortizes when a guest batches B syscalls
+per crossing through ``repro.kernel.uring``.  A steady-state loop submits
+the same B-entry ring over and over (SQEs written once, cursors rewound
+per iteration), so each iteration is exactly one ``ring_enter`` crossing
+draining B entries.
+
+Per-iteration costs are obtained by differencing two runs with different
+iteration counts — cancelling startup, tool attach, and the one-time
+SIGSYS rewrite of the enter site exactly (same technique as
+``repro.workloads.microbench``).  Interposition overhead per syscall is
+then ``cycles_per_syscall(tool) - cycles_per_syscall(bare)`` at the same
+batch size: since a drained entry pays identical per-entry costs with and
+without a tool attached (the tool only sees the single ``ring_enter``),
+the overhead scales like 1/B.
+"""
+
+from __future__ import annotations
+
+from repro.arch.encode import Assembler
+from repro.interpose.api import passthrough_interposer
+from repro.interpose.registry import attach
+from repro.kernel.machine import Machine
+from repro.kernel.syscalls.table import NR
+from repro.libc.uring import GuestRing
+from repro.loader.image import ProgramImage, image_from_assembler
+from repro.mem import layout
+from repro.obs.tracer import Tracer
+
+#: Tools compared in BENCH_uring.json (None = bare kernel).
+RING_TOOLS = (None, "lazypoline", "zpoline", "ptrace")
+
+#: Batch sizes of the trajectory.
+RING_BATCHES = (1, 4, 16, 64)
+
+
+def build_ring_loop(
+    enters: int, batch: int, name: str = "getpid",
+    *, base: int = layout.CODE_BASE,
+) -> ProgramImage:
+    """``enters`` ring_enter crossings, each draining ``batch`` ``name`` SQEs.
+
+    The SQEs are written once at startup; the loop only rewinds the ring
+    cursors and re-enters, so steady-state iterations measure the crossing
+    + drain and nothing else.
+    """
+    a = Assembler(base=base)
+    a.label("_start")
+    ring = GuestRing(a, entries=batch, base="r9")
+    ring.emit_mmap()
+    for _ in range(batch):
+        ring.push(name)
+    a.mov_imm("rbx", enters)
+    a.label("loop")
+    ring.flush(batch)
+    a.dec("rbx")
+    a.jnz("loop")
+    a.mov_imm("rax", NR["exit_group"])
+    a.mov_imm("rdi", 0)
+    a.syscall()
+    return image_from_assembler(f"ringbench-b{batch}", a, entry="_start")
+
+
+def _run_once(tool: str | None, enters: int, batch: int,
+              name: str) -> tuple[int, int]:
+    """Returns (final clock, ring_enter crossings) for one run."""
+    tracer = Tracer(max_events=0)  # aggregates only; no event storage
+    machine = Machine(tracer=tracer)
+    process = machine.load(build_ring_loop(enters, batch, name))
+    if tool is not None:
+        attach(machine, process, tool, interposer=passthrough_interposer)
+    machine.run_process(process, max_instructions=200_000_000)
+    return machine.clock, tracer.ring_enters
+
+
+def measure_ring(
+    tool: str | None, batch: int, *, enters: int = 64, name: str = "getpid",
+) -> dict:
+    """Steady-state per-syscall numbers for ``tool`` at ``batch``.
+
+    ``cycles_per_syscall`` and ``crossings_per_syscall`` are differenced
+    between ``enters`` and ``2 * enters`` iterations, so attach/startup
+    and the one-time rewrite traps cancel exactly.
+    """
+    clock_lo, cross_lo = _run_once(tool, enters, batch, name)
+    clock_hi, cross_hi = _run_once(tool, 2 * enters, batch, name)
+    syscalls = enters * batch
+    return {
+        "tool": tool or "none",
+        "batch": batch,
+        "cycles_per_syscall": (clock_hi - clock_lo) / syscalls,
+        "crossings_per_syscall": (cross_hi - cross_lo) / syscalls,
+    }
+
+
+def ring_trajectory(
+    tools=RING_TOOLS, batches=RING_BATCHES, *, enters: int = 64,
+) -> dict[str, dict]:
+    """The full tool x batch matrix, with per-syscall overhead vs bare.
+
+    Returns ``{"<tool>_b<batch>": row}`` where each row additionally
+    carries ``overhead_per_syscall`` — the tool's cycles-per-syscall
+    minus bare's at the same batch size, i.e. what interposition itself
+    costs once the crossing is amortized over the batch.
+    """
+    rows: dict[str, dict] = {}
+    bare: dict[int, float] = {}
+    for batch in batches:
+        row = measure_ring(None, batch, enters=enters)
+        bare[batch] = row["cycles_per_syscall"]
+        row["overhead_per_syscall"] = 0.0
+        rows[f"none_b{batch}"] = row
+    for tool in tools:
+        if tool is None:
+            continue
+        for batch in batches:
+            row = measure_ring(tool, batch, enters=enters)
+            row["overhead_per_syscall"] = round(
+                row["cycles_per_syscall"] - bare[batch], 6
+            )
+            rows[f"{tool}_b{batch}"] = row
+    return rows

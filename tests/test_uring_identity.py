@@ -1,0 +1,220 @@
+"""Ring-vs-unbatched identity matrix.
+
+One logical syscall program is built two ways:
+
+* **direct** — each operation is an ordinary ``syscall`` instruction, its
+  result stored into a results array;
+* **ring** — the same operations are SQEs (dependencies expressed as
+  ``ring_result`` links instead of register moves), drained by a single
+  ``ring_enter``, CQ results copied into the same array.
+
+Both variants write the raw results array to stdout, so a byte-exact
+stdout comparison proves every operation returned the identical value —
+fds, byte counts, and errnos included — across every interposition tool,
+core count, and interpreter tier.  Batching must be a pure performance
+transform: results, filesystem effects, fault injection, and per-entry
+observability all have to come out the same.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.arch.encode import Assembler
+from repro.faults.injector import FaultInjector, FaultRule
+from repro.faults.oracle import run_guest
+from repro.kernel import errno
+from repro.kernel.syscalls.table import NR
+from repro.libc.uring import GuestRing, ring_result
+from repro.loader.image import image_from_assembler
+from repro.mem import layout
+
+pytestmark = pytest.mark.uring
+
+FILE_DATA = b"hello ring!!"  # 12 bytes
+
+#: The shared operation list.  Args are ints, the label "path", a
+#: ("BUF", disp) pointer into the scratch page, or ("RES", j) — the result
+#: of operation j (a register reload in the direct build, a ring_result
+#: link in the ring build).  Note op 6 reuses the fd after close: both
+#: builds must surface the same -EBADF.
+OPS = (
+    ("open", ("path", 0, 0)),
+    ("read", (("RES", 0), ("BUF", 256), 12)),
+    ("lseek", (("RES", 0), 6, 0)),
+    ("read", (("RES", 0), ("BUF", 280), 6)),
+    ("fstat", (("RES", 0), ("BUF", 320))),
+    ("close", (("RES", 0),)),
+    ("lseek", (("RES", 0), 0, 0)),
+    ("getpid", ()),
+)
+
+_ARG_REGS = ("rdi", "rsi", "rdx", "r10", "r8", "r9")
+_RESULTS_BYTES = 8 * len(OPS)
+
+
+def _seed(machine):
+    machine.fs.create("/id.txt", FILE_DATA)
+
+
+def _prologue(a):
+    """Map the scratch page (results array @0, buffers @256+) into r14."""
+    a.label("_start")
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rsi", 4096)
+    a.mov_imm("rdx", 3)
+    a.mov_imm("r10", 0x22)
+    a.mov_imm("r8", (1 << 64) - 1)
+    a.mov_imm("r9", 0)
+    a.mov_imm("rax", NR["mmap"])
+    a.syscall()
+    a.mov("r14", "rax")
+
+
+def _epilogue(a):
+    """write(1, results, len) then exit_group(0) — identical both ways."""
+    a.mov_imm("rdi", 1)
+    a.mov("rsi", "r14")
+    a.mov_imm("rdx", _RESULTS_BYTES)
+    a.mov_imm("rax", NR["write"])
+    a.syscall()
+    a.mov_imm("rax", NR["exit_group"])
+    a.mov_imm("rdi", 0)
+    a.syscall()
+    a.align(8, fill=0)
+    a.label("path")
+    a.db(b"/id.txt\x00")
+
+
+def build_direct_image():
+    a = Assembler(base=layout.CODE_BASE)
+    _prologue(a)
+    for j, (name, args) in enumerate(OPS):
+        for reg, arg in zip(_ARG_REGS, args):
+            if isinstance(arg, tuple) and arg[0] == "RES":
+                a.load(reg, "r14", 8 * arg[1])
+            elif isinstance(arg, tuple) and arg[0] == "BUF":
+                a.lea(reg, "r14", arg[1])
+            else:
+                a.mov_imm(reg, arg)
+        a.mov_imm("rax", NR[name])
+        a.syscall()
+        a.store("r14", 8 * j, "rax")
+    _epilogue(a)
+    return image_from_assembler("identity-direct", a, entry="_start")
+
+
+def build_ring_image():
+    a = Assembler(base=layout.CODE_BASE)
+    _prologue(a)
+    ring = GuestRing(a, entries=len(OPS), base="r9")
+    ring.emit_mmap()
+    for name, args in OPS:
+        resolved = []
+        for reg, arg in zip(_ARG_REGS[:4], args):
+            if isinstance(arg, tuple) and arg[0] == "RES":
+                resolved.append(ring_result(arg[1]))
+            elif isinstance(arg, tuple) and arg[0] == "BUF":
+                a.lea("r8", "r14", arg[1])
+                resolved.append("r8")
+            else:
+                resolved.append(arg)
+        ring.push(name, *resolved)
+    ring.submit()
+    for j in range(len(OPS)):
+        ring.load_result("rax", j)
+        a.store("r14", 8 * j, "rax")
+    _epilogue(a)
+    return image_from_assembler("identity-ring", a, entry="_start")
+
+
+BUILDERS = {"direct": build_direct_image, "ring": build_ring_image}
+
+
+def _report(variant, tool=None, *, cores=1, superblocks=True, injector=None):
+    return run_guest(
+        BUILDERS[variant],
+        tool,
+        cores=cores,
+        setup=_seed,
+        injector=injector,
+        machine_opts={"superblocks": superblocks},
+    )
+
+
+def _results(report):
+    return struct.unpack(f"<{len(OPS)}q", report.stdout)
+
+
+def test_direct_baseline_results_are_sane():
+    report = _report("direct")
+    assert not report.crashed and report.exit == 0
+    res = _results(report)
+    fd = res[0]
+    assert fd >= 3
+    assert res[1] == 12              # full read
+    assert res[2] == 6               # lseek to 6
+    assert res[3] == 6               # tail read
+    assert res[4] == 0               # fstat ok
+    assert res[5] == 0               # close ok
+    assert res[6] == -errno.EBADF    # use-after-close
+    assert res[7] >= 1               # getpid
+
+
+@pytest.mark.parametrize("tool", [None, "lazypoline", "zpoline", "ptrace"])
+@pytest.mark.parametrize("cores", [1, 2])
+@pytest.mark.parametrize("superblocks", [True, False])
+def test_identity_matrix(tool, cores, superblocks):
+    """Ring and direct builds are observationally identical everywhere."""
+    baseline = _report("direct")
+    for variant in ("direct", "ring"):
+        report = _report(variant, tool, cores=cores, superblocks=superblocks)
+        assert not report.crashed, (variant, tool, cores, superblocks)
+        assert report.exit == 0, (variant, tool, cores, superblocks)
+        assert report.stdout == baseline.stdout, (
+            variant, tool, cores, superblocks
+        )
+        assert report.fs == baseline.fs, (variant, tool, cores, superblocks)
+
+
+def test_fault_injection_identical_across_variants():
+    """An injected per-syscall fault lands on the same logical operation
+    whether that operation is a direct syscall or a ring entry."""
+    reports = {}
+    for variant in ("direct", "ring"):
+        injector = FaultInjector(
+            rules=[FaultRule(errno=errno.EIO, name="read", max_injections=1)]
+        )
+        reports[variant] = _report(variant, "lazypoline", injector=injector)
+    assert reports["direct"].stdout == reports["ring"].stdout
+    res = _results(reports["ring"])
+    assert res[1] == -errno.EIO   # first read faulted...
+    assert res[3] == 6            # ...second read untouched
+
+
+def test_cycles_identical_across_interpreter_tiers():
+    """Superblock tiering must not change the simulated cost of a drain."""
+    on = _report("ring", "lazypoline", superblocks=True)
+    off = _report("ring", "lazypoline", superblocks=False)
+    assert on.cycles == off.cycles
+    assert on.instructions == off.instructions
+    assert on.stdout == off.stdout
+
+
+def test_interposition_stream_collapses_to_one_crossing():
+    """Tools with full expressiveness see each direct op individually but
+    exactly one ring_enter for the batched build — per-entry visibility
+    moves to the kernel obs stream, not the tool."""
+    direct = _report("direct", "lazypoline")
+    ring = _report("ring", "lazypoline")
+    direct_names = [n for _, n in direct.trace]
+    ring_names = [n for _, n in ring.trace]
+    for name, _ in OPS:
+        assert name in direct_names
+    assert ring_names.count("ring_enter") == 1
+    assert "open" not in ring_names
+    assert "fstat" not in ring_names
+    # The epilogue write/exit are direct syscalls in both builds.
+    assert direct_names[-2:] == ring_names[-2:] == ["write", "exit_group"]
