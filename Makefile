@@ -5,7 +5,7 @@ export PYTHONPATH
 FUZZ_MINUTES ?= 5
 FAULT_SEEDS ?= 0:64
 
-.PHONY: test test-fast test-degrade test-superblock test-uring faults fuzz bench perf trace
+.PHONY: test test-fast test-degrade test-superblock test-uring test-cluster faults fuzz bench perf trace
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,11 @@ test-superblock:
 test-uring:
 	$(PYTHON) -m pytest -x -q -m uring
 
+# Fleet-scale serving tier: balancer policies, multi-process shard fan-out,
+# cross-process determinism and the shards=1 byte-identity contract.
+test-cluster:
+	$(PYTHON) -m pytest -x -q -m cluster
+
 faults:
 	$(PYTHON) -m repro.faults --seeds $(FAULT_SEEDS)
 
@@ -46,11 +51,14 @@ trace:
 
 # Perf baselines: snapshot the previous BENCH_*.json files, remeasure, then
 # fail on a >15% regression on any workload (guest MIPS for the interpreter
-# trajectory, simulated cycles-per-syscall for the uring trajectory) or on
-# any same-run floor embedded in the result files.
+# trajectory, simulated cycles-per-syscall for the uring trajectory,
+# aggregate cluster rps for the fleet trajectory) or on any same-run floor
+# embedded in the result files.
 perf:
 	@if [ -f BENCH_interp.json ]; then cp BENCH_interp.json BENCH_interp.prev.json; fi
 	@if [ -f BENCH_uring.json ]; then cp BENCH_uring.json BENCH_uring.prev.json; fi
-	$(PYTHON) -m pytest benchmarks/test_perf_interpreter.py benchmarks/test_perf_uring.py -m perf -q
+	@if [ -f BENCH_cluster.json ]; then cp BENCH_cluster.json BENCH_cluster.prev.json; fi
+	$(PYTHON) -m pytest benchmarks/test_perf_interpreter.py benchmarks/test_perf_uring.py benchmarks/test_perf_cluster.py -m perf -q
 	$(PYTHON) benchmarks/check_regression.py
 	$(PYTHON) benchmarks/check_regression.py BENCH_uring.prev.json BENCH_uring.json
+	$(PYTHON) benchmarks/check_regression.py BENCH_cluster.prev.json BENCH_cluster.json

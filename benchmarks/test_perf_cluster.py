@@ -1,0 +1,130 @@
+"""Fleet-scale serving trajectory: cluster rps/latency vs shard count.
+
+Runs the shards x tool x batched matrix {1, 2, 4} x {none, lazypoline} x
+{direct, batched} through :class:`repro.cluster.Cluster` (round-robin
+balancing, one host process per shard) and writes ``BENCH_cluster.json``
+at the repo root: aggregate requests/sec and p50/p95/p99 latency per
+cell, plus per-shard guest-MIPS.
+
+Every number is *simulated* (cycles, simulated seconds) — fully
+deterministic — so ``check_regression.py`` catches any cost-model,
+balancer or aggregation change exactly, host noise excluded.  The
+headline claims are asserted same-run:
+
+* sharding scales: >= 3x aggregate rps at 4 shards bare (and under
+  lazypoline) vs 1 shard,
+* PR 7's batching survives the cluster layer: the batched leg serves at
+  least as many rps as the direct leg under lazypoline at 4 shards.
+
+Run via ``make perf`` or ``pytest benchmarks/test_perf_cluster.py -m perf``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cluster import Cluster
+
+from benchmarks.conftest import save_report
+
+pytestmark = [pytest.mark.perf, pytest.mark.cluster]
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = ROOT / "BENCH_cluster.json"
+
+SHARDS = (1, 2, 4)
+TOOLS = (None, "lazypoline")
+#: cluster-wide request total and per-shard warmup, sized so the 4-shard
+#: cells still give every shard a steady measurement window
+REQUESTS = 96
+WARMUP = 12
+
+#: Same-run floors, also embedded in the JSON for check_regression.py.
+FLOORS = {
+    "scaling_rps_4shards_none_b0": 3.0,
+    "scaling_rps_4shards_lazypoline_b0": 3.0,
+    "batched_rps_ratio_lazypoline_4shards": 1.0,
+}
+
+
+def _cell(shards: int, tool: str | None, batched: bool) -> dict:
+    report = Cluster(shards=shards, tool=tool, batched=batched).serve(
+        requests=REQUESTS, warmup=WARMUP
+    )
+    return {
+        "shards": shards,
+        "tool": tool or "none",
+        "batched": int(batched),
+        "requests_per_sec": round(report["requests_per_sec"], 3),
+        "latency_p50_cycles": report["latency_p50_cycles"],
+        "latency_p95_cycles": report["latency_p95_cycles"],
+        "latency_p99_cycles": report["latency_p99_cycles"],
+        "measured_seconds": report["measured_seconds"],
+        "guest_mips_per_shard": [
+            round(m, 3) for m in report["guest_mips_per_shard"]
+        ],
+        "ring_enters": report["obs"]["ring_enters"],
+    }
+
+
+def test_perf_cluster_scaling():
+    rows = {}
+    for shards in SHARDS:
+        for tool in TOOLS:
+            for batched in (False, True):
+                key = f"s{shards}_{tool or 'none'}_b{int(batched)}"
+                rows[key] = _cell(shards, tool, batched)
+
+    scaling = {}
+    for tool in TOOLS:
+        name = tool or "none"
+        for batched in (0, 1):
+            base = rows[f"s1_{name}_b{batched}"]["requests_per_sec"]
+            scaling[f"scaling_rps_4shards_{name}_b{batched}"] = round(
+                rows[f"s4_{name}_b{batched}"]["requests_per_sec"] / base, 3
+            )
+    scaling["batched_rps_ratio_lazypoline_4shards"] = round(
+        rows["s4_lazypoline_b1"]["requests_per_sec"]
+        / rows["s4_lazypoline_b0"]["requests_per_sec"],
+        4,
+    )
+
+    result = {
+        "schema": 1,
+        "metric": ("aggregate cluster requests/sec, simulated "
+                   "(deterministic; higher is better)"),
+        "regression_metric": "requests_per_sec",
+        "lower_is_better": False,
+        "workloads": rows,
+        **scaling,
+        "floors": FLOORS,
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    lines = ["fleet-scale serving (simulated aggregate rps / p99 cycles)",
+             ""]
+    lines.append(f"{'cell':24s} {'rps':>12s} {'p99 cyc':>10s} "
+                 f"{'ring_enters':>12s}")
+    for key, row in rows.items():
+        lines.append(
+            f"{key:24s} {row['requests_per_sec']:12.1f} "
+            f"{row['latency_p99_cycles']:10.0f} {row['ring_enters']:12d}"
+        )
+    lines.append("")
+    for key, value in sorted(scaling.items()):
+        lines.append(f"{key:44s} {value:8.2f}x")
+    save_report("perf_cluster", "\n".join(lines))
+
+    # Sharding must actually shard: every 4-shard cell beats its 1-shard
+    # cell, and the headline floors hold in the same run that wrote them.
+    for key, floor in FLOORS.items():
+        value = result.get(key)
+        assert value is not None, f"{key} missing from the run"
+        assert value >= floor, f"{key} = {value} below the {floor}x floor"
+
+    # The batched legs really went through the ring.
+    for key, row in rows.items():
+        assert (row["ring_enters"] > 0) == bool(row["batched"]), key

@@ -15,16 +15,16 @@ Run:  python examples/batched_webserver.py
 """
 
 from repro.obs.tracer import Tracer
-from repro.workloads.webserver import SERVERS, run_scaled
+from repro.workloads.runner import run_workload
 
 REQUESTS = 150
 WARMUP = 15
 
 
 def measure(tool, batched):
-    return run_scaled(
-        SERVERS["nginx"],
-        cores=1,
+    return run_workload(
+        "webserver",
+        server="nginx",
         tool=tool,
         requests=REQUESTS,
         warmup=WARMUP,
@@ -35,17 +35,17 @@ def measure(tool, batched):
 
 def ring_stats():
     """One traced batched run: crossings vs per-entry visibility."""
-    from repro.interpose.registry import attach
-    from repro.kernel.machine import Machine
-    from repro.workloads.webserver import ServerWorkload
-
     tracer = Tracer(max_events=0)
-    machine = Machine(tracer=tracer)
-    workload = ServerWorkload(
-        machine, SERVERS["nginx"], file_size=4096, batched=True
+    run_workload(
+        "webserver",
+        server="nginx",
+        tool="lazypoline",
+        batched=True,
+        tracer=tracer,
+        requests=REQUESTS,
+        warmup=WARMUP,
+        file_size=4096,
     )
-    attach(machine, workload.process, "lazypoline")
-    workload.benchmark(requests=REQUESTS, warmup=WARMUP)
     return tracer.ring_enters, tracer.ring_entries
 
 

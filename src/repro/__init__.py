@@ -18,12 +18,12 @@ depends on, on top of a simulated x86-64/Linux machine:
 Quickstart::
 
     from repro import Machine
-    from repro.interpose.lazypoline import Lazypoline
+    from repro.interpose import attach
     from repro.workloads.microbench import build_syscall_loop
 
     machine = Machine()
     proc = machine.load(build_syscall_loop(iterations=10))
-    tool = Lazypoline.install(machine, proc, interposer=my_interposer)
+    tool = attach(machine, proc, tool="lazypoline", interposer=my_interposer)
     machine.run()
 """
 

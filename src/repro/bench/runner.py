@@ -4,9 +4,8 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.arch.registers import XComponent
 from repro.interpose.api import Interposer, passthrough_interposer
-from repro.interpose.registry import attach
+from repro.workloads.runner import attach_mechanism
 
 
 def install_mechanism(
@@ -14,26 +13,15 @@ def install_mechanism(
 ):
     """Install one named interposition mechanism on a loaded process.
 
-    A thin veneer over :func:`repro.interpose.attach` that also knows the
-    benchmark-only names ``baseline`` (no tool) and ``lazypoline_noxstate``
-    (the §V-B xstate ablation).
+    A thin veneer over the unified setup path
+    (:func:`repro.workloads.runner.attach_mechanism`), which understands
+    the plain registry names plus the benchmark-only pseudo-mechanisms
+    (``baseline``, ``sud_enabled_allow``, the ``lazypoline_*`` ablations).
     """
-    interposer = interposer or passthrough_interposer
-    if name == "baseline":
-        return None
-    if name == "lazypoline_noxstate":
-        from repro.interpose.lazypoline import LazypolineConfig
-
-        return attach(
-            machine,
-            process,
-            "lazypoline",
-            interposer=interposer,
-            config=LazypolineConfig(preserve_xstate=XComponent.none()),
-        )
-    if name == "seccomp_bpf":
-        return attach(machine, process, "seccomp_bpf")
-    return attach(machine, process, name, interposer=interposer)
+    return attach_mechanism(
+        machine, process, name,
+        interposer=interposer or passthrough_interposer,
+    )
 
 
 def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:

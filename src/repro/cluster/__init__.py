@@ -1,0 +1,32 @@
+"""Fleet-scale serving: shard Machines across host processes.
+
+The ROADMAP's "heavy traffic from millions of users" layer: a
+:class:`Cluster` boots N independent simulated machines (one per host
+process, deterministic per-shard seeds), a :class:`LoadBalancer` splits
+wrk traffic across their prefork webservers — direct or ring-batched —
+and the report merges throughput, latency percentiles and per-shard obs
+summaries.  See :mod:`repro.cluster.cluster` for the determinism
+contract.
+
+Quickstart::
+
+    from repro.cluster import Cluster
+
+    report = Cluster(shards=4, tool="lazypoline", batched=True).serve(
+        requests=200
+    )
+    print(report["requests_per_sec"], report["latency_p99_cycles"])
+"""
+
+from repro.cluster.balancer import POLICIES, LoadBalancer, fnv1a
+from repro.cluster.cluster import Cluster
+from repro.cluster.shard import obs_summary, run_shard
+
+__all__ = [
+    "Cluster",
+    "LoadBalancer",
+    "POLICIES",
+    "fnv1a",
+    "obs_summary",
+    "run_shard",
+]

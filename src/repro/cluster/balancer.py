@@ -1,0 +1,135 @@
+"""The simulated load-balancer front-end.
+
+A :class:`LoadBalancer` maps a stream of request keys onto shard indices
+*before* any shard boots: the cluster plans the whole request schedule up
+front, hands each shard its slice, and lets the shards run concurrently
+(each in its own host process, each with its own wrk client).  That keeps
+the balancer a pure function of ``(shards, policy, request stream)`` — no
+cross-process chatter, so cluster results stay exactly as deterministic
+as a single-machine run.
+
+Three policies, mirroring the classic L4 front-end choices:
+
+``round_robin``
+    Rotate through the shards.  The reference policy: perfectly even
+    split, used by the scaling benchmark.
+
+``least_conn``
+    Greedy least-outstanding-connections with a deterministic service
+    model: each request occupies its shard for ``service_ticks``
+    assignment ticks (default = shard count, i.e. service rate matches
+    arrival rate).  With homogeneous simulated shards this converges to
+    an even split — the point is exercising the accounting path the
+    policy needs, not a different steady state.
+
+``consistent_hash``
+    FNV-1a hashing of the request key onto a ring of ``vnodes`` virtual
+    nodes per shard.  Deliberately *not* Python's builtin ``hash`` —
+    that is salted per process and would break cross-process
+    determinism.  Splits are uneven by design (cache-affinity routing
+    trades balance for key stickiness).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+POLICIES = ("round_robin", "least_conn", "consistent_hash")
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a(data: bytes) -> int:
+    """64-bit FNV-1a + avalanche finalizer: stable across processes
+    (unlike builtin ``hash``, which is salted per process).
+
+    Raw FNV-1a clusters short keys with a shared prefix (``req-0``,
+    ``req-1``, ...) into a narrow band of the 64-bit space, which would
+    collapse the consistent-hash ring onto one shard; the splitmix64
+    finalizer spreads them uniformly.
+    """
+    h = _FNV_OFFSET
+    for byte in data:
+        h = ((h ^ byte) * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    # splitmix64 finalizer
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return h ^ (h >> 31)
+
+
+class LoadBalancer:
+    """Deterministic request-to-shard assignment under one policy."""
+
+    def __init__(
+        self,
+        shards: int,
+        policy: str = "round_robin",
+        *,
+        vnodes: int = 64,
+        service_ticks: int | None = None,
+    ):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown balancing policy {policy!r}; "
+                f"choose from {', '.join(POLICIES)}"
+            )
+        self.shards = shards
+        self.policy = policy
+        self.assignments: list[int] = []
+        self._tick = 0
+        # round_robin
+        self._next = 0
+        # least_conn
+        self._service_ticks = service_ticks or shards
+        self._in_flight: list[list[int]] = [[] for _ in range(shards)]
+        # consistent_hash: sorted ring of (point, shard)
+        self._ring: list[tuple[int, int]] = sorted(
+            (fnv1a(f"shard-{s}:vnode-{v}".encode()), s)
+            for s in range(shards)
+            for v in range(vnodes)
+        )
+        self._points = [p for p, _ in self._ring]
+
+    # ------------------------------------------------------------- assignment
+    def assign(self, key: str | int | None = None) -> int:
+        """Route one request; ``key`` only matters for ``consistent_hash``."""
+        tick = self._tick
+        self._tick = tick + 1
+        if self.policy == "round_robin":
+            shard = self._next
+            self._next = (shard + 1) % self.shards
+        elif self.policy == "least_conn":
+            shard = self._assign_least_conn(tick)
+        else:
+            shard = self._assign_hash(key if key is not None else tick)
+        self.assignments.append(shard)
+        return shard
+
+    def _assign_least_conn(self, tick: int) -> int:
+        for queue in self._in_flight:
+            while queue and queue[0] <= tick:
+                queue.pop(0)
+        shard = min(
+            range(self.shards), key=lambda s: (len(self._in_flight[s]), s)
+        )
+        self._in_flight[shard].append(tick + self._service_ticks)
+        return shard
+
+    def _assign_hash(self, key) -> int:
+        point = fnv1a(str(key).encode())
+        i = bisect_left(self._points, point)
+        if i == len(self._points):
+            i = 0
+        return self._ring[i][1]
+
+    # --------------------------------------------------------------- planning
+    def plan(self, requests: int) -> list[int]:
+        """Assign ``requests`` sequential request ids; return per-shard
+        counts.  The full assignment order stays in :attr:`assignments`."""
+        counts = [0] * self.shards
+        for i in range(requests):
+            counts[self.assign(f"req-{i}")] += 1
+        return counts

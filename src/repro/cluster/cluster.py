@@ -1,0 +1,211 @@
+"""The cluster: N Machine+webserver shards behind a simulated balancer.
+
+``Cluster(shards=4, tool="lazypoline", batched=True).serve(requests=200)``
+boots four independent simulated machines across host processes, splits
+the wrk request stream across them through a :class:`LoadBalancer`, runs
+each shard's prefork webserver leg (direct or ring-batched syscalls), and
+merges the results into one cluster-wide report.
+
+Determinism is the design constraint, not an afterthought:
+
+* shard ``i`` seeds its machine with ``smp_seed + i`` — shard 0 of a
+  1-shard cluster is *byte-identical* to a direct
+  ``run_workload("webserver", ...)`` call with the same seed;
+* the balancer plans the whole request schedule before any shard boots,
+  so there is no cross-process ordering to race on;
+* every number in the report is simulated (cycles, simulated seconds,
+  instruction counts) — host wall-clock and host scheduling never leak
+  into it, so the same ``(shards, smp_seed, policy)`` always produces
+  the same report.
+
+Aggregation: cluster rps is total measured requests over the *slowest*
+shard's measured window (shards run concurrently in simulated time; the
+cluster is done when the last one is), latency percentiles are computed
+over the merged per-request sample set, and per-shard obs summaries are
+merged by summing the tracer's aggregate counters (raw event streams
+never cross the process boundary).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.cluster.balancer import POLICIES, LoadBalancer
+from repro.cluster.shard import run_shard
+from repro.workloads.wrk import latency_percentiles
+
+
+def _merge_obs(per_shard: list[dict]) -> dict:
+    """Sum the aggregate counters; keep health per shard (modes don't add)."""
+    counts: dict[str, int] = {}
+    interposition: dict[str, int] = {}
+    totals = {"ring_enters": 0, "ring_entries": 0, "slowpath_total": 0,
+              "rewritten_sites": 0, "dropped_events": 0}
+    for shard in per_shard:
+        obs = shard["obs"]
+        for kind, n in obs["counts"].items():
+            counts[kind] = counts.get(kind, 0) + n
+        for name, n in obs["interposition_counts"].items():
+            interposition[name] = interposition.get(name, 0) + n
+        for key in totals:
+            totals[key] += obs[key]
+    return {
+        "counts": counts,
+        "interposition_counts": interposition,
+        **totals,
+        "health_per_shard": [s["obs"]["health"] for s in per_shard],
+    }
+
+
+class Cluster:
+    """A fleet of webserver shards behind one simulated load balancer."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        tool: str | None = None,
+        policy: str = "round_robin",
+        batched: bool = False,
+        cores: int = 1,
+        smp_seed: int = 0,
+        server: str = "nginx",
+        file_size: int = 8192,
+        processes: bool | None = None,
+        tool_opts: dict | None = None,
+        machine_opts: dict | None = None,
+    ):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown balancing policy {policy!r}; "
+                f"choose from {', '.join(POLICIES)}"
+            )
+        self.shards = shards
+        self.tool = tool
+        self.policy = policy
+        self.batched = batched
+        self.cores = cores
+        self.smp_seed = smp_seed
+        self.server = server
+        self.file_size = file_size
+        self.processes = processes
+        self.tool_opts = tool_opts
+        self.machine_opts = machine_opts
+
+    # ------------------------------------------------------------------ plan
+    def shard_configs(
+        self,
+        requests: int,
+        *,
+        warmup: int = 20,
+        connections: int | None = None,
+        client_cycles_per_request: int = 0,
+    ) -> list[dict]:
+        """Plan the run: balance ``requests`` and build one picklable
+        config per shard (shard ``i`` gets seed ``smp_seed + i``)."""
+        balancer = LoadBalancer(self.shards, self.policy)
+        counts = balancer.plan(requests)
+        if min(counts) < 1:
+            raise ValueError(
+                f"{requests} requests across {self.shards} shards under "
+                f"{self.policy!r} starves a shard (counts={counts}); "
+                f"send more traffic"
+            )
+        configs = []
+        for index, count in enumerate(counts):
+            config = {
+                "shard": index,
+                "smp_seed": self.smp_seed + index,
+                "workload": "webserver",
+                "server": self.server,
+                "tool": self.tool,
+                "cores": self.cores,
+                "batched": self.batched,
+                "file_size": self.file_size,
+                "requests": count,
+                "warmup": warmup,
+                "connections": connections,
+                "client_cycles_per_request": client_cycles_per_request,
+            }
+            if self.tool_opts is not None:
+                config["tool_opts"] = self.tool_opts
+            if self.machine_opts is not None:
+                config["machine_opts"] = self.machine_opts
+            configs.append(config)
+        return configs
+
+    # ------------------------------------------------------------------ boot
+    def _run_shards(self, configs: list[dict]) -> list[dict]:
+        use_processes = self.processes
+        if use_processes is None:
+            use_processes = len(configs) > 1
+        if not use_processes:
+            return [run_shard(c) for c in configs]
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # no fork on this host: results are identical
+            ctx = multiprocessing.get_context("spawn")
+        workers = min(len(configs), os.cpu_count() or 1)
+        with ctx.Pool(workers) as pool:
+            return pool.map(run_shard, configs)
+
+    # ----------------------------------------------------------------- serve
+    def serve(
+        self,
+        requests: int = 200,
+        *,
+        warmup: int = 20,
+        connections: int | None = None,
+        client_cycles_per_request: int = 0,
+    ) -> dict:
+        """Serve ``requests`` across the fleet and return the merged report.
+
+        ``warmup`` and ``connections`` are per shard (each shard runs its
+        own wrk client); ``requests`` is the cluster-wide total the
+        balancer splits.
+        """
+        configs = self.shard_configs(
+            requests,
+            warmup=warmup,
+            connections=connections,
+            client_cycles_per_request=client_cycles_per_request,
+        )
+        per_shard = sorted(self._run_shards(configs), key=lambda s: s["shard"])
+        rows = [s["result"] for s in per_shard]
+
+        # The fleet finishes when its slowest shard does.
+        measured_seconds = max(r["measured_seconds"] for r in rows)
+        total_requests = sum(r["requests"] for r in rows)
+        samples: list[int] = []
+        for row in rows:
+            samples.extend(row["latency_samples_cycles"])
+        pct = latency_percentiles(samples)
+
+        return {
+            "workload": "cluster-webserver",
+            "shards": self.shards,
+            "policy": self.policy,
+            "tool": self.tool,
+            "batched": self.batched,
+            "cores": self.cores,
+            "smp_seed": self.smp_seed,
+            "server": self.server,
+            "file_size": self.file_size,
+            "requests_total": total_requests,
+            "requests_per_shard": [r["requests"] for r in rows],
+            "warmup_per_shard": warmup,
+            "requests_per_sec": (
+                total_requests / measured_seconds if measured_seconds else 0.0
+            ),
+            "measured_seconds": measured_seconds,
+            "latency_p50_cycles": pct["p50"],
+            "latency_p95_cycles": pct["p95"],
+            "latency_p99_cycles": pct["p99"],
+            "guest_mips_per_shard": [r["guest_mips"] for r in rows],
+            "guest_mips_total": sum(r["guest_mips"] for r in rows),
+            "obs": _merge_obs(per_shard),
+            "results": rows,
+        }

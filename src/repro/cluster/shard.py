@@ -1,0 +1,57 @@
+"""The per-shard worker: one Machine + webserver per host process.
+
+:func:`run_shard` is deliberately a *top-level function taking one plain
+dict* so ``multiprocessing`` can pickle the call under any start method.
+Everything it returns is JSON-serializable: the full
+:func:`repro.workloads.runner.run_workload` result row plus an
+:func:`obs_summary` of the shard's tracer.  Raw event streams stay
+shard-local on purpose — at fleet scale they are the expensive part, and
+the cheap aggregate counters the :class:`~repro.obs.tracer.Tracer`
+maintains at emit time are what the cluster front-end actually merges.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracer import Tracer
+from repro.workloads.runner import run_workload
+
+
+def obs_summary(tracer: Tracer) -> dict:
+    """The serializable slice of a tracer: aggregate counters + health.
+
+    Everything here is maintained at emit time (never an event walk) and
+    is plain ints/strings, so it crosses the process boundary unchanged.
+    """
+    return {
+        "counts": dict(tracer.counts),
+        "interposition_counts": dict(tracer.interposition_counts),
+        "ring_enters": tracer.ring_enters,
+        "ring_entries": tracer.ring_entries,
+        "slowpath_total": tracer.slowpath_total,
+        "rewritten_sites": len(tracer.rewritten_sites),
+        "dropped_events": tracer.dropped,
+        "health": tracer.health(),
+    }
+
+
+def run_shard(config: dict) -> dict:
+    """Boot one shard and run its workload; the cluster worker entry point.
+
+    ``config`` is ``{"shard": index, "smp_seed": seed, "workload": name,
+    **run_workload kwargs}``.  A fresh aggregates-only tracer
+    (``max_events=0``) is always attached: observability is free in
+    simulated time, so the shard's numbers are byte-identical to an
+    untraced direct :func:`run_workload` call with the same seed.
+    """
+    config = dict(config)
+    index = config.pop("shard")
+    seed = config.pop("smp_seed")
+    workload = config.pop("workload", "webserver")
+    tracer = Tracer(max_events=0)
+    result = run_workload(workload, tracer=tracer, smp_seed=seed, **config)
+    return {
+        "shard": index,
+        "smp_seed": seed,
+        "result": result,
+        "obs": obs_summary(tracer),
+    }

@@ -9,7 +9,7 @@ from repro.interpose.api import (
     Interposer,
     SyscallContext,
     passthrough_interposer,
-    warn_deprecated_install,
+    removed_install,
 )
 from repro.interpose.lazypoline import gsrel
 from repro.interpose.lazypoline.asmblobs import LazypolineBlobs, build_blobs
@@ -137,15 +137,10 @@ class Lazypoline:
 
     # ------------------------------------------------------------------ install
     @classmethod
-    def install(
-        cls,
-        machine,
-        process,
-        interposer: Interposer | None = None,
-        config: LazypolineConfig | None = None,
-    ) -> "Lazypoline":
-        warn_deprecated_install(cls)
-        return cls._install(machine, process, interposer, config)
+    def install(cls, machine, process, interposer=None,
+                config=None) -> "Lazypoline":
+        """Removed — raises :class:`~repro.errors.AttachError`."""
+        removed_install(cls)
 
     @classmethod
     def _install(

@@ -19,7 +19,7 @@ from repro.interpose.api import (
     Interposer,
     SyscallContext,
     passthrough_interposer,
-    warn_deprecated_install,
+    removed_install,
 )
 from repro.kernel.syscalls.table import NR
 from repro.libc.wrappers import wrapper_symbol
@@ -38,16 +38,9 @@ class PreloadTool:
         self.patched: dict[str, int] = {}  # wrapper name -> address
 
     @classmethod
-    def install(
-        cls,
-        machine,
-        process,
-        interposer: Interposer | None = None,
-        *,
-        wrappers: list[str] | None = None,
-    ) -> "PreloadTool":
-        warn_deprecated_install(cls)
-        return cls._install(machine, process, interposer, wrappers=wrappers)
+    def install(cls, machine, process, interposer=None, **kw) -> "PreloadTool":
+        """Removed — raises :class:`~repro.errors.AttachError`."""
+        removed_install(cls)
 
     @classmethod
     def _install(

@@ -20,7 +20,7 @@ from repro.interpose.api import (
     Interposer,
     SyscallContext,
     passthrough_interposer,
-    warn_deprecated_install,
+    removed_install,
 )
 from repro.kernel.ptrace import PtraceTracer, TraceeControl, attach, detach
 
@@ -57,16 +57,9 @@ class PtraceTool(PtraceTracer):
         self._pending: dict[int, tuple[int, tuple[int, ...]]] = {}
 
     @classmethod
-    def install(
-        cls,
-        machine,
-        process,
-        interposer: Interposer | None = None,
-        *,
-        on_enter: Callable[[TraceeControl], None] | None = None,
-    ) -> "PtraceTool":
-        warn_deprecated_install(cls)
-        return cls._install(machine, process, interposer, on_enter=on_enter)
+    def install(cls, machine, process, interposer=None, **kw) -> "PtraceTool":
+        """Removed — raises :class:`~repro.errors.AttachError`."""
+        removed_install(cls)
 
     @classmethod
     def _install(

@@ -9,7 +9,7 @@ interposer callback here; that's the point of Table I's seccomp-bpf row.
 
 from __future__ import annotations
 
-from repro.interpose.api import warn_deprecated_install
+from repro.interpose.api import removed_install
 from repro.kernel.seccomp.bpf import BpfProgram
 from repro.kernel.seccomp.filter import FilterBuilder
 
@@ -24,11 +24,9 @@ class SeccompBpfTool:
         self.programs = programs
 
     @classmethod
-    def install(
-        cls, machine, process, program: BpfProgram | None = None
-    ) -> "SeccompBpfTool":
-        warn_deprecated_install(cls)
-        return cls._install(machine, process, program)
+    def install(cls, machine, process, program=None) -> "SeccompBpfTool":
+        """Removed — raises :class:`~repro.errors.AttachError`."""
+        removed_install(cls)
 
     @classmethod
     def _install(
@@ -40,12 +38,14 @@ class SeccompBpfTool:
         return cls(process, [prog])
 
     @classmethod
-    def install_denylist(
-        cls, machine, process, sysnos: list[int], *, errno_value: int = 1
-    ) -> "SeccompBpfTool":
-        warn_deprecated_install(cls, "install_denylist")
-        return cls._install_denylist(machine, process, sysnos,
-                                     errno_value=errno_value)
+    def install_denylist(cls, machine, process, sysnos, *,
+                         errno_value: int = 1) -> "SeccompBpfTool":
+        """Removed — raises :class:`~repro.errors.AttachError`."""
+        removed_install(
+            cls, "install_denylist",
+            hint="repro.interpose.attach(machine, process, "
+                 "tool='seccomp_bpf', denylist=[...], errno_value=...)",
+        )
 
     @classmethod
     def _install_denylist(

@@ -24,7 +24,7 @@ from repro.interpose.api import (
     Interposer,
     SyscallContext,
     passthrough_interposer,
-    warn_deprecated_install,
+    removed_install,
 )
 from repro.kernel.signals import (
     FRAME_SIGINFO,
@@ -70,9 +70,9 @@ class SignalPathTool:
 
     # ------------------------------------------------------------------ install
     @classmethod
-    def install(cls, machine, process, interposer: Interposer | None = None, **kw):
-        warn_deprecated_install(cls)
-        return cls._install(machine, process, interposer, **kw)
+    def install(cls, machine, process, interposer=None, **kw):
+        """Removed — raises :class:`~repro.errors.AttachError`."""
+        removed_install(cls)
 
     @classmethod
     def _install(cls, machine, process, interposer: Interposer | None = None, **kw):

@@ -24,7 +24,7 @@ from repro.interpose.api import (
     Interposer,
     SyscallContext,
     passthrough_interposer,
-    warn_deprecated_install,
+    removed_install,
 )
 from repro.kernel.seccomp.bpf import BpfProgram
 from repro.kernel.seccomp.core import SECCOMP_RET_USER_NOTIF
@@ -47,17 +47,9 @@ class UserNotifTool:
         self.notifications = 0
 
     @classmethod
-    def install(
-        cls,
-        machine,
-        process,
-        interposer: Interposer | None = None,
-        *,
-        filter_program: BpfProgram | None = None,
-    ) -> "UserNotifTool":
-        warn_deprecated_install(cls)
-        return cls._install(machine, process, interposer,
-                            filter_program=filter_program)
+    def install(cls, machine, process, interposer=None, **kw) -> "UserNotifTool":
+        """Removed — raises :class:`~repro.errors.AttachError`."""
+        removed_install(cls)
 
     @classmethod
     def _install(
@@ -77,12 +69,14 @@ class UserNotifTool:
         return tool
 
     @classmethod
-    def install_for_syscalls(
-        cls, machine, process, sysnos: list[int],
-        interposer: Interposer | None = None,
-    ) -> "UserNotifTool":
-        warn_deprecated_install(cls, "install_for_syscalls")
-        return cls._install_for_syscalls(machine, process, sysnos, interposer)
+    def install_for_syscalls(cls, machine, process, sysnos,
+                             interposer=None) -> "UserNotifTool":
+        """Removed — raises :class:`~repro.errors.AttachError`."""
+        removed_install(
+            cls, "install_for_syscalls",
+            hint="repro.interpose.attach(machine, process, "
+                 "tool='seccomp_unotify', sysnos=[...])",
+        )
 
     @classmethod
     def _install_for_syscalls(

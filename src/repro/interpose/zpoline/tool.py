@@ -7,7 +7,7 @@ from repro.interpose.api import (
     Interposer,
     SyscallContext,
     passthrough_interposer,
-    warn_deprecated_install,
+    removed_install,
 )
 from repro.interpose.zpoline.rewriter import discover_sites, rewrite_sites
 from repro.interpose.zpoline.trampoline import build_trampoline_code, map_trampoline
@@ -42,17 +42,9 @@ class Zpoline:
 
     # ------------------------------------------------------------------ install
     @classmethod
-    def install(
-        cls,
-        machine,
-        process,
-        interposer: Interposer | None = None,
-        *,
-        mode: str = "sweep",
-        rewrite: bool = True,
-    ) -> "Zpoline":
-        warn_deprecated_install(cls)
-        return cls._install(machine, process, interposer, mode=mode, rewrite=rewrite)
+    def install(cls, machine, process, interposer=None, **kw) -> "Zpoline":
+        """Removed — raises :class:`~repro.errors.AttachError`."""
+        removed_install(cls)
 
     @classmethod
     def _install(

@@ -53,7 +53,38 @@ from repro.kernel.uring import (
     sqe_offset,
 )
 
-__all__ = ["GuestRing", "ring_result", "ring_size"]
+__all__ = [
+    "DEFAULT_RING_ENTRIES",
+    "RING_BASE_REG",
+    "GuestRing",
+    "ring_result",
+    "ring_region_size",
+    "ring_size",
+]
+
+# ------------------------------------------------------- shared geometry
+#: Default ring capacity for in-tree ring users (the batched webserver's
+#: per-worker ring, examples).  Every builder that carves a ring out of a
+#: larger buffer must size that buffer with :func:`ring_region_size` so a
+#: layout change here (or in ``repro.kernel.uring``'s SQE/CQE sizes) grows
+#: the buffer instead of silently overlapping whatever lives after it.
+DEFAULT_RING_ENTRIES = 8
+
+#: Conventional GPR holding the ring base in generated guest code.
+RING_BASE_REG = "r9"
+
+
+def ring_region_size(entries: int = DEFAULT_RING_ENTRIES,
+                     *, align: int = 4096) -> int:
+    """Bytes to reserve for a ring of ``entries`` slots, ``align``-rounded.
+
+    Page-rounding keeps buffer layouts stable across small geometry tweaks
+    (benchmark cycle counts depend on the mmap length immediate), while a
+    genuine layout growth past the page boundary resizes the reservation
+    instead of corrupting the neighbouring buffer.
+    """
+    size = ring_size(entries)
+    return (size + align - 1) & ~(align - 1)
 
 _GPRS = frozenset(
     ["rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp"]
@@ -74,7 +105,7 @@ class GuestRing:
     clobber ``rdi/rsi/rdx/r10/rax`` (the syscall argument registers).
     """
 
-    def __init__(self, asm, *, entries: int, base: str = "r9",
+    def __init__(self, asm, *, entries: int, base: str = RING_BASE_REG,
                  disp: int = 0, scratch: str = "rcx", tag: str = "ring"):
         self.asm = asm
         self.entries = entries

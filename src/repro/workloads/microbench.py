@@ -14,16 +14,9 @@ deterministic, so differencing gives the identical steady state).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.arch.encode import Assembler
-from repro.arch.registers import XComponent
 from repro.cpu.costs import CostModel
-from repro.interpose.api import Interposer, passthrough_interposer
-from repro.interpose.lazypoline import LazypolineConfig
-from repro.interpose.registry import attach
-from repro.kernel.machine import Machine
-from repro.kernel.sud import SELECTOR_ALLOW, SudState
+from repro.interpose.api import Interposer
 from repro.kernel.syscalls.table import NR
 from repro.loader.image import ProgramImage, image_from_assembler
 from repro.mem import layout
@@ -31,7 +24,9 @@ from repro.mem import layout
 #: The non-existent syscall number the paper uses.
 NOSYS_SYSNO = 500
 
-#: Mechanisms understood by :func:`measure_cycles_per_syscall`.
+#: Mechanisms understood by :func:`measure_cycles_per_syscall` — all
+#: resolved by the unified :func:`repro.workloads.runner.attach_mechanism`
+#: setup path.
 MECHANISMS = (
     "baseline",
     "sud_enabled_allow",
@@ -49,13 +44,6 @@ MECHANISMS = (
     "seccomp_user",
     "ptrace",
 )
-
-#: xstate component sets for the ablation configurations.
-_XSTATE_PRESETS = {
-    "lazypoline_xstate_sse": XComponent.SSE,
-    "lazypoline_xstate_x87": XComponent.X87,
-    "lazypoline_xstate_sse_avx": XComponent.SSE | XComponent.AVX,
-}
 
 
 def build_syscall_loop(
@@ -81,56 +69,8 @@ def build_syscall_loop(
     return image_from_assembler("microbench", asm, entry="_start")
 
 
-@dataclass
-class MicroSetup:
-    machine: Machine
-    process: object
-    tool: object | None
-
-
-def _install(mechanism: str, machine: Machine, process,
-             interposer: Interposer) -> object | None:
-    task = process.task
-    if mechanism == "baseline":
-        return None
-    if mechanism == "sud_enabled_allow":
-        # SUD armed but the selector permanently ALLOW: isolates the cost
-        # of the slower kernel entry path + selector read (Table II row 5).
-        from repro.mem.pages import Perm
-
-        addr = task.mem.map_anywhere(4096, Perm.RW)
-        task.mem.write_u8(addr, SELECTOR_ALLOW, check=None)
-        task.sud = SudState(selector_addr=addr, allow_start=0, allow_len=0)
-        return None
-    if mechanism == "zpoline":
-        return attach(machine, process, "zpoline", interposer=interposer)
-    if mechanism.startswith("lazypoline"):
-        if mechanism in _XSTATE_PRESETS:
-            xstate = _XSTATE_PRESETS[mechanism]
-        elif "noxstate" in mechanism:
-            xstate = XComponent.none()
-        else:
-            xstate = XComponent.all()
-        config = LazypolineConfig(
-            preserve_xstate=xstate,
-            enable_sud="nosud" not in mechanism,
-            protect_gs_with_pkey="pkey" in mechanism,
-        )
-        tool = attach(
-            machine, process, "lazypoline", interposer=interposer, config=config
-        )
-        # Steady state: rewrite the loop's syscall site up front, so the
-        # measurement contains no slow-path executions (§V-B a).
-        tool.rewrite_site_now(_loop_syscall_site(machine, process))
-        return tool
-    if mechanism == "seccomp_bpf":
-        return attach(machine, process, "seccomp_bpf")
-    if mechanism in ("sud", "seccomp_user", "ptrace"):
-        return attach(machine, process, mechanism, interposer=interposer)
-    raise ValueError(f"unknown mechanism {mechanism!r}")
-
-
-def _loop_syscall_site(machine, process) -> int:
+def loop_syscall_site(machine, process) -> int:
+    """Address of the loop's syscall instruction (``the_syscall`` symbol)."""
     image = machine.kernel.binaries.get("/bin/" + process.task.comm)
     return image.symbols["the_syscall"]
 
@@ -140,14 +80,19 @@ def _run_once(
     iterations: int,
     sysno: int,
     costs: CostModel | None,
-    interposer: Interposer,
+    interposer: Interposer | None,
 ) -> int:
-    machine = Machine(costs or CostModel())
-    image = build_syscall_loop(iterations, sysno)
-    process = machine.load(image)
-    _install(mechanism, machine, process, interposer)
-    machine.run_process(process, max_instructions=200_000_000)
-    return machine.clock
+    from repro.workloads.runner import run_workload
+
+    machine_opts = {"costs": costs} if costs is not None else None
+    return run_workload(
+        "microbench",
+        tool=None if mechanism == "baseline" else mechanism,
+        interposer=interposer,
+        machine_opts=machine_opts,
+        iterations=iterations,
+        sysno=sysno,
+    )["clock"]
 
 
 def measure_cycles_per_syscall(
@@ -158,8 +103,11 @@ def measure_cycles_per_syscall(
     costs: CostModel | None = None,
     interposer: Interposer | None = None,
 ) -> float:
-    """Steady-state cycles per loop iteration under ``mechanism``."""
-    interposer = interposer or passthrough_interposer
+    """Steady-state cycles per loop iteration under ``mechanism``.
+
+    A thin wrapper over two :func:`repro.workloads.runner.run_workload`
+    calls (the unified runner protocol), differenced to cancel startup.
+    """
     low = _run_once(mechanism, iterations, sysno, costs, interposer)
     high = _run_once(mechanism, 2 * iterations, sysno, costs, interposer)
     return (high - low) / iterations

@@ -21,13 +21,10 @@ from __future__ import annotations
 
 from repro.arch.encode import Assembler
 from repro.interpose.api import passthrough_interposer
-from repro.interpose.registry import attach
-from repro.kernel.machine import Machine
 from repro.kernel.syscalls.table import NR
 from repro.libc.uring import GuestRing
 from repro.loader.image import ProgramImage, image_from_assembler
 from repro.mem import layout
-from repro.obs.tracer import Tracer
 
 #: Tools compared in BENCH_uring.json (None = bare kernel).
 RING_TOOLS = (None, "lazypoline", "zpoline", "ptrace")
@@ -48,7 +45,7 @@ def build_ring_loop(
     """
     a = Assembler(base=base)
     a.label("_start")
-    ring = GuestRing(a, entries=batch, base="r9")
+    ring = GuestRing(a, entries=batch)  # base = libc.uring.RING_BASE_REG
     ring.emit_mmap()
     for _ in range(batch):
         ring.push(name)
@@ -66,13 +63,17 @@ def build_ring_loop(
 def _run_once(tool: str | None, enters: int, batch: int,
               name: str) -> tuple[int, int]:
     """Returns (final clock, ring_enter crossings) for one run."""
-    tracer = Tracer(max_events=0)  # aggregates only; no event storage
-    machine = Machine(tracer=tracer)
-    process = machine.load(build_ring_loop(enters, batch, name))
-    if tool is not None:
-        attach(machine, process, tool, interposer=passthrough_interposer)
-    machine.run_process(process, max_instructions=200_000_000)
-    return machine.clock, tracer.ring_enters
+    from repro.workloads.runner import run_workload
+
+    row = run_workload(
+        "ringbench",
+        tool=tool,
+        interposer=passthrough_interposer if tool is not None else None,
+        enters=enters,
+        batch=batch,
+        syscall=name,
+    )
+    return row["clock"], row["ring_enters"]
 
 
 def measure_ring(
@@ -80,9 +81,10 @@ def measure_ring(
 ) -> dict:
     """Steady-state per-syscall numbers for ``tool`` at ``batch``.
 
-    ``cycles_per_syscall`` and ``crossings_per_syscall`` are differenced
-    between ``enters`` and ``2 * enters`` iterations, so attach/startup
-    and the one-time rewrite traps cancel exactly.
+    A thin wrapper over two :func:`repro.workloads.runner.run_workload`
+    calls: ``cycles_per_syscall`` and ``crossings_per_syscall`` are
+    differenced between ``enters`` and ``2 * enters`` iterations, so
+    attach/startup and the one-time rewrite traps cancel exactly.
     """
     clock_lo, cross_lo = _run_once(tool, enters, batch, name)
     clock_hi, cross_hi = _run_once(tool, 2 * enters, batch, name)

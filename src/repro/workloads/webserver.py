@@ -22,7 +22,12 @@ from dataclasses import dataclass
 
 from repro.arch.encode import Assembler
 from repro.kernel.syscalls.table import NR
-from repro.libc.uring import GuestRing, ring_result
+from repro.libc.uring import (
+    DEFAULT_RING_ENTRIES,
+    GuestRing,
+    ring_region_size,
+    ring_result,
+)
 from repro.loader.image import ProgramImage, image_from_assembler
 from repro.mem import layout
 from repro.workloads.wrk import HEADER_SIZE, WrkClient
@@ -36,8 +41,8 @@ _ADDR = 16  # sockaddr scratch
 _REQBUF = 64
 _FILEBUF = 8192
 _RING = _FILEBUF + CHUNK  # submission/completion ring (batched variant)
-_RING_ENTRIES = 8
-_BUFSIZE = _FILEBUF + CHUNK + 4096
+_RING_ENTRIES = DEFAULT_RING_ENTRIES
+_BUFSIZE = _RING + ring_region_size(_RING_ENTRIES)
 
 
 @dataclass(frozen=True)
@@ -304,6 +309,7 @@ class ServerWorkload:
         self.file_size = file_size
         self.workers = workers
         self.batched = batched
+        self.last_client = None
         machine.fs.create(FILE_PATH, bytes(file_size))
         hcall = machine.kernel.register_hcall(
             lambda ctx: ctx.charge(spec.parse_cost)
@@ -332,9 +338,14 @@ class ServerWorkload:
         connections: int = 4,
         client_cycles_per_request: int = 0,
     ) -> float:
-        """Drive the server with the wrk model; returns requests/second."""
+        """Drive the server with the wrk model; returns requests/second.
+
+        The driving :class:`WrkClient` is kept on ``self.last_client`` so
+        callers (the unified runner, the cluster shard worker) can read
+        latency samples and the measured window after the run.
+        """
         self.run_until_listening()
-        client = WrkClient(
+        client = self.last_client = WrkClient(
             self.machine.kernel,
             self.port,
             connections=connections,
@@ -370,45 +381,26 @@ def run_scaled(
 ) -> dict:
     """One point of the SMP scaling curve: serve on ``cores`` cores.
 
-    Builds a ``Machine(cores=cores)``, loads the server preforked to one
-    worker per core (the scheduler homes each forked worker on the
-    least-loaded core), optionally attaches an interposition ``tool``, and
-    drives it with ``2 * cores`` keep-alive connections by default.
-    Returns the measured point: requests/sec, guest MIPS, per-core
-    utilization and cross-core shootdown counts.
+    A thin wrapper over the unified runner —
+    ``run_workload("webserver", server=spec.name, cores=cores, ...)`` —
+    kept for the existing benchmark callers.  The row additionally carries
+    the measured window, latency percentiles and raw latency samples (see
+    :class:`repro.workloads.runner.WebserverWorkload`).
     """
-    from repro.kernel.machine import Machine
+    from repro.workloads.runner import run_workload
 
-    machine = Machine(cores=cores, smp_seed=smp_seed)
-    workload = ServerWorkload(
-        machine, spec, file_size=file_size, workers=cores, batched=batched,
-    )
-    if tool is not None:
-        from repro.interpose import attach
-
-        attach(machine, workload.process, tool=tool)
-    rps = workload.benchmark(
+    return run_workload(
+        "webserver",
+        server=spec.name if isinstance(spec, ServerSpec) else spec,
+        tool=tool,
+        cores=cores,
+        batched=batched,
+        smp_seed=smp_seed,
         requests=requests,
         warmup=warmup,
-        connections=connections if connections is not None else 2 * cores,
+        file_size=file_size,
+        connections=connections,
     )
-    insns = machine.scheduler.total_instructions
-    seconds = machine.seconds
-    return {
-        "server": spec.name,
-        "cores": cores,
-        "tool": tool,
-        "batched": batched,
-        "requests_per_sec": rps,
-        "guest_mips": insns / seconds / 1e6 if seconds else 0.0,
-        "instructions": insns,
-        "cycles": machine.clock,
-        "shootdowns": machine.scheduler.shootdowns,
-        "steals": sum(c.steals for c in machine.cores),
-        "utilization": [
-            round(row["utilization"], 3) for row in machine.core_stats()
-        ],
-    }
 
 
 def scaling_curve(

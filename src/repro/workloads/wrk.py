@@ -34,7 +34,23 @@ class WrkStats:
     start_clock: int | None = None
     end_clock: int = 0
     errors: int = 0
+    #: per-request latency samples in simulated cycles (send -> last byte),
+    #: post-warmup requests only, in completion order
     samples: list = field(default_factory=list)
+
+
+def latency_percentiles(samples: list[int]) -> dict[str, int]:
+    """Nearest-rank p50/p95/p99 over latency ``samples`` (cycles).
+
+    Deterministic (pure integer selection on the sorted samples); returns
+    zeros when there are no samples.
+    """
+    if not samples:
+        return {"p50": 0, "p95": 0, "p99": 0}
+    ordered = sorted(samples)
+    n = len(ordered)
+    pick = lambda q: ordered[min(n - 1, max(0, -(-q * n // 100) - 1))]
+    return {"p50": pick(50), "p95": pick(95), "p99": pick(99)}
 
 
 class WrkClient:
@@ -59,6 +75,7 @@ class WrkClient:
         self.stats = WrkStats()
         self._conns: list = []
         self._received: dict[int, int] = {}
+        self._sent_at: dict[int, int] = {}
         self._stopped = False
 
     # ------------------------------------------------------------------ drive
@@ -82,6 +99,7 @@ class WrkClient:
     def _send(self, idx: int) -> None:
         if self._stopped:
             return
+        self._sent_at[idx] = self.kernel.now
         self._conns[idx].client.send(REQUEST)
 
     def _on_data(self, idx: int, data: bytes) -> None:
@@ -95,6 +113,8 @@ class WrkClient:
         self.stats.completed += 1
         if self.stats.completed == self.warmup:
             self.stats.start_clock = self.kernel.now
+        elif self.stats.completed > self.warmup:
+            self.stats.samples.append(self.kernel.now - self._sent_at[idx])
         self.stats.end_clock = self.kernel.now
         if self.client_cost:
             self.kernel.post_event_in(self.client_cost, lambda: self._send(idx))

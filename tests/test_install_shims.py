@@ -1,10 +1,11 @@
-"""The deprecated ``*Tool.install`` shims: warn, then behave identically.
+"""The removed ``*Tool.install`` shims: raise ``AttachError`` with a hint.
 
-Every registry tool keeps its old per-class ``install`` constructor as a
-shim over :func:`repro.interpose.attach`.  Each shim must (a) emit a
-``DeprecationWarning`` naming the replacement and (b) produce machine
-state identical to attaching through the unified API — same exit status,
-stdout, final clock and instruction count.
+PR 3 deprecated the per-class ``install`` constructors with a
+``DeprecationWarning``; this PR completes the migration.  Every shim now
+raises :class:`repro.errors.AttachError` naming the
+:func:`repro.interpose.attach` replacement, machine state is never
+touched by a failed call, and attaching through the unified API still
+works (and never warns).
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ import warnings
 
 import pytest
 
+from repro.errors import AttachError
 from repro.faults.corpus import CORPUS
 from repro.interpose import attach
 from repro.interpose.lazypoline import Lazypoline
@@ -26,7 +28,7 @@ from repro.interpose.zpoline import Zpoline
 from repro.kernel.machine import Machine
 from repro.kernel.syscalls.table import NR
 
-#: registry name -> shim invocation, mirroring attach(tool=name) defaults.
+#: registry name -> removed shim invocation.
 SHIMS = {
     "lazypoline": lambda m, p: Lazypoline.install(m, p),
     "zpoline": lambda m, p: Zpoline.install(m, p),
@@ -61,43 +63,48 @@ def _run(installer):
 
 
 @pytest.mark.parametrize("name", sorted(SHIMS))
-def test_shim_warns_and_matches_attach(name):
-    with pytest.warns(DeprecationWarning, match="use\\s+repro.interpose.attach"):
-        shim_tool, shim_state = _run(SHIMS[name])
+def test_shim_raises_attach_error(name):
+    machine = Machine()
+    process = machine.load(CORPUS["syscall_loop"].build())
+    clock_before = machine.kernel.clock
+    with pytest.raises(AttachError, match=r"removed.*repro\.interpose\.attach"):
+        SHIMS[name](machine, process)
+    # a failed install never touched the machine
+    assert machine.kernel.clock == clock_before
+    assert process.task.seccomp_filters == []
+    assert process.task.sud is None
+
+
+@pytest.mark.parametrize("name", sorted(SHIMS))
+def test_attach_replacement_works_and_never_warns(name):
     with warnings.catch_warnings():
         warnings.simplefilter("error")  # attach itself must never warn
-        attach_tool, attach_state = _run(
-            lambda m, p: attach(m, p, tool=name)
-        )
-    assert type(shim_tool) is type(attach_tool)
-    assert shim_state == attach_state
-    assert shim_state["exit"] == 0
+        _, state = _run(lambda m, p: attach(m, p, tool=name))
+    assert state["exit"] == 0
 
 
-def test_seccomp_bpf_denylist_shim():
-    """The convenience denylist constructor warns and matches
-    ``attach(..., denylist=[...])``."""
+def test_hint_names_the_registry_tool():
+    with pytest.raises(AttachError, match=r"tool='lazypoline'"):
+        Lazypoline.install(None, None)
+    with pytest.raises(AttachError, match=r"tool='zpoline'"):
+        Zpoline.install(None, None)
+
+
+def test_seccomp_bpf_denylist_shim_raises():
     sysnos = [NR["open"]]
-    with pytest.warns(DeprecationWarning, match="install_denylist"):
-        _, shim_state = _run(
-            lambda m, p: SeccompBpfTool.install_denylist(m, p, sysnos)
-        )
-    _, attach_state = _run(
+    with pytest.raises(AttachError, match=r"install_denylist.*denylist="):
+        SeccompBpfTool.install_denylist(None, None, sysnos)
+    _, state = _run(
         lambda m, p: attach(m, p, tool="seccomp_bpf", denylist=sysnos)
     )
-    assert shim_state == attach_state
-    # the denylist really bit: open failed, so the file write was skipped
-    assert shim_state["exit"] == 0
+    assert state["exit"] == 0
 
 
-def test_seccomp_unotify_sysnos_shim():
+def test_seccomp_unotify_sysnos_shim_raises():
     sysnos = [NR["getpid"]]
-    with pytest.warns(DeprecationWarning, match="install_for_syscalls"):
-        _, shim_state = _run(
-            lambda m, p: UserNotifTool.install_for_syscalls(m, p, sysnos)
-        )
-    _, attach_state = _run(
+    with pytest.raises(AttachError, match=r"install_for_syscalls.*sysnos="):
+        UserNotifTool.install_for_syscalls(None, None, sysnos)
+    _, state = _run(
         lambda m, p: attach(m, p, tool="seccomp_unotify", sysnos=sysnos)
     )
-    assert shim_state == attach_state
-    assert shim_state["exit"] == 0
+    assert state["exit"] == 0

@@ -103,37 +103,28 @@ def test_register_tool_extension_point():
         registry._REGISTRY.pop("faketool", None)
 
 
-# ------------------------------------------------------------ deprecated shims
-def test_install_shims_warn_but_work():
-    from repro.interpose.lazypoline import Lazypoline
-
+# -------------------------------------------------------------- removed shims
+def test_attach_replaces_lazypoline_install():
     machine = Machine()
     process = machine.load(hello_image())
     tracer = TraceInterposer()
-    with pytest.warns(DeprecationWarning, match="Lazypoline.install"):
-        tool = Lazypoline.install(machine, process, tracer)
+    tool = attach(machine, process, "lazypoline", interposer=tracer)
     machine.run_process(process)
     assert "write" in tracer.names
     assert tool.rewritten
 
 
-def test_zpoline_install_shim_warns():
-    from repro.interpose.zpoline import Zpoline
-
+def test_attach_replaces_zpoline_install():
     machine = Machine()
     process = machine.load(hello_image())
-    with pytest.warns(DeprecationWarning, match="attach"):
-        Zpoline.install(machine, process)
+    attach(machine, process, "zpoline")
     assert machine.run_process(process) == 0
 
 
-def test_seccomp_bpf_denylist_shim_warns():
-    from repro.interpose.seccomp_bpf_tool import SeccompBpfTool
-
+def test_attach_replaces_seccomp_bpf_denylist():
     machine = Machine()
     process = machine.load(hello_image())
-    with pytest.warns(DeprecationWarning, match="install_denylist"):
-        SeccompBpfTool.install_denylist(machine, process, [NR["write"]])
+    attach(machine, process, "seccomp_bpf", denylist=[NR["write"]])
     machine.run_process(process)
     assert process.stdout == b""
 
