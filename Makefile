@@ -5,7 +5,7 @@ export PYTHONPATH
 FUZZ_MINUTES ?= 5
 FAULT_SEEDS ?= 0:64
 
-.PHONY: test test-fast test-degrade test-superblock test-uring test-cluster faults fuzz bench perf trace
+.PHONY: test test-fast test-degrade test-superblock test-uring test-uring-async test-cluster faults fuzz bench perf trace
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +28,12 @@ test-superblock:
 # and the batched-vs-unbatched identity matrix across tools and cores.
 test-uring:
 	$(PYTHON) -m pytest -x -q -m uring
+
+# Asynchronous ring-drain tier: kernel-side parked entries, out-of-order
+# completion posting, ring_wait, the sync/async/direct equivalence
+# properties, and the event-loop webserver + session-coupled cluster legs.
+test-uring-async:
+	$(PYTHON) -m pytest -x -q -m uring_async
 
 # Fleet-scale serving tier: balancer policies, multi-process shard fan-out,
 # cross-process determinism and the shards=1 byte-identity contract.

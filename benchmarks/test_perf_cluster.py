@@ -1,10 +1,13 @@
 """Fleet-scale serving trajectory: cluster rps/latency vs shard count.
 
 Runs the shards x tool x batched matrix {1, 2, 4} x {none, lazypoline} x
-{direct, batched} through :class:`repro.cluster.Cluster` (round-robin
-balancing, one host process per shard) and writes ``BENCH_cluster.json``
-at the repo root: aggregate requests/sec and p50/p95/p99 latency per
-cell, plus per-shard guest-MIPS.
+{direct, batched, async} through :class:`repro.cluster.Cluster`
+(round-robin balancing, one host process per shard) and writes
+``BENCH_cluster.json`` at the repo root: aggregate requests/sec and
+p50/p95/p99 latency per cell, plus per-shard guest-MIPS.  Three extra
+``sessions_*`` cells run the session-coupled async leg once per
+balancing policy (2 shards, lazypoline, slow clients) so the sticky-vs-
+sprayed divergence is part of the tracked trajectory.
 
 Every number is *simulated* (cycles, simulated seconds) — fully
 deterministic — so ``check_regression.py`` catches any cost-model,
@@ -14,7 +17,10 @@ headline claims are asserted same-run:
 * sharding scales: >= 3x aggregate rps at 4 shards bare (and under
   lazypoline) vs 1 shard,
 * PR 7's batching survives the cluster layer: the batched leg serves at
-  least as many rps as the direct leg under lazypoline at 4 shards.
+  least as many rps as the direct leg under lazypoline at 4 shards,
+* PR 9's asynchronous drain survives it too: the async leg serves at
+  least as many rps as the synchronous batched leg at 4 shards, and
+  sticky session routing's p95 is never worse than round_robin's.
 
 Run via ``make perf`` or ``pytest benchmarks/test_perf_cluster.py -m perf``.
 """
@@ -42,22 +48,38 @@ TOOLS = (None, "lazypoline")
 REQUESTS = 96
 WARMUP = 12
 
+#: batched=... legs per cell; "async" is the event-loop worker on the
+#: asynchronous ring drain (PR 9)
+LEGS = (False, True, "async")
+
+#: session model for the policy-divergence cells: few hot sessions and an
+#: expensive state fetch, so spraying them hurts and stickiness shows
+SESSIONS = 6
+SESSION_MISS_CYCLES = 80_000
+#: client think time long enough that steady-state reads park (the async
+#: leg's overlap window; see tests/test_uring_async.py)
+SESSION_CLIENT_CYCLES = 120_000
+
 #: Same-run floors, also embedded in the JSON for check_regression.py.
 FLOORS = {
     "scaling_rps_4shards_none_b0": 3.0,
     "scaling_rps_4shards_lazypoline_b0": 3.0,
     "batched_rps_ratio_lazypoline_4shards": 1.0,
+    "async_rps_ratio_lazypoline_4shards": 1.0,
+    "session_sticky_p95_ratio": 1.0,
+    "session_sticky_rps_ratio": 1.0,
 }
 
 
-def _cell(shards: int, tool: str | None, batched: bool) -> dict:
-    report = Cluster(shards=shards, tool=tool, batched=batched).serve(
-        requests=REQUESTS, warmup=WARMUP
-    )
-    return {
+def _leg_tag(batched) -> str:
+    return "async" if batched == "async" else f"{int(batched)}"
+
+
+def _summarize(report: dict, shards: int, tool: str | None, batched) -> dict:
+    row = {
         "shards": shards,
         "tool": tool or "none",
-        "batched": int(batched),
+        "batched": "async" if batched == "async" else int(batched),
         "requests_per_sec": round(report["requests_per_sec"], 3),
         "latency_p50_cycles": report["latency_p50_cycles"],
         "latency_p95_cycles": report["latency_p95_cycles"],
@@ -67,16 +89,41 @@ def _cell(shards: int, tool: str | None, batched: bool) -> dict:
             round(m, 3) for m in report["guest_mips_per_shard"]
         ],
         "ring_enters": report["obs"]["ring_enters"],
+        "ring_parks": report["obs"]["ring_parks"],
     }
+    if "session_stats" in report:
+        row["policy"] = report["policy"]
+        row["session_stats"] = report["session_stats"]
+    return row
+
+
+def _cell(shards: int, tool: str | None, batched) -> dict:
+    report = Cluster(shards=shards, tool=tool, batched=batched).serve(
+        requests=REQUESTS, warmup=WARMUP
+    )
+    return _summarize(report, shards, tool, batched)
+
+
+def _session_cell(policy: str) -> dict:
+    report = Cluster(
+        shards=2, tool="lazypoline", batched="async", policy=policy,
+        sessions=SESSIONS, session_miss_cycles=SESSION_MISS_CYCLES,
+    ).serve(
+        requests=48, warmup=6, connections=4,
+        client_cycles_per_request=SESSION_CLIENT_CYCLES,
+    )
+    return _summarize(report, 2, "lazypoline", "async")
 
 
 def test_perf_cluster_scaling():
     rows = {}
     for shards in SHARDS:
         for tool in TOOLS:
-            for batched in (False, True):
-                key = f"s{shards}_{tool or 'none'}_b{int(batched)}"
+            for batched in LEGS:
+                key = f"s{shards}_{tool or 'none'}_b{_leg_tag(batched)}"
                 rows[key] = _cell(shards, tool, batched)
+    for policy in ("round_robin", "least_conn", "consistent_hash"):
+        rows[f"sessions_{policy}"] = _session_cell(policy)
 
     scaling = {}
     for tool in TOOLS:
@@ -89,6 +136,24 @@ def test_perf_cluster_scaling():
     scaling["batched_rps_ratio_lazypoline_4shards"] = round(
         rows["s4_lazypoline_b1"]["requests_per_sec"]
         / rows["s4_lazypoline_b0"]["requests_per_sec"],
+        4,
+    )
+    # overlapping must never serve fewer rps than the synchronous drain
+    scaling["async_rps_ratio_lazypoline_4shards"] = round(
+        rows["s4_lazypoline_basync"]["requests_per_sec"]
+        / rows["s4_lazypoline_b1"]["requests_per_sec"],
+        4,
+    )
+    # sticky routing dodges the migration surcharge: round_robin must not
+    # beat consistent_hash on tail latency or throughput under sessions
+    scaling["session_sticky_p95_ratio"] = round(
+        rows["sessions_round_robin"]["latency_p95_cycles"]
+        / rows["sessions_consistent_hash"]["latency_p95_cycles"],
+        4,
+    )
+    scaling["session_sticky_rps_ratio"] = round(
+        rows["sessions_consistent_hash"]["requests_per_sec"]
+        / rows["sessions_round_robin"]["requests_per_sec"],
         4,
     )
 
@@ -125,6 +190,13 @@ def test_perf_cluster_scaling():
         assert value is not None, f"{key} missing from the run"
         assert value >= floor, f"{key} = {value} below the {floor}x floor"
 
-    # The batched legs really went through the ring.
+    # The batched legs really went through the ring, and the session
+    # cells' slow clients really forced the async drain to park.
     for key, row in rows.items():
         assert (row["ring_enters"] > 0) == bool(row["batched"]), key
+        if not key.startswith("sessions_"):
+            continue
+        assert row["ring_parks"] > 0, key
+    assert rows["sessions_consistent_hash"]["session_stats"][
+        "migrations"] == 0
+    assert rows["sessions_round_robin"]["session_stats"]["migrations"] > 0

@@ -10,9 +10,10 @@ Unlike ``BENCH_interp.json`` (host wall-clock MIPS), every number here is
 catches any cost-model or drain-path change, not host noise.  The
 headline claim is asserted same-run: lazypoline's interposition overhead
 per syscall (its cycles-per-syscall minus bare's at the same batch size)
-must drop by >= 3x at batch >= 16 relative to batch 1, and the batched
+must drop by >= 3x at batch >= 16 relative to batch 1, the batched
 webserver must not serve fewer requests per second than the unbatched
-one under lazypoline.
+one under lazypoline, and the asynchronous-drain event-loop webserver
+must not serve fewer than the synchronous batched one.
 
 Run via ``make perf`` or ``pytest benchmarks/test_perf_uring.py -m perf``.
 """
@@ -44,6 +45,7 @@ FLOORS = {
     "overhead_reduction_zpoline_b16": 3.0,
     "overhead_reduction_ptrace_b16": 3.0,
     "webserver_batched_rps_ratio_lazypoline": 1.0,
+    "webserver_async_rps_ratio_lazypoline": 1.0,
 }
 
 
@@ -63,24 +65,35 @@ def _reductions(rows: dict) -> dict:
     return out
 
 
+_WEB_LEGS = {False: "direct", True: "batched", "async": "async"}
+
+
 def _webserver_ratio() -> dict:
-    """Batched vs direct webserver rps under lazypoline (and bare)."""
+    """Batched/async vs direct webserver rps under lazypoline (and bare).
+
+    The ``async`` leg is the event-loop worker overlapping 4 in-flight
+    requests through the asynchronous ring drain; its floor says
+    overlapping must never serve fewer requests than the synchronous
+    batched drain under lazypoline.
+    """
     out = {}
     for tool in (None, "lazypoline"):
         rps = {}
-        for batched in (False, True):
+        for batched, leg in _WEB_LEGS.items():
             row = run_scaled(
                 SERVERS["nginx"], cores=1, tool=tool, batched=batched,
                 requests=120, warmup=20, file_size=4096,
             )
-            rps["batched" if batched else "direct"] = round(
-                row["requests_per_sec"], 3
-            )
+            rps[leg] = round(row["requests_per_sec"], 3)
         key = tool or "none"
         out[f"webserver_rps_{key}_direct"] = rps["direct"]
         out[f"webserver_rps_{key}_batched"] = rps["batched"]
+        out[f"webserver_rps_{key}_async"] = rps["async"]
         out[f"webserver_batched_rps_ratio_{key}"] = round(
             rps["batched"] / rps["direct"], 4
+        )
+        out[f"webserver_async_rps_ratio_{key}"] = round(
+            rps["async"] / rps["batched"], 4
         )
     return out
 

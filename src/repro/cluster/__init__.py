@@ -18,7 +18,7 @@ Quickstart::
     print(report["requests_per_sec"], report["latency_p99_cycles"])
 """
 
-from repro.cluster.balancer import POLICIES, LoadBalancer, fnv1a
+from repro.cluster.balancer import POLICIES, LoadBalancer, fnv1a, session_of
 from repro.cluster.cluster import Cluster
 from repro.cluster.shard import obs_summary, run_shard
 
@@ -29,4 +29,5 @@ __all__ = [
     "fnv1a",
     "obs_summary",
     "run_shard",
+    "session_of",
 ]

@@ -28,6 +28,21 @@ Three policies, mirroring the classic L4 front-end choices:
     that is salted per process and would break cross-process
     determinism.  Splits are uneven by design (cache-affinity routing
     trades balance for key stickiness).
+
+Sessions couple the policies to shared backend state.  With
+``plan(requests, sessions=S)`` every request ``i`` belongs to session
+``session_of(i, S)`` and the balancer classifies each assignment as a
+session *hit* (the session's state already lives on the chosen shard), a
+cold *miss* (first request of the session anywhere) or a *migration*
+(the state lives on a different shard and must move).  ``consistent_hash``
+routes by the session key, so a session is sticky to one shard and never
+migrates; ``round_robin`` sprays sessions across the fleet and pays a
+migration on nearly every request; ``least_conn`` feeds the penalty back
+into its own accounting — a miss occupies the shard for
+``miss_penalty`` service intervals instead of one, so miss-heavy shards
+shed load.  The per-request penalty schedule (:meth:`miss_schedule`)
+becomes user-space cycle surcharges on the shards, which is how the
+policies come to differ in throughput and latency, not just in counts.
 """
 
 from __future__ import annotations
@@ -58,6 +73,13 @@ def fnv1a(data: bytes) -> int:
     return h ^ (h >> 31)
 
 
+def session_of(index: int, sessions: int) -> int:
+    """The session request ``index`` belongs to — a stable hash, not a
+    modulo of the index, so consecutive requests hop between sessions the
+    way interleaved client connections do."""
+    return fnv1a(f"req-{index}".encode()) % sessions
+
+
 class LoadBalancer:
     """Deterministic request-to-shard assignment under one policy."""
 
@@ -68,6 +90,7 @@ class LoadBalancer:
         *,
         vnodes: int = 64,
         service_ticks: int | None = None,
+        miss_penalty: int = 2,
     ):
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -79,7 +102,12 @@ class LoadBalancer:
         self.shards = shards
         self.policy = policy
         self.assignments: list[int] = []
+        #: per-assignment "hit"/"miss"/"migrate", or None outside sessions
+        self.session_events: list[str | None] = []
         self._tick = 0
+        # sessions: shard currently holding each session's backend state
+        self._session_home: dict[int, int] = {}
+        self._miss_penalty = miss_penalty
         # round_robin
         self._next = 0
         # least_conn
@@ -94,29 +122,53 @@ class LoadBalancer:
         self._points = [p for p, _ in self._ring]
 
     # ------------------------------------------------------------- assignment
-    def assign(self, key: str | int | None = None) -> int:
-        """Route one request; ``key`` only matters for ``consistent_hash``."""
+    def assign(self, key: str | int | None = None, *,
+               session: int | None = None) -> int:
+        """Route one request; ``key`` only matters for ``consistent_hash``.
+
+        With ``session`` set, ``consistent_hash`` routes by the session
+        (sticky), the assignment is classified hit/miss/migrate against
+        the session's current home shard, and ``least_conn`` charges the
+        miss penalty into its occupancy model.
+        """
         tick = self._tick
         self._tick = tick + 1
         if self.policy == "round_robin":
             shard = self._next
             self._next = (shard + 1) % self.shards
         elif self.policy == "least_conn":
-            shard = self._assign_least_conn(tick)
+            shard = self._pick_least_conn(tick)
+        elif session is not None:
+            shard = self._assign_hash(f"session-{session}")
         else:
             shard = self._assign_hash(key if key is not None else tick)
+        event = self._touch_session(session, shard)
+        if self.policy == "least_conn":
+            intervals = self._miss_penalty if event in ("miss", "migrate") \
+                else 1
+            self._in_flight[shard].append(
+                tick + self._service_ticks * intervals
+            )
         self.assignments.append(shard)
+        self.session_events.append(event)
         return shard
 
-    def _assign_least_conn(self, tick: int) -> int:
+    def _pick_least_conn(self, tick: int) -> int:
         for queue in self._in_flight:
             while queue and queue[0] <= tick:
                 queue.pop(0)
-        shard = min(
+        return min(
             range(self.shards), key=lambda s: (len(self._in_flight[s]), s)
         )
-        self._in_flight[shard].append(tick + self._service_ticks)
-        return shard
+
+    def _touch_session(self, session: int | None, shard: int) -> str | None:
+        if session is None:
+            return None
+        home = self._session_home.get(session)
+        self._session_home[session] = shard
+        if home == shard:
+            return "hit"
+        return "miss" if home is None else "migrate"
 
     def _assign_hash(self, key) -> int:
         point = fnv1a(str(key).encode())
@@ -126,10 +178,41 @@ class LoadBalancer:
         return self._ring[i][1]
 
     # --------------------------------------------------------------- planning
-    def plan(self, requests: int) -> list[int]:
+    def plan(self, requests: int, *, sessions: int = 0) -> list[int]:
         """Assign ``requests`` sequential request ids; return per-shard
-        counts.  The full assignment order stays in :attr:`assignments`."""
+        counts.  The full assignment order stays in :attr:`assignments`.
+
+        With ``sessions > 0`` each request is routed and classified under
+        its :func:`session_of` session; ``sessions=0`` is the sessionless
+        legacy behavior, assignment-for-assignment identical to before.
+        """
         counts = [0] * self.shards
         for i in range(requests):
-            counts[self.assign(f"req-{i}")] += 1
+            sid = session_of(i, sessions) if sessions else None
+            counts[self.assign(f"req-{i}", session=sid)] += 1
         return counts
+
+    def miss_schedule(self, miss_cycles: int) -> list[list[int]]:
+        """Per-shard surcharge lists aligned with each shard's request
+        order: ``miss_cycles`` for every cold miss or migration, 0 for
+        hits — what the cluster threads into ``request_extra_cycles``."""
+        extra: list[list[int]] = [[] for _ in range(self.shards)]
+        for shard, event in zip(self.assignments, self.session_events):
+            extra[shard].append(
+                miss_cycles if event in ("miss", "migrate") else 0
+            )
+        return extra
+
+    def session_stats(self) -> dict:
+        """Aggregate hit/miss/migration counts over all assignments."""
+        hits = self.session_events.count("hit")
+        misses = self.session_events.count("miss")
+        migrations = self.session_events.count("migrate")
+        routed = hits + misses + migrations
+        return {
+            "distinct_sessions": len(self._session_home),
+            "hits": hits,
+            "misses": misses,
+            "migrations": migrations,
+            "sticky_ratio": round(hits / routed, 4) if routed else 0.0,
+        }

@@ -3,8 +3,21 @@
 ``Cluster(shards=4, tool="lazypoline", batched=True).serve(requests=200)``
 boots four independent simulated machines across host processes, splits
 the wrk request stream across them through a :class:`LoadBalancer`, runs
-each shard's prefork webserver leg (direct or ring-batched syscalls), and
-merges the results into one cluster-wide report.
+each shard's webserver leg (direct, ring-batched, or — with
+``batched="async"`` — the event-loop worker overlapping in-flight
+requests through the asynchronous ring drain), and merges the results
+into one cluster-wide report.
+
+With ``sessions=S`` the shards share backend session state: the balancer
+classifies every request as a session hit, cold miss or cross-shard
+migration (see :mod:`repro.cluster.balancer`), and each miss/migration
+costs the serving shard ``session_miss_cycles`` of user-space work,
+threaded into the shard as a per-request ``request_extra_cycles``
+schedule.  Sticky policies (``consistent_hash``) keep sessions home and
+avoid the surcharge; ``round_robin`` pays a migration on nearly every
+request — so policies now diverge in throughput and latency, not just in
+per-shard counts.  ``sessions=0`` (default) reproduces the sessionless
+report byte-for-byte.
 
 Determinism is the design constraint, not an afterthought:
 
@@ -40,7 +53,8 @@ def _merge_obs(per_shard: list[dict]) -> dict:
     """Sum the aggregate counters; keep health per shard (modes don't add)."""
     counts: dict[str, int] = {}
     interposition: dict[str, int] = {}
-    totals = {"ring_enters": 0, "ring_entries": 0, "slowpath_total": 0,
+    totals = {"ring_enters": 0, "ring_entries": 0, "ring_parks": 0,
+              "ring_completes": 0, "slowpath_total": 0,
               "rewritten_sites": 0, "dropped_events": 0}
     for shard in per_shard:
         obs = shard["obs"]
@@ -67,11 +81,13 @@ class Cluster:
         *,
         tool: str | None = None,
         policy: str = "round_robin",
-        batched: bool = False,
+        batched: bool | str = False,
         cores: int = 1,
         smp_seed: int = 0,
         server: str = "nginx",
         file_size: int = 8192,
+        sessions: int = 0,
+        session_miss_cycles: int = 40_000,
         processes: bool | None = None,
         tool_opts: dict | None = None,
         machine_opts: dict | None = None,
@@ -91,7 +107,11 @@ class Cluster:
         self.smp_seed = smp_seed
         self.server = server
         self.file_size = file_size
+        self.sessions = sessions
+        self.session_miss_cycles = session_miss_cycles
         self.processes = processes
+        #: the balancer behind the most recent plan (session stats source)
+        self.last_balancer: LoadBalancer | None = None
         self.tool_opts = tool_opts
         self.machine_opts = machine_opts
 
@@ -107,13 +127,19 @@ class Cluster:
         """Plan the run: balance ``requests`` and build one picklable
         config per shard (shard ``i`` gets seed ``smp_seed + i``)."""
         balancer = LoadBalancer(self.shards, self.policy)
-        counts = balancer.plan(requests)
+        counts = balancer.plan(requests, sessions=self.sessions)
+        self.last_balancer = balancer
         if min(counts) < 1:
             raise ValueError(
                 f"{requests} requests across {self.shards} shards under "
                 f"{self.policy!r} starves a shard (counts={counts}); "
                 f"send more traffic"
             )
+        miss_extra = (
+            balancer.miss_schedule(self.session_miss_cycles)
+            if self.sessions
+            else None
+        )
         configs = []
         for index, count in enumerate(counts):
             config = {
@@ -130,6 +156,8 @@ class Cluster:
                 "connections": connections,
                 "client_cycles_per_request": client_cycles_per_request,
             }
+            if miss_extra is not None:
+                config["request_extra_cycles"] = miss_extra[index]
             if self.tool_opts is not None:
                 config["tool_opts"] = self.tool_opts
             if self.machine_opts is not None:
@@ -184,6 +212,15 @@ class Cluster:
             samples.extend(row["latency_samples_cycles"])
         pct = latency_percentiles(samples)
 
+        session_keys = {}
+        if self.sessions:
+            # Only present when the session model is on, so sessionless
+            # reports stay byte-identical to the pre-session cluster.
+            session_keys = {
+                "sessions": self.sessions,
+                "session_miss_cycles": self.session_miss_cycles,
+                "session_stats": self.last_balancer.session_stats(),
+            }
         return {
             "workload": "cluster-webserver",
             "shards": self.shards,
@@ -206,6 +243,7 @@ class Cluster:
             "latency_p99_cycles": pct["p99"],
             "guest_mips_per_shard": [r["guest_mips"] for r in rows],
             "guest_mips_total": sum(r["guest_mips"] for r in rows),
+            **session_keys,
             "obs": _merge_obs(per_shard),
             "results": rows,
         }

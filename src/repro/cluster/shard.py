@@ -27,6 +27,8 @@ def obs_summary(tracer: Tracer) -> dict:
         "interposition_counts": dict(tracer.interposition_counts),
         "ring_enters": tracer.ring_enters,
         "ring_entries": tracer.ring_entries,
+        "ring_parks": tracer.ring_parks,
+        "ring_completes": tracer.ring_completes,
         "slowpath_total": tracer.slowpath_total,
         "rewritten_sites": len(tracer.rewritten_sites),
         "dropped_events": tracer.dropped,

@@ -325,6 +325,121 @@ def build_uring_signal_guest():
     return image_from_assembler("uring_signal", a, entry="_start")
 
 
+def build_uring_async_guest():
+    """An *asynchronous* ring drain whose parked entry a signal must race.
+
+    Same shape as :func:`build_uring_signal_guest` — ring of [getpid,
+    read(empty pipe), getpid] plus a SIGUSR1 handler — but submitted with
+    ``submit_async()``: the read parks on a kernel-side waiter while both
+    getpids complete, and the guest then blocks in ``wait(3)`` until the
+    host feeder (:func:`arm_pipe_feeder`) writes the pipe.  Signals
+    interrupt the wait (the guest's re-enter loop resumes it); the parked
+    read must survive any number of interruptions and complete with the
+    fed byte count — never ``-EINTR``, never a lost wakeup.  Exit code
+    packs the invariants: bit0 = handler ran at least once, bit1 = the
+    read entry completed with a *positive* byte count, bit2/bit3 = the
+    getpid entries completed with the pid.  Expected: 15.
+    """
+    from repro.libc.uring import GuestRing
+
+    a = Assembler(base=layout.CODE_BASE)
+    a.label("_start")
+    # scratch page: handler counter @0, pipe fds @8
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rsi", 4096)
+    a.mov_imm("rdx", 3)
+    a.mov_imm("r10", 0x22)
+    a.mov_imm("r8", (1 << 64) - 1)
+    a.mov_imm("r9", 0)
+    a.mov_imm("rax", NR["mmap"])
+    a.syscall()
+    a.mov("r14", "rax")
+    # rt_sigaction(SIGUSR1, act, 0, 8)
+    a.mov_imm("rdi", SIGUSR1)
+    a.mov_imm("rsi", "act")
+    a.mov_imm("rdx", 0)
+    a.mov_imm("r10", 8)
+    a.mov_imm("rax", NR["rt_sigaction"])
+    a.syscall()
+    # pipe(r14 + 8); only the host-side feeder ever writes it
+    a.lea("rdi", "r14", 8)
+    a.mov_imm("rax", NR["pipe"])
+    a.syscall()
+    a.load("r13", "r14", 8)
+    a.shl("r13", 32)  # fds are two packed u32s; keep the read end
+    a.shr("r13", 32)
+    ring = GuestRing(a, entries=4, base="r9")
+    ring.emit_mmap()
+    ring.push("getpid")
+    a.lea("rdx", "r14", 256)
+    ring.push_read("r13", "rdx", 8)
+    ring.push("getpid")
+    ring.submit_async()  # consumes all 3; the read parks kernel-side
+    ring.wait(3)         # interruptible; re-enters until all CQEs posted
+    # pack the exit code
+    a.mov_imm("rdi", 0)
+    a.load("rdx", "r14", 0)
+    a.cmpi("rdx", 1)
+    a.jl("no_handler")
+    a.ori("rdi", 1)
+    a.label("no_handler")
+    ring.load_result("rdx", 1)
+    a.cmpi("rdx", 1)
+    a.jl("no_bytes")
+    a.ori("rdi", 2)
+    a.label("no_bytes")
+    ring.load_result("rdx", 0)
+    a.cmpi("rdx", 1)
+    a.jl("no_pid0")
+    a.ori("rdi", 4)
+    a.label("no_pid0")
+    ring.load_result("rdx", 2)
+    a.cmpi("rdx", 1)
+    a.jl("no_pid2")
+    a.ori("rdi", 8)
+    a.label("no_pid2")
+    a.mov_imm("rax", NR["exit_group"])
+    a.syscall()
+    a.label("handler")
+    a.load("rax", "r14", 0)
+    a.inc("rax")
+    a.store("r14", 0, "rax")
+    a.ret()
+    a.align(8, fill=0)
+    a.label("act")
+    a.dq("handler")
+    a.dq(0)
+    a.dq(0)
+    a.dq(0)
+    return image_from_assembler("uring_async", a, entry="_start")
+
+
+def arm_pipe_feeder(machine, task, delay=100_000, interval=50_000,
+                    payload=b"!"):
+    """Write ``payload`` into the task's pipe at ``delay`` cycles.
+
+    The byte lands directly in the shared :class:`~repro.kernel.fs.Pipe`
+    buffer — no syscall, no scheduling side effects — so the *only* way
+    the guest can observe it is through a wakeup of its parked read.
+    Re-armed every ``interval`` until the task exits, so a guest that is
+    still installing handlers when the first feed fires is fed again.
+    """
+    from repro.kernel.fs import PipeWriteEnd
+
+    kernel = machine.kernel
+
+    def feed():
+        if not task.alive:
+            return
+        for desc in task.fdtable.fds.values():
+            if isinstance(desc, PipeWriteEnd) and desc.pipe.read_open:
+                desc.pipe.buffer += payload
+                break
+        kernel.post_event_in(interval, feed)
+
+    kernel.post_event_in(delay, feed)
+
+
 def arm_repeating_signal(machine, task, delay=20_000, interval=50_000):
     """SIGUSR1 at ``delay`` cycles, re-armed until the task exits.
 
@@ -934,6 +1049,70 @@ def uring_signal(
     )
 
 
+def uring_async(
+    seed: int,
+    *,
+    perturb_order: bool = True,
+    perturb_quantum: bool = True,
+) -> ScenarioResult:
+    """Signals racing *parked* ring entries: resumable wait, no lost wakeup.
+
+    :func:`build_uring_async_guest` parks a pipe read on a kernel-side
+    waiter and blocks in ``ring_wait`` for its CQE; a repeating SIGUSR1
+    (seed-varied timing) interrupts that wait while the entry is parked,
+    and a host-side pipe feeder (:func:`arm_pipe_feeder`) delivers the
+    wakeup only after at least one signal has had time to land.  The
+    guest must resume the wait after every interruption and the parked
+    read must complete with the fed bytes — a lost wakeup shows up as the
+    guest spinning to the instruction budget (crashed=True), a dropped or
+    double completion as a missing bit in the exit code (expected 15).
+    Checked bare and under a seed-selected interposition tool on a
+    perturbed schedule; both runs must agree.
+    """
+    tool = ("lazypoline", "zpoline", "ptrace")[seed % 3]
+    delay = 10_000 + (seed * 7919) % 40_000
+    interval = 30_000 + (seed * 104729) % 50_000
+    feed_delay = delay + 2 * interval + (seed * 31) % 20_000
+
+    def arm(machine, process, tool_instance):
+        arm_repeating_signal(
+            machine, process.task, delay=delay, interval=interval
+        )
+        arm_pipe_feeder(
+            machine, process.task, delay=feed_delay, interval=interval
+        )
+
+    def policy():
+        return ExplorerPolicy(
+            seed, perturb_order=perturb_order, perturb_quantum=perturb_quantum
+        )
+
+    bare = run_guest(
+        build_uring_async_guest, None, policy=policy(), configure=arm,
+        max_instructions=2_000_000,
+    )
+    tooled = run_guest(
+        build_uring_async_guest, tool, policy=policy(), configure=arm,
+        max_instructions=2_000_000,
+    )
+    problems = []
+    for label, report in (("bare", bare), (tool, tooled)):
+        if report.crashed:
+            problems.append(f"{label}: run did not terminate (lost wakeup?)")
+        elif report.exit != 15:
+            problems.append(f"{label}: exit={report.exit}, expected 15")
+    for diff in differences(bare, tooled, compare_trace=False):
+        problems.append(f"bare vs {tool}: {diff}")
+    return ScenarioResult(
+        scenario="uring_async",
+        seed=seed,
+        ok=not problems,
+        detail="; ".join(problems),
+        digests={"bare": bare.digest(), tool: tooled.digest()},
+        covered=(tool, delay, interval, feed_delay),
+    )
+
+
 SCENARIOS = {
     "rewrite_window": rewrite_window,
     "differential": differential,
@@ -944,4 +1123,5 @@ SCENARIOS = {
     "rewrite_fault": rewrite_fault,
     "signal_depth": signal_depth,
     "uring_signal": uring_signal,
+    "uring_async": uring_async,
 }

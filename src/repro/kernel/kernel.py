@@ -511,6 +511,14 @@ class Kernel:
                 if not block.ready():
                     return -errno.EINTR
 
+    def complete_ring_waiters(self, task: Task) -> int:
+        """Drive ``task``'s parked aggregation-ring entries (async drain);
+        posts CQEs for any whose wakeup has fired.  Thin delegate so the
+        scheduler can drive waiters without importing the ring module."""
+        from repro.kernel import uring
+
+        return uring.complete_ring_waiters(self, task)
+
     # ------------------------------------------------------- cooperative waits
     def wait_until(self, task: Task, predicate: Callable[[], bool]) -> None:
         """Block ``task`` until ``predicate``, running others / advancing time."""

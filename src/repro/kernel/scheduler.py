@@ -139,6 +139,14 @@ class Scheduler:
             budget = self.quantum
         if task.tid in self._active:
             return 0
+        if task.ring_waiters:
+            # Slice boundaries are the async ring's scheduler-side safe
+            # point: post completions for parked entries whose wakeups
+            # fired, so a guest polling cq_tail observes them without
+            # another crossing.
+            kernel.complete_ring_waiters(task)
+            if not task.alive:
+                return 0
         self._active.add(task.tid)
         self._nest_epoch += 1
         tracer = kernel.tracer

@@ -147,6 +147,13 @@ class Task:
         self.blocked_interruptible = True
         self.in_syscall_restart: tuple[int, tuple[int, ...]] | None = None
 
+        #: Aggregation-ring entries parked by an async ``ring_enter``
+        #: (:class:`repro.kernel.waits.RingWaiter`, in park order) and the
+        #: high-water mark of simultaneously parked entries — the direct
+        #: measure of how much in-flight I/O one task overlaps.
+        self.ring_waiters: list = []
+        self.ring_parked_peak = 0
+
         #: Capture buffers for stdio when no real fd is installed.
         self.stdout = bytearray()
         self.stderr = bytearray()

@@ -54,9 +54,41 @@ Semantics, entry by entry:
   completes the entry with ``-EINTR`` so the drain (and the guest's
   re-enter loop) cannot spin on a trapping entry.
 
-``ring_enter(ring_addr, to_submit, 0, 0)`` returns the number of entries
-completed this call (0 if the SQ was empty), or ``-EINVAL``/``-EFAULT``
-for a malformed/unmapped ring.
+``ring_enter(ring_addr, to_submit, min_complete, flags)`` returns the
+number of entries completed this call (0 if the SQ was empty), or
+``-EINVAL``/``-EFAULT`` for a malformed/unmapped ring.
+
+Asynchronous drain (``flags & RING_ENTER_ASYNC``)
+-------------------------------------------------
+
+The synchronous drain above executes entries to completion in order — a
+blocking SQE parks the whole guest, so one worker can never overlap two
+in-flight I/Os.  With :data:`RING_ENTER_ASYNC` set, submission decouples
+from completion, io_uring-style:
+
+* an entry whose dispatch would block is captured on a kernel-side
+  :class:`~repro.kernel.waits.RingWaiter` (``task.ring_waiters``) and the
+  drain *continues* with the next SQE; ``sq_head`` still advances per
+  consumed entry, but the CQE for a parked entry posts later, when its
+  wakeup fires;
+* an entry whose result link targets a currently *parked* slot parks as a
+  dependent: it first executes (gate included) once those slots complete;
+* ``cq_tail`` counts posted CQEs, so it advances out of submission order;
+  CQEs stay slot-correlated, which is how the guest matches completions;
+* parked entries are driven at every safe point — each subsequent
+  ``ring_enter``, each scheduler slice boundary, and while the guest
+  waits (below) — so no wakeup is ever lost;
+* ``min_complete`` (arg 2, async only) turns the call into ``ring_wait``:
+  after submitting, the task blocks — interruptibly, exactly like a
+  blocking syscall — until the published ``cq_tail`` reaches
+  ``min_complete`` or no parked entry remains that could ever post.  A
+  signal interrupts the wait (the guest re-enters after the handler); a
+  guest may equally poll ``cq_tail`` with ``min_complete == 0``.
+
+Synchronous and asynchronous drains of the same op list are
+*result-identical*: every entry runs the same gate/fault/obs machinery
+and posts the same result value to the same CQ slot — only the order in
+which CQEs appear (and the guest's ability to overlap) differs.
 
 Interposition tools see a *single* ``ring_enter`` crossing — one SUD
 selector read, one sled transit, one rewrite, one ptrace stop pair — no
@@ -72,6 +104,7 @@ from repro.arch.registers import MASK64, to_signed
 from repro.errors import PageFault
 from repro.kernel import errno
 from repro.kernel.syscalls.table import NR, syscall, syscall_name
+from repro.kernel.waits import RingWaiter, WouldBlock
 
 # ------------------------------------------------------------------ layout
 HDR_SQ_HEAD = 0
@@ -91,6 +124,11 @@ CQE_USER_DATA = 8
 
 #: Largest accepted ring capacity (entries).
 MAX_ENTRIES = 1024
+
+#: ``flags`` (arg 3) bit: asynchronous drain — blocking entries park on a
+#: kernel-side :class:`~repro.kernel.waits.RingWaiter` instead of stalling
+#: the drain, and ``min_complete`` (arg 2) may block until enough CQEs post.
+RING_ENTER_ASYNC = 0x1
 
 
 def ring_size(entries: int) -> int:
@@ -185,10 +223,247 @@ def _execute_entry(kernel, task, sysno: int, raw_args, cq_base: int,
     return 0 if ret is None else ret
 
 
+# ------------------------------------------------------------- async drain
+#: Sentinel: the waiter's dispatch blocked (again); it stays parked.
+_STILL_PARKED = object()
+
+
+def _post_cqe(mem, ring: int, cq_base: int, slot: int, res: int,
+              user_data: int) -> None:
+    """Post one CQE and advance the published ``cq_tail`` (async mode:
+    ``cq_tail`` counts completions, which may land out of slot order)."""
+    cqe = cq_base + slot * CQE_SIZE
+    mem.write_u64(cqe + CQE_RES, res & MASK64, check="write")
+    mem.write_u64(cqe + CQE_USER_DATA, user_data, check="write")
+    cq_tail = mem.read_u64(ring + HDR_CQ_TAIL, check="read")
+    mem.write_u64(ring + HDR_CQ_TAIL, cq_tail + 1, check="write")
+
+
+def _link_deps(task, ring: int, raw_args) -> set:
+    """CQ slots this entry's result links target that are still parked."""
+    deps: set = set()
+    parked = None
+    for value in raw_args:
+        if is_result_link(value):
+            if parked is None:
+                parked = {w.slot for w in task.ring_waiters
+                          if w.ring == ring}
+            slot = value & ((1 << _RESULT_SHIFT) - 1)
+            if slot in parked:
+                deps.add(slot)
+    return deps
+
+
+def _park_entry(kernel, task, *, ring, slot, index, sysno, raw_args,
+                user_data, cq_base, capacity, deps, args=None,
+                ready=None) -> None:
+    waiter = RingWaiter(
+        ring=ring, slot=slot, index=index, sysno=sysno, raw_args=raw_args,
+        user_data=user_data, cq_base=cq_base, capacity=capacity,
+        parked_at=kernel.clock, args=args, ready=ready, deps=deps,
+    )
+    task.ring_waiters.append(waiter)
+    if len(task.ring_waiters) > task.ring_parked_peak:
+        task.ring_parked_peak = len(task.ring_waiters)
+    if kernel.tracer is not None:
+        kernel.tracer.ring_park(
+            kernel.clock, task.tid, index=index, sysno=sysno,
+            name=syscall_name(sysno), user_data=user_data,
+            deps=sorted(deps),
+        )
+
+
+def _dispatch_waiter(kernel, task, waiter):
+    """(Re-)dispatch a waiter's syscall; ``_STILL_PARKED`` if it blocks."""
+    try:
+        ret = kernel.dispatch(task, waiter.sysno, waiter.args)
+    except WouldBlock as block:
+        waiter.ready = block.ready
+        return _STILL_PARKED
+    return 0 if ret is None else ret
+
+
+def _start_waiter(kernel, task, waiter):
+    """First execution of a dependency-parked entry (deps resolved).
+
+    Mirrors :func:`_execute_entry`'s gate sequence, but dispatches
+    non-blockingly — a block re-parks the waiter on its own predicate.
+    """
+    if waiter.sysno not in RINGABLE:
+        return -errno.EINVAL
+    try:
+        args = _resolve_args(task.mem, waiter.cq_base, waiter.capacity,
+                             waiter.raw_args)
+    except PageFault:
+        return -errno.EFAULT
+    if isinstance(args, int):
+        return args
+    gate = kernel._interception_gate(task, waiter.sysno, args, insn_addr=0,
+                                     sud=False)
+    if isinstance(gate, tuple):
+        return gate[1]
+    if gate == "handled":
+        return -errno.EINTR
+    waiter.args = args
+    return _dispatch_waiter(kernel, task, waiter)
+
+
+def _complete_waiter(kernel, task, waiter, res: int) -> None:
+    """Post the waiter's CQE and release any entries that depend on it."""
+    try:
+        _post_cqe(task.mem, waiter.ring, waiter.cq_base, waiter.slot, res,
+                  waiter.user_data)
+    except PageFault:
+        pass  # ring unmapped since parking; the completion is dropped
+    task.ring_waiters.remove(waiter)
+    for other in task.ring_waiters:
+        if other.ring == waiter.ring:
+            other.deps.discard(waiter.slot)
+    tracer = kernel.tracer
+    if tracer is not None:
+        tracer.ring_complete(
+            kernel.clock, task.tid, index=waiter.index, sysno=waiter.sysno,
+            name=syscall_name(waiter.sysno), ret=res,
+            user_data=waiter.user_data,
+            waited=kernel.clock - waiter.parked_at,
+        )
+
+
+def complete_ring_waiters(kernel, task) -> int:
+    """Drive ``task``'s parked ring entries; post CQEs for those that can
+    now finish.  Returns the number completed.
+
+    Called from every safe point — the top of each async ``ring_enter``,
+    the ``ring_wait`` readiness predicate (so a blocked guest's parked
+    I/O still completes while it waits), and the scheduler at slice
+    boundaries (so a guest polling ``cq_tail`` observes completions
+    without another crossing).  Passes repeat until one makes no
+    progress, so a completion that releases a dependent entry settles
+    within a single call — no wakeup is ever deferred to a later drive.
+    """
+    waiters = task.ring_waiters
+    if not waiters:
+        return 0
+    completed = 0
+    progress = True
+    while progress and task.alive:
+        progress = False
+        for waiter in list(waiters):
+            if waiter not in waiters:
+                continue  # released by an earlier completion this pass
+            if waiter.deps:
+                continue
+            if waiter.args is None:
+                res = _start_waiter(kernel, task, waiter)
+            elif waiter.ready is not None and waiter.ready():
+                res = _dispatch_waiter(kernel, task, waiter)
+            else:
+                continue
+            if res is _STILL_PARKED or not task.alive:
+                continue
+            _complete_waiter(kernel, task, waiter, res)
+            completed += 1
+            progress = True
+    return completed
+
+
+def _submit_async(kernel, task, ring, sq_head, pending, sq_cap, sq_base,
+                  cq_base):
+    """Consume up to ``pending`` SQEs without ever blocking the drain.
+
+    Returns ``(completed, consumed, fault)``; ``fault`` is True when the
+    ring itself faulted mid-drain (the caller maps that to ``-EFAULT``
+    only if nothing was consumed, mirroring the synchronous drain).
+    """
+    mem = task.mem
+    costs = kernel.costs
+    tracer = kernel.tracer
+    completed = 0
+    consumed = 0
+    while consumed < pending and task.alive:
+        # Same signal semantics as the synchronous drain: a deliverable
+        # signal stops submission between entries, never before the first.
+        if consumed and task.has_deliverable_signal():
+            break
+        slot = sq_head % sq_cap
+        entry_start = kernel.clock
+        kernel.charge(task, costs.uring_per_entry)
+        try:
+            sqe = sq_base + slot * SQE_SIZE
+            sysno = to_signed(mem.read_u64(sqe + SQE_SYSNO, check="read"))
+            raw_args = tuple(
+                mem.read_u64(sqe + SQE_ARGS + 8 * k, check="read")
+                for k in range(6)
+            )
+            user_data = mem.read_u64(sqe + SQE_USER_DATA, check="read")
+        except PageFault:
+            return completed, consumed, True
+        parked = False
+        res = -errno.EINVAL
+        deps = _link_deps(task, ring, raw_args)
+        if deps:
+            _park_entry(kernel, task, ring=ring, slot=slot, index=sq_head,
+                        sysno=sysno, raw_args=raw_args, user_data=user_data,
+                        cq_base=cq_base, capacity=sq_cap, deps=deps)
+            parked = True
+        elif sysno in RINGABLE:
+            args = _resolve_args(mem, cq_base, sq_cap, raw_args)
+            if isinstance(args, int):
+                res = args
+            else:
+                gate = kernel._interception_gate(task, sysno, args,
+                                                 insn_addr=0, sud=False)
+                if isinstance(gate, tuple):
+                    res = gate[1]
+                elif gate == "handled":
+                    res = -errno.EINTR
+                else:
+                    try:
+                        ret = kernel.dispatch(task, sysno, args)
+                        res = 0 if ret is None else ret
+                    except WouldBlock as block:
+                        _park_entry(kernel, task, ring=ring, slot=slot,
+                                    index=sq_head, sysno=sysno,
+                                    raw_args=raw_args, user_data=user_data,
+                                    cq_base=cq_base, capacity=sq_cap,
+                                    deps=set(), args=args,
+                                    ready=block.ready)
+                        parked = True
+        if not task.alive:
+            break
+        try:
+            if not parked:
+                _post_cqe(mem, ring, cq_base, slot, res, user_data)
+            sq_head += 1
+            mem.write_u64(ring + HDR_SQ_HEAD, sq_head, check="write")
+        except PageFault:
+            return completed, consumed, True
+        consumed += 1
+        if not parked:
+            completed += 1
+            if tracer is not None:
+                tracer.ring_entry(
+                    kernel.clock, task.tid, index=sq_head - 1, sysno=sysno,
+                    name=syscall_name(sysno), ret=res, user_data=user_data,
+                    cycles=kernel.clock - entry_start,
+                )
+            if res == -errno.EINTR and task.has_deliverable_signal():
+                break
+    return completed, consumed, False
+
+
 @syscall("ring_enter")
 def sys_ring_enter(kernel, task, args):
-    ring, to_submit = args[0], args[1]
+    ring, to_submit, min_complete, flags = args[0], args[1], args[2], args[3]
+    is_async = bool(flags & RING_ENTER_ASYNC)
     mem = task.mem
+    # Entering the ring is itself a safe point: finish any parked entries
+    # whose wakeups fired while the guest was away.
+    drive_completed = 0
+    if is_async and task.ring_waiters:
+        drive_completed = complete_ring_waiters(kernel, task)
+        if not task.alive:
+            return None
     try:
         sq_head = mem.read_u64(ring + HDR_SQ_HEAD, check="read")
         sq_tail = mem.read_u64(ring + HDR_SQ_TAIL, check="read")
@@ -204,14 +479,53 @@ def sys_ring_enter(kernel, task, args):
     pending = sq_tail - sq_head
     if to_submit:
         pending = min(pending, to_submit)
-    if pending == 0:
-        return 0
 
     tracer = kernel.tracer
     drain_start = kernel.clock if tracer is not None else 0
     costs = kernel.costs
     sq_base = ring + HEADER_SIZE
     cq_base = ring + HEADER_SIZE + sq_cap * SQE_SIZE
+
+    if is_async:
+        completed = parked = 0
+        if pending:
+            completed, consumed, faulted = _submit_async(
+                kernel, task, ring, sq_head, pending, sq_cap, sq_base,
+                cq_base,
+            )
+            if not task.alive:
+                return None
+            parked = consumed - completed
+            if tracer is not None:
+                tracer.ring_enter(
+                    kernel.clock, task.tid, submitted=pending,
+                    completed=completed, cycles=kernel.clock - drain_start,
+                    parked=parked,
+                )
+            if faulted and consumed == 0:
+                return -errno.EFAULT
+        if min_complete:
+            # ring_wait: block (interruptibly, like any blocking syscall)
+            # until the published cq_tail reaches min_complete.  The
+            # readiness predicate drives the parked entries itself, so
+            # waiting is what makes their wakeups fire.
+            def cq_ready():
+                complete_ring_waiters(kernel, task)
+                try:
+                    tail = mem.read_u64(ring + HDR_CQ_TAIL, check="read")
+                except PageFault:
+                    return True
+                if tail >= min_complete:
+                    return True
+                # Nothing parked can ever post another CQE: waiting more
+                # would deadlock, so the call returns short instead.
+                return not task.ring_waiters
+            if not cq_ready():
+                raise WouldBlock(cq_ready)
+        return drive_completed + completed
+
+    if pending == 0:
+        return 0
     completed = 0
     while completed < pending and task.alive:
         # A deliverable signal stops the drain between entries — the same
@@ -240,7 +554,12 @@ def sys_ring_enter(kernel, task, args):
             mem.write_u64(cqe + CQE_RES, res & MASK64, check="write")
             mem.write_u64(cqe + CQE_USER_DATA, user_data, check="write")
             sq_head += 1
-            cq_tail += 1
+            # The synchronous drain completes exactly the entries it
+            # consumes, so cq_tail is *coupled* to sq_head rather than
+            # incremented: a SIGSYS handler that re-arms a trapped entry
+            # (rewinding sq_head to retry it) then overwrites the stale
+            # -EINTR CQE instead of double-counting it.
+            cq_tail = sq_head
             # Publish per entry so a partially drained ring is always
             # observable and resumable by the guest.
             mem.write_u64(ring + HDR_SQ_HEAD, sq_head, check="write")

@@ -29,3 +29,49 @@ class WouldBlock(Exception):
 
 class DeadlockError(RuntimeError):
     """All tasks blocked and no external event source can make progress."""
+
+
+class RingWaiter:
+    """One aggregation-ring entry parked kernel-side by an async drain.
+
+    An async ``ring_enter`` (see :mod:`repro.kernel.uring`) that hits a
+    blocking SQE does not stall the drain: the entry is captured here and
+    appended to ``task.ring_waiters``, and the drain moves on.  The waiter
+    completes later — its CQE posts and the guest's published ``cq_tail``
+    advances — when :func:`repro.kernel.uring.complete_ring_waiters` finds
+    it runnable, either because its ``ready`` predicate fired or because
+    the parked slots it links to (``deps``) have all completed.
+
+    Two parked states, distinguished by ``args``:
+
+    * ``args is None`` — *dependency-parked*: the entry has never run
+      because a result link targets a slot that is itself parked.  Once
+      ``deps`` empties, the entry resolves/gates/dispatches for the first
+      time (and may then re-park as predicate-parked).
+    * ``args`` set — *predicate-parked*: the dispatch raised
+      :class:`WouldBlock`; ``ready`` is that exception's predicate and the
+      resolved arguments are kept for the Linux-style restart.
+    """
+
+    __slots__ = ("ring", "slot", "index", "sysno", "raw_args", "args",
+                 "user_data", "cq_base", "capacity", "ready", "deps",
+                 "parked_at")
+
+    def __init__(self, *, ring: int, slot: int, index: int, sysno: int,
+                 raw_args: tuple, user_data: int, cq_base: int,
+                 capacity: int, parked_at: int,
+                 args: tuple | None = None,
+                 ready: Callable[[], bool] | None = None,
+                 deps: set | None = None):
+        self.ring = ring
+        self.slot = slot
+        self.index = index
+        self.sysno = sysno
+        self.raw_args = raw_args
+        self.args = args
+        self.user_data = user_data
+        self.cq_base = cq_base
+        self.capacity = capacity
+        self.ready = ready
+        self.deps = deps if deps is not None else set()
+        self.parked_at = parked_at

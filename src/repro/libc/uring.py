@@ -15,6 +15,13 @@ Two usage styles:
   ``flush(n)`` inside the guest loop: it rewinds ``sq_head``/``sq_tail``
   so the same N entries are re-submitted every iteration without
   re-storing them (the kernel never modifies SQE contents).
+* **async submission** — ``submit_async()`` publishes entries through an
+  asynchronous drain (blocking SQEs park kernel-side instead of stalling;
+  see :data:`repro.kernel.uring.RING_ENTER_ASYNC`), then ``wait(n)``
+  blocks until at least ``n`` CQEs have posted — the event-loop shape:
+  one task keeps many I/Os in flight and harvests completions in bulk.
+  Host-side completion callbacks registered with ``on_completion(slot,
+  emit)`` are emitted by ``emit_completions()`` after a wait.
 
 Example::
 
@@ -35,6 +42,7 @@ from __future__ import annotations
 
 from repro.kernel.syscalls.table import NR
 from repro.kernel.uring import (
+    RING_ENTER_ASYNC,
     CQE_SIZE,
     HDR_CQ_HEAD,
     HDR_CQ_CAP,
@@ -56,6 +64,7 @@ from repro.kernel.uring import (
 __all__ = [
     "DEFAULT_RING_ENTRIES",
     "RING_BASE_REG",
+    "RING_ENTER_ASYNC",
     "GuestRing",
     "ring_result",
     "ring_region_size",
@@ -115,6 +124,7 @@ class GuestRing:
         self.tag = tag
         self._next_slot = 0
         self._label_seq = 0
+        self._callbacks: dict[int, object] = {}
 
     # ------------------------------------------------------------------ setup
     def emit_mmap(self) -> "GuestRing":
@@ -192,7 +202,8 @@ class GuestRing:
         # send(fd, buf, n, 0) on a connected socket == write(fd, buf, n)
         return self.push("write", fd, buf, count)
 
-    def _enter_loop(self, target_head: int) -> None:
+    def _enter_loop(self, target_head: int, *, min_complete: int = 0,
+                    flags: int = 0) -> None:
         """Emit ring_enter, re-entering until ``sq_head == target_head``.
 
         The loop is what makes signal interruption invisible to the guest
@@ -207,8 +218,8 @@ class GuestRing:
         a.label(label)
         a.lea("rdi", self.base, self.disp)
         a.mov_imm("rsi", 0)
-        a.mov_imm("rdx", 0)
-        a.mov_imm("r10", 0)
+        a.mov_imm("rdx", min_complete)
+        a.mov_imm("r10", flags)
         a.mov_imm("rax", NR["ring_enter"])
         a.syscall()
         a.load(s, self.base, self.disp + HDR_SQ_HEAD)
@@ -223,6 +234,43 @@ class GuestRing:
         a.store(self.base, self.disp + HDR_SQ_TAIL, s)
         self._enter_loop(n)
         return n
+
+    def submit_async(self, *, min_complete: int = 0) -> int:
+        """Publish all pushed entries through an *asynchronous* drain.
+
+        The crossing returns as soon as every entry is consumed —
+        completed or parked kernel-side — so the guest overlaps all its
+        in-flight I/O.  With ``min_complete`` the same crossing then
+        waits until that many CQEs have posted (submit-and-wait).
+        """
+        n = self._next_slot
+        a, s = self.asm, self.scratch
+        a.mov_imm(s, n)
+        a.store(self.base, self.disp + HDR_SQ_TAIL, s)
+        self._enter_loop(n, min_complete=min_complete,
+                         flags=RING_ENTER_ASYNC)
+        return n
+
+    def wait(self, min_complete: int) -> None:
+        """Emit a ``ring_wait``: block until ``cq_tail >= min_complete``.
+
+        Re-enters after signal interruption (the kernel call returns
+        -EINTR-style early; the guest re-checks the published cursor), so
+        a wait is never lost to a handler running in the middle of it.
+        """
+        a, s = self.asm, self.scratch
+        label = f"__{self.tag}_wait_{self._label_seq}"
+        self._label_seq += 1
+        a.label(label)
+        a.lea("rdi", self.base, self.disp)
+        a.mov_imm("rsi", 0)
+        a.mov_imm("rdx", min_complete)
+        a.mov_imm("r10", RING_ENTER_ASYNC)
+        a.mov_imm("rax", NR["ring_enter"])
+        a.syscall()
+        a.load(s, self.base, self.disp + HDR_CQ_TAIL)
+        a.cmpi(s, min_complete)
+        a.jl(label)
 
     def flush(self, n: int | None = None) -> None:
         """Re-submit slots ``0..n-1`` (already written) with one crossing.
@@ -241,12 +289,56 @@ class GuestRing:
         a.store(self.base, self.disp + HDR_SQ_TAIL, s)
         self._enter_loop(n)
 
+    def rewind(self) -> None:
+        """Rewind all cursors guest-side *without* entering — the prologue
+        of a steady-state wave that re-pushes entries before submitting."""
+        a, s = self.asm, self.scratch
+        a.mov_imm(s, 0)
+        for off in (HDR_SQ_HEAD, HDR_CQ_HEAD, HDR_CQ_TAIL):
+            a.store(self.base, self.disp + off, s)
+
+    def flush_async(self, n: int | None = None, *,
+                    min_complete: int = 0) -> None:
+        """Async counterpart of :meth:`flush`: rewind the cursors and
+        re-submit slots ``0..n-1`` through the asynchronous drain."""
+        if n is None:
+            n = self._next_slot
+        a, s = self.asm, self.scratch
+        a.mov_imm(s, 0)
+        a.store(self.base, self.disp + HDR_SQ_HEAD, s)
+        a.store(self.base, self.disp + HDR_CQ_HEAD, s)
+        a.store(self.base, self.disp + HDR_CQ_TAIL, s)
+        a.mov_imm(s, n)
+        a.store(self.base, self.disp + HDR_SQ_TAIL, s)
+        self._enter_loop(n, min_complete=min_complete,
+                         flags=RING_ENTER_ASYNC)
+
     # ------------------------------------------------------------- completion
+    def on_completion(self, slot: int, emit) -> None:
+        """Register a host-side completion callback for CQ ``slot``.
+
+        ``emit(asm, ring, slot)`` is invoked by :meth:`emit_completions`
+        to generate the guest code consuming that completion — the
+        assembly-level analogue of an event loop's per-request callback.
+        """
+        self._callbacks[slot] = emit
+
+    def emit_completions(self) -> None:
+        """Emit every registered completion callback, in slot order.
+
+        Call after a :meth:`wait` (or ``submit_async(min_complete=...)``)
+        that guarantees the slots' CQEs have posted.
+        """
+        for slot in sorted(self._callbacks):
+            self._callbacks[slot](self.asm, self, slot)
+
     def load_result(self, dst: str, slot: int) -> None:
         """Load CQ slot ``slot``'s result (u64 two's complement) into ``dst``."""
         self.asm.load(dst, self.base,
                       self.disp + cqe_offset(self.entries, slot))
 
     def reset(self) -> None:
-        """Forget pushed slots (host-side only; guest memory untouched)."""
+        """Forget pushed slots and registered completion callbacks
+        (host-side only; guest memory untouched)."""
         self._next_slot = 0
+        self._callbacks.clear()

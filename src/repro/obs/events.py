@@ -32,6 +32,12 @@ kind                      emitted by
                           finished draining (``submitted``/``completed``)
 ``ring_entry``            kernel uring drain — one SQE completed, with its
                           result and per-entry cycle cost
+``ring_park``             kernel uring async drain — a blocking (or
+                          dependency-linked) SQE was parked on a kernel-side
+                          waiter instead of stalling the drain
+``ring_complete``         kernel uring async drain — a parked SQE's wakeup
+                          fired and its CQE posted (``waited`` cycles after
+                          parking)
 ``degrade``               degradation controller — the tool moved to a less
                           capable mode (FULL_HYBRID → SUD_ONLY → PASSTHROUGH)
 ``rewrite_blacklist``     degradation controller — a syscall site exhausted
@@ -68,6 +74,8 @@ BLOCK_COMPILE = "block_compile"
 BLOCK_INVALIDATE = "block_invalidate"
 RING_ENTER = "ring_enter"
 RING_ENTRY = "ring_entry"
+RING_PARK = "ring_park"
+RING_COMPLETE = "ring_complete"
 DEGRADE = "degrade"
 REWRITE_BLACKLIST = "rewrite_blacklist"
 FALLBACK = "fallback"
@@ -88,6 +96,8 @@ ALL_KINDS = (
     BLOCK_INVALIDATE,
     RING_ENTER,
     RING_ENTRY,
+    RING_PARK,
+    RING_COMPLETE,
     DEGRADE,
     REWRITE_BLACKLIST,
     FALLBACK,

@@ -47,6 +47,11 @@ class Tracer:
         #: ring_enter crossings and total SQEs drained through them
         self.ring_enters = 0
         self.ring_entries = 0
+        #: async drain: SQEs parked on kernel-side waiters, and parked
+        #: SQEs whose CQE later posted (``ring_entries`` includes these,
+        #: so it always counts every completed SQE either way)
+        self.ring_parks = 0
+        self.ring_completes = 0
         #: degradation-mode transitions: (ts, tid, mechanism, old, new, reason)
         self.degradations: list[tuple] = []
         #: sites pinned to the slow path after repeated rewrite failures
@@ -179,13 +184,17 @@ class Tracer:
 
     # ------------------------------------------------------------- ring drain
     def ring_enter(
-        self, ts: int, tid: int, *, submitted: int, completed: int, cycles: int
+        self, ts: int, tid: int, *, submitted: int, completed: int,
+        cycles: int, parked: int = 0
     ) -> None:
-        """One ``ring_enter`` crossing finished draining."""
+        """One ``ring_enter`` crossing finished draining (``parked`` SQEs
+        were captured on kernel-side waiters by an async drain)."""
         self.ring_enters += 1
-        self._emit(ts, K.RING_ENTER, tid,
-                   {"submitted": submitted, "completed": completed,
-                    "cycles": cycles})
+        data = {"submitted": submitted, "completed": completed,
+                "cycles": cycles}
+        if parked:
+            data["parked"] = parked
+        self._emit(ts, K.RING_ENTER, tid, data)
 
     def ring_entry(
         self, ts: int, tid: int, *, index: int, sysno: int, name: str,
@@ -198,6 +207,35 @@ class Tracer:
         if is_error(ret):
             data["errno"] = -ret
         self._emit(ts, K.RING_ENTRY, tid, data)
+
+    def ring_park(
+        self, ts: int, tid: int, *, index: int, sysno: int, name: str,
+        user_data: int, deps: list
+    ) -> None:
+        """An async drain parked one SQE on a kernel-side waiter."""
+        self.ring_parks += 1
+        data = {"index": index, "name": name, "sysno": sysno,
+                "user_data": user_data}
+        if deps:
+            data["deps"] = list(deps)
+        self._emit(ts, K.RING_PARK, tid, data)
+
+    def ring_complete(
+        self, ts: int, tid: int, *, index: int, sysno: int, name: str,
+        ret: int, user_data: int, waited: int
+    ) -> None:
+        """A parked SQE's wakeup fired and its CQE posted.
+
+        Counts toward ``ring_entries`` too, so that total covers every
+        completed SQE whether it drained synchronously or parked first.
+        """
+        self.ring_completes += 1
+        self.ring_entries += 1
+        data = {"index": index, "name": name, "sysno": sysno, "ret": ret,
+                "user_data": user_data, "waited": waited}
+        if is_error(ret):
+            data["errno"] = -ret
+        self._emit(ts, K.RING_COMPLETE, tid, data)
 
     # ----------------------------------------------------------- degradation
     def degrade(

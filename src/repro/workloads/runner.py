@@ -217,7 +217,14 @@ class WebserverWorkload:
 
     Options: ``server`` ("nginx"/"lighttpd"), ``requests``, ``warmup``,
     ``file_size``, ``connections`` (default ``2 * cores``), ``workers``
-    (default one per core), ``client_cycles_per_request``.
+    (default one per core), ``client_cycles_per_request``,
+    ``request_extra_cycles`` (per-request user-space surcharge list, used
+    by the cluster's session model).
+
+    ``batched="async"`` selects the event-loop leg: a single worker
+    overlapping ``connections`` (default 4) in-flight requests through
+    the asynchronous ring drain — connections and overlap depth are the
+    same number there, so it is fixed before the server image is built.
 
     The result row carries throughput (``requests_per_sec``), the measured
     window (``measured_seconds``), per-request latency percentiles *and*
@@ -239,20 +246,33 @@ class WebserverWorkload:
         connections = ctx.option("connections")
         workers = ctx.option("workers", ctx.cores)
         client_cycles = ctx.option("client_cycles_per_request", 0)
+        extra_cycles = ctx.option("request_extra_cycles")
         ctx.reject_unknown_options(self.name)
+
+        is_async = ctx.batched == "async"
+        if is_async:
+            # One worker; the overlap depth *is* the connection count and
+            # must be known before the server image is emitted.
+            workers = 1
+            connections = connections if connections is not None else 4
+        elif connections is None:
+            connections = 2 * ctx.cores
+        if extra_cycles is not None:
+            # The parse hook serves warmup requests first; they carry no
+            # session surcharge.
+            extra_cycles = [0] * warmup + list(extra_cycles)
 
         machine = ctx.boot()
         workload = ServerWorkload(
             machine, spec, file_size=file_size, workers=workers,
-            batched=ctx.batched,
+            batched=ctx.batched, async_depth=connections,
+            request_extra_cycles=extra_cycles,
         )
         ctx.attach(machine, workload.process)
         rps = workload.benchmark(
             requests=requests,
             warmup=warmup,
-            connections=(
-                connections if connections is not None else 2 * ctx.cores
-            ),
+            connections=connections,
             client_cycles_per_request=client_cycles,
         )
         stats = workload.last_client.stats

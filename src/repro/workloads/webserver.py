@@ -293,15 +293,149 @@ def build_server_image(
     return image_from_assembler(name, a, entry="_start")
 
 
+def build_async_server_image(
+    spec: ServerSpec,
+    parse_hcall: int,
+    *,
+    port: int = 8080,
+    depth: int = 4,
+    base: int = layout.CODE_BASE,
+) -> ProgramImage:
+    """Build the event-loop server: **one** worker overlapping ``depth``
+    in-flight requests through the asynchronous ring drain.
+
+    There is no epoll and no per-request syscall crossing at all.  The
+    worker keeps one blocking ``read`` SQE in flight per connection; the
+    async drain parks them all kernel-side (``depth`` simultaneously
+    blocked I/Os owned by a single task), and a ``ring_wait`` harvests the
+    wave once every connection has a request pending.  Each wave then
+    pushes all ``depth`` response tails (open / fstat / header write /
+    delivery / close, linked on the opened fd) and submits them with one
+    more crossing — two ``ring_enter`` crossings per ``depth`` requests,
+    against the sync-batched leg's one crossing *plus* epoll_wait and read
+    per request.
+    """
+    a = Assembler(base=base)
+    connfd = 64  # per-connection fd array, u64 each
+    req0 = connfd + 8 * depth  # per-connection request buffers
+    filebuf = (req0 + 256 * depth + 63) & ~63
+    ring_off = filebuf + CHUNK
+    entries = 6 * depth  # one read + five response entries per connection
+    bufsize = ring_off + ring_region_size(entries)
+
+    def sys(name):
+        a.mov_imm("rax", NR[name])
+        a.syscall()
+
+    a.label("_start")
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rsi", bufsize)
+    a.mov_imm("rdx", 3)
+    a.mov_imm("r10", 0x22)
+    a.mov_imm("r8", (1 << 64) - 1)
+    a.mov_imm("r9", 0)
+    sys("mmap")
+    a.mov("r15", "rax")
+
+    # Listen socket.  *Blocking* on purpose (no SOCK_NONBLOCK): parked
+    # accept4 SQEs are how the async drain overlaps the accept wave —
+    # there is exactly one worker, so no thundering herd to dodge.
+    a.mov_imm("rdi", 2)  # AF_INET
+    a.mov_imm("rsi", 1)  # SOCK_STREAM
+    a.mov_imm("rdx", 0)
+    sys("socket")
+    a.mov("rbx", "rax")
+    a.mov_imm("rcx", (port >> 8) & 0xFF)
+    a.store8("r15", _ADDR + 2, "rcx")
+    a.mov_imm("rcx", port & 0xFF)
+    a.store8("r15", _ADDR + 3, "rcx")
+    a.mov("rdi", "rbx")
+    a.lea("rsi", "r15", _ADDR)
+    a.mov_imm("rdx", 16)
+    sys("bind")
+    a.mov("rdi", "rbx")
+    a.mov_imm("rsi", 128)
+    sys("listen")
+
+    ring = GuestRing(a, entries=entries, base="r15", disp=ring_off,
+                     tag="asrv")
+    ring.emit_init()
+
+    # -- accept wave: depth parked accepts, one crossing ------------------
+    for _ in range(depth):
+        ring.push_accept("rbx")
+    ring.submit_async(min_complete=depth)
+    # CQEs are slot-correlated, so conn fds harvest in slot order.
+    for i in range(depth):
+        ring.load_result("r13", i)
+        a.store("r15", connfd + 8 * i, "r13")
+    ring.reset()
+
+    # ---------------------------------------------------------- event loop
+    a.label("loop")
+    ring.rewind()
+    ring.reset()
+    # Read wave: one blocking read per connection, all in flight at once.
+    for i in range(depth):
+        a.load("r13", "r15", connfd + 8 * i)
+        a.lea("rsi", "r15", req0 + 256 * i)
+        ring.push_read("r13", "rsi", 256)
+    ring.submit_async(min_complete=depth)
+    # Response wave: parse + the full batched tail per connection.
+    for i in range(depth):
+        a.hcall(parse_hcall)  # request parsing + header build (user code)
+        a.load("r13", "r15", connfd + 8 * i)
+        a.lea("rdx", "r15", _ADDR + 16)  # fstat buffer
+        fd = ring_result(ring.push("open", "file_path", 0, 0))
+        ring.push("fstat", fd, "rdx")
+        if spec.delivery == "sendfile":
+            ring.push_write("r13", "header", HEADER_SIZE)
+            ring.push("sendfile", "r13", fd, 0, CHUNK)
+        else:
+            a.lea("rsi", "r15", filebuf)
+            nread = ring_result(ring.push_read(fd, "rsi", CHUNK))
+            ring.push_write("r13", "header", HEADER_SIZE)
+            ring.push_write("r13", "rsi", nread)
+        ring.push("close", fd)
+    ring.submit_async(min_complete=entries)
+    a.jmp("loop")
+
+    # ---------------------------------------------------------------- data
+    a.label("file_path")
+    a.db(FILE_PATH.encode() + b"\x00")
+    a.label("header")
+    header = b"HTTP/1.1 200 OK\r\nServer: %s\r\n\r\n" % spec.name.encode()
+    a.db(header.ljust(HEADER_SIZE, b"\x00"))
+    return image_from_assembler(spec.name + "-async", a, entry="_start")
+
+
 class ServerWorkload:
-    """One loaded server process plus its content and parse-cost hook."""
+    """One loaded server process plus its content and parse-cost hook.
+
+    ``batched`` selects the syscall shape: ``False`` (direct), ``True``
+    (sync-batched response tails), or ``"async"`` (the event-loop leg —
+    one worker, ``async_depth`` overlapping in-flight requests through
+    the asynchronous ring drain).
+
+    ``request_extra_cycles`` charges additional per-request user-space
+    cycles, indexed by service order — the cluster layer uses it to model
+    session-cache misses and cross-shard session migrations.
+    """
 
     def __init__(self, machine, spec: ServerSpec, *, file_size: int,
-                 port: int = 8080, workers: int = 1, batched: bool = False):
+                 port: int = 8080, workers: int = 1,
+                 batched: bool | str = False, async_depth: int = 4,
+                 request_extra_cycles: list[int] | None = None):
         if batched and file_size > CHUNK:
             raise ValueError(
                 f"batched server delivers one chunk per request: "
                 f"file_size {file_size} > {CHUNK}"
+            )
+        if batched == "async" and workers != 1:
+            raise ValueError(
+                "the async event-loop server is single-worker by design "
+                f"(overlap comes from parked I/O, not processes): "
+                f"workers={workers}"
             )
         self.machine = machine
         self.spec = spec
@@ -309,14 +443,30 @@ class ServerWorkload:
         self.file_size = file_size
         self.workers = workers
         self.batched = batched
+        self.async_depth = async_depth
         self.last_client = None
         machine.fs.create(FILE_PATH, bytes(file_size))
-        hcall = machine.kernel.register_hcall(
-            lambda ctx: ctx.charge(spec.parse_cost)
-        )
-        self.image = build_server_image(
-            spec, hcall, port=port, workers=workers, batched=batched
-        )
+        extra = list(request_extra_cycles or ())
+        served = {"n": 0}
+
+        def parse(ctx):
+            i = served["n"]
+            served["n"] = i + 1
+            cost = spec.parse_cost
+            if i < len(extra):
+                cost += extra[i]
+            ctx.charge(cost)
+
+        hcall = machine.kernel.register_hcall(parse)
+        if batched == "async":
+            self.image = build_async_server_image(
+                spec, hcall, port=port, depth=async_depth
+            )
+        else:
+            self.image = build_server_image(
+                spec, hcall, port=port, workers=workers,
+                batched=bool(batched),
+            )
         self.process = machine.load(self.image)
 
     def run_until_listening(self, max_instructions: int = 500_000) -> None:
@@ -329,6 +479,30 @@ class ServerWorkload:
         self.machine.run(until=listening, max_instructions=max_instructions)
         if not listening():
             raise RuntimeError(f"{self.spec.name} never started listening")
+
+    def _start_when_listening(self, client, interval: int = 1_000) -> None:
+        """Arm an event that starts ``client`` the moment the listener is up.
+
+        The async worker parks its whole accept wave inside ONE interposed
+        ``ring_enter``; with a single task, ``listen()`` and that blocking
+        crossing can land in the same scheduler slice, so a
+        ``machine.run(until=listening)`` driver may never get control in
+        between to wire the clients — and the parked accepts would then
+        wait on wakeups nobody can produce.  Starting the client from the
+        event queue closes the race: the poll event keeps the kernel's
+        cooperative wait making progress and fires the connects into the
+        parked accept wave.  The fixed interval keeps it deterministic.
+        """
+        kernel = self.machine.kernel
+
+        def poll():
+            sock = kernel.net.listeners.get(self.port)
+            if sock is not None and sock.listening:
+                client.start()
+            else:
+                kernel.post_event_in(interval, poll)
+
+        kernel.post_event_in(interval, poll)
 
     def benchmark(
         self,
@@ -344,7 +518,9 @@ class ServerWorkload:
         callers (the unified runner, the cluster shard worker) can read
         latency samples and the measured window after the run.
         """
-        self.run_until_listening()
+        is_async = self.batched == "async"
+        if not is_async:
+            self.run_until_listening()
         client = self.last_client = WrkClient(
             self.machine.kernel,
             self.port,
@@ -353,7 +529,10 @@ class ServerWorkload:
             warmup_requests=warmup,
             client_cycles_per_request=client_cycles_per_request,
         )
-        client.start()
+        if is_async:
+            self._start_when_listening(client)
+        else:
+            client.start()
         total = warmup + requests
         self.machine.run(
             until=lambda: client.stats.completed >= total,

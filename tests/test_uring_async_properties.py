@@ -1,0 +1,222 @@
+"""Property-based sync/async/direct equivalence for the ring drain.
+
+The core contract of the asynchronous drain (satellite of the async-ring
+PR): for ANY op list — blocking entries interleaved with non-blocking
+ones, with or without result-linked chains — draining it asynchronously
+is observably identical to draining it synchronously, which in turn is
+identical to issuing the same syscalls directly.  "Observably" means the
+final filesystem, the bytes on stdout (per-op results included), and the
+exit code; and the equivalence must hold under every interposition tool,
+on 1 and 2 cores, with the superblock tier on or off.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.encode import Assembler
+from repro.faults.oracle import differences, run_guest
+from repro.kernel.syscalls.table import NR
+from repro.libc.uring import GuestRing, ring_result
+from repro.loader.image import image_from_assembler
+from repro.mem import layout
+
+pytestmark = [pytest.mark.uring, pytest.mark.uring_async]
+
+MODES = ("direct", "ring", "ring_async")
+
+#: Results buffer at r14+0, nanosleep timespecs at +256 (16 bytes each),
+#: the chain's read buffer at +768.
+_TS_BASE = 256
+_READ_BUF = 768
+
+
+def build_ops_guest(ops, mode, with_chain):
+    """One guest executing ``ops`` (+ an optional linked file chain).
+
+    Every op's result is stored into a buffer that is written to stdout
+    before exit, so result *values* — not just side effects — are part of
+    the observable state the oracle compares.
+    """
+    assert mode in MODES
+    n_total = len(ops) + (3 if with_chain else 0)
+    a = Assembler(base=layout.CODE_BASE)
+    a.label("_start")
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rsi", 4096)
+    a.mov_imm("rdx", 3)
+    a.mov_imm("r10", 0x22)
+    a.mov_imm("r8", (1 << 64) - 1)
+    a.mov_imm("r9", 0)
+    a.mov_imm("rax", NR["mmap"])
+    a.syscall()
+    a.mov("r14", "rax")
+    # tv_nsec for each nanosleep op (tv_sec stays 0: fresh pages are zero)
+    for i, op in enumerate(ops):
+        if op[0] == "nanosleep":
+            a.mov_imm("rdx", op[1])
+            a.store("r14", _TS_BASE + 16 * i + 8, "rdx")
+
+    def emit_direct():
+        for i, op in enumerate(ops):
+            if op[0] == "nanosleep":
+                a.lea("rdi", "r14", _TS_BASE + 16 * i)
+                a.mov_imm("rsi", 0)
+            elif op[0] == "write":
+                a.mov_imm("rdi", 1)
+                a.mov_imm("rsi", "msg")
+                a.mov_imm("rdx", op[1])
+            a.mov_imm("rax", NR[op[0]])
+            a.syscall()
+            a.store("r14", 8 * i, "rax")
+        if with_chain:
+            base = len(ops)
+            a.mov_imm("rdi", "path")
+            a.mov_imm("rsi", 0)
+            a.mov_imm("rdx", 0)
+            a.mov_imm("rax", NR["open"])
+            a.syscall()
+            a.mov("r13", "rax")
+            a.store("r14", 8 * base, "rax")
+            a.mov("rdi", "r13")
+            a.lea("rsi", "r14", _READ_BUF)
+            a.mov_imm("rdx", 6)
+            a.mov_imm("rax", NR["read"])
+            a.syscall()
+            a.store("r14", 8 * (base + 1), "rax")
+            a.mov("rdi", "r13")
+            a.mov_imm("rax", NR["close"])
+            a.syscall()
+            a.store("r14", 8 * (base + 2), "rax")
+
+    def emit_ring():
+        ring = GuestRing(a, entries=16, base="r9")
+        ring.emit_mmap()
+        for i, op in enumerate(ops):
+            if op[0] == "nanosleep":
+                a.lea("rdx", "r14", _TS_BASE + 16 * i)
+                ring.push("nanosleep", "rdx", 0)
+            elif op[0] == "write":
+                ring.push("write", 1, "msg", op[1])
+            else:
+                ring.push(op[0])
+        if with_chain:
+            a.lea("rdx", "r14", _READ_BUF)
+            s0 = ring.push("open", "path", 0, 0)
+            ring.push("read", ring_result(s0), "rdx", 6)
+            ring.push("close", ring_result(s0))
+        if mode == "ring":
+            ring.submit()
+        else:
+            ring.submit_async(min_complete=n_total)
+            ring.wait(n_total)  # signals aside, make "all posted" certain
+        for slot in range(n_total):
+            ring.load_result("rax", slot)
+            a.store("r14", 8 * slot, "rax")
+
+    if mode == "direct":
+        emit_direct()
+    else:
+        emit_ring()
+    a.mov_imm("rdi", 1)
+    a.mov("rsi", "r14")
+    a.mov_imm("rdx", 8 * n_total)
+    a.mov_imm("rax", NR["write"])
+    a.syscall()
+    a.mov_imm("rdi", 0)
+    a.mov_imm("rax", NR["exit_group"])
+    a.syscall()
+    a.label("msg")
+    a.db(b"abcdefgh")
+    a.label("path")
+    a.db(b"/data.bin\x00")
+    return image_from_assembler(f"ops_{mode}", a, entry="_start")
+
+
+def seed_fs(machine):
+    machine.fs.create("/data.bin", b"abcdef")
+
+
+def run_ops(ops, mode, with_chain, *, tool=None, cores=1, superblocks=True):
+    return run_guest(
+        lambda: build_ops_guest(ops, mode, with_chain),
+        tool,
+        setup=seed_fs,
+        cores=cores,
+        machine_opts=None if superblocks else {"superblocks": False},
+        max_instructions=4_000_000,
+    )
+
+
+OP = st.one_of(
+    st.sampled_from([("getpid",), ("gettid",), ("getppid",), ("getuid",)]),
+    st.tuples(st.just("nanosleep"),
+              st.sampled_from([100_000, 250_000, 400_000])),
+    st.tuples(st.just("write"), st.integers(min_value=1, max_value=8)),
+)
+
+
+@given(ops=st.lists(OP, min_size=1, max_size=10), with_chain=st.booleans())
+@settings(max_examples=12, deadline=None)
+def test_random_op_lists_drain_identically(ops, with_chain):
+    """Any interleaving of blocking and non-blocking ops produces the
+    same results buffer, stdout and fs in all three execution modes."""
+    reports = {m: run_ops(ops, m, with_chain) for m in MODES}
+    for report in reports.values():
+        assert not report.crashed
+        assert report.exit == 0
+    base = reports["direct"]
+    for mode in ("ring", "ring_async"):
+        diffs = differences(reports[mode], base, compare_trace=False)
+        assert not diffs, f"{mode} vs direct: {diffs} (ops={ops})"
+
+
+#: Fixed op list with blockers sandwiched between non-blockers — the
+#: deterministic anchor the full tool/cores/superblock matrix runs on.
+FIXED_OPS = [
+    ("getpid",),
+    ("nanosleep", 300_000),
+    ("write", 5),
+    ("gettid",),
+    ("nanosleep", 150_000),
+    ("getuid",),
+]
+
+MATRIX = [
+    (tool, cores, superblocks)
+    for tool in (None, "lazypoline", "zpoline", "ptrace")
+    for cores in (1, 2)
+    for superblocks in (True, False)
+]
+
+
+@pytest.fixture(scope="module")
+def direct_baseline():
+    report = run_ops(FIXED_OPS, "direct", True)
+    assert not report.crashed and report.exit == 0
+    return report
+
+
+@pytest.mark.parametrize("tool,cores,superblocks", MATRIX)
+def test_async_drain_identity_matrix(tool, cores, superblocks,
+                                     direct_baseline):
+    """The async drain matches the bare direct run in every cell of the
+    {tool} x {cores} x {superblocks} matrix."""
+    report = run_ops(FIXED_OPS, "ring_async", True, tool=tool, cores=cores,
+                     superblocks=superblocks)
+    assert not report.crashed
+    diffs = differences(report, direct_baseline, compare_trace=False)
+    assert not diffs, f"({tool},{cores},{superblocks}): {diffs}"
+
+
+@pytest.mark.parametrize("tool,cores,superblocks",
+                         [(None, 2, False), ("lazypoline", 1, True),
+                          ("ptrace", 2, True)])
+def test_sync_drain_identity_cells(tool, cores, superblocks,
+                                   direct_baseline):
+    report = run_ops(FIXED_OPS, "ring", True, tool=tool, cores=cores,
+                     superblocks=superblocks)
+    assert not report.crashed
+    diffs = differences(report, direct_baseline, compare_trace=False)
+    assert not diffs, f"({tool},{cores},{superblocks}): {diffs}"
