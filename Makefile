@@ -5,7 +5,7 @@ export PYTHONPATH
 FUZZ_MINUTES ?= 5
 FAULT_SEEDS ?= 0:64
 
-.PHONY: test test-fast test-degrade test-superblock test-uring test-uring-async test-cluster faults fuzz bench perf trace
+.PHONY: test test-fast test-degrade test-superblock test-uring test-uring-async test-cluster test-chaos faults fuzz bench perf trace
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +39,12 @@ test-uring-async:
 # cross-process determinism and the shards=1 byte-identity contract.
 test-cluster:
 	$(PYTHON) -m pytest -x -q -m cluster
+
+# Fleet fault-tolerance tier: shard chaos injection (crash/hang/degraded/
+# hostile), health-checked failover balancing, circuit breakers, deadline/
+# retry machinery and the chaos-off byte-identity contract.
+test-chaos:
+	$(PYTHON) -m pytest -x -q -m chaos
 
 faults:
 	$(PYTHON) -m repro.faults --seeds $(FAULT_SEEDS)

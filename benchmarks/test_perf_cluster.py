@@ -7,7 +7,10 @@ Runs the shards x tool x batched matrix {1, 2, 4} x {none, lazypoline} x
 p50/p95/p99 latency per cell, plus per-shard guest-MIPS.  Three extra
 ``sessions_*`` cells run the session-coupled async leg once per
 balancing policy (2 shards, lazypoline, slow clients) so the sticky-vs-
-sprayed divergence is part of the tracked trajectory.
+sprayed divergence is part of the tracked trajectory, and two
+``chaos_*`` cells run the 4-shard fleet under a seeded shard crash and
+a hung async shard (PR 10) so availability under failure is tracked —
+and floored at 99% — alongside throughput.
 
 Every number is *simulated* (cycles, simulated seconds) — fully
 deterministic — so ``check_regression.py`` catches any cost-model,
@@ -32,7 +35,7 @@ import pathlib
 
 import pytest
 
-from repro.cluster import Cluster
+from repro.cluster import ChaosPlan, Cluster, ShardFault
 
 from benchmarks.conftest import save_report
 
@@ -61,6 +64,9 @@ SESSION_MISS_CYCLES = 80_000
 SESSION_CLIENT_CYCLES = 120_000
 
 #: Same-run floors, also embedded in the JSON for check_regression.py.
+#: The availability floors are the PR 10 fault-tolerance contract: a
+#: seeded 1-of-4 shard crash (and a hung async shard) must still serve
+#: >= 99% of the requests through health-checked failover and retry.
 FLOORS = {
     "scaling_rps_4shards_none_b0": 3.0,
     "scaling_rps_4shards_lazypoline_b0": 3.0,
@@ -68,6 +74,8 @@ FLOORS = {
     "async_rps_ratio_lazypoline_4shards": 1.0,
     "session_sticky_p95_ratio": 1.0,
     "session_sticky_rps_ratio": 1.0,
+    "availability_crash_1of4": 0.99,
+    "availability_hang_async": 0.99,
 }
 
 
@@ -115,6 +123,22 @@ def _session_cell(policy: str) -> dict:
     return _summarize(report, 2, "lazypoline", "async")
 
 
+def _chaos_cell(batched, plan: ChaosPlan) -> dict:
+    """One fault-injected cell: the 4-shard fleet under a chaos plan."""
+    report = Cluster(shards=4, batched=batched, chaos=plan).serve(
+        requests=REQUESTS, warmup=WARMUP
+    )
+    row = _summarize(report, 4, None, batched)
+    av = report["availability"]
+    row["availability"] = {
+        key: av[key] for key in
+        ("completed", "failed", "success_rate", "rounds", "retries",
+         "failovers", "timeouts", "ring_timeouts", "shards_down",
+         "latency_p99_cycles_incl_failures")
+    }
+    return row
+
+
 def test_perf_cluster_scaling():
     rows = {}
     for shards in SHARDS:
@@ -124,6 +148,13 @@ def test_perf_cluster_scaling():
                 rows[key] = _cell(shards, tool, batched)
     for policy in ("round_robin", "least_conn", "consistent_hash"):
         rows[f"sessions_{policy}"] = _session_cell(policy)
+    rows["chaos_crash_1of4"] = _chaos_cell(False, ChaosPlan([
+        ShardFault(shard=2, kind="crash", at_request=8),
+    ]))
+    rows["chaos_hang_async"] = _chaos_cell("async", ChaosPlan([
+        ShardFault(shard=1, kind="hang", at_request=4,
+                   deadline_cycles=3_000_000),
+    ]))
 
     scaling = {}
     for tool in TOOLS:
@@ -156,6 +187,11 @@ def test_perf_cluster_scaling():
         / rows["sessions_round_robin"]["requests_per_sec"],
         4,
     )
+    # fault tolerance: success rate under a 1-of-4 crash / a hung shard
+    scaling["availability_crash_1of4"] = \
+        rows["chaos_crash_1of4"]["availability"]["success_rate"]
+    scaling["availability_hang_async"] = \
+        rows["chaos_hang_async"]["availability"]["success_rate"]
 
     result = {
         "schema": 1,
@@ -200,3 +236,10 @@ def test_perf_cluster_scaling():
     assert rows["sessions_consistent_hash"]["session_stats"][
         "migrations"] == 0
     assert rows["sessions_round_robin"]["session_stats"]["migrations"] > 0
+
+    # The chaos cells really failed over (the victim went down, requests
+    # moved) and the hung async shard really cancelled parked entries.
+    crash = rows["chaos_crash_1of4"]["availability"]
+    assert crash["shards_down"] == [2] and crash["failovers"] > 0
+    hang = rows["chaos_hang_async"]["availability"]
+    assert hang["shards_down"] == [1] and hang["ring_timeouts"] > 0

@@ -8,6 +8,14 @@ and the report merges throughput, latency percentiles and per-shard obs
 summaries.  See :mod:`repro.cluster.cluster` for the determinism
 contract.
 
+Fleet fault tolerance: a seeded :class:`ChaosPlan` injects per-shard
+crash/hang/degraded/hostile faults, a :class:`HealthModel` (up → suspect
+→ down, per-shard :class:`CircuitBreaker`) feeds the balancer's failover
+re-planning, and a :class:`RetryPolicy` drives capped-exponential-backoff
+retry rounds — the merged report gains an ``availability`` section.
+With no plan injected, reports are byte-identical to the fault-free
+cluster.
+
 Quickstart::
 
     from repro.cluster import Cluster
@@ -19,13 +27,21 @@ Quickstart::
 """
 
 from repro.cluster.balancer import POLICIES, LoadBalancer, fnv1a, session_of
+from repro.cluster.chaos import FAULT_KINDS, ChaosPlan, ShardFault
 from repro.cluster.cluster import Cluster
+from repro.cluster.health import CircuitBreaker, HealthModel, RetryPolicy
 from repro.cluster.shard import obs_summary, run_shard
 
 __all__ = [
+    "ChaosPlan",
+    "CircuitBreaker",
     "Cluster",
+    "FAULT_KINDS",
+    "HealthModel",
     "LoadBalancer",
     "POLICIES",
+    "RetryPolicy",
+    "ShardFault",
     "fnv1a",
     "obs_summary",
     "run_shard",

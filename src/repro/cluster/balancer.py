@@ -104,6 +104,9 @@ class LoadBalancer:
         self.assignments: list[int] = []
         #: per-assignment "hit"/"miss"/"migrate", or None outside sessions
         self.session_events: list[str | None] = []
+        #: shards currently excluded from routing (health model feed);
+        #: empty (the default) leaves every policy's behavior untouched
+        self._down: set[int] = set()
         self._tick = 0
         # sessions: shard currently holding each session's backend state
         self._session_home: dict[int, int] = {}
@@ -131,10 +134,14 @@ class LoadBalancer:
         the session's current home shard, and ``least_conn`` charges the
         miss penalty into its occupancy model.
         """
+        if len(self._down) >= self.shards:
+            raise RuntimeError("no live shard to route to")
         tick = self._tick
         self._tick = tick + 1
         if self.policy == "round_robin":
             shard = self._next
+            while shard in self._down:
+                shard = (shard + 1) % self.shards
             self._next = (shard + 1) % self.shards
         elif self.policy == "least_conn":
             shard = self._pick_least_conn(tick)
@@ -158,7 +165,8 @@ class LoadBalancer:
             while queue and queue[0] <= tick:
                 queue.pop(0)
         return min(
-            range(self.shards), key=lambda s: (len(self._in_flight[s]), s)
+            (s for s in range(self.shards) if s not in self._down),
+            key=lambda s: (len(self._in_flight[s]), s),
         )
 
     def _touch_session(self, session: int | None, shard: int) -> str | None:
@@ -175,7 +183,15 @@ class LoadBalancer:
         i = bisect_left(self._points, point)
         if i == len(self._points):
             i = 0
-        return self._ring[i][1]
+        if not self._down:
+            return self._ring[i][1]
+        # walk the ring clockwise to the first live shard — the classic
+        # consistent-hash failover: only keys homed on a dead shard move
+        for step in range(len(self._ring)):
+            shard = self._ring[(i + step) % len(self._ring)][1]
+            if shard not in self._down:
+                return shard
+        raise RuntimeError("no live shard to route to")
 
     # --------------------------------------------------------------- planning
     def plan(self, requests: int, *, sessions: int = 0) -> list[int]:
@@ -191,6 +207,34 @@ class LoadBalancer:
             sid = session_of(i, sessions) if sessions else None
             counts[self.assign(f"req-{i}", session=sid)] += 1
         return counts
+
+    # ---------------------------------------------------- failover re-planning
+    def set_down(self, down: set[int]) -> None:
+        """Exclude ``down`` shards from subsequent assignments (health
+        model feed).  An empty set restores the original behavior."""
+        if len(down) >= self.shards:
+            raise RuntimeError(
+                f"all {self.shards} shards down; nothing to route to"
+            )
+        self._down = set(down)
+
+    def replan(self, request_ids: list[int], *,
+               sessions: int = 0) -> list[tuple[int, int]]:
+        """Incrementally re-plan failed requests onto live shards.
+
+        ``request_ids`` are *original* request indices (so retried
+        requests keep their identity — and their session, which the
+        re-route classifies with the usual hit/miss/migrate accounting:
+        a session homed on a dead shard migrates).  Returns
+        ``(request_id, shard)`` pairs in id order; the assignments are
+        appended to :attr:`assignments`/:attr:`session_events` like any
+        other, so :meth:`session_stats` covers failover traffic too.
+        """
+        routed = []
+        for i in request_ids:
+            sid = session_of(i, sessions) if sessions else None
+            routed.append((i, self.assign(f"req-{i}", session=sid)))
+        return routed
 
     def miss_schedule(self, miss_cycles: int) -> list[list[int]]:
         """Per-shard surcharge lists aligned with each shard's request

@@ -1,0 +1,185 @@
+"""Seeded per-shard fault schedules for the fleet (chaos injection).
+
+A :class:`ChaosPlan` is the cluster-level analogue of a
+:class:`repro.faults.injector.FaultInjector` plan: a small, fully
+serializable schedule of per-shard faults, fixed *before* any shard
+boots, so fork-Pool and inline runs inject identically and the same
+``(plan, smp_seed)`` always reproduces the same merged report.
+
+Four fault kinds, each mapping onto machinery the simulator already has:
+
+``crash``
+    The shard dies after serving ``at_request`` measured requests
+    (``at_request=0`` means it never comes up).  Delivered by truncating
+    the shard's request budget — the run up to the crash is byte-identical
+    to an honest short run — and synthesizing a dead row for the
+    at-boot case.
+
+``hang``
+    The shard stops responding after ``at_request`` measured requests:
+    the wrk client partitions (stops sending, drops late data) and the
+    machine runs on under an absolute ``deadline_cycles`` run deadline.
+    On the async ring legs the shard's in-flight parked entries cancel
+    with ``-ETIMEDOUT`` (``Machine(ring_park_timeout=...)``) instead of
+    parking forever, so the run returns *within its deadline* rather
+    than stalling.
+
+``degraded``
+    A slow shard: every request pays ``slow_cycles`` of extra user-space
+    work (threaded through the existing ``request_extra_cycles``
+    schedule).  With a per-request deadline armed this is the
+    timeout-and-retry path.
+
+``hostile``
+    Attach-time hostile environment: the shard's machine boots with
+    ``mmap_min_addr`` raised, forcing the PR 5 graceful-degradation
+    ladder (FULL_HYBRID → SUD_ONLY) — visible in the merged report's
+    ``health_per_shard``.
+
+``ChaosPlan.seeded(seed, shards, requests)`` derives a plan from one
+integer with the harness's own :class:`repro.faults.rng.SplitMix64`, so
+``python -m repro.faults`` scenario sweeps can explore fleet faults the
+same way they explore schedules.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.faults.rng import SplitMix64
+
+FAULT_KINDS = ("crash", "hang", "degraded", "hostile")
+
+#: default absolute run deadline for a hung shard (cycles from boot)
+DEFAULT_SHARD_DEADLINE = 4_000_000
+#: default degraded-shard surcharge (cycles per request)
+DEFAULT_SLOW_CYCLES = 60_000
+#: default hostile mmap_min_addr (denies VA-0, forcing SUD_ONLY)
+DEFAULT_MMAP_MIN_ADDR = 4096
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """One scheduled fault on one shard (see module docstring)."""
+
+    shard: int
+    kind: str
+    #: crash/hang trigger: measured request index at which the fault hits
+    at_request: int = 0
+    #: degraded: per-request user-space surcharge (cycles)
+    slow_cycles: int = DEFAULT_SLOW_CYCLES
+    #: hang: absolute machine-run deadline (cycles from boot)
+    deadline_cycles: int = DEFAULT_SHARD_DEADLINE
+    #: hang: bounded-park deadline for ring waiters (default: deadline/2)
+    park_timeout_cycles: int | None = None
+    #: hostile: the raised mmap_min_addr
+    mmap_min_addr: int = DEFAULT_MMAP_MIN_ADDR
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {', '.join(FAULT_KINDS)}"
+            )
+        if self.shard < 0:
+            raise ValueError(f"negative shard {self.shard}")
+
+    def to_config(self) -> dict:
+        """The picklable/JSON slice delivered through a shard config."""
+        config = {"kind": self.kind}
+        if self.kind in ("crash", "hang"):
+            config["at_request"] = self.at_request
+        if self.kind == "hang":
+            config["deadline_cycles"] = self.deadline_cycles
+            config["park_timeout_cycles"] = (
+                self.park_timeout_cycles
+                if self.park_timeout_cycles is not None
+                else self.deadline_cycles // 2
+            )
+        if self.kind == "degraded":
+            config["slow_cycles"] = self.slow_cycles
+        if self.kind == "hostile":
+            config["mmap_min_addr"] = self.mmap_min_addr
+        return config
+
+
+class ChaosPlan:
+    """An immutable per-shard fault schedule (at most one fault per shard)."""
+
+    def __init__(self, faults: list[ShardFault] | tuple[ShardFault, ...] = ()):
+        seen: set[int] = set()
+        for fault in faults:
+            if fault.shard in seen:
+                raise ValueError(
+                    f"shard {fault.shard} scheduled twice; "
+                    "one fault per shard"
+                )
+            seen.add(fault.shard)
+        self.faults: tuple[ShardFault, ...] = tuple(faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def fault_for(self, shard: int) -> ShardFault | None:
+        for fault in self.faults:
+            if fault.shard == shard:
+                return fault
+        return None
+
+    # ------------------------------------------------------------- serialize
+    def to_json(self) -> str:
+        return json.dumps(
+            [
+                {
+                    "shard": f.shard, "kind": f.kind,
+                    "at_request": f.at_request,
+                    "slow_cycles": f.slow_cycles,
+                    "deadline_cycles": f.deadline_cycles,
+                    "park_timeout_cycles": f.park_timeout_cycles,
+                    "mmap_min_addr": f.mmap_min_addr,
+                }
+                for f in self.faults
+            ],
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        return cls([ShardFault(**row) for row in json.loads(text)])
+
+    # ----------------------------------------------------------------- seeded
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        shards: int,
+        requests: int,
+        faults: int = 1,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+    ) -> "ChaosPlan":
+        """Derive a plan from one integer seed (SplitMix64, replayable).
+
+        Picks ``faults`` distinct victim shards and one fault each; crash
+        and hang points land inside the shard's expected request share so
+        the fault actually fires mid-serve.
+        """
+        rng = SplitMix64(seed)
+        victims = rng.shuffle(list(range(shards)))[:max(0, faults)]
+        share = max(2, requests // max(1, shards))
+        scheduled = []
+        for shard in sorted(victims):
+            kind = kinds[rng.below(len(kinds))]
+            scheduled.append(
+                ShardFault(
+                    shard=shard,
+                    kind=kind,
+                    at_request=1 + rng.below(share - 1),
+                    slow_cycles=20_000 + rng.below(8) * 10_000,
+                )
+            )
+        return cls(scheduled)

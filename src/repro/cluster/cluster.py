@@ -19,17 +19,34 @@ request — so policies now diverge in throughput and latency, not just in
 per-shard counts.  ``sessions=0`` (default) reproduces the sessionless
 report byte-for-byte.
 
+Fleet fault tolerance (PR 10) rides the same machinery.  ``chaos=``
+takes a :class:`~repro.cluster.chaos.ChaosPlan` (seeded per-shard crash/
+hang/degraded/hostile faults, delivered through the shard configs so
+fork-Pool and inline runs inject identically); ``deadline_cycles=`` arms
+a per-request deadline.  When either is active, ``serve`` becomes a
+retry loop: round 0 serves the planned schedule, then failed requests
+(unserved on a crashed/hung shard, or served past their deadline) are
+re-planned over live shards by the health-checked balancer
+(:class:`~repro.cluster.health.HealthModel`: up → suspect → down,
+per-shard circuit breakers with deterministic cooldown ticks) under a
+capped-exponential-backoff :class:`~repro.cluster.health.RetryPolicy` —
+all seeded and replayable.  The merged report gains an ``availability``
+section (success rate, retries, failovers, p99 including failures).
+**With the fault layer inactive the report is byte-identical to the
+fault-free cluster** — the plain path below is untouched.
+
 Determinism is the design constraint, not an afterthought:
 
 * shard ``i`` seeds its machine with ``smp_seed + i`` — shard 0 of a
   1-shard cluster is *byte-identical* to a direct
-  ``run_workload("webserver", ...)`` call with the same seed;
+  ``run_workload("webserver", ...)`` call with the same seed (retry
+  round ``r`` re-seeds shard ``i`` with ``smp_seed + shards*r + i``);
 * the balancer plans the whole request schedule before any shard boots,
   so there is no cross-process ordering to race on;
 * every number in the report is simulated (cycles, simulated seconds,
   instruction counts) — host wall-clock and host scheduling never leak
-  into it, so the same ``(shards, smp_seed, policy)`` always produces
-  the same report.
+  into it, so the same ``(shards, smp_seed, policy, chaos)`` always
+  produces the same report.
 
 Aggregation: cluster rps is total measured requests over the *slowest*
 shard's measured window (shards run concurrently in simulated time; the
@@ -45,30 +62,43 @@ import multiprocessing
 import os
 
 from repro.cluster.balancer import POLICIES, LoadBalancer
+from repro.cluster.chaos import ChaosPlan
+from repro.cluster.health import DOWN, HealthModel, RetryPolicy
 from repro.cluster.shard import run_shard
+from repro.faults.rng import SplitMix64
 from repro.workloads.wrk import latency_percentiles
 
 
 def _merge_obs(per_shard: list[dict]) -> dict:
-    """Sum the aggregate counters; keep health per shard (modes don't add)."""
+    """Sum the aggregate counters; keep health per shard (modes don't add).
+
+    Tolerant of partial entries: a shard that died at boot reports
+    ``obs`` of ``None`` (its ``health_per_shard`` slot stays ``None``),
+    and missing counter keys default to 0 — summaries from older or
+    truncated shard rows still merge.
+    """
     counts: dict[str, int] = {}
     interposition: dict[str, int] = {}
     totals = {"ring_enters": 0, "ring_entries": 0, "ring_parks": 0,
-              "ring_completes": 0, "slowpath_total": 0,
+              "ring_completes": 0, "ring_timeouts": 0, "slowpath_total": 0,
               "rewritten_sites": 0, "dropped_events": 0}
     for shard in per_shard:
-        obs = shard["obs"]
-        for kind, n in obs["counts"].items():
+        obs = shard.get("obs")
+        if obs is None:
+            continue
+        for kind, n in obs.get("counts", {}).items():
             counts[kind] = counts.get(kind, 0) + n
-        for name, n in obs["interposition_counts"].items():
+        for name, n in obs.get("interposition_counts", {}).items():
             interposition[name] = interposition.get(name, 0) + n
         for key in totals:
-            totals[key] += obs[key]
+            totals[key] += obs.get(key, 0)
     return {
         "counts": counts,
         "interposition_counts": interposition,
         **totals,
-        "health_per_shard": [s["obs"]["health"] for s in per_shard],
+        "health_per_shard": [
+            s["obs"]["health"] if s.get("obs") else None for s in per_shard
+        ],
     }
 
 
@@ -91,6 +121,11 @@ class Cluster:
         processes: bool | None = None,
         tool_opts: dict | None = None,
         machine_opts: dict | None = None,
+        chaos: ChaosPlan | list | None = None,
+        deadline_cycles: int | None = None,
+        retry: RetryPolicy | None = None,
+        health_opts: dict | None = None,
+        tracer=None,
     ):
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -114,6 +149,30 @@ class Cluster:
         self.last_balancer: LoadBalancer | None = None
         self.tool_opts = tool_opts
         self.machine_opts = machine_opts
+        # ---------------------------------------------- fault layer (PR 10)
+        if chaos is not None and not isinstance(chaos, ChaosPlan):
+            chaos = ChaosPlan(list(chaos))
+        if chaos is not None:
+            for fault in chaos:
+                if fault.shard >= shards:
+                    raise ValueError(
+                        f"fault targets shard {fault.shard} of a "
+                        f"{shards}-shard cluster"
+                    )
+        self.chaos = chaos
+        self.deadline_cycles = deadline_cycles
+        self.retry = retry
+        self.health_opts = health_opts
+        self.tracer = tracer
+        #: the health model behind the most recent faulted serve
+        self.last_health: HealthModel | None = None
+
+    def _fault_active(self) -> bool:
+        """Whether serve() must take the retry-loop path.  A present but
+        empty plan (and a configured RetryPolicy alone) keeps the plain
+        path — and its byte-identical report."""
+        return bool(self.chaos is not None and len(self.chaos)) or \
+            self.deadline_cycles is not None
 
     # ------------------------------------------------------------------ plan
     def shard_configs(
@@ -125,7 +184,11 @@ class Cluster:
         client_cycles_per_request: int = 0,
     ) -> list[dict]:
         """Plan the run: balance ``requests`` and build one picklable
-        config per shard (shard ``i`` gets seed ``smp_seed + i``)."""
+        config per shard (shard ``i`` gets seed ``smp_seed + i``).
+
+        A scheduled :class:`~repro.cluster.chaos.ShardFault` rides its
+        shard's config as ``config["chaos"]`` — the only delivery path,
+        so fork-Pool and inline runs inject identically."""
         balancer = LoadBalancer(self.shards, self.policy)
         counts = balancer.plan(requests, sessions=self.sessions)
         self.last_balancer = balancer
@@ -162,6 +225,10 @@ class Cluster:
                 config["tool_opts"] = self.tool_opts
             if self.machine_opts is not None:
                 config["machine_opts"] = self.machine_opts
+            if self.chaos is not None:
+                fault = self.chaos.fault_for(index)
+                if fault is not None:
+                    config["chaos"] = fault.to_config()
             configs.append(config)
         return configs
 
@@ -193,8 +260,18 @@ class Cluster:
 
         ``warmup`` and ``connections`` are per shard (each shard runs its
         own wrk client); ``requests`` is the cluster-wide total the
-        balancer splits.
+        balancer splits.  With the fault layer active (a non-empty chaos
+        plan or a per-request deadline) this becomes the health-checked
+        failover/retry loop; otherwise it is the original single-round
+        serve, report byte-identical to the fault-free cluster.
         """
+        if self._fault_active():
+            return self._serve_faulted(
+                requests,
+                warmup=warmup,
+                connections=connections,
+                client_cycles_per_request=client_cycles_per_request,
+            )
         configs = self.shard_configs(
             requests,
             warmup=warmup,
@@ -247,3 +324,325 @@ class Cluster:
             "obs": _merge_obs(per_shard),
             "results": rows,
         }
+
+    # ------------------------------------------------------ faulted serving
+    def _serve_faulted(
+        self,
+        requests: int,
+        *,
+        warmup: int,
+        connections: int | None,
+        client_cycles_per_request: int,
+    ) -> dict:
+        """The chaos path: round 0 + health-checked failover/retry rounds."""
+        from repro.cpu.costs import CostModel
+
+        freq = CostModel().frequency_hz
+        deadline = self.deadline_cycles
+        retry = self.retry if self.retry is not None else RetryPolicy()
+        jitter_rng = SplitMix64(self.smp_seed ^ 0xC11A05F417)
+        health = self.last_health = HealthModel(
+            self.shards, tracer=self.tracer, **(self.health_opts or {})
+        )
+
+        configs = self.shard_configs(
+            requests,
+            warmup=warmup,
+            connections=connections,
+            client_cycles_per_request=client_cycles_per_request,
+        )
+        balancer = self.last_balancer
+        assigned: list[list[int]] = [[] for _ in range(self.shards)]
+        for rid, shard in enumerate(balancer.assignments):
+            assigned[shard].append(rid)
+
+        per_shard = sorted(self._run_shards(configs), key=lambda s: s["shard"])
+
+        # per-request outcome state, across rounds
+        success: dict[int, int] = {}  # rid -> client-perceived latency
+        penalty: dict[int, int] = {}  # rid -> accumulated backoff cycles
+        duplicate_serves = 0
+        timeout_count = 0
+
+        def evaluate(entries: list[dict], id_lists: dict[int, list[int]],
+                     round_: int, ts: int) -> list[tuple[int, int]]:
+            """Fold one round's shard rows into outcomes + heartbeats;
+            returns the failed ``(rid, from_shard)`` pairs."""
+            nonlocal duplicate_serves, timeout_count
+            failed: list[tuple[int, int]] = []
+            for entry in entries:
+                shard = entry["shard"]
+                ids = id_lists[shard]
+                result = entry["result"]
+                info = entry.get("chaos")
+                if result is None:
+                    served = 0
+                    status = "dead"
+                    samples = []
+                else:
+                    served = result.get("served", result["requests"])
+                    status = info["status"] if info else "ok"
+                    samples = result["latency_samples_cycles"]
+                timeouts = 0
+                for j, rid in enumerate(ids[:served]):
+                    latency = samples[j] if j < len(samples) else 0
+                    if deadline is not None and latency > deadline:
+                        timeouts += 1
+                        failed.append((rid, shard))
+                        continue
+                    if rid in success:
+                        duplicate_serves += 1
+                        continue
+                    success[rid] = latency + penalty.get(rid, 0)
+                for rid in ids[served:]:
+                    failed.append((rid, shard))
+                timeout_count += timeouts
+                health.observe(
+                    shard,
+                    {"status": status, "assigned": len(ids),
+                     "served": served, "timeouts": timeouts},
+                    round_=round_, ts=ts,
+                )
+            return failed
+
+        def window_cycles(entries: list[dict]) -> int:
+            rows = [e["result"] for e in entries if e["result"] is not None]
+            if not rows:
+                return 0
+            return int(max(r["measured_seconds"] for r in rows) * freq)
+
+        clock = window_cycles(per_shard)
+        failed = evaluate(per_shard, {s: assigned[s] for s in
+                                      range(self.shards)}, 0, clock)
+
+        all_entries = list(per_shard)
+        backoffs: list[int] = []
+        retry_rounds: list[dict] = []
+        failover_count = 0
+        total_retried = 0
+        rounds_run = 1
+
+        for attempt in range(1, retry.max_attempts):
+            if not failed:
+                break
+            health.begin_round(attempt, ts=clock)
+            routable = set(health.routable())
+            if not routable:
+                break
+            backoff = retry.backoff(attempt, jitter_rng)
+            backoffs.append(backoff)
+            clock += backoff
+            failed.sort()
+            origin = dict(failed)
+            ids = [rid for rid, _ in failed]
+            for rid in ids:
+                penalty[rid] = penalty.get(rid, 0) + backoff
+            balancer.set_down(set(range(self.shards)) - routable)
+            routed, events = self._route(ids)
+            routed = self._trim_probes(routed, health, routable)
+            event_of = dict(zip(ids, events))
+            per_target: dict[int, list[int]] = {}
+            for rid, target in routed:
+                per_target.setdefault(target, []).append(rid)
+                if target != origin[rid]:
+                    failover_count += 1
+            if self.tracer is not None:
+                pairs: dict[tuple[int, int], int] = {}
+                for rid, target in routed:
+                    key = (origin[rid], target)
+                    pairs[key] = pairs.get(key, 0) + 1
+                for (src, dst), n in sorted(pairs.items()):
+                    self.tracer.failover(clock, src, dst, n, round_=attempt)
+                self.tracer.retry(clock, attempt, len(routed), backoff)
+            total_retried += len(routed)
+
+            retry_configs = []
+            for target in sorted(per_target):
+                retry_configs.append(self._retry_config(
+                    target, per_target[target], attempt,
+                    warmup=warmup, connections=connections,
+                    client_cycles_per_request=client_cycles_per_request,
+                    event_of=event_of,
+                ))
+            entries = sorted(self._run_shards(retry_configs),
+                             key=lambda s: s["shard"])
+            all_entries.extend(entries)
+            clock += window_cycles(entries)
+            failed = evaluate(entries, per_target, attempt, clock)
+            retry_rounds.append({
+                "round": attempt,
+                "backoff_cycles": backoff,
+                "requests": len(routed),
+                "per_shard": {str(s): len(per_target[s])
+                              for s in sorted(per_target)},
+                "failed_after": len(failed),
+            })
+            rounds_run += 1
+
+        # ----------------------------------------------------------- report
+        rows = [s["result"] for s in per_shard]
+        live_rows = [r for r in rows if r is not None]
+        completed = len(success)
+        final_failed = sorted(rid for rid, _ in failed)
+        ok_samples = sorted(success.values())
+        pct = latency_percentiles(ok_samples)
+        fail_latency = deadline if deadline is not None else \
+            max((f.deadline_cycles for f in (self.chaos or ())),
+                default=4_000_000)
+        pct_incl = latency_percentiles(
+            ok_samples + [fail_latency] * len(final_failed)
+        )
+        measured_seconds = clock / freq if freq else 0.0
+        obs = _merge_obs(all_entries)
+        obs["health_per_shard"] = [
+            s["obs"]["health"] if s.get("obs") else None for s in per_shard
+        ]
+
+        session_keys = {}
+        if self.sessions:
+            session_keys = {
+                "sessions": self.sessions,
+                "session_miss_cycles": self.session_miss_cycles,
+                "session_stats": balancer.session_stats(),
+            }
+        availability = {
+            "requests": requests,
+            "completed": completed,
+            "failed": len(final_failed),
+            "failed_ids": final_failed,
+            "duplicate_serves": duplicate_serves,
+            "success_rate": round(completed / requests, 6) if requests
+            else 1.0,
+            "rounds": rounds_run,
+            "retries": total_retried,
+            "failovers": failover_count,
+            "timeouts": timeout_count,
+            "ring_timeouts": obs["ring_timeouts"],
+            "backoff_cycles": backoffs,
+            "retry_rounds": retry_rounds,
+            "shards_down": [s for s in range(self.shards)
+                            if health.states[s] == DOWN],
+            "health": health.snapshot(),
+            "latency_p99_cycles_incl_failures": pct_incl["p99"],
+        }
+        return {
+            "workload": "cluster-webserver",
+            "shards": self.shards,
+            "policy": self.policy,
+            "tool": self.tool,
+            "batched": self.batched,
+            "cores": self.cores,
+            "smp_seed": self.smp_seed,
+            "server": self.server,
+            "file_size": self.file_size,
+            "requests_total": completed,
+            "requests_per_shard": [r["requests"] if r else 0 for r in rows],
+            "warmup_per_shard": warmup,
+            "requests_per_sec": (
+                completed / measured_seconds if measured_seconds else 0.0
+            ),
+            "measured_seconds": measured_seconds,
+            "latency_p50_cycles": pct["p50"],
+            "latency_p95_cycles": pct["p95"],
+            "latency_p99_cycles": pct["p99"],
+            "guest_mips_per_shard": [
+                r["guest_mips"] if r else 0.0 for r in rows
+            ],
+            "guest_mips_total": sum(
+                r["guest_mips"] for r in live_rows
+            ),
+            **session_keys,
+            "chaos": {
+                "plan": [f.to_config() | {"shard": f.shard}
+                         for f in (self.chaos or ())],
+                "deadline_cycles": deadline,
+                "retry": {
+                    "max_attempts": retry.max_attempts,
+                    "backoff_base_cycles": retry.backoff_base_cycles,
+                    "backoff_cap_cycles": retry.backoff_cap_cycles,
+                },
+            },
+            "availability": availability,
+            "obs": obs,
+            "results": rows,
+        }
+
+    # ------------------------------------------------------- faulted helpers
+    def _route(self, ids: list[int]) -> tuple[list[tuple[int, int]], list]:
+        """Replan ``ids`` on the live balancer; returns the routed pairs
+        and the aligned session events."""
+        balancer = self.last_balancer
+        start = len(balancer.session_events)
+        routed = balancer.replan(ids, sessions=self.sessions)
+        return routed, balancer.session_events[start:]
+
+    def _trim_probes(self, routed: list[tuple[int, int]],
+                     health: HealthModel,
+                     routable: set[int]) -> list[tuple[int, int]]:
+        """Cap half-open shards at their probe quota; overflow re-routes
+        to fully-live shards (or stays put when only probes are live)."""
+        quotas = {s: health.probe_quota(s) for s in routable}
+        if not any(q is not None for q in quotas.values()):
+            return routed
+        kept: list[tuple[int, int]] = []
+        counts: dict[int, int] = {}
+        overflow: list[int] = []
+        for rid, target in routed:
+            quota = quotas.get(target)
+            if quota is not None and counts.get(target, 0) >= quota:
+                overflow.append(rid)
+                continue
+            counts[target] = counts.get(target, 0) + 1
+            kept.append((rid, target))
+        if overflow:
+            probing = {s for s, q in quotas.items() if q is not None}
+            steady = routable - probing
+            if steady:
+                balancer = self.last_balancer
+                balancer.set_down(set(range(self.shards)) - steady)
+                kept.extend(balancer.replan(overflow,
+                                            sessions=self.sessions))
+                balancer.set_down(set(range(self.shards)) - routable)
+            else:  # only probes are live: quota yields to availability
+                for rid, target in routed:
+                    if rid in overflow:
+                        kept.append((rid, target))
+        return sorted(kept)
+
+    def _retry_config(self, shard: int, ids: list[int], round_: int, *,
+                      warmup: int, connections: int | None,
+                      client_cycles_per_request: int,
+                      event_of: dict) -> dict:
+        """One retry-round shard config: fresh machine, round-distinct
+        seed, persistent (degraded/hostile) chaos re-applied — one-shot
+        faults (crash/hang) do not repeat, which is what a half-open
+        probe restart means."""
+        config = {
+            "shard": shard,
+            "smp_seed": self.smp_seed + self.shards * round_ + shard,
+            "workload": "webserver",
+            "server": self.server,
+            "tool": self.tool,
+            "cores": self.cores,
+            "batched": self.batched,
+            "file_size": self.file_size,
+            "requests": len(ids),
+            "warmup": warmup,
+            "connections": connections,
+            "client_cycles_per_request": client_cycles_per_request,
+        }
+        if self.sessions:
+            config["request_extra_cycles"] = [
+                self.session_miss_cycles
+                if event_of.get(rid) in ("miss", "migrate") else 0
+                for rid in ids
+            ]
+        if self.tool_opts is not None:
+            config["tool_opts"] = self.tool_opts
+        if self.machine_opts is not None:
+            config["machine_opts"] = self.machine_opts
+        if self.chaos is not None:
+            fault = self.chaos.fault_for(shard)
+            if fault is not None and fault.kind in ("degraded", "hostile"):
+                config["chaos"] = fault.to_config()
+        return config

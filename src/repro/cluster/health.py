@@ -1,0 +1,212 @@
+"""Deterministic shard health, circuit breaking and retry backoff.
+
+The fleet's control plane, built like everything else here as pure
+functions of the inputs — no wall clock, no randomness outside the
+seeded jitter — so a chaos run replays byte-identically.
+
+* :class:`HealthModel` — per-shard ``up -> suspect -> down`` state fed by
+  shard *heartbeats*: the progress counters and obs ``health()`` summary
+  each shard worker already reports.  A hard failure (crash, hang, dead
+  at boot) downs the shard immediately; a soft one (timed-out requests
+  above ``suspect_fraction``) demotes it to ``suspect`` first and downs
+  it only on a second bad round; a clean round recovers ``suspect`` back
+  to ``up``.
+
+* :class:`CircuitBreaker` — per-shard ``closed -> open -> half_open``
+  gate with deterministic cooldown ticks: downing a shard opens its
+  breaker; after ``cooldown_rounds`` retry rounds the breaker half-opens
+  and the balancer may send it a bounded probe (``probe_requests``); a
+  clean probe closes the breaker and the shard rejoins the fleet, a
+  failed one re-opens it.
+
+* :class:`RetryPolicy` — capped exponential backoff between retry
+  rounds (``base * 2^(round-1)`` up to ``cap``), plus optional seeded
+  SplitMix64 jitter, all in simulated cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.rng import SplitMix64
+
+UP = "up"
+SUSPECT = "suspect"
+DOWN = "down"
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: heartbeat statuses that down a shard outright
+HARD_FAILURES = ("crashed", "hung", "dead")
+
+
+class CircuitBreaker:
+    """closed -> open -> half_open -> closed, ticked once per retry round."""
+
+    def __init__(self, *, cooldown_rounds: int = 1, probe_requests: int = 2):
+        self.state = CLOSED
+        self.cooldown_rounds = cooldown_rounds
+        self.probe_requests = probe_requests
+        self.opened_round: int | None = None
+
+    def trip(self, round_: int) -> bool:
+        """Open the breaker; returns True on a state change."""
+        changed = self.state != OPEN
+        self.state = OPEN
+        self.opened_round = round_
+        return changed
+
+    def tick(self, round_: int) -> bool:
+        """Cooldown tick at the top of a retry round; True when the
+        breaker half-opens."""
+        if (self.state == OPEN
+                and round_ - self.opened_round > self.cooldown_rounds):
+            self.state = HALF_OPEN
+            return True
+        return False
+
+    def succeed(self) -> bool:
+        """A clean probe round closes a half-open breaker."""
+        if self.state == HALF_OPEN:
+            self.state = CLOSED
+            self.opened_round = None
+            return True
+        return False
+
+
+class HealthModel:
+    """Per-shard health states + breakers, fed by round heartbeats."""
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        suspect_fraction: float = 0.25,
+        cooldown_rounds: int = 1,
+        probe_requests: int = 2,
+        tracer=None,
+    ):
+        self.shards = shards
+        self.states = [UP] * shards
+        self.suspect_fraction = suspect_fraction
+        self.breakers = [
+            CircuitBreaker(
+                cooldown_rounds=cooldown_rounds,
+                probe_requests=probe_requests,
+            )
+            for _ in range(shards)
+        ]
+        self.tracer = tracer
+        #: (round, shard, transition) log — the deterministic audit trail
+        self.log: list[dict] = []
+
+    # ---------------------------------------------------------------- feeding
+    def observe(self, shard: int, heartbeat: dict, *, round_: int,
+                ts: int = 0) -> None:
+        """Fold one shard heartbeat into the model.
+
+        ``heartbeat``: ``{"status": "ok"|"crashed"|"hung"|"dead",
+        "assigned": n, "served": n, "timeouts": n}``.
+        """
+        status = heartbeat.get("status", "ok")
+        assigned = heartbeat.get("assigned", 0)
+        timeouts = heartbeat.get("timeouts", 0)
+        state = self.states[shard]
+        if status in HARD_FAILURES:
+            self._down(shard, status, round_=round_, ts=ts)
+            return
+        soft_bad = assigned and timeouts / assigned >= self.suspect_fraction
+        if soft_bad:
+            if state == UP:
+                self._transition(shard, SUSPECT, "timeouts",
+                                 round_=round_, ts=ts)
+            elif state == SUSPECT:
+                self._down(shard, "timeouts", round_=round_, ts=ts)
+            return
+        # clean heartbeat: recover
+        if state == SUSPECT:
+            self._transition(shard, UP, "recovered", round_=round_, ts=ts)
+        elif state == DOWN and self.breakers[shard].state == HALF_OPEN:
+            self._transition(shard, UP, "probe_ok", round_=round_, ts=ts)
+            if self.breakers[shard].succeed():
+                self._breaker_event(shard, HALF_OPEN, CLOSED,
+                                    round_=round_, ts=ts)
+
+    def begin_round(self, round_: int, *, ts: int = 0) -> None:
+        """Cooldown tick: open breakers may half-open for a probe."""
+        for shard, breaker in enumerate(self.breakers):
+            if breaker.tick(round_):
+                self._breaker_event(shard, OPEN, HALF_OPEN,
+                                    round_=round_, ts=ts)
+
+    # ---------------------------------------------------------------- routing
+    def routable(self) -> list[int]:
+        """Shards the balancer may send requests to this round: every
+        non-down shard, plus down shards whose breaker is half-open
+        (bounded probes)."""
+        return [
+            s for s in range(self.shards)
+            if self.states[s] != DOWN or self.breakers[s].state == HALF_OPEN
+        ]
+
+    def probe_quota(self, shard: int) -> int | None:
+        """Max probe requests for a half-open down shard (None: unlimited)."""
+        if (self.states[shard] == DOWN
+                and self.breakers[shard].state == HALF_OPEN):
+            return self.breakers[shard].probe_requests
+        return None
+
+    def snapshot(self) -> dict:
+        return {
+            "states": list(self.states),
+            "breakers": [b.state for b in self.breakers],
+            "log": [dict(entry) for entry in self.log],
+        }
+
+    # --------------------------------------------------------------- internal
+    def _down(self, shard: int, reason: str, *, round_: int, ts: int) -> None:
+        if self.states[shard] != DOWN:
+            self._transition(shard, DOWN, reason, round_=round_, ts=ts)
+            if self.tracer is not None:
+                self.tracer.shard_down(ts, shard, reason, round_=round_)
+        if self.breakers[shard].trip(round_):
+            self._breaker_event(
+                shard, CLOSED, OPEN, round_=round_, ts=ts)
+
+    def _transition(self, shard: int, new: str, reason: str, *,
+                    round_: int, ts: int) -> None:
+        old = self.states[shard]
+        self.states[shard] = new
+        self.log.append({"round": round_, "shard": shard, "kind": "health",
+                         "old": old, "new": new, "reason": reason})
+
+    def _breaker_event(self, shard: int, old: str, new: str, *,
+                       round_: int, ts: int) -> None:
+        self.log.append({"round": round_, "shard": shard, "kind": "breaker",
+                         "old": old, "new": new})
+        if self.tracer is not None:
+            self.tracer.breaker(ts, shard, old, new, round_=round_)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff between retry rounds (cycles)."""
+
+    #: total rounds including the initial serve
+    max_attempts: int = 4
+    backoff_base_cycles: int = 200_000
+    backoff_cap_cycles: int = 1_600_000
+    #: seeded jitter amplitude added to each round's backoff (0: none)
+    jitter_cycles: int = 0
+
+    def backoff(self, round_: int, rng: SplitMix64 | None = None) -> int:
+        """Backoff before retry round ``round_`` (1-based)."""
+        cycles = min(
+            self.backoff_base_cycles << (round_ - 1),
+            self.backoff_cap_cycles,
+        )
+        if self.jitter_cycles and rng is not None:
+            cycles += rng.below(self.jitter_cycles)
+        return cycles

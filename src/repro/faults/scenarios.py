@@ -1113,6 +1113,197 @@ def uring_async(
     )
 
 
+# ------------------------------------------------------ fleet chaos (PR 10)
+def _cluster_report_digest(report: dict) -> str:
+    """Byte-stable digest of a merged cluster report.
+
+    Tier-independent on purpose: the superblock contract is identical
+    *cycles*, not identical compile-activity counters, so the obs
+    ``block_compile``/``block_invalidate`` counts (and the
+    ``dropped_events`` overflow they can shift) are excluded — the
+    corpus replays must digest the same with tiering on or off.
+    """
+    import json as _json
+
+    clone = _json.loads(_json.dumps(report))
+    obs = clone.get("obs") or {}
+    for kind in ("block_compile", "block_invalidate"):
+        obs.get("counts", {}).pop(kind, None)
+    obs.pop("dropped_events", None)
+    return hashlib.sha256(
+        _json.dumps(clone, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def _run_chaos_cluster(shards: int, plan, *, tool, batched, requests,
+                       deadline_cycles=None):
+    from repro.cluster import Cluster
+
+    return Cluster(
+        shards=shards, tool=tool, batched=batched, processes=False,
+        chaos=plan, deadline_cycles=deadline_cycles,
+    ).serve(requests=requests, warmup=4)
+
+
+def _chaos_problems(report: dict, *, requests: int,
+                    expect_down: list[int]) -> list[str]:
+    """The fleet invariants every chaos scenario asserts: 100 % of the
+    requests complete via failover/retry, none is lost or duplicated,
+    and exactly the faulted shards are marked down."""
+    av = report["availability"]
+    problems = []
+    if av["completed"] != requests:
+        problems.append(
+            f"completed {av['completed']}/{requests} "
+            f"(lost ids: {av['failed_ids']})"
+        )
+    if av["duplicate_serves"]:
+        problems.append(f"{av['duplicate_serves']} duplicated serves")
+    if av["shards_down"] != expect_down:
+        problems.append(
+            f"shards_down={av['shards_down']}, expected {expect_down}"
+        )
+    return problems
+
+
+def shard_crash(
+    seed: int,
+    *,
+    perturb_order: bool = True,
+    perturb_quantum: bool = True,
+) -> ScenarioResult:
+    """A seeded shard crash mid-serve: failover completes every request.
+
+    One shard of a 2- or 4-shard cluster (seed-picked, occasionally under
+    lazypoline) crashes after a seed-picked request; the health model
+    downs it, its breaker opens, and the balancer re-plans the stranded
+    requests over the live shards.  Invariants: 100 % completion, no
+    lost or duplicated request id, exactly the victim down — and the
+    whole merged report byte-identical across two runs of the same seed.
+    (The schedule-perturbation variants don't apply at the fleet layer;
+    they are accepted for CLI compatibility.)
+    """
+    from repro.cluster import ChaosPlan, ShardFault
+
+    shards = 4 if seed % 2 else 2
+    tool = "lazypoline" if seed % 8 == 0 else None
+    victim = (seed // 2) % shards
+    at = 1 + (seed // 3) % 4
+    requests = 12 * shards
+    plan = ChaosPlan([ShardFault(shard=victim, kind="crash", at_request=at)])
+    first = _run_chaos_cluster(shards, plan, tool=tool, batched=False,
+                               requests=requests)
+    second = _run_chaos_cluster(shards, plan, tool=tool, batched=False,
+                                requests=requests)
+    problems = _chaos_problems(first, requests=requests,
+                               expect_down=[victim])
+    d1, d2 = _cluster_report_digest(first), _cluster_report_digest(second)
+    if d1 != d2:
+        problems.append("same seed, different report (non-deterministic)")
+    return ScenarioResult(
+        scenario="shard_crash",
+        seed=seed,
+        ok=not problems,
+        detail="; ".join(problems),
+        digests={"report": d1, "replay": d2},
+        covered=(shards, tool or "none", victim, at),
+    )
+
+
+def shard_hang(
+    seed: int,
+    *,
+    perturb_order: bool = True,
+    perturb_quantum: bool = True,
+) -> ScenarioResult:
+    """A hung shard must return within its deadline, not stall the fleet.
+
+    One shard stops responding mid-serve; the run is bounded by the
+    shard deadline, and on the async ring leg (every other seed) the
+    shard's in-flight parked entries cancel with ``-ETIMEDOUT`` instead
+    of parking forever — asserted via the merged ``ring_timeouts``
+    counter.  Same fleet invariants and same-seed byte-identity as
+    :func:`shard_crash`.
+    """
+    from repro.cluster import ChaosPlan, ShardFault
+
+    shards = 2
+    batched = "async" if seed % 2 else False
+    victim = (seed // 2) % shards
+    at = 1 + (seed // 3) % 3
+    requests = 24
+    plan = ChaosPlan([ShardFault(
+        shard=victim, kind="hang", at_request=at,
+        deadline_cycles=3_000_000,
+    )])
+    first = _run_chaos_cluster(shards, plan, tool=None, batched=batched,
+                               requests=requests)
+    second = _run_chaos_cluster(shards, plan, tool=None, batched=batched,
+                                requests=requests)
+    problems = _chaos_problems(first, requests=requests,
+                               expect_down=[victim])
+    if batched == "async" and not first["availability"]["ring_timeouts"]:
+        problems.append("async hang produced no -ETIMEDOUT ring completion")
+    d1, d2 = _cluster_report_digest(first), _cluster_report_digest(second)
+    if d1 != d2:
+        problems.append("same seed, different report (non-deterministic)")
+    return ScenarioResult(
+        scenario="shard_hang",
+        seed=seed,
+        ok=not problems,
+        detail="; ".join(problems),
+        digests={"report": d1, "replay": d2},
+        covered=(batched if batched else "direct", victim, at),
+    )
+
+
+def shard_degraded(
+    seed: int,
+    *,
+    perturb_order: bool = True,
+    perturb_quantum: bool = True,
+) -> ScenarioResult:
+    """A slow shard blows per-request deadlines: suspect → down → retry.
+
+    One shard pays a seed-picked surcharge on every request, pushing it
+    past the cluster's per-request deadline; the health model demotes it
+    (up → suspect → down over two bad rounds) and the backoff retries
+    land the requests on the fast shard.  Same fleet invariants and
+    same-seed byte-identity as :func:`shard_crash`.
+    """
+    from repro.cluster import ChaosPlan, ShardFault
+
+    shards = 2
+    victim = seed % shards
+    slow = 260_000 + (seed % 4) * 40_000
+    requests = 24
+    plan = ChaosPlan([ShardFault(
+        shard=victim, kind="degraded", slow_cycles=slow,
+    )])
+    first = _run_chaos_cluster(shards, plan, tool=None, batched=False,
+                               requests=requests, deadline_cycles=250_000)
+    second = _run_chaos_cluster(shards, plan, tool=None, batched=False,
+                                requests=requests, deadline_cycles=250_000)
+    av = first["availability"]
+    problems = _chaos_problems(first, requests=requests,
+                               expect_down=[victim])
+    if not av["timeouts"]:
+        problems.append("degraded shard never blew a per-request deadline")
+    if not av["retries"]:
+        problems.append("timeouts never produced a retry round")
+    d1, d2 = _cluster_report_digest(first), _cluster_report_digest(second)
+    if d1 != d2:
+        problems.append("same seed, different report (non-deterministic)")
+    return ScenarioResult(
+        scenario="shard_degraded",
+        seed=seed,
+        ok=not problems,
+        detail="; ".join(problems),
+        digests={"report": d1, "replay": d2},
+        covered=(victim, slow),
+    )
+
+
 SCENARIOS = {
     "rewrite_window": rewrite_window,
     "differential": differential,
@@ -1124,4 +1315,7 @@ SCENARIOS = {
     "signal_depth": signal_depth,
     "uring_signal": uring_signal,
     "uring_async": uring_async,
+    "shard_crash": shard_crash,
+    "shard_hang": shard_hang,
+    "shard_degraded": shard_degraded,
 }

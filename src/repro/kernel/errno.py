@@ -30,6 +30,7 @@ EWOULDBLOCK = EAGAIN
 ENOTSOCK = 88
 EOPNOTSUPP = 95
 EADDRINUSE = 98
+ETIMEDOUT = 110
 ECONNREFUSED = 111
 EINPROGRESS = 115
 ECANCELED = 125

@@ -163,6 +163,12 @@ class Kernel:
         #: See :class:`repro.faults.injector.FaultInjector`.
         self.fault_injector = None
 
+        #: deadline (cycles) for async-parked ring entries, or None for
+        #: unbounded parks.  When set, a :class:`RingWaiter` that stays
+        #: parked this long completes with ``-ETIMEDOUT`` instead of
+        #: waiting forever (the fleet hang-recovery path; PR 10).
+        self.ring_park_timeout: int | None = None
+
         #: optional global syscall trace: (tid, sysno, args, ret)
         self.trace_syscalls = False
         self.syscall_log: list[tuple[int, int, tuple[int, ...], int | None]] = []

@@ -71,6 +71,7 @@ class Machine:
         cores: int = 1,
         smp_seed: int = 0,
         mmap_min_addr: int = 0,
+        ring_park_timeout: int | None = None,
     ):
         self.costs = costs or CostModel()
         self.kernel = Kernel(
@@ -79,6 +80,7 @@ class Machine:
             superblocks=superblocks,
         )
         self.kernel.mmap_min_addr = mmap_min_addr
+        self.kernel.ring_park_timeout = ring_park_timeout
         self.scheduler = Scheduler(
             self.kernel, quantum=quantum, policy=policy,
             cores=cores, smp_seed=smp_seed,

@@ -257,10 +257,19 @@ def _link_deps(task, ring: int, raw_args) -> set:
 def _park_entry(kernel, task, *, ring, slot, index, sysno, raw_args,
                 user_data, cq_base, capacity, deps, args=None,
                 ready=None) -> None:
+    deadline = None
+    if kernel.ring_park_timeout is not None:
+        # Bounded park: arm an absolute deadline and post a (no-op) timer
+        # event at it so a wholly idle machine still advances simulated
+        # time to the deadline; the expiry itself is observed by
+        # complete_ring_waiters at the next drive point.
+        deadline = kernel.clock + kernel.ring_park_timeout
+        kernel.post_event(deadline, lambda: None)
     waiter = RingWaiter(
         ring=ring, slot=slot, index=index, sysno=sysno, raw_args=raw_args,
         user_data=user_data, cq_base=cq_base, capacity=capacity,
         parked_at=kernel.clock, args=args, ready=ready, deps=deps,
+        deadline=deadline,
     )
     task.ring_waiters.append(waiter)
     if len(task.ring_waiters) > task.ring_parked_peak:
@@ -351,6 +360,15 @@ def complete_ring_waiters(kernel, task) -> int:
         for waiter in list(waiters):
             if waiter not in waiters:
                 continue  # released by an earlier completion this pass
+            if (waiter.deadline is not None
+                    and kernel.clock >= waiter.deadline):
+                # Bounded park expired: cancel with -ETIMEDOUT (checked
+                # before deps so a dependency chain behind a hung entry
+                # unwinds instead of parking forever).
+                _complete_waiter(kernel, task, waiter, -errno.ETIMEDOUT)
+                completed += 1
+                progress = True
+                continue
             if waiter.deps:
                 continue
             if waiter.args is None:

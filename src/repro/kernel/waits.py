@@ -51,18 +51,23 @@ class RingWaiter:
     * ``args`` set — *predicate-parked*: the dispatch raised
       :class:`WouldBlock`; ``ready`` is that exception's predicate and the
       resolved arguments are kept for the Linux-style restart.
+
+    ``deadline`` (absolute kernel clock, or None) bounds the park: once
+    the clock reaches it the entry completes with ``-ETIMEDOUT`` instead
+    of waiting forever (set from ``Machine(ring_park_timeout=...)``).
     """
 
     __slots__ = ("ring", "slot", "index", "sysno", "raw_args", "args",
                  "user_data", "cq_base", "capacity", "ready", "deps",
-                 "parked_at")
+                 "parked_at", "deadline")
 
     def __init__(self, *, ring: int, slot: int, index: int, sysno: int,
                  raw_args: tuple, user_data: int, cq_base: int,
                  capacity: int, parked_at: int,
                  args: tuple | None = None,
                  ready: Callable[[], bool] | None = None,
-                 deps: set | None = None):
+                 deps: set | None = None,
+                 deadline: int | None = None):
         self.ring = ring
         self.slot = slot
         self.index = index
@@ -75,3 +80,4 @@ class RingWaiter:
         self.ready = ready
         self.deps = deps if deps is not None else set()
         self.parked_at = parked_at
+        self.deadline = deadline

@@ -45,6 +45,14 @@ kind                      emitted by
 ``fallback``              degradation controller — a recoverable fault was
                           absorbed (rewrite retry, sigreturn-stack spill,
                           setup-mmap fallback) without changing mode
+``shard_down``            cluster health model — a shard transitioned to
+                          ``down`` (crash, hang, or repeated timeouts)
+``failover``              cluster balancer — failed requests were re-planned
+                          from a dead/suspect shard onto a live one
+``retry``                 cluster retry machinery — a backoff round re-issued
+                          timed-out/failed requests
+``breaker``               cluster circuit breaker — a per-shard breaker
+                          transitioned (closed → open → half_open → closed)
 ========================  =====================================================
 
 ``ts`` is the simulated clock (cycles) at *emission* time.  On a 1-core
@@ -79,6 +87,10 @@ RING_COMPLETE = "ring_complete"
 DEGRADE = "degrade"
 REWRITE_BLACKLIST = "rewrite_blacklist"
 FALLBACK = "fallback"
+SHARD_DOWN = "shard_down"
+FAILOVER = "failover"
+RETRY = "retry"
+BREAKER = "breaker"
 
 ALL_KINDS = (
     SYSCALL,
@@ -101,6 +113,10 @@ ALL_KINDS = (
     DEGRADE,
     REWRITE_BLACKLIST,
     FALLBACK,
+    SHARD_DOWN,
+    FAILOVER,
+    RETRY,
+    BREAKER,
 )
 
 

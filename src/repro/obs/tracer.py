@@ -17,7 +17,7 @@ rewrite-coverage counters) never need an event walk.
 
 from __future__ import annotations
 
-from repro.kernel.errno import is_error
+from repro.kernel.errno import ETIMEDOUT, is_error
 from repro.kernel.syscalls.table import syscall_name
 from repro.obs import events as K
 from repro.obs.events import Event
@@ -52,6 +52,13 @@ class Tracer:
         #: so it always counts every completed SQE either way)
         self.ring_parks = 0
         self.ring_completes = 0
+        #: parked SQEs whose bounded park expired (CQE = -ETIMEDOUT)
+        self.ring_timeouts = 0
+        #: fleet fault-tolerance aggregates (cluster-level emit sites)
+        self.shard_downs = 0
+        self.failovers = 0
+        self.retries = 0
+        self.breaker_transitions = 0
         #: degradation-mode transitions: (ts, tid, mechanism, old, new, reason)
         self.degradations: list[tuple] = []
         #: sites pinned to the slow path after repeated rewrite failures
@@ -231,6 +238,8 @@ class Tracer:
         """
         self.ring_completes += 1
         self.ring_entries += 1
+        if ret == -ETIMEDOUT:
+            self.ring_timeouts += 1
         data = {"index": index, "name": name, "sysno": sysno, "ret": ret,
                 "user_data": user_data, "waited": waited}
         if is_error(ret):
@@ -259,6 +268,40 @@ class Tracer:
         """A recoverable fault was absorbed (no mode change)."""
         self.fallback_counts[stage] = self.fallback_counts.get(stage, 0) + 1
         self._emit(ts, K.FALLBACK, tid, dict(detail, stage=stage))
+
+    # ----------------------------------------------------- fleet fault layer
+    # Cluster-level emit sites (``tid`` is -1: these are fleet events, not
+    # attributable to a guest task).  ``ts`` is the cluster's cumulative
+    # measured-window clock at the round boundary where the event happened.
+    def shard_down(self, ts: int, shard: int, reason: str, *,
+                   round_: int = 0) -> None:
+        """The health model marked a shard ``down``."""
+        self.shard_downs += 1
+        self._emit(ts, K.SHARD_DOWN, -1,
+                   {"shard": shard, "reason": reason, "round": round_})
+
+    def failover(self, ts: int, shard_from: int, shard_to: int,
+                 requests: int, *, round_: int = 0) -> None:
+        """Failed requests were re-planned onto a live shard."""
+        self.failovers += 1
+        self._emit(ts, K.FAILOVER, -1,
+                   {"from": shard_from, "to": shard_to,
+                    "requests": requests, "round": round_})
+
+    def retry(self, ts: int, round_: int, requests: int,
+              backoff_cycles: int) -> None:
+        """A backoff round re-issued failed/timed-out requests."""
+        self.retries += 1
+        self._emit(ts, K.RETRY, -1,
+                   {"round": round_, "requests": requests,
+                    "backoff_cycles": backoff_cycles})
+
+    def breaker(self, ts: int, shard: int, old: str, new: str, *,
+                round_: int = 0) -> None:
+        """A per-shard circuit breaker changed state."""
+        self.breaker_transitions += 1
+        self._emit(ts, K.BREAKER, -1,
+                   {"shard": shard, "old": old, "new": new, "round": round_})
 
     # ------------------------------------------------------------- summaries
     def core_utilization(self) -> dict[int, float]:

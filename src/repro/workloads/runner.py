@@ -219,7 +219,10 @@ class WebserverWorkload:
     ``file_size``, ``connections`` (default ``2 * cores``), ``workers``
     (default one per core), ``client_cycles_per_request``,
     ``request_extra_cycles`` (per-request user-space surcharge list, used
-    by the cluster's session model).
+    by the cluster's session model), plus the chaos knobs
+    ``deadline_cycles`` (bounded run: return at the absolute deadline
+    instead of raising on a stall) and ``partition_after`` (cap the wrk
+    client's total sends) — both off by default and byte-invisible then.
 
     ``batched="async"`` selects the event-loop leg: a single worker
     overlapping ``connections`` (default 4) in-flight requests through
@@ -247,6 +250,10 @@ class WebserverWorkload:
         workers = ctx.option("workers", ctx.cores)
         client_cycles = ctx.option("client_cycles_per_request", 0)
         extra_cycles = ctx.option("request_extra_cycles")
+        # chaos knobs (fleet fault tolerance); both default to off and the
+        # result row is unchanged whenever they are off
+        deadline_cycles = ctx.option("deadline_cycles")
+        partition_after = ctx.option("partition_after")
         ctx.reject_unknown_options(self.name)
 
         is_async = ctx.batched == "async"
@@ -274,14 +281,27 @@ class WebserverWorkload:
             warmup=warmup,
             connections=connections,
             client_cycles_per_request=client_cycles,
+            deadline_cycles=deadline_cycles,
+            partition_after=partition_after,
         )
         stats = workload.last_client.stats
         start = stats.start_clock if stats.start_clock is not None else 0
         measured_cycles = stats.end_clock - start
+        served = max(0, stats.completed - warmup)
+        deadline_hit = deadline_cycles is not None and served < requests
+        if deadline_hit:
+            # the shard held its slot until the deadline: the measured
+            # window (and the fleet's) extends to it
+            measured_cycles = max(0, deadline_cycles - start)
         insns = machine.scheduler.total_instructions
         seconds = machine.seconds
         freq = machine.costs.frequency_hz
         pct = latency_percentiles(stats.samples)
+        chaos_keys = {}
+        if deadline_cycles is not None or partition_after is not None:
+            if deadline_hit and measured_cycles:
+                rps = served / (measured_cycles / freq)
+            chaos_keys = {"served": served, "deadline_hit": deadline_hit}
         return {
             "workload": self.name,
             "server": spec.name,
@@ -307,6 +327,7 @@ class WebserverWorkload:
             "latency_p95_cycles": pct["p95"],
             "latency_p99_cycles": pct["p99"],
             "latency_samples_cycles": list(stats.samples),
+            **chaos_keys,
         }
 
 

@@ -511,12 +511,21 @@ class ServerWorkload:
         warmup: int = 30,
         connections: int = 4,
         client_cycles_per_request: int = 0,
+        deadline_cycles: int | None = None,
+        partition_after: int | None = None,
     ) -> float:
         """Drive the server with the wrk model; returns requests/second.
 
         The driving :class:`WrkClient` is kept on ``self.last_client`` so
         callers (the unified runner, the cluster shard worker) can read
         latency samples and the measured window after the run.
+
+        With ``deadline_cycles`` set the run is bounded: instead of
+        raising when the server stalls, it returns once the machine clock
+        reaches the (absolute) deadline — the fleet hang-recovery path.
+        ``partition_after`` caps the client's total sends (see
+        :class:`WrkClient`); both default to off, leaving normal runs
+        byte-identical.
         """
         is_async = self.batched == "async"
         if not is_async:
@@ -528,18 +537,25 @@ class ServerWorkload:
             response_size=self.file_size,
             warmup_requests=warmup,
             client_cycles_per_request=client_cycles_per_request,
+            partition_after=partition_after,
         )
         if is_async:
             self._start_when_listening(client)
         else:
             client.start()
         total = warmup + requests
-        self.machine.run(
-            until=lambda: client.stats.completed >= total,
-            max_instructions=1_000_000_000,
-        )
+        kernel = self.machine.kernel
+        if deadline_cycles is None:
+            until = lambda: client.stats.completed >= total
+        else:
+            # a no-op timer guarantees an idle machine still advances
+            # simulated time to the deadline instead of deadlocking
+            kernel.post_event(deadline_cycles, lambda: None)
+            until = lambda: (client.stats.completed >= total
+                             or kernel.clock >= deadline_cycles)
+        self.machine.run(until=until, max_instructions=1_000_000_000)
         client.stop()
-        if client.stats.completed < total:
+        if client.stats.completed < total and deadline_cycles is None:
             raise RuntimeError(
                 f"server stalled: {client.stats.completed}/{total} responses"
             )

@@ -65,6 +65,7 @@ class WrkClient:
         response_size: int,
         warmup_requests: int = 0,
         client_cycles_per_request: int = 0,
+        partition_after: int | None = None,
     ):
         self.kernel = kernel
         self.port = port
@@ -72,10 +73,17 @@ class WrkClient:
         self.expected = HEADER_SIZE + response_size
         self.warmup = warmup_requests
         self.client_cost = client_cycles_per_request
+        #: chaos knob: after this many total sends (warmup included) the
+        #: client partitions — no further requests, and data arriving on a
+        #: connection with no request in flight is dropped (a hung/failed
+        #: shard's late bytes).  ``None`` (default) changes nothing.
+        self.partition_after = partition_after
         self.stats = WrkStats()
         self._conns: list = []
         self._received: dict[int, int] = {}
         self._sent_at: dict[int, int] = {}
+        self._sends = 0
+        self._in_flight: set[int] = set()
         self._stopped = False
 
     # ------------------------------------------------------------------ drive
@@ -99,10 +107,17 @@ class WrkClient:
     def _send(self, idx: int) -> None:
         if self._stopped:
             return
+        if self.partition_after is not None:
+            if self._sends >= self.partition_after:
+                return  # partitioned: the connection goes quiet
+            self._sends += 1
+            self._in_flight.add(idx)
         self._sent_at[idx] = self.kernel.now
         self._conns[idx].client.send(REQUEST)
 
     def _on_data(self, idx: int, data: bytes) -> None:
+        if self.partition_after is not None and idx not in self._in_flight:
+            return  # unsolicited bytes after partitioning: dropped
         self._received[idx] += len(data)
         self.stats.bytes_received += len(data)
         if self._received[idx] < self.expected:
@@ -110,6 +125,7 @@ class WrkClient:
         if self._received[idx] > self.expected:
             self.stats.errors += 1
         self._received[idx] = 0
+        self._in_flight.discard(idx)
         self.stats.completed += 1
         if self.stats.completed == self.warmup:
             self.stats.start_clock = self.kernel.now
